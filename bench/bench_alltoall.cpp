@@ -1,0 +1,59 @@
+// Extension bench — all-to-all personalized communication (paper §1 points
+// at N concurrent BSTs; ref [8]): the classical dimension-order recursive
+// exchange (exact cycle counts) next to N concurrent BST scatters resolved
+// dynamically by the event engine.
+//
+// Usage: bench_alltoall [--max-dim N] [--msg bytes] [--csv path]
+#include "bench_util.hpp"
+
+#include "routing/alltoall.hpp"
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+    using namespace hcube;
+    const CliOptions options(argc, argv);
+    const auto max_dim =
+        static_cast<hc::dim_t>(options.get_int("max-dim", 5));
+    const double M = options.get_double("msg", 1024);
+    bench::banner("Extension: all-to-all personalized",
+                  "recursive exchange vs concurrent BST scatters");
+
+    const std::vector<std::string> header = {
+        "dim", "recursive-exchange cycles", "n*N/2 (model)",
+        "bisection bound N/2",  "concurrent-BST time", "pairs delivered"};
+    TextTable table(header);
+    auto csv = bench::csv_sink(options, header);
+
+    for (hc::dim_t n = 2; n <= max_dim; ++n) {
+        const auto schedule = routing::alltoall_recursive_exchange(n, 1);
+        const auto stats = sim::execute_schedule(
+            schedule, sim::PortModel::one_port_full_duplex);
+
+        sim::EventParams params;
+        params.model = sim::PortModel::one_port_full_duplex;
+        params.packet_capacity = 1e18;
+        sim::EventEngine engine(n, params);
+        routing::AllToAllBstProtocol protocol(n, M);
+        const auto ev = engine.run(protocol);
+
+        const hc::node_t N = hc::node_t{1} << n;
+        std::vector<std::string> row = {
+            std::to_string(n), std::to_string(stats.makespan),
+            std::to_string(static_cast<std::uint64_t>(n) * (N / 2)),
+            std::to_string(N / 2),
+            format_seconds(ev.completion_time),
+            std::to_string(protocol.delivered())};
+        if (csv) {
+            csv->write_row(row);
+        }
+        table.add_row(std::move(row));
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("\nThe recursive exchange hits n*N/2 cycles exactly — a "
+              "factor log N above the N/2\nbisection lower bound (every "
+              "packet travels log N / 2 hops on average); the N\n"
+              "concurrent translated-BST scatters deliver all N(N-1) "
+              "payloads with contention\nresolved dynamically.");
+    return 0;
+}

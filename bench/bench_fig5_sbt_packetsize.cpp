@@ -1,0 +1,61 @@
+// Figure 5 — SBT broadcasting time as a function of the *external* packet
+// size, for several cube dimensions, on the simulated iPSC (internal packet
+// size 1 KB): the time grows as the external packet size shrinks below the
+// internal packet (more start-ups) and flattens above it.
+//
+// Usage: bench_fig5_sbt_packetsize [--msg bytes] [--max-dim N] [--csv path]
+#include "bench_util.hpp"
+
+#include "routing/protocols.hpp"
+#include "trees/sbt.hpp"
+
+#include <cstdio>
+#include <vector>
+
+int main(int argc, char** argv) {
+    using namespace hcube;
+    const CliOptions options(argc, argv);
+    const double M = options.get_double("msg", 61440); // 60 KB
+    const auto max_dim =
+        static_cast<hc::dim_t>(options.get_int("max-dim", 7));
+    bench::banner("Figure 5",
+                  "SBT broadcast time vs external packet size, M = " +
+                      format_fixed(M / 1024, 0) + " KB");
+
+    const std::vector<double> external_sizes = {128,  256,  384,  512, 640,
+                                                768,  896,  1024, 1536, 2048,
+                                                4096};
+    std::vector<std::string> header = {"ext. packet [B]"};
+    for (hc::dim_t n = 2; n <= max_dim; ++n) {
+        header.push_back("d" + std::to_string(n));
+    }
+    TextTable table(header);
+    auto csv = bench::csv_sink(options, header);
+
+    for (const double ext : external_sizes) {
+        std::vector<std::string> row = {format_fixed(ext, 0)};
+        for (hc::dim_t n = 2; n <= max_dim; ++n) {
+            sim::EventParams params; // iPSC defaults (tau/tc/1KB internal)
+            params.model = sim::PortModel::one_port_full_duplex;
+            const trees::SpanningTree tree = trees::build_sbt(n, 0);
+            sim::EventEngine engine(n, params);
+            routing::PortOrientedBroadcast protocol(tree, M, ext);
+            const auto stats = engine.run(protocol);
+            if (!protocol.complete()) {
+                std::fprintf(stderr, "broadcast incomplete at n=%d\n", n);
+                return 1;
+            }
+            row.push_back(format_seconds(stats.completion_time));
+        }
+        if (csv) {
+            csv->write_row(row);
+        }
+        table.add_row(std::move(row));
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("\nAs in the paper's Figure 5: below the 1 KB internal packet "
+              "size the time rises\nroughly linearly in 1/packet-size (every "
+              "external packet pays its own start-up);\nabove 1 KB the "
+              "internal packetization takes over and the curve flattens.");
+    return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 8 — personalized communication with the SBT (descending-address
+// order) and the BST (cyclic subtree order, depth-first within a subtree) on
+// the simulated iPSC: one-port communication with a ~20% overlap between
+// operations on different ports. The analysis says the two are equal at one
+// port; the measurement favors the BST because only it can exploit the
+// overlap fully (§5.2) — our engine reproduces the mechanism: the SBT's
+// saturated subtree-0 neighbor back-pressures the root.
+//
+// Usage: bench_fig8_personalized [--msg bytes] [--max-dim N]
+//                                [--overlap a] [--csv path]
+#include "bench_util.hpp"
+
+#include "common/check.hpp"
+#include "routing/protocols.hpp"
+#include "routing/scatter.hpp"
+#include "trees/bst.hpp"
+#include "trees/sbt.hpp"
+
+#include <cstdio>
+
+namespace {
+
+using namespace hcube;
+
+double run_scatter(const trees::SpanningTree& tree,
+                   const std::vector<hc::node_t>& order, double M,
+                   double overlap) {
+    sim::EventParams params;
+    params.model = sim::PortModel::one_port_half_duplex;
+    params.overlap = overlap;
+    sim::EventEngine engine(tree.n, params);
+    routing::ScatterProtocol protocol(tree, order, M);
+    const auto stats = engine.run(protocol);
+    if (protocol.delivered() != tree.node_count() - 1) {
+        throw check_error("scatter incomplete");
+    }
+    return stats.completion_time;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const CliOptions options(argc, argv);
+    const double M = options.get_double("msg", 1024);
+    const auto max_dim =
+        static_cast<hc::dim_t>(options.get_int("max-dim", 7));
+    const double overlap = options.get_double("overlap", 0.2);
+    bench::banner("Figure 8",
+                  "personalized communication, SBT vs BST, M = " +
+                      format_fixed(M, 0) + " B/node, one port, overlap = " +
+                      format_fixed(overlap, 2));
+
+    const std::vector<std::string> header = {"dim", "SBT (sim)", "BST (sim)",
+                                             "BST advantage"};
+    TextTable table(header);
+    auto csv = bench::csv_sink(options, header);
+
+    for (hc::dim_t n = 2; n <= max_dim; ++n) {
+        const trees::SpanningTree sbt = trees::build_sbt(n, 0);
+        const trees::SpanningTree bst = trees::build_bst(n, 0);
+        const double sbt_time = run_scatter(
+            sbt, routing::descending_dest_order(sbt), M, overlap);
+        const double bst_time = run_scatter(
+            bst,
+            routing::cyclic_dest_order(bst,
+                                       routing::SubtreeOrder::depth_first),
+            M, overlap);
+        std::vector<std::string> row = {
+            std::to_string(n), format_seconds(sbt_time),
+            format_seconds(bst_time),
+            format_fixed(100.0 * (sbt_time - bst_time) / sbt_time, 1) + " %"};
+        if (csv) {
+            csv->write_row(row);
+        }
+        table.add_row(std::move(row));
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("\nWith overlap = 0 the two curves coincide "
+              "(bench_ablation_overlap shows the sweep);\nwith the iPSC's "
+              "~20% overlap the BST pulls ahead — the paper's Figure 8.");
+    return 0;
+}

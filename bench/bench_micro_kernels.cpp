@@ -1,0 +1,101 @@
+// Microbenchmarks (google-benchmark) of the pure address arithmetic that
+// every routing decision rests on: SBT/MSBT/BST children and parents, the
+// base() necklace function, edge labels, schedule generation and the TCBT
+// embedding search.
+#include "hc/necklace.hpp"
+#include "routing/broadcast.hpp"
+#include "trees/bst.hpp"
+#include "trees/msbt.hpp"
+#include "trees/sbt.hpp"
+#include "trees/tcbt.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace hcube;
+
+void BM_Base(benchmark::State& state) {
+    const auto n = static_cast<hc::dim_t>(state.range(0));
+    const hc::node_t mask = (hc::node_t{1} << n) - 1;
+    hc::node_t x = 0x2badf00d & mask;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hc::base(x, n));
+        x = (x + 0x9e37) & mask;
+    }
+}
+BENCHMARK(BM_Base)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_SbtChildren(benchmark::State& state) {
+    const auto n = static_cast<hc::dim_t>(state.range(0));
+    const hc::node_t mask = (hc::node_t{1} << n) - 1;
+    hc::node_t x = 0x1234 & mask;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(trees::sbt_children(x, 0, n));
+        x = (x + 1) & mask;
+    }
+}
+BENCHMARK(BM_SbtChildren)->Arg(10)->Arg(20);
+
+void BM_MsbtEdgeLabel(benchmark::State& state) {
+    const auto n = static_cast<hc::dim_t>(state.range(0));
+    const hc::node_t mask = (hc::node_t{1} << n) - 1;
+    hc::node_t x = 1;
+    hc::dim_t j = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(trees::msbt_edge_label(x, j, 0, n));
+        x = (x % mask) + 1;
+        j = (j + 1) % n;
+    }
+}
+BENCHMARK(BM_MsbtEdgeLabel)->Arg(10)->Arg(20);
+
+void BM_BstChildren(benchmark::State& state) {
+    const auto n = static_cast<hc::dim_t>(state.range(0));
+    const hc::node_t mask = (hc::node_t{1} << n) - 1;
+    hc::node_t x = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(trees::bst_children(x, 0, n));
+        x = (x % mask) + 1;
+    }
+}
+BENCHMARK(BM_BstChildren)->Arg(10)->Arg(16);
+
+void BM_BuildSbt(benchmark::State& state) {
+    const auto n = static_cast<hc::dim_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(trees::build_sbt(n, 0));
+    }
+}
+BENCHMARK(BM_BuildSbt)->Arg(8)->Arg(12);
+
+void BM_BuildBst(benchmark::State& state) {
+    const auto n = static_cast<hc::dim_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(trees::build_bst(n, 0));
+    }
+}
+BENCHMARK(BM_BuildBst)->Arg(8)->Arg(12);
+
+void BM_MsbtFullDuplexSchedule(benchmark::State& state) {
+    const auto n = static_cast<hc::dim_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(routing::msbt_broadcast(
+            n, 0, 4, sim::PortModel::one_port_full_duplex));
+    }
+}
+BENCHMARK(BM_MsbtFullDuplexSchedule)->Arg(6)->Arg(10);
+
+void BM_TcbtEmbedding(benchmark::State& state) {
+    const auto n = static_cast<hc::dim_t>(state.range(0));
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        // Vary the seed so the memoization cache does not short-circuit.
+        benchmark::DoNotOptimize(trees::build_tcbt(n, 0, seed++));
+    }
+}
+BENCHMARK(BM_TcbtEmbedding)->Arg(5)->Arg(6)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

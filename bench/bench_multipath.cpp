@@ -1,0 +1,59 @@
+// Extension bench — bandwidth aggregation over the log N node-disjoint
+// paths (paper §1's structural fact): time to move a large message between
+// antipodal nodes as a function of how many of the disjoint paths carry it.
+//
+// Usage: bench_multipath [--dim n] [--msg elements] [--chunk elements]
+//                        [--csv path]
+#include "bench_util.hpp"
+
+#include "routing/multipath.hpp"
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+    using namespace hcube;
+    const CliOptions options(argc, argv);
+    const auto n = static_cast<hc::dim_t>(options.get_int("dim", 7));
+    const double M = options.get_double("msg", 1 << 20);
+    const double chunk = options.get_double("chunk", 1024);
+    bench::banner("Extension: multipath transfer",
+                  "antipodal transfer over k node-disjoint paths, n = " +
+                      std::to_string(n));
+
+    const hc::node_t src = 0;
+    const hc::node_t dst = (hc::node_t{1} << n) - 1;
+
+    const std::vector<std::string> header = {"paths", "time", "speedup"};
+    TextTable table(header);
+    auto csv = bench::csv_sink(options, header);
+
+    double single = 0;
+    for (std::size_t paths = 1; paths <= static_cast<std::size_t>(n);
+         ++paths) {
+        sim::EventParams params; // iPSC constants
+        params.model = sim::PortModel::all_port;
+        sim::EventEngine engine(n, params);
+        routing::MultipathTransfer protocol(n, src, dst, M, chunk, paths);
+        const auto stats = engine.run(protocol);
+        if (!protocol.complete()) {
+            std::fprintf(stderr, "incomplete transfer at %zu paths\n", paths);
+            return 1;
+        }
+        if (paths == 1) {
+            single = stats.completion_time;
+        }
+        std::vector<std::string> row = {
+            std::to_string(paths), format_seconds(stats.completion_time),
+            format_fixed(single / stats.completion_time, 2)};
+        if (csv) {
+            csv->write_row(row);
+        }
+        table.add_row(std::move(row));
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("\nThe first log N rows use the n distance-length disjoint "
+              "paths; speedup approaches\nlog N for transfer-dominated "
+              "messages — the bandwidth the MSBT exploits for broadcast,\n"
+              "available even point to point.");
+    return 0;
+}

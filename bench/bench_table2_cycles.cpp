@@ -1,0 +1,95 @@
+// Table 2 — steady-state routing steps per distinct packet: measured as the
+// makespan slope between two long pipelines, next to the paper's entries.
+//
+// Usage: bench_table2_cycles [--dim N] [--csv path]
+#include "bench_util.hpp"
+
+#include "model/broadcast_model.hpp"
+#include "routing/broadcast.hpp"
+#include "trees/hp.hpp"
+#include "trees/sbt.hpp"
+#include "trees/tcbt.hpp"
+
+#include <cstdio>
+
+namespace {
+
+using namespace hcube;
+using model::Algorithm;
+using sim::PortModel;
+
+double measured_slope(Algorithm algo, PortModel port, hc::dim_t n) {
+    const hc::node_t s = 0;
+    // makespan as a function of the pipeline length, per *distinct* packet.
+    const auto makespan = [&](sim::packet_t packets) {
+        routing::Schedule schedule;
+        switch (algo) {
+        case Algorithm::hp:
+            schedule = routing::paced_broadcast(
+                trees::build_hamiltonian_path(
+                    n, s, trees::HpVariant::source_at_end),
+                packets, port);
+            break;
+        case Algorithm::sbt:
+            schedule = (port == PortModel::all_port)
+                           ? routing::paced_broadcast(trees::build_sbt(n, s),
+                                                      packets, port)
+                           : routing::port_oriented_broadcast(
+                                 trees::build_sbt(n, s), packets);
+            break;
+        case Algorithm::tcbt:
+            schedule =
+                routing::paced_broadcast(trees::build_tcbt(n, s), packets,
+                                         port);
+            break;
+        case Algorithm::msbt:
+            schedule = routing::msbt_broadcast(n, s, packets, port);
+            break;
+        case Algorithm::bst:
+            break;
+        }
+        return sim::execute_schedule(schedule, port).makespan;
+    };
+    // The MSBT parameter counts packets per subtree: n distinct packets each.
+    const double distinct_per_unit = (algo == Algorithm::msbt)
+                                         ? static_cast<double>(n)
+                                         : 1.0;
+    constexpr sim::packet_t kShort = 8;
+    constexpr sim::packet_t kLong = 24;
+    return static_cast<double>(makespan(kLong) - makespan(kShort)) /
+           ((kLong - kShort) * distinct_per_unit);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const CliOptions options(argc, argv);
+    const auto n = static_cast<hc::dim_t>(options.get_int("dim", 6));
+    bench::banner("Table 2",
+                  "cycles per distinct packet, n = " + std::to_string(n));
+
+    const std::vector<std::string> header = {
+        "Algorithm",        "1 s or r (model)", "1 s or r (sim)",
+        "1 s and r (model)", "1 s and r (sim)",  "all ports (model)",
+        "all ports (sim)"};
+    TextTable table(header);
+    auto csv = bench::csv_sink(options, header);
+
+    for (const auto algo : {Algorithm::hp, Algorithm::sbt, Algorithm::tcbt,
+                            Algorithm::msbt}) {
+        std::vector<std::string> row{std::string(model::to_string(algo))};
+        for (const auto port : {PortModel::one_port_half_duplex,
+                                PortModel::one_port_full_duplex,
+                                PortModel::all_port}) {
+            row.push_back(format_fixed(
+                model::cycles_per_packet(algo, port, n), 3));
+            row.push_back(format_fixed(measured_slope(algo, port, n), 3));
+        }
+        if (csv) {
+            csv->write_row(row);
+        }
+        table.add_row(std::move(row));
+    }
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}

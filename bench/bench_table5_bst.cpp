@@ -1,0 +1,61 @@
+// Table 5 — maximum BST subtree sizes against (N-1)/log N, n = 2..20,
+// regenerated exactly from the base() census. The paper's printed values are
+// included for a line-by-line diff.
+//
+// Usage: bench_table5_bst [--max-dim N] [--csv path]
+#include "bench_util.hpp"
+
+#include "hc/necklace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+int main(int argc, char** argv) {
+    using namespace hcube;
+    const CliOptions options(argc, argv);
+    const auto max_dim =
+        static_cast<hc::dim_t>(options.get_int("max-dim", 20));
+    bench::banner("Table 5",
+                  "BST maximum subtree sizes vs (N-1)/log N, n = 2.." +
+                      std::to_string(max_dim));
+
+    const std::map<hc::dim_t, std::uint64_t> paper = {
+        {2, 2},      {3, 3},      {4, 5},      {5, 7},      {6, 13},
+        {7, 19},     {8, 35},     {9, 59},     {10, 107},   {11, 187},
+        {12, 351},   {13, 631},   {14, 1181},  {15, 2191},  {16, 4115},
+        {17, 7711},  {18, 14601}, {19, 27595}, {20, 52487}};
+
+    const std::vector<std::string> header = {
+        "n", "BST(max) computed", "BST(max) paper", "(N-1)/logN", "ratio"};
+    TextTable table(header);
+    auto csv = bench::csv_sink(options, header);
+
+    bool all_match = true;
+    for (hc::dim_t n = 2; n <= max_dim; ++n) {
+        const auto census = hc::base_census(n);
+        const std::uint64_t max_size = *std::ranges::max_element(census);
+        const double balanced = (std::ldexp(1.0, n) - 1) / n;
+        const auto it = paper.find(n);
+        const std::string paper_value =
+            (it != paper.end()) ? std::to_string(it->second) : "-";
+        if (it != paper.end() && it->second != max_size) {
+            all_match = false;
+        }
+        std::vector<std::string> row = {
+            std::to_string(n), std::to_string(max_size), paper_value,
+            format_fixed(balanced, 2),
+            format_fixed(static_cast<double>(max_size) / balanced, 2)};
+        if (csv) {
+            csv->write_row(row);
+        }
+        table.add_row(std::move(row));
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\n%s\n", all_match
+                              ? "All computed values match the paper's "
+                                "Table 5 exactly."
+                              : "MISMATCH against the paper's Table 5!");
+    return all_match ? 0 : 1;
+}

@@ -1,0 +1,115 @@
+// Table 6 — personalized communication T_min for SBT/TCBT/BST under one-port
+// and all-port communication. Model columns are the paper's closed forms;
+// sim columns run the merged-message scatter protocols (one-port rows, large
+// B) in the event engine and the cycle-level level-by-level schedules (small
+// B, all-port rows) converted to time.
+//
+// Usage: bench_table6_personalized [--dim N] [--msg elements] [--tau s]
+//                                  [--tc s] [--csv path]
+#include "bench_util.hpp"
+
+#include "common/check.hpp"
+#include "model/personalized_model.hpp"
+#include "routing/protocols.hpp"
+#include "routing/scatter.hpp"
+#include "trees/bst.hpp"
+#include "trees/sbt.hpp"
+#include "trees/tcbt.hpp"
+
+#include <cstdio>
+
+namespace {
+
+using namespace hcube;
+using model::Algorithm;
+
+trees::SpanningTree build_tree(Algorithm algo, hc::dim_t n) {
+    switch (algo) {
+    case Algorithm::sbt: return trees::build_sbt(n, 0);
+    case Algorithm::tcbt: return trees::build_tcbt(n, 0);
+    case Algorithm::bst: return trees::build_bst(n, 0);
+    default: break;
+    }
+    throw check_error("not a Table 6 algorithm");
+}
+
+/// One-port rows: the merged recursive algorithm with unbounded packets.
+double simulate_one_port(Algorithm algo, hc::dim_t n, double M,
+                         const model::CommParams& comm) {
+    sim::EventParams params;
+    params.tau = comm.tau;
+    params.tc = comm.tc;
+    params.packet_capacity = 1e18;
+    params.model = sim::PortModel::one_port_full_duplex;
+    const trees::SpanningTree tree = build_tree(algo, n);
+    sim::EventEngine engine(n, params);
+    routing::MergedScatterProtocol protocol(tree, M);
+    return engine.run(protocol).completion_time;
+}
+
+/// All-port rows: the lemma-4.2 level-by-level schedule at B = M, costed at
+/// (τ + M t_c) per routing step.
+double simulate_all_port(Algorithm algo, hc::dim_t n, double M,
+                         const model::CommParams& comm) {
+    const trees::SpanningTree tree = build_tree(algo, n);
+    const auto schedule = routing::scatter_all_port(
+        tree,
+        routing::per_subtree_dest_orders(
+            tree, routing::SubtreeOrder::reverse_breadth_first),
+        1);
+    const auto stats =
+        sim::execute_schedule(schedule, sim::PortModel::all_port);
+    return stats.makespan * (comm.tau + M * comm.tc);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const CliOptions options(argc, argv);
+    const auto n = static_cast<hc::dim_t>(options.get_int("dim", 7));
+    const double M = options.get_double("msg", 1024);
+    const model::CommParams comm{options.get_double("tau", 1.7e-3),
+                                 options.get_double("tc", 2.86e-6)};
+    bench::banner("Table 6", "personalized communication T_min, n = " +
+                                 std::to_string(n) +
+                                 ", M = " + format_fixed(M, 0));
+
+    const std::vector<std::string> header = {"Row", "T_min (model)",
+                                             "T (sim)"};
+    TextTable table(header);
+    auto csv = bench::csv_sink(options, header);
+
+    const struct {
+        Algorithm algo;
+        bool all_ports;
+        const char* name;
+    } rows[] = {
+        {Algorithm::sbt, false, "SBT, 1 port"},
+        {Algorithm::sbt, true, "SBT, logN ports"},
+        {Algorithm::tcbt, false, "TCBT, 1 port (<=)"},
+        {Algorithm::tcbt, true, "TCBT, logN ports"},
+        {Algorithm::bst, false, "BST, 1 port (<=)"},
+        {Algorithm::bst, true, "BST, logN ports (~)"},
+    };
+
+    for (const auto& spec : rows) {
+        const double model_t =
+            model::personalized_tmin(spec.algo, spec.all_ports, M, n, comm);
+        const double sim_t = spec.all_ports
+                                 ? simulate_all_port(spec.algo, n, M, comm)
+                                 : simulate_one_port(spec.algo, n, M, comm);
+        std::vector<std::string> row = {spec.name, format_seconds(model_t),
+                                        format_seconds(sim_t)};
+        if (csv) {
+            csv->write_row(row);
+        }
+        table.add_row(std::move(row));
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("\nOne-port sims run the recursive merged-message algorithm "
+              "(unbounded B); all-port sims\nrun the level-by-level schedule "
+              "at B = M. The BST all-port row lands within the max-\n"
+              "subtree factor (Table 5 ratio) of the balanced bound; the "
+              "SBT/BST all-port gap shows\nthe paper's ~(1/2) log N.");
+    return 0;
+}

@@ -1,0 +1,35 @@
+// Shared helpers for the bench binaries: every binary regenerates one table
+// or figure of Ho & Johnsson (ICPP 1986) and prints it in a diffable layout,
+// optionally duplicating the series to CSV (--csv <path>).
+#pragma once
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace hcube::bench {
+
+/// Prints the standard banner naming the reproduced exhibit.
+inline void banner(const std::string& exhibit, const std::string& what) {
+    std::printf("== %s — %s ==\n", exhibit.c_str(), what.c_str());
+    std::printf("   (Ho & Johnsson, \"Distributed Routing Algorithms for "
+                "Broadcasting and Personalized\n"
+                "    Communication in Hypercubes\", ICPP 1986)\n\n");
+}
+
+/// Optional CSV sink selected by --csv <path>.
+inline std::unique_ptr<CsvWriter>
+csv_sink(const CliOptions& options, const std::vector<std::string>& header) {
+    const std::string path = options.get_string("csv", "");
+    if (path.empty()) {
+        return nullptr;
+    }
+    return std::make_unique<CsvWriter>(path, header);
+}
+
+} // namespace hcube::bench

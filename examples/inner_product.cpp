@@ -1,0 +1,82 @@
+// Distributed inner products — the paper's §1 names "computing inner
+// products" as a canonical use of the reduction (reverse broadcast)
+// operation.
+//
+// Every node owns a slice of two long vectors x and y; the global dot
+// product needs a sum-reduction of the local partial products, and an
+// iterative solver needs the result back at every node (all-reduce). We run
+// the data-carrying collectives and verify the numerics, comparing the
+// all-reduce against the gather-then-broadcast alternative the paper's
+// primitives suggest.
+//
+// Usage: inner_product [--dim n] [--elements-per-node m]
+#include "common/cli.hpp"
+#include "routing/collectives.hpp"
+#include "routing/protocols.hpp"
+#include "trees/sbt.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+int main(int argc, char** argv) {
+    using namespace hcube;
+    const CliOptions options(argc, argv);
+    const auto n = static_cast<hc::dim_t>(options.get_int("dim", 7));
+    const auto m =
+        static_cast<std::size_t>(options.get_int("elements-per-node", 4096));
+    const hc::node_t N = hc::node_t{1} << n;
+
+    std::printf("dot product of two %llu-element vectors on a %d-cube "
+                "(%zu elements/node)\n\n",
+                static_cast<unsigned long long>(N) * m, n, m);
+
+    // Local slices: x_i = 1/(i+1), y_i = (i+1), so x·y = total length.
+    std::vector<routing::Buffer> partials(N);
+    double expected = 0;
+    for (hc::node_t node = 0; node < N; ++node) {
+        double local = 0;
+        for (std::size_t e = 0; e < m; ++e) {
+            const double idx = static_cast<double>(node) *
+                                   static_cast<double>(m) +
+                               static_cast<double>(e) + 1.0;
+            local += (1.0 / idx) * idx;
+        }
+        partials[node] = {local};
+        expected += local;
+    }
+
+    // Variant 1: all-reduce (recursive doubling, log N exchanges of one
+    // scalar).
+    sim::EventParams params; // iPSC constants, full duplex
+    params.model = sim::PortModel::one_port_full_duplex;
+    routing::CollectiveComm comm(n, params);
+    auto reduced = partials;
+    const auto ar = comm.allreduce_sum(reduced);
+    std::printf("all-reduce:         %.6f s, every node holds %.1f "
+                "(expected %.1f)\n",
+                ar.time, reduced[0][0], expected);
+
+    // Variant 2: combining reduction up the SBT, then SBT broadcast of the
+    // scalar — the paper's reduction + broadcast composition.
+    const trees::SpanningTree tree = trees::build_sbt(n, 0);
+    sim::EventEngine reduce_engine(n, params);
+    routing::GatherProtocol reduce(tree, 1.0, /*combining=*/true);
+    const double reduce_time =
+        reduce_engine.run(reduce).completion_time;
+    routing::CollectiveComm comm2(n, params);
+    std::vector<routing::Buffer> bcast(N);
+    bcast[0] = {expected};
+    const auto bc = comm2.broadcast(
+        bcast, 0, routing::BroadcastAlgo::sbt_port_oriented, 1024);
+    std::printf("reduce + broadcast: %.6f s (reduce %.6f + broadcast %.6f)\n",
+                reduce_time + bc.time, reduce_time, bc.time);
+
+    const bool correct =
+        std::abs(reduced[0][0] - expected) < 1e-6 * expected;
+    std::printf("\nnumerics %s; for scalar payloads both variants cost "
+                "~2 log N start-ups — the\nstart-up term the paper's "
+                "optimal-packet-size analysis is built around.\n",
+                correct ? "check out" : "ARE WRONG");
+    return correct ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// Lightweight precondition / invariant checking used throughout the library.
+//
+// HCUBE_ENSURE is active in all build types: the library's routing schedules
+// are *claims* about lower bounds, and silently producing a wrong schedule in
+// Release would invalidate every measurement built on top of it.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace hcube {
+
+/// Thrown when a precondition or internal invariant is violated.
+class check_error : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr,
+                                      const std::string& msg,
+                                      const std::source_location& loc) {
+    std::string what = std::string(loc.file_name()) + ":" +
+                       std::to_string(loc.line()) + ": check failed: " + expr;
+    if (!msg.empty()) { what += " — " + msg; }
+    throw check_error(what);
+}
+
+} // namespace detail
+
+} // namespace hcube
+
+#define HCUBE_ENSURE(expr)                                                     \
+    do {                                                                       \
+        if (!(expr)) {                                                         \
+            ::hcube::detail::check_failed(#expr, {},                           \
+                                          std::source_location::current());    \
+        }                                                                      \
+    } while (false)
+
+#define HCUBE_ENSURE_MSG(expr, msg)                                            \
+    do {                                                                       \
+        if (!(expr)) {                                                         \
+            ::hcube::detail::check_failed(#expr, (msg),                        \
+                                          std::source_location::current());    \
+        }                                                                      \
+    } while (false)

@@ -1,0 +1,68 @@
+#include "common/cli.hpp"
+
+#include <stdexcept>
+
+namespace hcube {
+
+CliOptions::CliOptions(int argc, const char* const* argv) {
+    for (int a = 1; a < argc; ++a) {
+        std::string arg = argv[a];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(std::move(arg));
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        if (auto eq = name.find('='); eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+        } else if (a + 1 < argc &&
+                   std::string(argv[a + 1]).rfind("--", 0) != 0) {
+            value = argv[++a];
+        }
+        values_[name] = std::move(value);
+    }
+}
+
+bool CliOptions::has(const std::string& name) const {
+    return values_.contains(name);
+}
+
+std::string CliOptions::get_string(const std::string& name,
+                                   const std::string& fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliOptions::get_int(const std::string& name,
+                                 std::int64_t fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+        return fallback;
+    }
+    std::size_t pos = 0;
+    const std::int64_t value = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) {
+        throw std::invalid_argument("option --" + name +
+                                    " expects an integer, got '" + it->second +
+                                    "'");
+    }
+    return value;
+}
+
+double CliOptions::get_double(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+        return fallback;
+    }
+    std::size_t pos = 0;
+    const double value = std::stod(it->second, &pos);
+    if (pos != it->second.size()) {
+        throw std::invalid_argument("option --" + name +
+                                    " expects a number, got '" + it->second +
+                                    "'");
+    }
+    return value;
+}
+
+} // namespace hcube

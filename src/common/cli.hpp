@@ -1,0 +1,47 @@
+// Tiny command-line option parser shared by the bench and example binaries.
+//
+// Supports `--name value` and `--name=value` forms plus boolean flags.
+// Deliberately minimal: the binaries in this repository have a handful of
+// numeric knobs each (cube dimension, message size, packet size, ...).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hcube {
+
+/// Parsed command-line options. Construct from argc/argv, then query typed
+/// values with defaults. Unknown options are collected and can be rejected.
+class CliOptions {
+public:
+    CliOptions(int argc, const char* const* argv);
+
+    /// True if `--name` was present (with or without a value).
+    [[nodiscard]] bool has(const std::string& name) const;
+
+    /// String value of `--name`, or `fallback` if absent.
+    [[nodiscard]] std::string get_string(const std::string& name,
+                                         const std::string& fallback) const;
+
+    /// Integer value of `--name`, or `fallback` if absent.
+    /// Throws std::invalid_argument on malformed numbers.
+    [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                       std::int64_t fallback) const;
+
+    /// Floating-point value of `--name`, or `fallback` if absent.
+    [[nodiscard]] double get_double(const std::string& name,
+                                    double fallback) const;
+
+    /// Positional (non `--`) arguments in order.
+    [[nodiscard]] const std::vector<std::string>& positional() const {
+        return positional_;
+    }
+
+private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace hcube

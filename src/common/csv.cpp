@@ -1,0 +1,47 @@
+#include "common/csv.hpp"
+
+#include <stdexcept>
+
+namespace hcube {
+
+namespace {
+
+std::string escape_cell(const std::string& cell) {
+    const bool needs_quoting =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quoting) {
+        return cell;
+    }
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"') {
+            out += '"';
+        }
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path) {
+    if (!out_) {
+        throw std::runtime_error("CsvWriter: cannot open " + path);
+    }
+    write_row(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (c != 0) {
+            out_ << ',';
+        }
+        out_ << escape_cell(cells[c]);
+    }
+    out_ << '\n';
+}
+
+} // namespace hcube

@@ -1,0 +1,26 @@
+// Minimal CSV writer: the bench harnesses optionally dump their series as CSV
+// so the figures can be re-plotted outside this repository.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hcube {
+
+/// Streams rows of cells into a CSV file. Cells containing commas, quotes or
+/// newlines are quoted per RFC 4180.
+class CsvWriter {
+public:
+    /// Opens `path` for writing and emits the header row.
+    /// Throws std::runtime_error if the file cannot be opened.
+    CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+    /// Writes one data row. The row may have any number of cells.
+    void write_row(const std::vector<std::string>& cells);
+
+private:
+    std::ofstream out_;
+};
+
+} // namespace hcube

@@ -1,0 +1,44 @@
+// Deterministic PRNG for reproducible randomized algorithms (TCBT embedding
+// search, workload shuffles). splitmix64: tiny, fast, well-distributed.
+#pragma once
+
+#include <cstdint>
+
+namespace hcube {
+
+/// splitmix64 generator. Deterministic for a given seed across platforms.
+class SplitMix64 {
+public:
+    explicit constexpr SplitMix64(std::uint64_t seed) noexcept
+        : state_(seed) {}
+
+    /// Next 64-bit value.
+    constexpr std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform value in [0, bound) for bound > 0 (modulo bias negligible for
+    /// the small bounds used here).
+    constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+        return next() % bound;
+    }
+
+    /// Fisher-Yates shuffle of a random-access container.
+    template <typename Container>
+    void shuffle(Container& items) noexcept {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            const std::size_t j =
+                static_cast<std::size_t>(next_below(i));
+            using std::swap;
+            swap(items[i - 1], items[j]);
+        }
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+} // namespace hcube

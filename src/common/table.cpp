@@ -1,0 +1,73 @@
+#include "common/table.hpp"
+
+#include "common/check.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hcube {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+    HCUBE_ENSURE_MSG(!headers_.empty(), "a table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    HCUBE_ENSURE_MSG(cells.size() <= headers_.size(),
+                     "row has more cells than the table has columns");
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += (c == 0) ? "| " : " | ";
+            out += row[c];
+            out.append(widths[c] - row[c].size(), ' ');
+        }
+        out += " |\n";
+    };
+
+    std::string out;
+    emit_row(headers_, out);
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        out += (c == 0) ? "|-" : "-|-";
+        out.append(widths[c], '-');
+    }
+    out += "-|\n";
+    for (const auto& row : rows_) {
+        emit_row(row, out);
+    }
+    return out;
+}
+
+std::string format_fixed(double value, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+    return buf;
+}
+
+std::string format_seconds(double seconds) {
+    char buf[64];
+    if (seconds >= 1.0) {
+        std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+    } else if (seconds >= 1e-3) {
+        std::snprintf(buf, sizeof buf, "%.3f ms", seconds * 1e3);
+    } else {
+        std::snprintf(buf, sizeof buf, "%.3f us", seconds * 1e6);
+    }
+    return buf;
+}
+
+} // namespace hcube

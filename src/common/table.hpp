@@ -1,0 +1,42 @@
+// Plain-text table rendering for the benchmark harnesses.
+//
+// Every bench binary reprints one of the paper's tables or figure series;
+// TextTable keeps the output aligned and diffable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hcube {
+
+/// Column-aligned plain-text table. Rows are added as vectors of cells;
+/// rendering pads each column to its widest cell.
+class TextTable {
+public:
+    /// Creates a table with the given column headers.
+    explicit TextTable(std::vector<std::string> headers);
+
+    /// Appends one row. Short rows are padded with empty cells; rows longer
+    /// than the header are rejected.
+    void add_row(std::vector<std::string> cells);
+
+    /// Number of data rows added so far.
+    [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+    /// Renders the table (header, separator, rows) as a single string.
+    [[nodiscard]] std::string render() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals, trimming like "%.3g"
+/// but keeping fixed-point form for readability in tables.
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// Formats seconds as a human unit (s / ms / µs) with three decimals.
+[[nodiscard]] std::string format_seconds(double seconds);
+
+} // namespace hcube

@@ -1,0 +1,72 @@
+// Bit-level helpers on n-bit node addresses (paper §2 notation).
+//
+// |i| is the number of one bits; |i ⊕ j| the Hamming distance. "Leading
+// zeroes" of a relative address c are the zero bits above the highest-order
+// one bit of c — complementing them yields the SBT children.
+#pragma once
+
+#include "hc/types.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace hcube::hc {
+
+/// Number of one bits in `x` — the paper's |x|.
+[[nodiscard]] constexpr int weight(node_t x) noexcept {
+    return std::popcount(x);
+}
+
+/// Hamming distance between node addresses `a` and `b`.
+[[nodiscard]] constexpr int hamming(node_t a, node_t b) noexcept {
+    return std::popcount(a ^ b);
+}
+
+/// True if bit `j` of `x` is one.
+[[nodiscard]] constexpr bool test_bit(node_t x, dim_t j) noexcept {
+    return ((x >> j) & node_t{1}) != 0;
+}
+
+/// `x` with bit `j` complemented — the neighbor of `x` across port `j`.
+[[nodiscard]] constexpr node_t flip_bit(node_t x, dim_t j) noexcept {
+    return x ^ (node_t{1} << j);
+}
+
+/// Index of the highest-order one bit of `x`, or -1 if `x == 0`.
+/// This is the paper's `k` for the SBT (c_k = 1, c_m = 0 for all m > k).
+[[nodiscard]] constexpr dim_t highest_one_bit(node_t x) noexcept {
+    return x == 0 ? -1 : static_cast<dim_t>(std::bit_width(x)) - 1;
+}
+
+/// Index of the lowest-order one bit of `x`, or -1 if `x == 0`.
+[[nodiscard]] constexpr dim_t lowest_one_bit(node_t x) noexcept {
+    return x == 0 ? -1 : std::countr_zero(x);
+}
+
+/// Mask of the low `n` bits. Precondition: 0 <= n <= kMaxDimension.
+[[nodiscard]] constexpr node_t low_mask(dim_t n) noexcept {
+    return (node_t{1} << n) - node_t{1};
+}
+
+/// First one bit of `x` encountered scanning cyclically *rightwards*
+/// (towards lower indices, wrapping n-1 after 0) starting at position
+/// `j - 1`. Returns `j` itself when bit `j` is the only candidate left
+/// (i.e. the scan wraps all the way around), and -1 when `x == 0`.
+///
+/// This is the paper's `k` for the MSBT / BST: "the first bit to the right
+/// of bit j, cyclically, which is equal to one".
+[[nodiscard]] constexpr dim_t first_one_right_cyclic(node_t x, dim_t j,
+                                                     dim_t n) noexcept {
+    if (x == 0) {
+        return -1;
+    }
+    for (dim_t step = 1; step <= n; ++step) {
+        const dim_t pos = static_cast<dim_t>((j - step + 2 * n) % n);
+        if (test_bit(x, pos)) {
+            return pos;
+        }
+    }
+    return -1; // unreachable for x != 0
+}
+
+} // namespace hcube::hc

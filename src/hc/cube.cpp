@@ -1,0 +1,55 @@
+#include "hc/cube.hpp"
+
+#include "common/check.hpp"
+#include "hc/bits.hpp"
+
+namespace hcube::hc {
+
+Cube::Cube(dim_t n) : n_(n) {
+    HCUBE_ENSURE_MSG(n >= 1 && n <= kMaxDimension,
+                     "cube dimension out of supported range");
+}
+
+node_t Cube::neighbor(node_t i, dim_t j) const {
+    HCUBE_ENSURE(contains(i));
+    HCUBE_ENSURE(j >= 0 && j < n_);
+    return flip_bit(i, j);
+}
+
+bool Cube::adjacent(node_t a, node_t b) const noexcept {
+    return hamming(a, b) == 1;
+}
+
+std::vector<DirectedEdge> Cube::directed_edges() const {
+    std::vector<DirectedEdge> edges;
+    edges.reserve(static_cast<std::size_t>(node_count()) *
+                  static_cast<std::size_t>(n_));
+    for (node_t i = 0; i < node_count(); ++i) {
+        for (dim_t j = 0; j < n_; ++j) {
+            edges.push_back({i, flip_bit(i, j), j});
+        }
+    }
+    return edges;
+}
+
+std::uint64_t Cube::nodes_at_distance(dim_t d) const {
+    return binomial(n_, d);
+}
+
+std::uint64_t binomial(dim_t n, dim_t k) {
+    HCUBE_ENSURE(n >= 0);
+    if (k < 0 || k > n) {
+        return 0;
+    }
+    if (k > n - k) {
+        k = n - k;
+    }
+    std::uint64_t result = 1;
+    for (dim_t i = 1; i <= k; ++i) {
+        result = result * static_cast<std::uint64_t>(n - k + i) /
+                 static_cast<std::uint64_t>(i);
+    }
+    return result;
+}
+
+} // namespace hcube::hc

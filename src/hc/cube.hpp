@@ -1,0 +1,60 @@
+// The Boolean n-cube itself (paper §1-2): N = 2^n nodes, addresses are n-bit
+// numbers, adjacent nodes differ in exactly one bit, port j of node i leads
+// to i with bit j complemented.
+#pragma once
+
+#include "hc/types.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace hcube::hc {
+
+/// A directed communication edge: `from` sends to `to` through port `dim`
+/// (the bit in which the two addresses differ).
+struct DirectedEdge {
+    node_t from;
+    node_t to;
+    dim_t dim;
+
+    friend bool operator==(const DirectedEdge&, const DirectedEdge&) = default;
+};
+
+/// Immutable description of a Boolean n-cube. Cheap to copy (holds only n).
+class Cube {
+public:
+    /// Constructs an n-cube. Throws check_error unless 1 <= n <= kMaxDimension.
+    explicit Cube(dim_t n);
+
+    /// Cube dimension n = log2 N.
+    [[nodiscard]] dim_t dimension() const noexcept { return n_; }
+
+    /// Number of nodes N = 2^n.
+    [[nodiscard]] node_t node_count() const noexcept { return node_t{1} << n_; }
+
+    /// True if `i` is a valid node address for this cube.
+    [[nodiscard]] bool contains(node_t i) const noexcept {
+        return i < node_count();
+    }
+
+    /// The neighbor of `i` through port `j`.
+    [[nodiscard]] node_t neighbor(node_t i, dim_t j) const;
+
+    /// True if `a` and `b` are adjacent (Hamming distance 1).
+    [[nodiscard]] bool adjacent(node_t a, node_t b) const noexcept;
+
+    /// All N * n directed edges of the cube.
+    [[nodiscard]] std::vector<DirectedEdge> directed_edges() const;
+
+    /// Number of nodes at Hamming distance d from any fixed node: C(n, d).
+    [[nodiscard]] std::uint64_t nodes_at_distance(dim_t d) const;
+
+private:
+    dim_t n_;
+};
+
+/// Binomial coefficient C(n, k) in exact 64-bit arithmetic
+/// (valid throughout the supported n <= kMaxDimension range).
+[[nodiscard]] std::uint64_t binomial(dim_t n, dim_t k);
+
+} // namespace hcube::hc

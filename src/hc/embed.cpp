@@ -1,0 +1,30 @@
+#include "hc/embed.hpp"
+
+#include "common/check.hpp"
+#include "hc/gray.hpp"
+
+namespace hcube::hc {
+
+std::vector<node_t> embed_ring(dim_t n) {
+    // The BRGC path is a Hamiltonian cycle: codewords 0 and 2^n - 1 differ
+    // in exactly one bit, closing the ring.
+    return gray_path(n, 0);
+}
+
+node_t TorusEmbedding::node_at(node_t r, node_t c) const {
+    HCUBE_ENSURE(r < rows() && c < cols());
+    return (gray_encode(r) << col_dims) | gray_encode(c);
+}
+
+std::pair<node_t, node_t> TorusEmbedding::coord_of(node_t node) const {
+    const node_t col_mask = (node_t{1} << col_dims) - 1;
+    return {gray_decode(node >> col_dims), gray_decode(node & col_mask)};
+}
+
+TorusEmbedding embed_torus(dim_t row_dims, dim_t col_dims) {
+    HCUBE_ENSURE(row_dims >= 1 && col_dims >= 1);
+    HCUBE_ENSURE(row_dims + col_dims <= kMaxDimension);
+    return {row_dims, col_dims};
+}
+
+} // namespace hcube::hc

@@ -1,0 +1,45 @@
+// Dilation-1 embeddings of rings and tori into the Boolean cube via
+// binary-reflected Gray codes.
+//
+// The paper's Hamiltonian-path machinery (§3.4) is the open form of the
+// classic result that a 2^n-node ring embeds in Q_n with dilation 1; the
+// product construction extends it to 2^a x 2^b tori (each coordinate gets
+// its own Gray-coded dimension group). These embeddings are what make the
+// cube emulate the grid-structured algorithms (matrix multiply, tridiagonal
+// solvers) the paper's introduction motivates.
+#pragma once
+
+#include "hc/types.hpp"
+
+#include <vector>
+
+namespace hcube::hc {
+
+/// Ring positions 0..2^n-1 mapped to cube nodes; consecutive positions (and
+/// the wrap-around pair) are cube neighbors.
+[[nodiscard]] std::vector<node_t> embed_ring(dim_t n);
+
+/// A 2^row_dims x 2^col_dims torus embedded in the (row_dims + col_dims)-
+/// cube with dilation 1 in all four directions including wrap-arounds.
+struct TorusEmbedding {
+    dim_t row_dims = 0;
+    dim_t col_dims = 0;
+
+    /// Cube node hosting torus coordinate (r, c).
+    [[nodiscard]] node_t node_at(node_t r, node_t c) const;
+
+    /// Inverse: torus coordinate of a cube node.
+    [[nodiscard]] std::pair<node_t, node_t> coord_of(node_t node) const;
+
+    [[nodiscard]] node_t rows() const noexcept {
+        return node_t{1} << row_dims;
+    }
+    [[nodiscard]] node_t cols() const noexcept {
+        return node_t{1} << col_dims;
+    }
+};
+
+/// Builds the torus embedding (validates the dimension split).
+[[nodiscard]] TorusEmbedding embed_torus(dim_t row_dims, dim_t col_dims);
+
+} // namespace hcube::hc

@@ -1,0 +1,32 @@
+#include "hc/gray.hpp"
+
+#include "common/check.hpp"
+#include "hc/bits.hpp"
+
+namespace hcube::hc {
+
+node_t gray_decode(node_t g) noexcept {
+    node_t value = 0;
+    while (g != 0) {
+        value ^= g;
+        g >>= 1;
+    }
+    return value;
+}
+
+dim_t gray_transition(node_t i) noexcept {
+    return std::countr_zero(i + 1);
+}
+
+std::vector<node_t> gray_path(dim_t n, node_t start) {
+    HCUBE_ENSURE(n >= 1 && n <= kMaxDimension);
+    const node_t count = node_t{1} << n;
+    HCUBE_ENSURE(start < count);
+    std::vector<node_t> path(count);
+    for (node_t i = 0; i < count; ++i) {
+        path[i] = start ^ gray_encode(i);
+    }
+    return path;
+}
+
+} // namespace hcube::hc

@@ -1,0 +1,33 @@
+// Binary-reflected Gray code (BRGC) utilities.
+//
+// The paper uses the BRGC twice: a Hamiltonian path in the cube is the BRGC
+// sequence (the HP broadcast baseline of Tables 1-3), and the SBT scatter's
+// descending-address transmission order uses ports "in an order corresponding
+// to the transition sequence in a binary-reflected Gray code" (§5.2).
+#pragma once
+
+#include "hc/types.hpp"
+
+#include <vector>
+
+namespace hcube::hc {
+
+/// The i-th BRGC codeword: i ^ (i >> 1).
+[[nodiscard]] constexpr node_t gray_encode(node_t i) noexcept {
+    return i ^ (i >> 1);
+}
+
+/// Inverse of gray_encode.
+[[nodiscard]] node_t gray_decode(node_t g) noexcept;
+
+/// The BRGC transition sequence entry for step i (0-based): the bit position
+/// in which codewords i and i+1 differ. Equals the ruler function
+/// (number of trailing ones of i... equivalently countr_zero(i + 1)).
+[[nodiscard]] dim_t gray_transition(node_t i) noexcept;
+
+/// The full Hamiltonian path of an n-cube as BRGC codewords, starting at
+/// `start`: path[i] = start ^ gray_encode(i). Length 2^n; consecutive
+/// entries are cube neighbors.
+[[nodiscard]] std::vector<node_t> gray_path(dim_t n, node_t start = 0);
+
+} // namespace hcube::hc

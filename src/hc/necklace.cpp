@@ -1,0 +1,137 @@
+#include "hc/necklace.hpp"
+
+#include "common/check.hpp"
+#include "hc/rotate.hpp"
+
+namespace hcube::hc {
+
+namespace {
+
+/// Euler's totient of d (d is at most kMaxDimension, trial division is fine).
+std::uint64_t totient(std::uint64_t d) {
+    std::uint64_t result = d;
+    for (std::uint64_t p = 2; p * p <= d; ++p) {
+        if (d % p == 0) {
+            while (d % p == 0) {
+                d /= p;
+            }
+            result -= result / p;
+        }
+    }
+    if (d > 1) {
+        result -= result / d;
+    }
+    return result;
+}
+
+/// Möbius function of d.
+int moebius(std::uint64_t d) {
+    int factors = 0;
+    for (std::uint64_t p = 2; p * p <= d; ++p) {
+        if (d % p == 0) {
+            d /= p;
+            if (d % p == 0) {
+                return 0; // squared prime factor
+            }
+            ++factors;
+        }
+    }
+    if (d > 1) {
+        ++factors;
+    }
+    return (factors % 2 == 0) ? 1 : -1;
+}
+
+/// Number of aperiodic necklaces (Lyndon words) of length n over {0,1}:
+///   (1/n) * sum over d | n of mu(d) * 2^(n/d).
+std::uint64_t lyndon_count(dim_t n) {
+    std::int64_t sum = 0;
+    for (dim_t d = 1; d <= n; ++d) {
+        if (n % d != 0) {
+            continue;
+        }
+        sum += moebius(static_cast<std::uint64_t>(d)) *
+               static_cast<std::int64_t>(std::uint64_t{1} << (n / d));
+    }
+    HCUBE_ENSURE(sum >= 0 && sum % n == 0);
+    return static_cast<std::uint64_t>(sum) / static_cast<std::uint64_t>(n);
+}
+
+} // namespace
+
+node_t necklace_canonical(node_t x, dim_t n) noexcept {
+    node_t best = x;
+    node_t cur = x;
+    for (dim_t j = 1; j < n; ++j) {
+        cur = rotate_right(cur, n);
+        if (cur < best) {
+            best = cur;
+        }
+    }
+    return best;
+}
+
+dim_t base(node_t x, dim_t n) noexcept {
+    node_t best = x;
+    dim_t best_j = 0;
+    node_t cur = x;
+    for (dim_t j = 1; j < n; ++j) {
+        cur = rotate_right(cur, n);
+        if (cur < best) {
+            best = cur;
+            best_j = j;
+        }
+    }
+    return best_j;
+}
+
+std::vector<dim_t> base_set(node_t x, dim_t n) {
+    const node_t canon = necklace_canonical(x, n);
+    std::vector<dim_t> set;
+    node_t cur = x;
+    for (dim_t j = 0; j < n; ++j) {
+        if (cur == canon) {
+            set.push_back(j);
+        }
+        cur = rotate_right(cur, n);
+    }
+    return set;
+}
+
+std::uint64_t necklace_count(dim_t n) {
+    HCUBE_ENSURE(n >= 1 && n <= kMaxDimension);
+    std::uint64_t sum = 0;
+    for (dim_t d = 1; d <= n; ++d) {
+        if (n % d != 0) {
+            continue;
+        }
+        sum += totient(static_cast<std::uint64_t>(d)) *
+               (std::uint64_t{1} << (n / d));
+    }
+    return sum / static_cast<std::uint64_t>(n);
+}
+
+std::uint64_t cyclic_string_count(dim_t n) {
+    HCUBE_ENSURE(n >= 1 && n <= kMaxDimension);
+    const std::uint64_t total = std::uint64_t{1} << n;
+    const std::uint64_t aperiodic =
+        static_cast<std::uint64_t>(n) * lyndon_count(n);
+    return total - aperiodic;
+}
+
+std::uint64_t cyclic_necklace_count(dim_t n) {
+    HCUBE_ENSURE(n >= 1 && n <= kMaxDimension);
+    return necklace_count(n) - lyndon_count(n);
+}
+
+std::vector<std::uint64_t> base_census(dim_t n) {
+    HCUBE_ENSURE(n >= 1 && n <= kMaxDimension);
+    std::vector<std::uint64_t> census(static_cast<std::size_t>(n), 0);
+    const node_t count = node_t{1} << n;
+    for (node_t x = 1; x < count; ++x) {
+        ++census[static_cast<std::size_t>(base(x, n))];
+    }
+    return census;
+}
+
+} // namespace hcube::hc

@@ -1,0 +1,50 @@
+// Necklaces (generator sets) and the BST base function (paper §2, §4.1).
+//
+// Two n-bit numbers are in the same *generator set* (necklace) if one is a
+// rotation of the other. The *base* of i is the minimum number of right
+// rotations that takes i to the minimum value among all its rotations; the
+// BST assigns node i (relative address) to subtree base(i).
+//
+// Note on the paper's examples: base((110110)) = 1 matches this definition;
+// the paper's other example base((011010)) = 3 does not (the definition
+// gives 1) and is treated as a typo — this definition is the one that makes
+// parent_BST base-preserving and reproduces the paper's Table 5 exactly
+// (verified for n = 2..20 in tests and bench_table5_bst).
+#pragma once
+
+#include "hc/types.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace hcube::hc {
+
+/// The minimum value among all n-bit rotations of `x` — the canonical
+/// representative of x's necklace.
+[[nodiscard]] node_t necklace_canonical(node_t x, dim_t n) noexcept;
+
+/// The paper's base(x): least j >= 0 with R^j(x) == necklace_canonical(x).
+[[nodiscard]] dim_t base(node_t x, dim_t n) noexcept;
+
+/// The paper's J_x: all rotation counts j in [0, n) achieving the canonical
+/// value, in increasing order. |J_x| = n / period(x).
+[[nodiscard]] std::vector<dim_t> base_set(node_t x, dim_t n);
+
+/// Number of distinct necklaces of n-bit strings (Burnside):
+///   (1/n) * sum over d | n of phi(d) * 2^(n/d).
+[[nodiscard]] std::uint64_t necklace_count(dim_t n);
+
+/// Number of *cyclic* n-bit strings (period < n) — the paper's census
+/// quantity A in Lemma 4.1. Computed as 2^n minus n times the number of
+/// aperiodic necklaces.
+[[nodiscard]] std::uint64_t cyclic_string_count(dim_t n);
+
+/// Number of necklaces consisting of cyclic strings (degenerate necklaces) —
+/// the paper's B in Lemma 4.1, shown there to be O(sqrt N).
+[[nodiscard]] std::uint64_t cyclic_necklace_count(dim_t n);
+
+/// Size census of the BST subtree assignment: element j is the number of
+/// nonzero n-bit addresses with base == j. The sum over j is 2^n - 1.
+[[nodiscard]] std::vector<std::uint64_t> base_census(dim_t n);
+
+} // namespace hcube::hc

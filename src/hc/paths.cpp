@@ -1,0 +1,59 @@
+#include "hc/paths.hpp"
+
+#include "common/check.hpp"
+#include "hc/bits.hpp"
+
+namespace hcube::hc {
+
+std::vector<Path> disjoint_paths(node_t a, node_t b, dim_t n) {
+    HCUBE_ENSURE(n >= 1 && n <= kMaxDimension);
+    HCUBE_ENSURE(a < (node_t{1} << n) && b < (node_t{1} << n));
+    HCUBE_ENSURE_MSG(a != b, "disjoint_paths requires distinct endpoints");
+
+    const node_t diff = a ^ b;
+    std::vector<dim_t> differing;
+    std::vector<dim_t> same;
+    for (dim_t j = 0; j < n; ++j) {
+        (test_bit(diff, j) ? differing : same).push_back(j);
+    }
+    const std::size_t d = differing.size();
+
+    std::vector<Path> paths;
+    paths.reserve(static_cast<std::size_t>(n));
+
+    // d paths of length d: correct the differing bits in each of the d
+    // cyclic shifts of their order. Intermediate nodes of two such paths
+    // can never coincide: after t corrections, the corrected subset is a
+    // cyclic window of length t, and distinct starting offsets give distinct
+    // windows for 0 < t < d.
+    for (std::size_t start = 0; start < d; ++start) {
+        Path path{a};
+        node_t cur = a;
+        for (std::size_t t = 0; t < d; ++t) {
+            cur = flip_bit(cur, differing[(start + t) % d]);
+            path.push_back(cur);
+        }
+        paths.push_back(std::move(path));
+    }
+
+    // n - d paths of length d + 2: leave through an unused dimension f,
+    // correct all differing bits in ascending order, and re-flip f at the
+    // end. Intermediate nodes carry the f-detour bit, so they are disjoint
+    // from the length-d paths and from each other (distinct f).
+    for (const dim_t f : same) {
+        Path path{a};
+        node_t cur = flip_bit(a, f);
+        path.push_back(cur);
+        for (const dim_t j : differing) {
+            cur = flip_bit(cur, j);
+            path.push_back(cur);
+        }
+        cur = flip_bit(cur, f);
+        path.push_back(cur);
+        paths.push_back(std::move(path));
+    }
+
+    return paths;
+}
+
+} // namespace hcube::hc

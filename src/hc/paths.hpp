@@ -1,0 +1,22 @@
+// The log N node-disjoint parallel paths between any pair of cube nodes
+// (paper §1, citing Saad & Schultz): with Hamming distance d = |a ⊕ b|,
+// there are d disjoint paths of length d (correct the differing bits in the
+// d cyclic orders) and n - d disjoint paths of length d + 2 (detour through
+// one non-differing dimension each).
+#pragma once
+
+#include "hc/types.hpp"
+
+#include <vector>
+
+namespace hcube::hc {
+
+/// One path as the sequence of nodes visited, from `a` to `b` inclusive.
+using Path = std::vector<node_t>;
+
+/// All n node-disjoint paths from `a` to `b` in an n-cube (a != b).
+/// The first |a ^ b| paths have length equal to the Hamming distance; the
+/// rest have length Hamming distance + 2. Paths share only the endpoints.
+[[nodiscard]] std::vector<Path> disjoint_paths(node_t a, node_t b, dim_t n);
+
+} // namespace hcube::hc

@@ -1,0 +1,45 @@
+#include "hc/rotate.hpp"
+
+#include "common/check.hpp"
+#include "hc/bits.hpp"
+
+namespace hcube::hc {
+
+node_t rotate_right(node_t x, dim_t n) noexcept {
+    const node_t low = x & node_t{1};
+    return (x >> 1) | (low << (n - 1));
+}
+
+node_t rotate_right(node_t x, dim_t j, dim_t n) noexcept {
+    j %= n;
+    if (j == 0) {
+        return x;
+    }
+    const node_t mask = low_mask(n);
+    return ((x >> j) | (x << (n - j))) & mask;
+}
+
+node_t rotate_left(node_t x, dim_t j, dim_t n) noexcept {
+    j %= n;
+    return rotate_right(x, n - j, n);
+}
+
+dim_t period(node_t x, dim_t n) noexcept {
+    // The period divides n, so only divisors need checking, in increasing
+    // order; the first match is the least period.
+    for (dim_t p = 1; p <= n; ++p) {
+        if (n % p != 0) {
+            continue;
+        }
+        if (rotate_right(x, p, n) == x) {
+            return p;
+        }
+    }
+    return n; // unreachable: p == n always matches
+}
+
+bool is_cyclic(node_t x, dim_t n) noexcept {
+    return period(x, n) < n;
+}
+
+} // namespace hcube::hc

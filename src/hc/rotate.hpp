@@ -1,0 +1,30 @@
+// Rotation of n-bit addresses and the period machinery of paper §2.
+//
+// R is the right-rotation function: R(a_{n-1} ... a_1 a_0) =
+// (a_0 a_{n-1} ... a_1), i.e. the low bit wraps to the high position.
+// The period P_i of i is the least j > 0 with R^j(i) = i; a number is
+// *cyclic* if its period is less than its length n.
+#pragma once
+
+#include "hc/types.hpp"
+
+namespace hcube::hc {
+
+/// Right rotation by one step within `n` bits (paper's R).
+[[nodiscard]] node_t rotate_right(node_t x, dim_t n) noexcept;
+
+/// Right rotation by `j` steps within `n` bits (paper's R^j). `j` may be any
+/// non-negative value; it is reduced modulo n.
+[[nodiscard]] node_t rotate_right(node_t x, dim_t j, dim_t n) noexcept;
+
+/// Left rotation by `j` steps within `n` bits — the inverse of R^j.
+[[nodiscard]] node_t rotate_left(node_t x, dim_t j, dim_t n) noexcept;
+
+/// The period P_x of `x` as an n-bit string: least j > 0 with R^j(x) = x.
+/// Always divides n. period(0, n) == 1.
+[[nodiscard]] dim_t period(node_t x, dim_t n) noexcept;
+
+/// True if `x` is cyclic as an n-bit string, i.e. period(x, n) < n.
+[[nodiscard]] bool is_cyclic(node_t x, dim_t n) noexcept;
+
+} // namespace hcube::hc

@@ -1,0 +1,24 @@
+// Core scalar types for Boolean n-cube addressing.
+//
+// Node addresses are n-bit binary numbers (paper §2): bit j of the address is
+// "bit j", ports are numbered 0..n-1, and flipping bit j of a node's address
+// yields the neighbor reached through port j.
+#pragma once
+
+#include <cstdint>
+
+namespace hcube::hc {
+
+/// A node address in a Boolean n-cube. Only the low `n` bits are meaningful.
+using node_t = std::uint32_t;
+
+/// A dimension / port / bit index, 0-based. -1 is used by the paper's
+/// conventions as the "no bit" sentinel (k = -1 when the relative address is
+/// zero), so the type is signed.
+using dim_t = int;
+
+/// Maximum supported cube dimension. 26 keeps N = 2^n and per-node tables
+/// comfortably in memory for exhaustive structural checks.
+inline constexpr dim_t kMaxDimension = 26;
+
+} // namespace hcube::hc

@@ -1,0 +1,233 @@
+#include "model/broadcast_model.hpp"
+
+#include "common/check.hpp"
+
+#include <cmath>
+
+namespace hcube::model {
+
+namespace {
+
+double ceil_div(double a, double b) { return std::ceil(a / b); }
+
+[[noreturn]] void unknown_row() {
+    HCUBE_ENSURE_MSG(false, "no such row in the paper's tables");
+    __builtin_unreachable();
+}
+
+} // namespace
+
+CommParams fit_params(double size1, double time1, double size2,
+                      double time2) {
+    HCUBE_ENSURE_MSG(size1 != size2, "need two distinct message sizes");
+    const double tc = (time2 - time1) / (size2 - size1);
+    const double tau = time1 - size1 * tc;
+    HCUBE_ENSURE_MSG(tc > 0 && tau >= 0,
+                     "measurements imply non-physical parameters");
+    return {tau, tc};
+}
+
+std::int64_t propagation_delay(Algorithm algorithm, PortModel model, dim_t n) {
+    const std::int64_t N = std::int64_t{1} << n;
+    switch (algorithm) {
+    case Algorithm::hp:
+        return N - 1;
+    case Algorithm::sbt:
+        return n;
+    case Algorithm::tcbt:
+        return (model == PortModel::all_port) ? n : 2 * n - 2;
+    case Algorithm::msbt:
+        switch (model) {
+        case PortModel::one_port_half_duplex: return 3 * n - 1;
+        case PortModel::one_port_full_duplex: return 2 * n;
+        case PortModel::all_port: return n + 1;
+        }
+        unknown_row();
+    case Algorithm::bst:
+        break;
+    }
+    unknown_row();
+}
+
+double cycles_per_packet(Algorithm algorithm, PortModel model, dim_t n) {
+    switch (algorithm) {
+    case Algorithm::hp:
+        return (model == PortModel::one_port_half_duplex) ? 2.0 : 1.0;
+    case Algorithm::sbt:
+        return (model == PortModel::all_port) ? 1.0 : static_cast<double>(n);
+    case Algorithm::tcbt:
+        switch (model) {
+        case PortModel::one_port_half_duplex: return 3.0;
+        case PortModel::one_port_full_duplex: return 2.0;
+        case PortModel::all_port: return 1.0;
+        }
+        unknown_row();
+    case Algorithm::msbt:
+        switch (model) {
+        case PortModel::one_port_half_duplex: return 2.0;
+        case PortModel::one_port_full_duplex: return 1.0;
+        case PortModel::all_port: return 1.0 / n;
+        }
+        unknown_row();
+    case Algorithm::bst:
+        break;
+    }
+    unknown_row();
+}
+
+double broadcast_steps(Algorithm algorithm, PortModel model, double M,
+                       double B, dim_t n) {
+    const double N = std::ldexp(1.0, n);
+    const double P = ceil_div(M, B);
+    switch (algorithm) {
+    case Algorithm::hp:
+        return (model == PortModel::one_port_half_duplex)
+                   ? 2 * P + N - 3
+                   : P + N - 3;
+    case Algorithm::sbt:
+        return (model == PortModel::all_port) ? P + n - 1 : P * n;
+    case Algorithm::tcbt:
+        switch (model) {
+        case PortModel::one_port_half_duplex: return 3 * P + 2 * n - 5;
+        case PortModel::one_port_full_duplex: return 2 * (P + n - 2);
+        case PortModel::all_port: return P + n - 1;
+        }
+        unknown_row();
+    case Algorithm::msbt:
+        switch (model) {
+        case PortModel::one_port_half_duplex: return 2 * P + n - 1;
+        case PortModel::one_port_full_duplex: return P + n;
+        case PortModel::all_port: return ceil_div(M, B * n) + n;
+        }
+        unknown_row();
+    case Algorithm::bst:
+        break;
+    }
+    unknown_row();
+}
+
+double broadcast_time(Algorithm algorithm, PortModel model, double M, double B,
+                      dim_t n, const CommParams& params) {
+    return broadcast_steps(algorithm, model, M, B, n) *
+           (params.tau + B * params.tc);
+}
+
+double broadcast_bopt(Algorithm algorithm, PortModel model, double M, dim_t n,
+                      const CommParams& params) {
+    const double N = std::ldexp(1.0, n);
+    const double tau = params.tau;
+    const double tc = params.tc;
+    switch (algorithm) {
+    case Algorithm::hp:
+        return (model == PortModel::one_port_half_duplex)
+                   ? std::sqrt(2 * M * tau / ((N - 3) * tc))
+                   : std::sqrt(M * tau / ((N - 3) * tc));
+    case Algorithm::sbt:
+        return (model == PortModel::all_port)
+                   ? std::sqrt(M * tau / ((n - 1) * tc))
+                   : M;
+    case Algorithm::tcbt:
+        switch (model) {
+        case PortModel::one_port_half_duplex:
+            return std::sqrt(3 * M * tau / ((2 * n - 5) * tc));
+        case PortModel::one_port_full_duplex:
+            return std::sqrt(M * tau / ((n - 2) * tc));
+        case PortModel::all_port:
+            return std::sqrt(M * tau / ((n - 1) * tc));
+        }
+        unknown_row();
+    case Algorithm::msbt:
+        switch (model) {
+        case PortModel::one_port_half_duplex:
+            return std::sqrt(2 * M * tau / ((n - 1) * tc));
+        case PortModel::one_port_full_duplex:
+            return std::sqrt(M * tau / (n * tc));
+        case PortModel::all_port:
+            return std::sqrt(M * tau / tc) / n;
+        }
+        unknown_row();
+    case Algorithm::bst:
+        break;
+    }
+    unknown_row();
+}
+
+double broadcast_tmin(Algorithm algorithm, PortModel model, double M, dim_t n,
+                      const CommParams& params) {
+    const double N = std::ldexp(1.0, n);
+    const double tau = params.tau;
+    const double tc = params.tc;
+    const auto sq = [](double x) { return x * x; };
+    switch (algorithm) {
+    case Algorithm::hp:
+        return (model == PortModel::one_port_half_duplex)
+                   ? sq(std::sqrt(2 * M * tc) + std::sqrt((N - 3) * tau))
+                   : sq(std::sqrt(M * tc) + std::sqrt((N - 3) * tau));
+    case Algorithm::sbt:
+        return (model == PortModel::all_port)
+                   ? sq(std::sqrt(M * tc) + std::sqrt(tau * (n - 1)))
+                   : n * (M * tc + tau);
+    case Algorithm::tcbt:
+        switch (model) {
+        case PortModel::one_port_half_duplex:
+            return sq(std::sqrt(3 * M * tc) + std::sqrt(tau * (2 * n - 5)));
+        case PortModel::one_port_full_duplex:
+            return 2 * sq(std::sqrt(M * tc) + std::sqrt(tau * (n - 2)));
+        case PortModel::all_port:
+            return sq(std::sqrt(M * tc) + std::sqrt(tau * (n - 1)));
+        }
+        unknown_row();
+    case Algorithm::msbt:
+        switch (model) {
+        case PortModel::one_port_half_duplex:
+            return sq(std::sqrt(2 * M * tc) + std::sqrt(tau * (n - 1)));
+        case PortModel::one_port_full_duplex:
+            return sq(std::sqrt(M * tc) + std::sqrt(tau * n));
+        case PortModel::all_port:
+            return sq(std::sqrt(M * tc / n) + std::sqrt(tau * n));
+        }
+        unknown_row();
+    case Algorithm::bst:
+        break;
+    }
+    unknown_row();
+}
+
+double complexity_ratio_vs_msbt(Algorithm algorithm, PortModel model,
+                                Regime regime, dim_t n) {
+    switch (regime) {
+    case Regime::one_packet: {
+        // M == B: a single packet; T is the propagation delay in steps.
+        const double a = broadcast_steps(algorithm, model, 1, 1, n);
+        const double b = broadcast_steps(Algorithm::msbt, model, 1, 1, n);
+        return a / b;
+    }
+    case Regime::many_packets: {
+        // M/B -> infinity at fixed B: leading coefficients dominate.
+        const double big = 1e12;
+        const double a = broadcast_steps(algorithm, model, big, 1, n);
+        const double b = broadcast_steps(Algorithm::msbt, model, big, 1, n);
+        return a / b;
+    }
+    case Regime::bopt_startup_bound: {
+        // τ log N >> M t_c.
+        const CommParams params{1.0, 1e-18};
+        const double a = broadcast_tmin(algorithm, model, 1, n, params);
+        const double b =
+            broadcast_tmin(Algorithm::msbt, model, 1, n, params);
+        return a / b;
+    }
+    case Regime::bopt_transfer_bound: {
+        // τ log²N << M t_c (the footnote's stronger condition covers the
+        // all-port row too).
+        const CommParams params{1e-18, 1.0};
+        const double a = broadcast_tmin(algorithm, model, 1, n, params);
+        const double b =
+            broadcast_tmin(Algorithm::msbt, model, 1, n, params);
+        return a / b;
+    }
+    }
+    unknown_row();
+}
+
+} // namespace hcube::model

@@ -1,0 +1,55 @@
+#include "model/personalized_model.hpp"
+
+#include "common/check.hpp"
+
+#include <cmath>
+
+namespace hcube::model {
+
+double personalized_tmin(Algorithm algorithm, bool all_ports, double M,
+                         dim_t n, const CommParams& params) {
+    const double N = std::ldexp(1.0, n);
+    const double tau = params.tau;
+    const double tc = params.tc;
+    switch (algorithm) {
+    case Algorithm::sbt:
+        return all_ports ? (N / 2) * M * tc + n * tau
+                         : (N - 1) * M * tc + n * tau;
+    case Algorithm::tcbt:
+        return all_ports ? (0.75 * N - 1) * M * tc + n * tau
+                         : (2 * N - 2 * n - 1) * M * tc + (2 * n - 2) * tau;
+    case Algorithm::bst:
+        return all_ports
+                   ? (N - 1) / n * M * tc + n * tau
+                   : N * (1 + 2 * std::log2(static_cast<double>(n)) / n) *
+                             M * tc +
+                         (2 * n - 2) * tau;
+    case Algorithm::hp:
+    case Algorithm::msbt:
+        break;
+    }
+    HCUBE_ENSURE_MSG(false, "no such row in Table 6");
+    __builtin_unreachable();
+}
+
+double personalized_steps_small_packets(Algorithm algorithm, bool all_ports,
+                                        double M, double B, dim_t n) {
+    HCUBE_ENSURE_MSG(B <= M, "small-packet regime requires B <= M");
+    const double N = std::ldexp(1.0, n);
+    if (!all_ports) {
+        // SBT and BST coincide: the root must push N·M/B packets.
+        return N * M / B - 1;
+    }
+    switch (algorithm) {
+    case Algorithm::bst:
+        return (N - 1) / n * (M / B);
+    case Algorithm::sbt:
+        return (N / 2) * (M / B);
+    default:
+        break;
+    }
+    HCUBE_ENSURE_MSG(false, "no such row in §4.2");
+    __builtin_unreachable();
+}
+
+} // namespace hcube::model

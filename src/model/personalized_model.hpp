@@ -1,0 +1,30 @@
+// Closed-form personalized-communication complexity (paper §4.2, Table 6).
+//
+// Every node is to receive its own M elements from a single source; Table 6
+// lists the completion time at the optimal (large) packet size for each
+// tree × port capability. The SBT/BST one-port rows coincide for B <= M;
+// the BST wins by ~ (1/2) log N with all-port communication.
+#pragma once
+
+#include "model/broadcast_model.hpp"
+
+namespace hcube::model {
+
+/// Table 6: T_min of single-source personalized communication.
+/// `algorithm` must be sbt, tcbt or bst; `all_ports` selects between the
+/// "1 port" and "log N ports" rows. The TCBT and BST one-port rows are the
+/// paper's upper bounds.
+[[nodiscard]] double personalized_tmin(Algorithm algorithm, bool all_ports,
+                                       double M, dim_t n,
+                                       const CommParams& params);
+
+/// §4.2 small-packet regime (B <= M): routing steps of duration τ + B t_c.
+///  * one port (SBT or BST — identical):      N·M/B - 1
+///  * all ports on the BST:                   (N-1)/log N · M/B
+///  * all ports on the SBT:                   N/2 · M/B  (subtree 0 bound)
+[[nodiscard]] double personalized_steps_small_packets(Algorithm algorithm,
+                                                      bool all_ports,
+                                                      double M, double B,
+                                                      dim_t n);
+
+} // namespace hcube::model

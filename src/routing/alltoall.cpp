@@ -1,0 +1,165 @@
+#include "routing/alltoall.hpp"
+
+#include "common/check.hpp"
+#include "hc/bits.hpp"
+#include "routing/scatter.hpp"
+#include "trees/bst.hpp"
+
+#include <algorithm>
+
+namespace hcube::routing {
+
+sim::packet_t alltoall_packet_id(hc::node_t src, hc::node_t dest, hc::dim_t n,
+                                 sim::packet_t packets_per_pair,
+                                 sim::packet_t k) {
+    const auto count = sim::packet_t{1} << n;
+    return (src * count + dest) * packets_per_pair + k;
+}
+
+sim::Schedule alltoall_recursive_exchange(hc::dim_t n,
+                                          sim::packet_t packets_per_pair) {
+    HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+    HCUBE_ENSURE(packets_per_pair >= 1);
+    const hc::node_t count = hc::node_t{1} << n;
+
+    sim::Schedule schedule;
+    schedule.n = n;
+    schedule.packet_count = count * count * packets_per_pair;
+    schedule.initial_holder.resize(schedule.packet_count);
+    for (hc::node_t src = 0; src < count; ++src) {
+        for (hc::node_t dest = 0; dest < count; ++dest) {
+            for (sim::packet_t k = 0; k < packets_per_pair; ++k) {
+                schedule.initial_holder[alltoall_packet_id(
+                    src, dest, n, packets_per_pair, k)] = src;
+            }
+        }
+    }
+
+    // hold[i]: packets currently at node i that still have to move
+    // (destination != i). Self-destined packets never enter.
+    std::vector<std::vector<sim::packet_t>> hold(count);
+    for (hc::node_t src = 0; src < count; ++src) {
+        for (hc::node_t dest = 0; dest < count; ++dest) {
+            if (dest == src) {
+                continue;
+            }
+            for (sim::packet_t k = 0; k < packets_per_pair; ++k) {
+                hold[src].push_back(
+                    alltoall_packet_id(src, dest, n, packets_per_pair, k));
+            }
+        }
+    }
+
+    const auto dest_of = [&](sim::packet_t packet) {
+        return static_cast<hc::node_t>((packet / packets_per_pair) % count);
+    };
+    const std::uint32_t cycles_per_round = (count / 2) * packets_per_pair;
+
+    for (hc::dim_t d = 0; d < n; ++d) {
+        const std::uint32_t round_start =
+            static_cast<std::uint32_t>(d) * cycles_per_round;
+        std::vector<std::vector<sim::packet_t>> next(count);
+        for (hc::node_t i = 0; i < count; ++i) {
+            std::uint32_t slot = 0;
+            for (const sim::packet_t packet : hold[i]) {
+                const hc::node_t dest = dest_of(packet);
+                if (hc::test_bit(dest, d) == hc::test_bit(i, d)) {
+                    if (dest != i) {
+                        next[i].push_back(packet);
+                    }
+                    continue;
+                }
+                const hc::node_t partner = hc::flip_bit(i, d);
+                schedule.sends.push_back(
+                    {round_start + slot, i, partner, packet});
+                ++slot;
+                if (dest != partner) {
+                    next[partner].push_back(packet);
+                }
+            }
+            HCUBE_ENSURE_MSG(slot <= cycles_per_round,
+                             "round overflow in recursive exchange");
+        }
+        hold = std::move(next);
+    }
+    for (const auto& left : hold) {
+        HCUBE_ENSURE_MSG(left.empty(), "undelivered packets after n rounds");
+    }
+    return schedule;
+}
+
+sim::Schedule allgather_recursive_doubling(hc::dim_t n) {
+    HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+    const hc::node_t count = hc::node_t{1} << n;
+
+    sim::Schedule schedule;
+    schedule.n = n;
+    schedule.packet_count = count;
+    schedule.initial_holder.resize(count);
+    for (hc::node_t i = 0; i < count; ++i) {
+        schedule.initial_holder[i] = i;
+    }
+
+    // Before round d, node i holds the packets of {i ^ x : x < 2^d}; it
+    // sends them all to i ^ 2^d during the round's 2^d cycles.
+    std::uint32_t round_start = 0;
+    for (hc::dim_t d = 0; d < n; ++d) {
+        const hc::node_t held = hc::node_t{1} << d;
+        for (hc::node_t i = 0; i < count; ++i) {
+            const hc::node_t partner = hc::flip_bit(i, d);
+            for (hc::node_t x = 0; x < held; ++x) {
+                schedule.sends.push_back(
+                    {round_start + x, i, partner, i ^ x});
+            }
+        }
+        round_start += held;
+    }
+    return schedule;
+}
+
+namespace {
+
+hc::node_t next_hop_in(const trees::SpanningTree& tree, hc::node_t u,
+                       hc::node_t dest) {
+    hc::node_t x = dest;
+    while (tree.parent[x] != u) {
+        x = tree.parent[x];
+        HCUBE_ENSURE_MSG(x != tree.root, "dest is not below u in the tree");
+    }
+    return x;
+}
+
+} // namespace
+
+AllToAllBstProtocol::AllToAllBstProtocol(hc::dim_t n, double size_per_pair)
+    : n_(n), size_per_pair_(size_per_pair) {
+    HCUBE_ENSURE(size_per_pair > 0);
+    const hc::node_t count = hc::node_t{1} << n;
+    trees_.reserve(count);
+    for (hc::node_t s = 0; s < count; ++s) {
+        trees_.push_back(trees::build_bst(n, s));
+    }
+}
+
+void AllToAllBstProtocol::on_start(sim::NodeContext& ctx) {
+    const hc::node_t self = ctx.self();
+    const trees::SpanningTree& tree = trees_[self];
+    for (const hc::node_t dest :
+         cyclic_dest_order(tree, SubtreeOrder::reverse_breadth_first)) {
+        ctx.send(next_hop_in(tree, self, dest),
+                 sim::Message{dest, size_per_pair_, self});
+    }
+}
+
+void AllToAllBstProtocol::on_receive(sim::NodeContext& ctx,
+                                     const sim::Message& message) {
+    if (message.dest == ctx.self()) {
+        ++delivered_;
+        return;
+    }
+    const trees::SpanningTree& tree =
+        trees_[static_cast<hc::node_t>(message.tag)];
+    ctx.send(next_hop_in(tree, ctx.self(), message.dest), message);
+}
+
+} // namespace hcube::routing

@@ -1,0 +1,71 @@
+// All-to-all extensions (paper §1: "lower bound algorithms for broadcasting
+// from every node ... and sending personalized data from every node ... can
+// be attained by using N BSTs rooted at each node concurrently").
+//
+// Two all-to-all personalized (complete exchange / transpose) algorithms:
+//
+//  * recursive exchange — the classical dimension-order algorithm: n rounds,
+//    one cube dimension per round; every node exchanges half of its held
+//    data with its neighbour across that dimension. Exact cycle count
+//    n · N/2 · Pd under one-port full duplex; produced as a verified
+//    cycle-level schedule.
+//
+//  * concurrent BST scatter — every node runs the BST scatter rooted at
+//    itself, all N scatters in flight simultaneously (the translated BSTs of
+//    the paper); provided as an event-engine protocol where link contention
+//    resolves dynamically.
+#pragma once
+
+#include "sim/cycle.hpp"
+#include "sim/event.hpp"
+#include "trees/spanning_tree.hpp"
+
+#include <vector>
+
+namespace hcube::routing {
+
+/// Packet id of the k-th packet from `src` to `dest` in an all-to-all
+/// exchange with `packets_per_pair` packets per (src, dest) pair.
+[[nodiscard]] sim::packet_t alltoall_packet_id(hc::node_t src, hc::node_t dest,
+                                               hc::dim_t n,
+                                               sim::packet_t packets_per_pair,
+                                               sim::packet_t k);
+
+/// The dimension-order complete exchange as a cycle schedule (one-port full
+/// duplex): round d occupies cycles [d·K, (d+1)·K) with K = N/2 ·
+/// packets_per_pair, during which every node sends its held packets whose
+/// destination differs in bit d to the neighbour across dimension d.
+[[nodiscard]] sim::Schedule
+alltoall_recursive_exchange(hc::dim_t n, sim::packet_t packets_per_pair);
+
+/// All-to-all *broadcast* (gossip / allgather) by recursive doubling, as a
+/// cycle schedule under one-port full duplex: in round d every node
+/// exchanges its 2^d accumulated packets with the neighbour across
+/// dimension d. Total makespan sum_d 2^d = N - 1 cycles — the lower bound,
+/// since every node must receive N - 1 distinct packets at one per cycle.
+/// Packet j is node j's contribution.
+[[nodiscard]] sim::Schedule allgather_recursive_doubling(hc::dim_t n);
+
+/// Event protocol: all N BST scatters at once. Every node acts as the root
+/// of its own translated BST and emits one message of `size_per_pair`
+/// elements per destination (cyclic subtree order); intermediate nodes
+/// forward within the *source's* tree.
+class AllToAllBstProtocol final : public sim::Protocol {
+public:
+    AllToAllBstProtocol(hc::dim_t n, double size_per_pair);
+
+    void on_start(sim::NodeContext& ctx) override;
+    void on_receive(sim::NodeContext& ctx, const sim::Message& message) override;
+
+    /// Total (src, dest) payloads delivered.
+    [[nodiscard]] std::size_t delivered() const { return delivered_; }
+
+private:
+    hc::dim_t n_;
+    double size_per_pair_;
+    /// One BST per source root (translation of the BST at 0).
+    std::vector<trees::SpanningTree> trees_;
+    std::size_t delivered_ = 0;
+};
+
+} // namespace hcube::routing

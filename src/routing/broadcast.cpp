@@ -1,0 +1,140 @@
+#include "routing/broadcast.hpp"
+
+#include "common/check.hpp"
+#include "trees/msbt.hpp"
+
+#include <algorithm>
+
+namespace hcube::routing {
+
+Schedule port_oriented_broadcast(const trees::SpanningTree& tree,
+                                 packet_t packets) {
+    HCUBE_ENSURE(packets >= 1);
+    Schedule schedule;
+    schedule.n = tree.n;
+    schedule.packet_count = packets;
+    schedule.initial_holder.assign(packets, tree.root);
+
+    // completes_at[u]: cycle by which u holds the whole message.
+    std::vector<std::uint32_t> completes_at(tree.node_count(), 0);
+    for (const node_t u : tree.bfs_order()) {
+        std::uint32_t cursor = completes_at[u];
+        for (const node_t child : tree.children[u]) {
+            for (packet_t p = 0; p < packets; ++p) {
+                schedule.sends.push_back({cursor, u, child, p});
+                ++cursor;
+            }
+            completes_at[child] = cursor;
+        }
+    }
+    return schedule;
+}
+
+Schedule paced_broadcast(const trees::SpanningTree& tree, packet_t packets,
+                         PortModel model) {
+    HCUBE_ENSURE(packets >= 1);
+    Schedule schedule;
+    schedule.n = tree.n;
+    schedule.packet_count = packets;
+    schedule.initial_holder.assign(packets, tree.root);
+
+    // Global cadence: cycles between consecutive packets of the pipeline.
+    std::uint32_t cadence = 1;
+    if (model != PortModel::all_port) {
+        for (node_t u = 0; u < tree.node_count(); ++u) {
+            if (tree.children[u].empty()) {
+                continue;
+            }
+            const auto ops =
+                static_cast<std::uint32_t>(tree.children[u].size()) +
+                ((model == PortModel::one_port_half_duplex && u != tree.root)
+                     ? 1u
+                     : 0u);
+            cadence = std::max(cadence, ops);
+        }
+    }
+
+    // receive_cycle[u]: cycle during which packet 0 arrives at u
+    // (virtually -1 at the root, meaning "held before cycle 0").
+    std::vector<std::int64_t> receive_cycle(tree.node_count(), 0);
+    receive_cycle[tree.root] = -1;
+    for (const node_t u : tree.bfs_order()) {
+        std::uint32_t offset = 1;
+        for (const node_t child : tree.children[u]) {
+            receive_cycle[child] =
+                receive_cycle[u] +
+                ((model == PortModel::all_port) ? 1 : offset);
+            for (packet_t p = 0; p < packets; ++p) {
+                schedule.sends.push_back(
+                    {static_cast<std::uint32_t>(receive_cycle[child]) +
+                         cadence * p,
+                     u, child, p});
+            }
+            ++offset;
+        }
+    }
+    return schedule;
+}
+
+Schedule msbt_broadcast(dim_t n, node_t source, packet_t packets_per_subtree,
+                        PortModel model) {
+    HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+    HCUBE_ENSURE(packets_per_subtree >= 1);
+    const node_t count = node_t{1} << n;
+    HCUBE_ENSURE(source < count);
+
+    Schedule schedule;
+    schedule.n = n;
+    schedule.packet_count =
+        static_cast<packet_t>(n) * packets_per_subtree;
+    schedule.initial_holder.assign(schedule.packet_count, source);
+
+    const auto packet_id = [&](dim_t j, packet_t p) {
+        return static_cast<packet_t>(j) * packets_per_subtree + p;
+    };
+
+    if (model == PortModel::all_port) {
+        // Each ERSBT pipelines its own stream at cadence 1; edge-disjointness
+        // keeps the streams from colliding.
+        for (dim_t j = 0; j < n; ++j) {
+            const trees::SpanningTree ersbt = trees::build_ersbt(n, j, source);
+            for (node_t i = 0; i < count; ++i) {
+                if (i == source) {
+                    continue;
+                }
+                const node_t parent = ersbt.parent[i];
+                const auto arrival =
+                    static_cast<std::uint32_t>(ersbt.level[i]) - 1;
+                for (packet_t p = 0; p < packets_per_subtree; ++p) {
+                    schedule.sends.push_back(
+                        {arrival + p, parent, i, packet_id(j, p)});
+                }
+            }
+        }
+        return schedule;
+    }
+
+    // One-port full duplex: the labelling f gives a conflict-free schedule
+    // with one new packet per subtree every n cycles.
+    for (dim_t j = 0; j < n; ++j) {
+        for (node_t i = 0; i < count; ++i) {
+            if (i == source) {
+                continue;
+            }
+            const node_t parent = trees::msbt_parent(i, j, source, n);
+            const auto label = static_cast<std::uint32_t>(
+                trees::msbt_edge_label(i, j, source, n));
+            for (packet_t p = 0; p < packets_per_subtree; ++p) {
+                schedule.sends.push_back(
+                    {label + p * static_cast<std::uint32_t>(n), parent, i,
+                     packet_id(j, p)});
+            }
+        }
+    }
+    if (model == PortModel::one_port_half_duplex) {
+        return sim::stretch_to_half_duplex(schedule);
+    }
+    return schedule;
+}
+
+} // namespace hcube::routing

@@ -1,0 +1,62 @@
+// Cycle-level broadcast schedules (paper §3).
+//
+// Each generator returns an explicit Schedule that sim::execute_schedule
+// validates under the corresponding port model. P counts packets (units of
+// at most B elements): P = ceil(M/B).
+//
+// The makespans reproduce the cycle counts behind Table 3:
+//
+//   SBT  port-oriented (either one-port model)       n·P
+//   SBT  paced pipeline, all ports                   P + n - 1
+//   HP   end, half duplex                            2P + N - 3
+//   HP   end, full duplex / all ports                P + N - 2
+//   TCBT paced, half / full / all (n >= 3)           3P+2n-5 / 2P+2n-4 / P+n-1
+//   MSBT full duplex (labelling f)                   P + n        (P = n·Pps)
+//   MSBT half duplex (stretched)                     2P + n - 1
+//   MSBT all ports                                   Pps + n
+#pragma once
+
+#include "sim/cycle.hpp"
+#include "trees/spanning_tree.hpp"
+
+namespace hcube::routing {
+
+using hc::dim_t;
+using hc::node_t;
+using sim::packet_t;
+using sim::PortModel;
+using sim::Schedule;
+
+/// Port-oriented broadcast down any spanning tree (paper §2's
+/// "port-oriented" discipline): every node first receives the whole message,
+/// then retransmits it whole to each child in stored order. This is the
+/// classical one-port SBT algorithm (§3.3.1); on the SBT it completes in
+/// exactly n·P cycles and is feasible under every port model.
+[[nodiscard]] Schedule port_oriented_broadcast(const trees::SpanningTree& tree,
+                                               packet_t packets);
+
+/// Packet-oriented ("paced") pipelined broadcast down any spanning tree:
+/// a node forwards packet p to child c_i one cycle apart (i cycles after
+/// receiving under the one-port models, same cycle on all ports), with a
+/// global cadence of
+///   half duplex: max over nodes of (children + [node != root]),
+///   full duplex: max over nodes of children count,
+///   all ports:   1
+/// cycles per packet. Reproduces the paper's pipelined SBT (all ports), HP
+/// and TCBT cycle counts exactly.
+[[nodiscard]] Schedule paced_broadcast(const trees::SpanningTree& tree,
+                                       packet_t packets, PortModel model);
+
+/// MSBT broadcast (paper §3.3.2): the message splits into n streams of
+/// `packets_per_subtree` packets, one stream pipelined down each ERSBT.
+///  * one_port_full_duplex: the labelling f schedules stream j's packet p
+///    across the edge into node i at cycle f(i,j) + p·n;
+///  * one_port_half_duplex: the full-duplex schedule stretched by per-cycle
+///    2-colouring (sim::stretch_to_half_duplex);
+///  * all_port: each ERSBT pipelines independently at cadence 1.
+/// Packet identifiers are j·packets_per_subtree + p.
+[[nodiscard]] Schedule msbt_broadcast(dim_t n, node_t source,
+                                      packet_t packets_per_subtree,
+                                      PortModel model);
+
+} // namespace hcube::routing

@@ -1,0 +1,709 @@
+#include "routing/collectives.hpp"
+
+#include "common/check.hpp"
+#include "hc/bits.hpp"
+#include "routing/scatter.hpp"
+#include "trees/bst.hpp"
+#include "trees/msbt.hpp"
+#include "trees/sbt.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+namespace hcube::routing {
+
+namespace {
+
+using hc::dim_t;
+using hc::node_t;
+using sim::Message;
+using sim::NodeContext;
+
+std::shared_ptr<const Buffer> slice_of(const Buffer& source,
+                                       std::size_t offset,
+                                       std::size_t length) {
+    return std::make_shared<Buffer>(source.begin() +
+                                        static_cast<std::ptrdiff_t>(offset),
+                                    source.begin() +
+                                        static_cast<std::ptrdiff_t>(offset +
+                                                                    length));
+}
+
+// ------------------------------------------------------------- broadcast
+
+/// Port-oriented SBT broadcast carrying data: chunks tagged with their
+/// element offset; a node forwards the whole assembled message per child.
+class DataBroadcastSbt final : public sim::Protocol {
+public:
+    DataBroadcastSbt(const trees::SpanningTree& tree,
+                     std::vector<Buffer>& data, double chunk)
+        : tree_(tree), data_(data), chunk_(static_cast<std::size_t>(chunk)),
+          received_(tree.node_count(), 0) {
+        HCUBE_ENSURE(chunk_ > 0);
+        total_ = data_[tree_.root].size();
+        HCUBE_ENSURE_MSG(total_ > 0, "nothing to broadcast");
+    }
+
+    void on_start(NodeContext& ctx) override {
+        if (ctx.self() == tree_.root) {
+            received_[ctx.self()] = total_;
+            forward(ctx);
+        }
+    }
+
+    void on_receive(NodeContext& ctx, const Message& message) override {
+        Buffer& mine = data_[ctx.self()];
+        mine.resize(total_);
+        const auto offset = static_cast<std::size_t>(message.tag);
+        std::ranges::copy(*message.payload,
+                          mine.begin() + static_cast<std::ptrdiff_t>(offset));
+        received_[ctx.self()] += message.payload->size();
+        if (received_[ctx.self()] == total_) {
+            forward(ctx);
+        }
+    }
+
+private:
+    void forward(NodeContext& ctx) {
+        const Buffer& mine = data_[ctx.self()];
+        for (const node_t child : tree_.children[ctx.self()]) {
+            for (std::size_t off = 0; off < total_; off += chunk_) {
+                const std::size_t len = std::min(chunk_, total_ - off);
+                ctx.send(child, Message{child, static_cast<double>(len), off,
+                                        slice_of(mine, off, len)});
+            }
+        }
+    }
+
+    const trees::SpanningTree& tree_;
+    std::vector<Buffer>& data_;
+    std::size_t chunk_;
+    std::size_t total_ = 0;
+    std::vector<std::size_t> received_;
+};
+
+/// MSBT broadcast carrying data: the message splits into log N contiguous
+/// slices, slice j pipelined down ERSBT j in chunks. Tags pack
+/// (element offset << 6 | stream).
+class DataBroadcastMsbt final : public sim::Protocol {
+public:
+    DataBroadcastMsbt(dim_t n, node_t source, std::vector<Buffer>& data,
+                      double chunk)
+        : n_(n), source_(source), data_(data),
+          chunk_(static_cast<std::size_t>(chunk)),
+          received_(node_t{1} << n, 0) {
+        HCUBE_ENSURE(chunk_ > 0);
+        total_ = data_[source].size();
+        HCUBE_ENSURE_MSG(total_ >= static_cast<std::size_t>(n),
+                         "message smaller than the stream count");
+        const node_t count = node_t{1} << n;
+        children_.assign(static_cast<std::size_t>(n), {});
+        for (dim_t j = 0; j < n; ++j) {
+            auto& per_node = children_[static_cast<std::size_t>(j)];
+            per_node.resize(count);
+            for (node_t i = 0; i < count; ++i) {
+                auto kids = trees::msbt_children(i, j, source, n);
+                std::ranges::sort(kids, [&](node_t a, node_t b) {
+                    return trees::msbt_edge_label(a, j, source, n) <
+                           trees::msbt_edge_label(b, j, source, n);
+                });
+                per_node[i] = std::move(kids);
+            }
+        }
+    }
+
+    void on_start(NodeContext& ctx) override {
+        if (ctx.self() != source_) {
+            return;
+        }
+        received_[source_] = total_;
+        const Buffer& mine = data_[source_];
+        // Stream j owns the contiguous slice [bounds(j), bounds(j+1));
+        // emit chunk r of every stream before chunk r+1 of any (chunk-major).
+        bool emitted = true;
+        for (std::size_t r = 0; emitted; ++r) {
+            emitted = false;
+            for (dim_t j = 0; j < n_; ++j) {
+                const auto [begin, end] = stream_bounds(j);
+                const std::size_t off = begin + r * chunk_;
+                if (off >= end) {
+                    continue;
+                }
+                const std::size_t len = std::min(chunk_, end - off);
+                const node_t child =
+                    children_[static_cast<std::size_t>(j)][source_][0];
+                ctx.send(child,
+                         Message{child, static_cast<double>(len),
+                                 pack_tag(off, j), slice_of(mine, off, len)});
+                emitted = true;
+            }
+        }
+    }
+
+    void on_receive(NodeContext& ctx, const Message& message) override {
+        Buffer& mine = data_[ctx.self()];
+        mine.resize(total_);
+        const auto [offset, stream] = unpack_tag(message.tag);
+        std::ranges::copy(*message.payload,
+                          mine.begin() + static_cast<std::ptrdiff_t>(offset));
+        received_[ctx.self()] += message.payload->size();
+        for (const node_t child : children_[stream][ctx.self()]) {
+            ctx.send(child, Message{child, message.size, message.tag,
+                                    message.payload});
+        }
+    }
+
+    [[nodiscard]] bool complete() const {
+        return std::ranges::all_of(received_, [&](std::size_t r) {
+            return r >= total_;
+        });
+    }
+
+private:
+    [[nodiscard]] std::pair<std::size_t, std::size_t>
+    stream_bounds(dim_t j) const {
+        // Near-equal contiguous split of total_ into n_ slices.
+        const auto idx = static_cast<std::size_t>(j);
+        const auto streams = static_cast<std::size_t>(n_);
+        return {total_ * idx / streams, total_ * (idx + 1) / streams};
+    }
+
+    static std::uint64_t pack_tag(std::size_t offset, dim_t stream) {
+        return (static_cast<std::uint64_t>(offset) << 6) |
+               static_cast<std::uint64_t>(stream);
+    }
+    static std::pair<std::size_t, std::size_t>
+    unpack_tag(std::uint64_t tag) {
+        return {static_cast<std::size_t>(tag >> 6),
+                static_cast<std::size_t>(tag & 0x3f)};
+    }
+
+    dim_t n_;
+    node_t source_;
+    std::vector<Buffer>& data_;
+    std::size_t chunk_;
+    std::size_t total_ = 0;
+    std::vector<std::vector<std::vector<node_t>>> children_;
+    std::vector<std::size_t> received_;
+};
+
+// ------------------------------------------------------- scatter / gather
+
+/// Personalized distribution with real payloads along tree paths.
+class DataScatter final : public sim::Protocol {
+public:
+    DataScatter(const trees::SpanningTree& tree,
+                const std::vector<Buffer>& slices, std::vector<Buffer>& data,
+                std::vector<node_t> order)
+        : tree_(tree), slices_(slices), data_(data),
+          order_(std::move(order)) {}
+
+    void on_start(NodeContext& ctx) override {
+        if (ctx.self() != tree_.root) {
+            return;
+        }
+        data_[tree_.root] = slices_[tree_.root];
+        for (const node_t dest : order_) {
+            ctx.send(next_hop(dest, tree_.root),
+                     Message{dest, static_cast<double>(slices_[dest].size()),
+                             0, std::make_shared<Buffer>(slices_[dest])});
+        }
+    }
+
+    void on_receive(NodeContext& ctx, const Message& message) override {
+        if (message.dest == ctx.self()) {
+            data_[ctx.self()] = *message.payload;
+            return;
+        }
+        ctx.send(next_hop(message.dest, ctx.self()), message);
+    }
+
+private:
+    [[nodiscard]] node_t next_hop(node_t dest, node_t from) const {
+        node_t x = dest;
+        while (tree_.parent[x] != from) {
+            x = tree_.parent[x];
+        }
+        return x;
+    }
+
+    const trees::SpanningTree& tree_;
+    const std::vector<Buffer>& slices_;
+    std::vector<Buffer>& data_;
+    std::vector<node_t> order_;
+};
+
+/// Pipelined piecewise gather: every node ships its buffer towards the root
+/// immediately; internal nodes relay pieces as they arrive.
+class DataGather final : public sim::Protocol {
+public:
+    DataGather(const trees::SpanningTree& tree,
+               const std::vector<Buffer>& data,
+               std::vector<Buffer>& gathered)
+        : tree_(tree), data_(data), gathered_(gathered) {}
+
+    void on_start(NodeContext& ctx) override {
+        const node_t self = ctx.self();
+        if (self == tree_.root) {
+            gathered_[self] = data_[self];
+            return;
+        }
+        ctx.send(tree_.parent[self],
+                 Message{tree_.root, static_cast<double>(data_[self].size()),
+                         self, std::make_shared<Buffer>(data_[self])});
+    }
+
+    void on_receive(NodeContext& ctx, const Message& message) override {
+        if (ctx.self() == tree_.root) {
+            gathered_[static_cast<node_t>(message.tag)] = *message.payload;
+            return;
+        }
+        ctx.send(tree_.parent[ctx.self()], message);
+    }
+
+private:
+    const trees::SpanningTree& tree_;
+    const std::vector<Buffer>& data_;
+    std::vector<Buffer>& gathered_;
+};
+
+// ------------------------------------------- recursive-doubling exchanges
+
+/// Shared skeleton for the dimension-order exchanges: per-node round
+/// counter plus reordering of early-arriving partner messages.
+class RecursiveDoubling : public sim::Protocol {
+public:
+    RecursiveDoubling(dim_t n, node_t count)
+        : n_(n), round_(count, 0), pending_(count) {}
+
+    void on_start(NodeContext& ctx) override { send_round(ctx); }
+
+    void on_receive(NodeContext& ctx, const Message& message) override {
+        auto& pending = pending_[ctx.self()];
+        pending.emplace(message.tag, message.payload);
+        auto& r = round_[ctx.self()];
+        while (true) {
+            auto it = pending.find(static_cast<std::uint64_t>(r));
+            if (it == pending.end()) {
+                break;
+            }
+            absorb(ctx.self(), static_cast<dim_t>(r), *it->second);
+            pending.erase(it);
+            ++r;
+            if (r < static_cast<std::uint64_t>(n_)) {
+                send_round(ctx);
+            }
+        }
+    }
+
+protected:
+    /// Payload this node contributes in round `r` (its current accumulator).
+    virtual std::shared_ptr<const Buffer> outgoing(node_t self, dim_t r) = 0;
+    /// Merge the partner's round-r data into the local state.
+    virtual void absorb(node_t self, dim_t r, const Buffer& incoming) = 0;
+
+    dim_t n_;
+
+private:
+    void send_round(NodeContext& ctx) {
+        const node_t self = ctx.self();
+        const auto r = static_cast<dim_t>(round_[self]);
+        const node_t partner = hc::flip_bit(self, r);
+        auto payload = outgoing(self, r);
+        ctx.send(partner,
+                 Message{partner, static_cast<double>(payload->size()),
+                         static_cast<std::uint64_t>(r), std::move(payload)});
+    }
+
+    std::vector<std::uint64_t> round_;
+    std::vector<std::map<std::uint64_t, std::shared_ptr<const Buffer>>>
+        pending_;
+};
+
+/// All-reduce (elementwise sum) by recursive doubling.
+class DataAllreduce final : public RecursiveDoubling {
+public:
+    DataAllreduce(dim_t n, std::vector<Buffer>& data)
+        : RecursiveDoubling(n, static_cast<node_t>(data.size())),
+          data_(data) {}
+
+protected:
+    std::shared_ptr<const Buffer> outgoing(node_t self, dim_t) override {
+        return std::make_shared<Buffer>(data_[self]);
+    }
+
+    void absorb(node_t self, dim_t, const Buffer& incoming) override {
+        Buffer& mine = data_[self];
+        HCUBE_ENSURE(incoming.size() == mine.size());
+        for (std::size_t e = 0; e < mine.size(); ++e) {
+            mine[e] += incoming[e];
+        }
+    }
+
+private:
+    std::vector<Buffer>& data_;
+};
+
+/// All-gather by recursive doubling: after round r a node holds the blocks
+/// of every address agreeing with it on bits >= r+1; blocks travel in
+/// ascending-source order so both sides can place them without metadata.
+class DataAllgather final : public RecursiveDoubling {
+public:
+    DataAllgather(dim_t n, const std::vector<Buffer>& data,
+                  std::vector<Buffer>& out)
+        : RecursiveDoubling(n, static_cast<node_t>(data.size())), out_(out),
+          block_(data.empty() ? 0 : data[0].size()) {
+        const node_t count = node_t{1} << n;
+        for (node_t i = 0; i < count; ++i) {
+            HCUBE_ENSURE_MSG(data[i].size() == block_,
+                             "allgather needs equal block sizes");
+            out_[i].assign(static_cast<std::size_t>(count) * block_, 0);
+            std::ranges::copy(data[i],
+                              out_[i].begin() +
+                                  static_cast<std::ptrdiff_t>(i * block_));
+        }
+    }
+
+protected:
+    std::shared_ptr<const Buffer> outgoing(node_t self, dim_t r) override {
+        // Serialize own current blocks, ascending source address.
+        auto payload = std::make_shared<Buffer>();
+        payload->reserve((std::size_t{1} << r) * block_);
+        for (const node_t src : block_set(self, r)) {
+            const auto begin = out_[self].begin() +
+                               static_cast<std::ptrdiff_t>(src * block_);
+            payload->insert(payload->end(), begin,
+                            begin + static_cast<std::ptrdiff_t>(block_));
+        }
+        return payload;
+    }
+
+    void absorb(node_t self, dim_t r, const Buffer& incoming) override {
+        const node_t partner = hc::flip_bit(self, r);
+        std::size_t cursor = 0;
+        for (const node_t src : block_set(partner, r)) {
+            std::copy(incoming.begin() +
+                          static_cast<std::ptrdiff_t>(cursor),
+                      incoming.begin() +
+                          static_cast<std::ptrdiff_t>(cursor + block_),
+                      out_[self].begin() +
+                          static_cast<std::ptrdiff_t>(src * block_));
+            cursor += block_;
+        }
+        HCUBE_ENSURE(cursor == incoming.size());
+    }
+
+private:
+    /// Addresses whose blocks `node` holds before round r, ascending.
+    [[nodiscard]] std::vector<node_t> block_set(node_t node, dim_t r) const {
+        std::vector<node_t> set;
+        set.reserve(std::size_t{1} << r);
+        for (node_t x = 0; x < (node_t{1} << r); ++x) {
+            set.push_back(node ^ x);
+        }
+        std::ranges::sort(set);
+        return set;
+    }
+
+    std::vector<Buffer>& out_;
+    std::size_t block_;
+};
+
+/// All-to-all personalized exchange by dimension-order recursive exchange:
+/// at round r node i ships every held (src, dest) block whose dest differs
+/// from i in bit r (dropping its local copy); the held set has a closed
+/// form — before round r, node i holds exactly the blocks
+///   { (i ^ x, d) : x < 2^r, d agreeing with i on bits 0..r-1 } —
+/// so both sides serialize and place blocks in the same (src, dest)
+/// lexicographic order without any metadata.
+class DataAllToAll final : public RecursiveDoubling {
+public:
+    DataAllToAll(dim_t n, const std::vector<Buffer>& data,
+                 std::vector<Buffer>& out)
+        : RecursiveDoubling(n, static_cast<node_t>(data.size())), out_(out) {
+        const node_t count = node_t{1} << n;
+        block_ = data[0].size() / count;
+        hold_.resize(count);
+        for (node_t i = 0; i < count; ++i) {
+            HCUBE_ENSURE_MSG(data[i].size() ==
+                                 static_cast<std::size_t>(count) * block_,
+                             "alltoall needs N equal blocks per node");
+            for (node_t dest = 0; dest < count; ++dest) {
+                const auto begin =
+                    data[i].begin() +
+                    static_cast<std::ptrdiff_t>(dest * block_);
+                hold_[i].emplace(
+                    std::pair{i, dest},
+                    Buffer(begin,
+                           begin + static_cast<std::ptrdiff_t>(block_)));
+            }
+        }
+    }
+
+    void finish() {
+        const node_t count = static_cast<node_t>(out_.size());
+        for (node_t i = 0; i < count; ++i) {
+            out_[i].assign(static_cast<std::size_t>(count) * block_, 0);
+            HCUBE_ENSURE_MSG(hold_[i].size() == count,
+                             "wrong number of blocks after the exchange");
+            for (const auto& [key, block] : hold_[i]) {
+                HCUBE_ENSURE_MSG(key.second == i,
+                                 "undelivered block after the exchange");
+                std::ranges::copy(
+                    block, out_[i].begin() +
+                               static_cast<std::ptrdiff_t>(key.first *
+                                                           block_));
+            }
+        }
+    }
+
+protected:
+    std::shared_ptr<const Buffer> outgoing(node_t self, dim_t r) override {
+        // Serialize and *drop* the blocks leaving this node, in the same
+        // lexicographic (src, dest) order moving_keys() promises.
+        auto payload = std::make_shared<Buffer>();
+        auto& mine = hold_[self];
+        for (const auto& key : moving_keys(self, r)) {
+            const auto it = mine.find(key);
+            HCUBE_ENSURE(it != mine.end());
+            payload->insert(payload->end(), it->second.begin(),
+                            it->second.end());
+            mine.erase(it);
+        }
+        return payload;
+    }
+
+    void absorb(node_t self, dim_t r, const Buffer& incoming) override {
+        const node_t partner = hc::flip_bit(self, r);
+        std::size_t cursor = 0;
+        for (const auto& key : moving_keys(partner, r)) {
+            hold_[self].emplace(
+                key, Buffer(incoming.begin() +
+                                static_cast<std::ptrdiff_t>(cursor),
+                            incoming.begin() +
+                                static_cast<std::ptrdiff_t>(cursor +
+                                                            block_)));
+            cursor += block_;
+        }
+        HCUBE_ENSURE(cursor == incoming.size());
+    }
+
+private:
+    /// Keys `node` ships in round r, ascending (src, dest): sources are
+    /// {node ^ x : x < 2^r}; destinations agree with node on bits 0..r-1,
+    /// differ in bit r, and range over all higher bits.
+    [[nodiscard]] std::vector<std::pair<node_t, node_t>>
+    moving_keys(node_t node, dim_t r) const {
+        const node_t count = static_cast<node_t>(hold_.size());
+        std::vector<node_t> sources;
+        for (node_t x = 0; x < (node_t{1} << r); ++x) {
+            sources.push_back(node ^ x);
+        }
+        std::ranges::sort(sources);
+        const node_t low_mask = (node_t{1} << r) - 1;
+        const node_t fixed =
+            (node & low_mask) | (hc::flip_bit(node, r) & (node_t{1} << r));
+        std::vector<std::pair<node_t, node_t>> keys;
+        for (const node_t src : sources) {
+            for (node_t hi = 0; hi < (count >> (r + 1)); ++hi) {
+                keys.emplace_back(src, fixed | (hi << (r + 1)));
+            }
+        }
+        return keys;
+    }
+
+    std::vector<Buffer>& out_;
+    std::size_t block_ = 0;
+    /// hold_[i]: (source, dest) -> block currently resident at node i.
+    std::vector<std::map<std::pair<node_t, node_t>, Buffer>> hold_;
+};
+
+/// Reduce-scatter by recursive halving: after round r a node's *active*
+/// blocks agree with its address on bits 0..r; round r ships the half of
+/// the active set matching the partner's bit r (ascending block order) and
+/// sums the received half in place.
+class DataReduceScatter final : public RecursiveDoubling {
+public:
+    DataReduceScatter(dim_t n, const std::vector<Buffer>& data,
+                      std::vector<Buffer>& out)
+        : RecursiveDoubling(n, static_cast<node_t>(data.size())),
+          work_(data), out_(out) {
+        const node_t count = node_t{1} << n;
+        block_ = data[0].size() / count;
+        for (node_t i = 0; i < count; ++i) {
+            HCUBE_ENSURE_MSG(data[i].size() ==
+                                 static_cast<std::size_t>(count) * block_,
+                             "reduce_scatter needs N equal blocks per node");
+        }
+    }
+
+    void finish() {
+        const node_t count = node_t{1} << n_;
+        for (node_t i = 0; i < count; ++i) {
+            const auto begin =
+                work_[i].begin() + static_cast<std::ptrdiff_t>(i * block_);
+            out_[i].assign(begin, begin + static_cast<std::ptrdiff_t>(block_));
+        }
+    }
+
+protected:
+    std::shared_ptr<const Buffer> outgoing(node_t self, dim_t r) override {
+        auto payload = std::make_shared<Buffer>();
+        for (const node_t b : half_set(self, r, /*mine=*/false)) {
+            const auto begin =
+                work_[self].begin() + static_cast<std::ptrdiff_t>(b * block_);
+            payload->insert(payload->end(), begin,
+                            begin + static_cast<std::ptrdiff_t>(block_));
+        }
+        return payload;
+    }
+
+    void absorb(node_t self, dim_t r, const Buffer& incoming) override {
+        std::size_t cursor = 0;
+        for (const node_t b : half_set(self, r, /*mine=*/true)) {
+            for (std::size_t e = 0; e < block_; ++e) {
+                work_[self][b * block_ + e] += incoming[cursor++];
+            }
+        }
+        HCUBE_ENSURE(cursor == incoming.size());
+    }
+
+private:
+    /// Active blocks before round r whose bit r equals (mine ? self's :
+    /// partner's) bit, ascending.
+    [[nodiscard]] std::vector<node_t> half_set(node_t self, dim_t r,
+                                               bool mine) const {
+        const node_t count = node_t{1} << n_;
+        const node_t low_mask = (node_t{1} << r) - 1;
+        const bool want = mine ? hc::test_bit(self, r)
+                               : !hc::test_bit(self, r);
+        std::vector<node_t> blocks;
+        for (node_t b = 0; b < count; ++b) {
+            if ((b & low_mask) == (self & low_mask) &&
+                hc::test_bit(b, r) == want) {
+                blocks.push_back(b);
+            }
+        }
+        return blocks;
+    }
+
+    std::vector<Buffer> work_;
+    std::vector<Buffer>& out_;
+    std::size_t block_ = 0;
+};
+
+} // namespace
+
+// ------------------------------------------------------------ public API
+
+CollectiveComm::CollectiveComm(dim_t n, sim::EventParams params)
+    : n_(n), params_(params) {
+    HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+}
+
+CollectiveResult CollectiveComm::broadcast(std::vector<Buffer>& data,
+                                           node_t root, BroadcastAlgo algo,
+                                           double chunk) {
+    HCUBE_ENSURE(data.size() == node_count());
+    sim::EventEngine engine(n_, params_);
+    CollectiveResult result;
+    if (algo == BroadcastAlgo::sbt_port_oriented) {
+        const trees::SpanningTree tree = trees::build_sbt(n_, root);
+        DataBroadcastSbt protocol(tree, data, chunk);
+        result.stats = engine.run(protocol);
+    } else {
+        DataBroadcastMsbt protocol(n_, root, data, chunk);
+        result.stats = engine.run(protocol);
+        HCUBE_ENSURE_MSG(protocol.complete(), "broadcast did not complete");
+    }
+    result.time = result.stats.completion_time;
+    return result;
+}
+
+CollectiveResult CollectiveComm::scatter(const std::vector<Buffer>& slices,
+                                         std::vector<Buffer>& data,
+                                         node_t root, ScatterAlgo algo) {
+    HCUBE_ENSURE(slices.size() == node_count());
+    HCUBE_ENSURE(data.size() == node_count());
+    const trees::SpanningTree tree = (algo == ScatterAlgo::sbt_descending)
+                                         ? trees::build_sbt(n_, root)
+                                         : trees::build_bst(n_, root);
+    const auto order =
+        (algo == ScatterAlgo::sbt_descending)
+            ? descending_dest_order(tree)
+            : cyclic_dest_order(tree, SubtreeOrder::reverse_breadth_first);
+    sim::EventEngine engine(n_, params_);
+    DataScatter protocol(tree, slices, data, order);
+    CollectiveResult result;
+    result.stats = engine.run(protocol);
+    result.time = result.stats.completion_time;
+    return result;
+}
+
+CollectiveResult CollectiveComm::gather(const std::vector<Buffer>& data,
+                                        std::vector<Buffer>& gathered,
+                                        node_t root, ScatterAlgo algo) {
+    HCUBE_ENSURE(data.size() == node_count());
+    gathered.assign(node_count(), {});
+    const trees::SpanningTree tree = (algo == ScatterAlgo::sbt_descending)
+                                         ? trees::build_sbt(n_, root)
+                                         : trees::build_bst(n_, root);
+    sim::EventEngine engine(n_, params_);
+    DataGather protocol(tree, data, gathered);
+    CollectiveResult result;
+    result.stats = engine.run(protocol);
+    result.time = result.stats.completion_time;
+    return result;
+}
+
+CollectiveResult CollectiveComm::allreduce_sum(std::vector<Buffer>& data) {
+    HCUBE_ENSURE(data.size() == node_count());
+    sim::EventEngine engine(n_, params_);
+    DataAllreduce protocol(n_, data);
+    CollectiveResult result;
+    result.stats = engine.run(protocol);
+    result.time = result.stats.completion_time;
+    return result;
+}
+
+CollectiveResult CollectiveComm::alltoall(const std::vector<Buffer>& data,
+                                          std::vector<Buffer>& out) {
+    HCUBE_ENSURE(data.size() == node_count());
+    out.assign(node_count(), {});
+    sim::EventEngine engine(n_, params_);
+    DataAllToAll protocol(n_, data, out);
+    CollectiveResult result;
+    result.stats = engine.run(protocol);
+    protocol.finish();
+    result.time = result.stats.completion_time;
+    return result;
+}
+
+CollectiveResult
+CollectiveComm::reduce_scatter_sum(const std::vector<Buffer>& data,
+                                   std::vector<Buffer>& out) {
+    HCUBE_ENSURE(data.size() == node_count());
+    out.assign(node_count(), {});
+    sim::EventEngine engine(n_, params_);
+    DataReduceScatter protocol(n_, data, out);
+    CollectiveResult result;
+    result.stats = engine.run(protocol);
+    protocol.finish();
+    result.time = result.stats.completion_time;
+    return result;
+}
+
+CollectiveResult CollectiveComm::allgather(const std::vector<Buffer>& data,
+                                           std::vector<Buffer>& out) {
+    HCUBE_ENSURE(data.size() == node_count());
+    out.assign(node_count(), {});
+    sim::EventEngine engine(n_, params_);
+    DataAllgather protocol(n_, data, out);
+    CollectiveResult result;
+    result.stats = engine.run(protocol);
+    result.time = result.stats.completion_time;
+    return result;
+}
+
+} // namespace hcube::routing

@@ -1,0 +1,109 @@
+// Data-carrying collective operations — the library layer a downstream user
+// actually calls.
+//
+// The schedules and protocols elsewhere in routing/ move *abstract* packets
+// (ids and sizes) because the paper's results are statements about cycle
+// counts and times. This layer runs the same algorithms while moving real
+// buffers of doubles through the event engine, so correctness means "every
+// node ends up with the right values", verified in tests element by element.
+//
+// Operations and the algorithms behind them:
+//   broadcast   — SBT port-oriented (the one-port classic) or MSBT streams
+//                 (the paper's bandwidth-optimal pipeline);
+//   scatter     — personalized distribution down the SBT (descending order)
+//                 or the BST (cyclic subtree order);
+//   gather      — the reverse operation, pipelined piecewise up the tree;
+//   all-gather  — recursive doubling over cube dimensions (data doubles
+//                 each round; N-1 elements' worth of transfer per node);
+//   all-reduce  — recursive doubling with elementwise summation
+//                 (log N rounds of fixed-size exchange).
+#pragma once
+
+#include "hc/types.hpp"
+#include "sim/event.hpp"
+
+#include <vector>
+
+namespace hcube::routing {
+
+/// One node's local data.
+using Buffer = std::vector<double>;
+
+/// Which spanning structure a rooted collective uses.
+enum class BroadcastAlgo {
+    sbt_port_oriented, ///< whole message per child, §3.3.1 one-port
+    msbt_streams,      ///< log N pipelined streams, §3.3.2
+};
+enum class ScatterAlgo {
+    sbt_descending, ///< §5.2 descending-address order on the SBT
+    bst_cyclic,     ///< §4.2.2 cyclic subtree order on the BST
+};
+
+/// Outcome of one collective run.
+struct CollectiveResult {
+    double time = 0;           ///< simulated completion time [s]
+    sim::EventStats stats;     ///< raw engine statistics
+};
+
+/// Runs data-carrying collectives on a simulated n-cube. Each call builds a
+/// fresh engine with the stored machine parameters; `data` is indexed by
+/// node address.
+class CollectiveComm {
+public:
+    /// `params.model` selects the port model; sizes are in elements
+    /// (element == one double for payload accounting).
+    CollectiveComm(hc::dim_t n, sim::EventParams params);
+
+    [[nodiscard]] hc::dim_t dimension() const noexcept { return n_; }
+    [[nodiscard]] hc::node_t node_count() const noexcept {
+        return hc::node_t{1} << n_;
+    }
+
+    /// Replicates data[root] into every data[i]. `chunk` is the external
+    /// packet size in elements.
+    CollectiveResult broadcast(std::vector<Buffer>& data, hc::node_t root,
+                               BroadcastAlgo algo, double chunk);
+
+    /// Distributes slices[i] (one buffer per destination, root's own slice
+    /// included) into data[i]. All slices must have equal size.
+    CollectiveResult scatter(const std::vector<Buffer>& slices,
+                             std::vector<Buffer>& data, hc::node_t root,
+                             ScatterAlgo algo);
+
+    /// Collects every data[i] into gathered[i] at the root (gathered has one
+    /// entry per source node; non-root nodes' views are left empty).
+    CollectiveResult gather(const std::vector<Buffer>& data,
+                            std::vector<Buffer>& gathered, hc::node_t root,
+                            ScatterAlgo algo);
+
+    /// Elementwise global sum: every data[i] is replaced by the sum over all
+    /// nodes. All buffers must have equal size.
+    CollectiveResult allreduce_sum(std::vector<Buffer>& data);
+
+    /// Every node ends with the concatenation of all nodes' buffers in node
+    /// order: out[i][j] = original data[j mapped]. All buffers equal size.
+    CollectiveResult allgather(const std::vector<Buffer>& data,
+                               std::vector<Buffer>& out);
+
+    /// All-to-all personalized exchange (complete exchange / transpose,
+    /// §1's matrix-transposition motivation): every data[i] holds N equal
+    /// blocks, block b destined to node b; afterwards out[i] holds the N
+    /// blocks addressed to i, in source order (out[i] block j = data[j]
+    /// block i). Dimension-order recursive exchange: log N rounds, each
+    /// moving half of every node's payload.
+    CollectiveResult alltoall(const std::vector<Buffer>& data,
+                              std::vector<Buffer>& out);
+
+    /// Reduce-scatter: every data[i] holds N equal blocks (block b is node
+    /// i's contribution to node b); afterwards out[i] is the elementwise sum
+    /// over all contributions to block i. Recursive halving: log N rounds of
+    /// geometrically shrinking exchanges (bandwidth-optimal, ~ N M t_c).
+    CollectiveResult reduce_scatter_sum(const std::vector<Buffer>& data,
+                                        std::vector<Buffer>& out);
+
+private:
+    hc::dim_t n_;
+    sim::EventParams params_;
+};
+
+} // namespace hcube::routing

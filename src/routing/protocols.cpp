@@ -1,0 +1,280 @@
+#include "routing/protocols.hpp"
+
+#include "common/check.hpp"
+#include "trees/msbt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hcube::routing {
+
+namespace {
+
+/// The child of `u` on the tree path from `u` down to `dest`.
+hc::node_t next_hop(const trees::SpanningTree& tree, hc::node_t u,
+                    hc::node_t dest) {
+    hc::node_t x = dest;
+    while (tree.parent[x] != u) {
+        x = tree.parent[x];
+        HCUBE_ENSURE_MSG(x != tree.root, "dest is not below u in the tree");
+    }
+    return x;
+}
+
+/// Emits `total` elements to `to` in protocol messages of at most `chunk`.
+void send_chunked(NodeContext& ctx, hc::node_t to, double total, double chunk,
+                  std::uint64_t tag) {
+    double remaining = total;
+    while (remaining > 0) {
+        const double piece = std::min(remaining, chunk);
+        ctx.send(to, Message{to, piece, tag});
+        remaining -= piece;
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- broadcast
+
+PortOrientedBroadcast::PortOrientedBroadcast(const trees::SpanningTree& tree,
+                                             double total_size, double chunk)
+    : tree_(tree), total_size_(total_size), chunk_(chunk),
+      received_(tree.node_count(), 0) {
+    HCUBE_ENSURE(total_size > 0 && chunk > 0);
+}
+
+void PortOrientedBroadcast::on_start(NodeContext& ctx) {
+    if (ctx.self() == tree_.root) {
+        received_[ctx.self()] = total_size_;
+        forward_all(ctx);
+    }
+}
+
+void PortOrientedBroadcast::on_receive(NodeContext& ctx,
+                                       const Message& message) {
+    double& got = received_[ctx.self()];
+    const bool was_complete = got >= total_size_;
+    got += message.size;
+    if (!was_complete && got >= total_size_) {
+        forward_all(ctx);
+    }
+}
+
+void PortOrientedBroadcast::forward_all(NodeContext& ctx) {
+    for (const hc::node_t child : tree_.children[ctx.self()]) {
+        send_chunked(ctx, child, total_size_, chunk_, 0);
+    }
+}
+
+bool PortOrientedBroadcast::complete() const {
+    return std::ranges::all_of(
+        received_, [&](double r) { return r >= total_size_; });
+}
+
+PipelinedBroadcast::PipelinedBroadcast(const trees::SpanningTree& tree,
+                                       double total_size, double chunk)
+    : tree_(tree), total_size_(total_size), chunk_(chunk),
+      received_(tree.node_count(), 0) {
+    HCUBE_ENSURE(total_size > 0 && chunk > 0);
+}
+
+void PipelinedBroadcast::on_start(NodeContext& ctx) {
+    if (ctx.self() != tree_.root) {
+        return;
+    }
+    received_[ctx.self()] = total_size_;
+    // Chunk-major emission: chunk 0 to every child, then chunk 1, ... so
+    // the pipeline fills breadth-first.
+    double remaining = total_size_;
+    while (remaining > 0) {
+        const double piece = std::min(remaining, chunk_);
+        for (const hc::node_t child : tree_.children[ctx.self()]) {
+            ctx.send(child, Message{child, piece, 0});
+        }
+        remaining -= piece;
+    }
+}
+
+void PipelinedBroadcast::on_receive(NodeContext& ctx,
+                                    const Message& message) {
+    received_[ctx.self()] += message.size;
+    for (const hc::node_t child : tree_.children[ctx.self()]) {
+        ctx.send(child, Message{child, message.size, message.tag});
+    }
+}
+
+bool PipelinedBroadcast::complete() const {
+    return std::ranges::all_of(received_, [&](double r) {
+        return r >= total_size_ - 1e-9;
+    });
+}
+
+MsbtBroadcastProtocol::MsbtBroadcastProtocol(hc::dim_t n, hc::node_t source,
+                                             double total_size, double chunk)
+    : n_(n), source_(source),
+      stream_size_(total_size / n), chunk_(chunk),
+      received_(hc::node_t{1} << n, 0), expected_total_(total_size) {
+    HCUBE_ENSURE(total_size > 0 && chunk > 0);
+    const hc::node_t count = hc::node_t{1} << n;
+    children_.assign(static_cast<std::size_t>(n), {});
+    for (hc::dim_t j = 0; j < n; ++j) {
+        auto& per_node = children_[static_cast<std::size_t>(j)];
+        per_node.resize(count);
+        for (hc::node_t i = 0; i < count; ++i) {
+            auto kids = trees::msbt_children(i, j, source, n);
+            std::ranges::sort(kids, [&](hc::node_t a, hc::node_t b) {
+                return trees::msbt_edge_label(a, j, source, n) <
+                       trees::msbt_edge_label(b, j, source, n);
+            });
+            per_node[i] = std::move(kids);
+        }
+    }
+}
+
+void MsbtBroadcastProtocol::on_start(NodeContext& ctx) {
+    if (ctx.self() != source_) {
+        return;
+    }
+    received_[source_] = expected_total_;
+    // Chunk-major across the n streams: one new chunk per subtree per round.
+    const auto rounds = static_cast<std::uint64_t>(
+        std::ceil(stream_size_ / chunk_));
+    double sent = 0;
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        const double piece = std::min(chunk_, stream_size_ - sent);
+        for (hc::dim_t j = 0; j < n_; ++j) {
+            const auto& kids =
+                children_[static_cast<std::size_t>(j)][source_];
+            HCUBE_ENSURE(kids.size() == 1);
+            ctx.send(kids[0], Message{kids[0], piece,
+                                      static_cast<std::uint64_t>(j)});
+        }
+        sent += piece;
+    }
+}
+
+void MsbtBroadcastProtocol::on_receive(NodeContext& ctx,
+                                       const Message& message) {
+    received_[ctx.self()] += message.size;
+    const auto j = static_cast<std::size_t>(message.tag);
+    for (const hc::node_t child : children_[j][ctx.self()]) {
+        ctx.send(child, Message{child, message.size, message.tag});
+    }
+}
+
+bool MsbtBroadcastProtocol::complete() const {
+    return std::ranges::all_of(received_, [&](double r) {
+        return r >= expected_total_ - 1e-6;
+    });
+}
+
+// ------------------------------------------------------------------ scatter
+
+ScatterProtocol::ScatterProtocol(const trees::SpanningTree& tree,
+                                 std::vector<hc::node_t> dest_sequence,
+                                 double size_per_dest)
+    : tree_(tree), dest_sequence_(std::move(dest_sequence)),
+      size_per_dest_(size_per_dest) {
+    HCUBE_ENSURE(size_per_dest > 0);
+    HCUBE_ENSURE_MSG(dest_sequence_.size() == tree.node_count() - 1,
+                     "destination sequence must cover every non-root node");
+}
+
+void ScatterProtocol::on_start(NodeContext& ctx) {
+    if (ctx.self() != tree_.root) {
+        return;
+    }
+    for (const hc::node_t dest : dest_sequence_) {
+        ctx.send(next_hop(tree_, tree_.root, dest),
+                 Message{dest, size_per_dest_, 0});
+    }
+}
+
+void ScatterProtocol::on_receive(NodeContext& ctx, const Message& message) {
+    if (message.dest == ctx.self()) {
+        ++delivered_;
+        return;
+    }
+    ctx.send(next_hop(tree_, ctx.self(), message.dest), message);
+}
+
+MergedScatterProtocol::MergedScatterProtocol(const trees::SpanningTree& tree,
+                                             double size_per_dest)
+    : tree_(tree), size_per_dest_(size_per_dest),
+      subtree_size_(tree.node_count(), 1) {
+    HCUBE_ENSURE(size_per_dest > 0);
+    const auto order = tree.bfs_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        for (const hc::node_t child : tree_.children[*it]) {
+            subtree_size_[*it] += subtree_size_[child];
+        }
+    }
+}
+
+void MergedScatterProtocol::send_merged(NodeContext& ctx, hc::node_t child) {
+    ctx.send(child,
+             Message{child,
+                     static_cast<double>(subtree_size_[child]) *
+                         size_per_dest_,
+                     1});
+}
+
+void MergedScatterProtocol::on_start(NodeContext& ctx) {
+    if (ctx.self() != tree_.root) {
+        return;
+    }
+    for (const hc::node_t child : tree_.children[ctx.self()]) {
+        send_merged(ctx, child);
+    }
+}
+
+void MergedScatterProtocol::on_receive(NodeContext& ctx,
+                                       const Message& message) {
+    (void)message;
+    ++delivered_; // this node's own M elements just arrived (inside the merge)
+    for (const hc::node_t child : tree_.children[ctx.self()]) {
+        send_merged(ctx, child);
+    }
+}
+
+// ------------------------------------------------------------ gather/reduce
+
+GatherProtocol::GatherProtocol(const trees::SpanningTree& tree,
+                               double size_per_node, bool combining)
+    : tree_(tree), size_per_node_(size_per_node), combining_(combining),
+      pending_children_(tree.node_count()),
+      accumulated_(tree.node_count(), size_per_node) {
+    HCUBE_ENSURE(size_per_node > 0);
+    for (hc::node_t i = 0; i < tree.node_count(); ++i) {
+        pending_children_[i] = tree_.children[i].size();
+    }
+}
+
+void GatherProtocol::on_start(NodeContext& ctx) {
+    if (pending_children_[ctx.self()] == 0 && ctx.self() != tree_.root) {
+        maybe_send_up(ctx);
+    }
+}
+
+void GatherProtocol::on_receive(NodeContext& ctx, const Message& message) {
+    const hc::node_t self = ctx.self();
+    if (!combining_) {
+        accumulated_[self] += message.size;
+    }
+    HCUBE_ENSURE(pending_children_[self] > 0);
+    if (--pending_children_[self] == 0) {
+        if (self == tree_.root) {
+            complete_ = true;
+        } else {
+            maybe_send_up(ctx);
+        }
+    }
+}
+
+void GatherProtocol::maybe_send_up(NodeContext& ctx) {
+    const hc::node_t self = ctx.self();
+    const double size = combining_ ? size_per_node_ : accumulated_[self];
+    ctx.send(tree_.parent[self], Message{tree_.parent[self], size, 0});
+}
+
+} // namespace hcube::routing

@@ -1,0 +1,168 @@
+// Event-engine protocols: the distributed routing programs behind the
+// paper's iPSC measurements (Figures 5-8).
+//
+// Sizes are in elements (bytes on the iPSC). `chunk` is the *external*
+// packet size of §5.1 — the granularity at which the program hands data to
+// the transport; the engine applies the machine's internal packet size on
+// top of it.
+#pragma once
+
+#include "sim/event.hpp"
+#include "trees/spanning_tree.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace hcube::routing {
+
+using sim::Message;
+using sim::NodeContext;
+using sim::Protocol;
+
+/// Port-oriented broadcast (§2, §3.3.1): every node receives the whole
+/// message before retransmitting it, child by child in stored order. This is
+/// the classical one-port SBT broadcast when run on an SBT; Figures 5 and 6
+/// measure it.
+class PortOrientedBroadcast final : public Protocol {
+public:
+    /// Broadcasts `total_size` elements from tree.root in external packets
+    /// of `chunk` elements.
+    PortOrientedBroadcast(const trees::SpanningTree& tree, double total_size,
+                          double chunk);
+
+    void on_start(NodeContext& ctx) override;
+    void on_receive(NodeContext& ctx, const Message& message) override;
+
+    /// True once every node has the full message (queryable after run()).
+    [[nodiscard]] bool complete() const;
+
+private:
+    void forward_all(NodeContext& ctx);
+
+    const trees::SpanningTree& tree_;
+    double total_size_;
+    double chunk_;
+    std::vector<double> received_;
+};
+
+/// Packet-oriented pipelined broadcast: every chunk is forwarded to all
+/// children as soon as it arrives (chunk-major send order at the root).
+/// On the SBT under all-port this is the (ceil(M/B) + log N - 1)-step
+/// pipeline of §3.3.1.
+class PipelinedBroadcast final : public Protocol {
+public:
+    PipelinedBroadcast(const trees::SpanningTree& tree, double total_size,
+                       double chunk);
+
+    void on_start(NodeContext& ctx) override;
+    void on_receive(NodeContext& ctx, const Message& message) override;
+
+    [[nodiscard]] bool complete() const;
+
+private:
+    const trees::SpanningTree& tree_;
+    double total_size_;
+    double chunk_;
+    std::vector<double> received_;
+};
+
+/// MSBT broadcast (§3.3.2): the message splits into n equal streams, one
+/// pipelined down each edge-reversed SBT; a node forwards a stream-j chunk
+/// to its ERSBT-j children in edge-label order. Figures 6 and 7 measure
+/// this against the port-oriented SBT.
+class MsbtBroadcastProtocol final : public Protocol {
+public:
+    MsbtBroadcastProtocol(hc::dim_t n, hc::node_t source, double total_size,
+                          double chunk);
+
+    void on_start(NodeContext& ctx) override;
+    void on_receive(NodeContext& ctx, const Message& message) override;
+
+    [[nodiscard]] bool complete() const;
+
+private:
+    hc::dim_t n_;
+    hc::node_t source_;
+    double stream_size_; ///< total_size / n per subtree stream
+    double chunk_;
+    /// children_[j][i]: ERSBT-j children of node i, ascending edge label.
+    std::vector<std::vector<std::vector<hc::node_t>>> children_;
+    std::vector<double> received_;
+    double expected_total_;
+};
+
+/// Personalized communication (scatter) with one message of M elements per
+/// destination (the B <= M regime): the root emits messages in the given
+/// destination order; intermediate nodes forward towards message.dest along
+/// tree paths. Figure 8 measures this for the SBT (descending order) and
+/// BST (cyclic order) under one-port with overlap.
+class ScatterProtocol final : public Protocol {
+public:
+    ScatterProtocol(const trees::SpanningTree& tree,
+                    std::vector<hc::node_t> dest_sequence,
+                    double size_per_dest);
+
+    void on_start(NodeContext& ctx) override;
+    void on_receive(NodeContext& ctx, const Message& message) override;
+
+    /// Number of destinations that got their payload.
+    [[nodiscard]] std::size_t delivered() const { return delivered_; }
+
+private:
+    const trees::SpanningTree& tree_;
+    std::vector<hc::node_t> dest_sequence_;
+    double size_per_dest_;
+    std::size_t delivered_ = 0;
+};
+
+/// Scatter in the large-packet regime (B >= subtree loads): the root sends
+/// each subtree root one merged message carrying the entire subtree's data;
+/// nodes split off their own M elements and forward per-child merged
+/// messages. This is the §4.2 recursive algorithm whose one-port time is
+/// (N-1) M t_c + log N τ on the SBT.
+class MergedScatterProtocol final : public Protocol {
+public:
+    MergedScatterProtocol(const trees::SpanningTree& tree,
+                          double size_per_dest);
+
+    void on_start(NodeContext& ctx) override;
+    void on_receive(NodeContext& ctx, const Message& message) override;
+
+    [[nodiscard]] std::size_t delivered() const { return delivered_; }
+
+private:
+    void send_merged(NodeContext& ctx, hc::node_t child);
+
+    const trees::SpanningTree& tree_;
+    double size_per_dest_;
+    std::vector<std::uint64_t> subtree_size_; ///< descendants incl. self
+    std::size_t delivered_ = 0;
+};
+
+/// Gather / reduce — the paper's "reverse operation" (§1): leaves send
+/// upward; an internal node waits for all children, then forwards. With
+/// `combining` the upward message stays M elements (reduction); without it
+/// the message grows to (subtree size) * M (gather / collection).
+class GatherProtocol final : public Protocol {
+public:
+    GatherProtocol(const trees::SpanningTree& tree, double size_per_node,
+                   bool combining);
+
+    void on_start(NodeContext& ctx) override;
+    void on_receive(NodeContext& ctx, const Message& message) override;
+
+    /// True once the root has everything.
+    [[nodiscard]] bool complete() const { return complete_; }
+
+private:
+    void maybe_send_up(NodeContext& ctx);
+
+    const trees::SpanningTree& tree_;
+    double size_per_node_;
+    bool combining_;
+    std::vector<std::size_t> pending_children_;
+    std::vector<double> accumulated_;
+    bool complete_ = false;
+};
+
+} // namespace hcube::routing

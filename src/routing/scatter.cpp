@@ -1,0 +1,197 @@
+#include "routing/scatter.hpp"
+
+#include "common/check.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace hcube::routing {
+
+namespace {
+
+/// Path from the tree root to `dest`, inclusive.
+std::vector<node_t> root_path(const trees::SpanningTree& tree, node_t dest) {
+    std::vector<node_t> path;
+    for (node_t u = dest; u != tree.root; u = tree.parent[u]) {
+        path.push_back(u);
+    }
+    path.push_back(tree.root);
+    std::ranges::reverse(path);
+    return path;
+}
+
+/// Nodes of subtree `j` in the requested traversal order.
+std::vector<node_t> subtree_order(const trees::SpanningTree& tree, dim_t j,
+                                  SubtreeOrder order) {
+    std::vector<node_t> nodes = tree.subtree_preorder(j);
+    if (order == SubtreeOrder::reverse_breadth_first) {
+        std::ranges::stable_sort(nodes, [&](node_t a, node_t b) {
+            return tree.level[a] > tree.level[b];
+        });
+    }
+    return nodes;
+}
+
+} // namespace
+
+packet_t scatter_packet_id(node_t dest, node_t s, packet_t packets_per_dest,
+                           packet_t k) {
+    return ((dest ^ s) - 1) * packets_per_dest + k;
+}
+
+std::vector<node_t> descending_dest_order(const trees::SpanningTree& tree) {
+    std::vector<node_t> dests;
+    dests.reserve(tree.node_count() - 1);
+    for (node_t rel = tree.node_count() - 1; rel >= 1; --rel) {
+        dests.push_back(tree.root ^ rel);
+    }
+    return dests;
+}
+
+std::vector<node_t> cyclic_dest_order(const trees::SpanningTree& tree,
+                                      SubtreeOrder order) {
+    std::vector<std::vector<node_t>> lists =
+        per_subtree_dest_orders(tree, order);
+    std::vector<std::size_t> cursor(lists.size(), 0);
+    std::vector<node_t> sequence;
+    sequence.reserve(tree.node_count() - 1);
+    bool any = true;
+    while (any) {
+        any = false;
+        for (std::size_t j = 0; j < lists.size(); ++j) {
+            if (cursor[j] < lists[j].size()) {
+                sequence.push_back(lists[j][cursor[j]++]);
+                any = true;
+            }
+        }
+    }
+    return sequence;
+}
+
+std::vector<std::vector<node_t>>
+per_subtree_dest_orders(const trees::SpanningTree& tree, SubtreeOrder order) {
+    std::vector<std::vector<node_t>> lists(static_cast<std::size_t>(tree.n));
+    for (dim_t j = 0; j < tree.n; ++j) {
+        lists[static_cast<std::size_t>(j)] = subtree_order(tree, j, order);
+    }
+    return lists;
+}
+
+Schedule scatter_one_port(const trees::SpanningTree& tree,
+                          const std::vector<node_t>& dest_sequence,
+                          packet_t packets_per_dest) {
+    HCUBE_ENSURE(packets_per_dest >= 1);
+    HCUBE_ENSURE_MSG(dest_sequence.size() == tree.node_count() - 1,
+                     "destination sequence must cover every non-root node");
+
+    Schedule schedule;
+    schedule.n = tree.n;
+    schedule.packet_count =
+        static_cast<packet_t>(tree.node_count() - 1) * packets_per_dest;
+    schedule.initial_holder.assign(schedule.packet_count, tree.root);
+
+    // last_send[u]: last cycle in which u transmitted (-1 = never). One send
+    // per node per cycle is the full-duplex constraint; receives cannot
+    // conflict because each node has a single tree parent.
+    std::vector<std::int64_t> last_send(tree.node_count(), -1);
+
+    std::uint32_t emission = 0;
+    for (const node_t dest : dest_sequence) {
+        const std::vector<node_t> path = root_path(tree, dest);
+        for (packet_t k = 0; k < packets_per_dest; ++k) {
+            const packet_t packet =
+                scatter_packet_id(dest, tree.root, packets_per_dest, k);
+            std::int64_t cycle = emission++;
+            last_send[tree.root] = cycle;
+            schedule.sends.push_back({static_cast<std::uint32_t>(cycle),
+                                      path[0], path[1], packet});
+            for (std::size_t hop = 1; hop + 1 < path.size(); ++hop) {
+                const node_t u = path[hop];
+                cycle = std::max(cycle + 1, last_send[u] + 1);
+                last_send[u] = cycle;
+                schedule.sends.push_back({static_cast<std::uint32_t>(cycle),
+                                          u, path[hop + 1], packet});
+            }
+        }
+    }
+    return schedule;
+}
+
+Schedule scatter_all_port(const trees::SpanningTree& tree,
+                          const std::vector<std::vector<node_t>>& port_sequences,
+                          packet_t packets_per_dest) {
+    HCUBE_ENSURE(packets_per_dest >= 1);
+
+    Schedule schedule;
+    schedule.n = tree.n;
+    schedule.packet_count =
+        static_cast<packet_t>(tree.node_count() - 1) * packets_per_dest;
+    schedule.initial_holder.assign(schedule.packet_count, tree.root);
+
+    // Streams through different root ports never share an internal node (a
+    // tree path stays inside its subtree), so each subtree schedules
+    // independently.
+    std::size_t covered = 0;
+    for (const auto& sequence : port_sequences) {
+        std::vector<std::int64_t> last_send(tree.node_count(), -1);
+        std::uint32_t emission = 0;
+        for (const node_t dest : sequence) {
+            ++covered;
+            const std::vector<node_t> path = root_path(tree, dest);
+            for (packet_t k = 0; k < packets_per_dest; ++k) {
+                const packet_t packet =
+                    scatter_packet_id(dest, tree.root, packets_per_dest, k);
+                std::int64_t cycle = emission++;
+                schedule.sends.push_back({static_cast<std::uint32_t>(cycle),
+                                          path[0], path[1], packet});
+                for (std::size_t hop = 1; hop + 1 < path.size(); ++hop) {
+                    const node_t u = path[hop];
+                    // Serializing u's sends at one per cycle costs nothing:
+                    // everything u forwards arrives over the single link
+                    // from its parent, at most one packet per cycle.
+                    cycle = std::max(cycle + 1, last_send[u] + 1);
+                    last_send[u] = cycle;
+                    schedule.sends.push_back(
+                        {static_cast<std::uint32_t>(cycle), u, path[hop + 1],
+                         packet});
+                }
+            }
+        }
+    }
+    HCUBE_ENSURE_MSG(covered == tree.node_count() - 1,
+                     "port sequences must cover every non-root node");
+    return schedule;
+}
+
+Schedule reverse_schedule(const Schedule& schedule) {
+    std::uint32_t makespan = 0;
+    for (const auto& send : schedule.sends) {
+        makespan = std::max(makespan, send.cycle + 1);
+    }
+
+    Schedule out;
+    out.n = schedule.n;
+    out.packet_count = schedule.packet_count;
+
+    // Final holder of each packet = receiver of its chronologically last
+    // transmission (or the initial holder if it never moved).
+    out.initial_holder = schedule.initial_holder;
+    std::vector<std::uint32_t> last_cycle(schedule.packet_count, 0);
+    std::vector<bool> moved(schedule.packet_count, false);
+    for (const auto& send : schedule.sends) {
+        if (!moved[send.packet] || send.cycle >= last_cycle[send.packet]) {
+            moved[send.packet] = true;
+            last_cycle[send.packet] = send.cycle;
+            out.initial_holder[send.packet] = send.to;
+        }
+    }
+
+    out.sends.reserve(schedule.sends.size());
+    for (const auto& send : schedule.sends) {
+        out.sends.push_back(
+            {makespan - 1 - send.cycle, send.to, send.from, send.packet});
+    }
+    return out;
+}
+
+} // namespace hcube::routing

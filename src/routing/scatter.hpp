@@ -1,0 +1,86 @@
+// Cycle-level personalized-communication (scatter) schedules (paper §4) and
+// their reversals (gather).
+//
+// The root owns M elements (= `packets_per_dest` packets of B elements) for
+// every other node and sends them down a spanning tree; internal nodes
+// forward in FIFO order. The root's emission policy is the algorithmic knob:
+//
+//  * SBT, one port (§5.2): destinations in descending relative address,
+//    which uses root ports in the binary-reflected Gray code transition
+//    order — port 0 every other cycle, port 1 every fourth, ...
+//  * BST, one port (§4.2.2): subtrees served cyclically, one packet per
+//    subtree per round.
+//  * all ports (lemma 4.2): every root port streams its own subtree,
+//    farthest destinations first (reverse breadth-first), which makes the
+//    root the last-finishing sender and attains the lower bound.
+//
+// Packet identifiers: packet (rel - 1) * packets_per_dest + k is the k-th
+// packet destined to relative address rel.
+//
+// Cycle schedules cover the full-duplex and all-port models; half-duplex
+// personalized communication (receive blocking) is modelled in the event
+// engine, which is where the paper's Figure 8 lives.
+#pragma once
+
+#include "sim/cycle.hpp"
+#include "trees/spanning_tree.hpp"
+
+#include <vector>
+
+namespace hcube::routing {
+
+using hc::dim_t;
+using hc::node_t;
+using sim::packet_t;
+using sim::PortModel;
+using sim::Schedule;
+
+/// Traversal order of destinations inside one subtree (§5.2 calls both out
+/// as viable; reverse breadth-first sends to the most remote nodes first).
+enum class SubtreeOrder {
+    depth_first,           ///< preorder, the order the paper measured
+    reverse_breadth_first, ///< deepest level first — the lower-bound order
+};
+
+/// Destinations in descending relative address (the SBT §5.2 policy),
+/// as absolute node addresses.
+[[nodiscard]] std::vector<node_t>
+descending_dest_order(const trees::SpanningTree& tree);
+
+/// Destinations interleaved round-robin across the root's subtrees, each
+/// subtree internally in `order` (the BST one-port policy).
+[[nodiscard]] std::vector<node_t>
+cyclic_dest_order(const trees::SpanningTree& tree, SubtreeOrder order);
+
+/// Per-root-port destination lists (index = first-hop dimension), each in
+/// `order` — the all-port emission policy.
+[[nodiscard]] std::vector<std::vector<node_t>>
+per_subtree_dest_orders(const trees::SpanningTree& tree, SubtreeOrder order);
+
+/// One-port (full-duplex) scatter: the root emits one packet per cycle
+/// following `dest_sequence` (each destination expanded to its
+/// packets_per_dest packets in sequence position); every other node forwards
+/// FIFO at one send per cycle.
+[[nodiscard]] Schedule
+scatter_one_port(const trees::SpanningTree& tree,
+                 const std::vector<node_t>& dest_sequence,
+                 packet_t packets_per_dest);
+
+/// All-port scatter: every root port streams its own subtree's packets, one
+/// per cycle; other nodes forward FIFO per port.
+[[nodiscard]] Schedule
+scatter_all_port(const trees::SpanningTree& tree,
+                 const std::vector<std::vector<node_t>>& port_sequences,
+                 packet_t packets_per_dest);
+
+/// Time-reverses a schedule in which every packet ends at a single node:
+/// scatter becomes gather (all-to-one collection, the paper's "reverse
+/// operation"). Feasible under the same port model by symmetry.
+[[nodiscard]] Schedule reverse_schedule(const Schedule& schedule);
+
+/// The packet id of the k-th packet destined to `dest` under root `s`.
+[[nodiscard]] packet_t scatter_packet_id(node_t dest, node_t s,
+                                         packet_t packets_per_dest,
+                                         packet_t k);
+
+} // namespace hcube::routing

@@ -1,0 +1,218 @@
+#include "sim/cycle.hpp"
+
+#include "common/check.hpp"
+#include "hc/bits.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace hcube::sim {
+
+CycleStats execute_schedule(const Schedule& schedule, PortModel model) {
+    HCUBE_ENSURE(schedule.n >= 1 && schedule.n <= hc::kMaxDimension);
+    const node_t count = node_t{1} << schedule.n;
+    HCUBE_ENSURE(schedule.initial_holder.size() == schedule.packet_count);
+
+    CycleStats stats;
+    stats.delivery_cycle.assign(
+        count, std::vector<std::uint32_t>(schedule.packet_count,
+                                          CycleStats::kNever));
+    for (packet_t p = 0; p < schedule.packet_count; ++p) {
+        const node_t holder = schedule.initial_holder[p];
+        HCUBE_ENSURE(holder < count);
+        stats.delivery_cycle[holder][p] = 0;
+    }
+
+    std::vector<ScheduledSend> sends(schedule.sends.begin(),
+                                     schedule.sends.end());
+    std::ranges::stable_sort(sends, {}, &ScheduledSend::cycle);
+
+    std::size_t at = 0;
+    while (at < sends.size()) {
+        const std::uint32_t cycle = sends[at].cycle;
+        std::size_t end = at;
+        while (end < sends.size() && sends[end].cycle == cycle) {
+            ++end;
+        }
+
+        std::set<std::pair<node_t, node_t>> links_used;
+        std::map<node_t, int> sends_by_node;
+        std::map<node_t, int> recvs_by_node;
+
+        for (std::size_t idx = at; idx < end; ++idx) {
+            const ScheduledSend& send = sends[idx];
+            const std::string where = "cycle " + std::to_string(cycle) +
+                                      ", " + std::to_string(send.from) +
+                                      " -> " + std::to_string(send.to) +
+                                      ", packet " +
+                                      std::to_string(send.packet);
+            HCUBE_ENSURE_MSG(send.from < count && send.to < count,
+                             "node out of range: " + where);
+            HCUBE_ENSURE_MSG(hc::hamming(send.from, send.to) == 1,
+                             "send between non-neighbors: " + where);
+            HCUBE_ENSURE_MSG(send.packet < schedule.packet_count,
+                             "unknown packet: " + where);
+            HCUBE_ENSURE_MSG(
+                stats.delivery_cycle[send.from][send.packet] <= cycle,
+                "sender does not hold the packet yet: " + where);
+            HCUBE_ENSURE_MSG(
+                stats.delivery_cycle[send.to][send.packet] ==
+                    CycleStats::kNever,
+                "receiver already holds the packet: " + where);
+            HCUBE_ENSURE_MSG(
+                links_used.emplace(send.from, send.to).second,
+                "two packets on one directed link in one cycle: " + where);
+
+            ++sends_by_node[send.from];
+            ++recvs_by_node[send.to];
+            stats.delivery_cycle[send.to][send.packet] = cycle + 1;
+        }
+
+        // Port-model constraints over the whole cycle.
+        switch (model) {
+        case PortModel::one_port_half_duplex:
+            for (const auto& [node, n_sends] : sends_by_node) {
+                auto it = recvs_by_node.find(node);
+                const int n_recvs = (it == recvs_by_node.end()) ? 0
+                                                                : it->second;
+                HCUBE_ENSURE_MSG(n_sends + n_recvs <= 1,
+                                 "half-duplex node " + std::to_string(node) +
+                                     " does more than one operation in cycle " +
+                                     std::to_string(cycle));
+            }
+            for (const auto& [node, n_recvs] : recvs_by_node) {
+                HCUBE_ENSURE_MSG(n_recvs <= 1,
+                                 "half-duplex node " + std::to_string(node) +
+                                     " receives twice in cycle " +
+                                     std::to_string(cycle));
+            }
+            break;
+        case PortModel::one_port_full_duplex:
+            for (const auto& [node, n_sends] : sends_by_node) {
+                HCUBE_ENSURE_MSG(n_sends <= 1,
+                                 "full-duplex node " + std::to_string(node) +
+                                     " sends twice in cycle " +
+                                     std::to_string(cycle));
+            }
+            for (const auto& [node, n_recvs] : recvs_by_node) {
+                HCUBE_ENSURE_MSG(n_recvs <= 1,
+                                 "full-duplex node " + std::to_string(node) +
+                                     " receives twice in cycle " +
+                                     std::to_string(cycle));
+            }
+            break;
+        case PortModel::all_port:
+            // One packet per directed link per cycle is the only constraint,
+            // already enforced via links_used (ports are in bijection with
+            // incident links).
+            break;
+        }
+
+        stats.total_sends += end - at;
+        stats.max_sends_in_one_cycle =
+            std::max<std::uint64_t>(stats.max_sends_in_one_cycle, end - at);
+        stats.makespan = cycle + 1;
+        at = end;
+    }
+    return stats;
+}
+
+Schedule stretch_to_half_duplex(const Schedule& schedule) {
+    std::vector<ScheduledSend> sends(schedule.sends.begin(),
+                                     schedule.sends.end());
+    std::ranges::stable_sort(sends, {}, &ScheduledSend::cycle);
+
+    Schedule out;
+    out.n = schedule.n;
+    out.packet_count = schedule.packet_count;
+    out.initial_holder = schedule.initial_holder;
+    out.sends.reserve(sends.size());
+
+    std::uint32_t next_cycle = 0;
+    std::size_t at = 0;
+    while (at < sends.size()) {
+        const std::uint32_t cycle = sends[at].cycle;
+        std::size_t end = at;
+        while (end < sends.size() && sends[end].cycle == cycle) {
+            ++end;
+        }
+        const std::size_t group = end - at;
+
+        // Per node: index of its outgoing / incoming transfer in this cycle.
+        std::map<node_t, std::size_t> out_of;
+        std::map<node_t, std::size_t> in_of;
+        bool bidirectional_node = false;
+        for (std::size_t idx = at; idx < end; ++idx) {
+            HCUBE_ENSURE_MSG(
+                out_of.emplace(sends[idx].from, idx - at).second,
+                "stretch_to_half_duplex input is not full-duplex feasible");
+            HCUBE_ENSURE_MSG(
+                in_of.emplace(sends[idx].to, idx - at).second,
+                "stretch_to_half_duplex input is not full-duplex feasible");
+        }
+        for (const auto& [node, _] : out_of) {
+            if (in_of.contains(node)) {
+                bidirectional_node = true;
+            }
+        }
+
+        if (!bidirectional_node) {
+            // Unidirectional cycle: stays a single step (the paper's first
+            // log N steps and last step).
+            for (std::size_t idx = at; idx < end; ++idx) {
+                out.sends.push_back({next_cycle, sends[idx].from,
+                                     sends[idx].to, sends[idx].packet});
+            }
+            ++next_cycle;
+        } else {
+            // 2-colour the transfer graph. Each transfer conflicts with at
+            // most two others (the transfer into its sender and the transfer
+            // out of its receiver), so components are paths or cycles;
+            // alternate colours along them. Odd cycles would be infeasible.
+            std::vector<int> colour(group, -1);
+            for (std::size_t seed = 0; seed < group; ++seed) {
+                if (colour[seed] != -1) {
+                    continue;
+                }
+                colour[seed] = 0;
+                std::vector<std::size_t> stack{seed};
+                while (!stack.empty()) {
+                    const std::size_t t = stack.back();
+                    stack.pop_back();
+                    const ScheduledSend& s = sends[at + t];
+                    const std::size_t neighbours[2] = {
+                        in_of.contains(s.from) ? in_of.at(s.from) : group,
+                        out_of.contains(s.to) ? out_of.at(s.to) : group,
+                    };
+                    for (const std::size_t u : neighbours) {
+                        if (u == group) {
+                            continue;
+                        }
+                        if (colour[u] == -1) {
+                            colour[u] = 1 - colour[t];
+                            stack.push_back(u);
+                        } else {
+                            HCUBE_ENSURE_MSG(
+                                colour[u] != colour[t],
+                                "odd transfer cycle: not half-duplex "
+                                "schedulable in two sub-cycles");
+                        }
+                    }
+                }
+            }
+            for (std::size_t idx = at; idx < end; ++idx) {
+                out.sends.push_back(
+                    {next_cycle +
+                         static_cast<std::uint32_t>(colour[idx - at]),
+                     sends[idx].from, sends[idx].to, sends[idx].packet});
+            }
+            next_cycle += 2;
+        }
+        at = end;
+    }
+    return out;
+}
+
+} // namespace hcube::sim

@@ -1,0 +1,85 @@
+// Synchronous cycle-accurate schedule executor.
+//
+// The paper's Tables 1-3 are statements about *routing steps*: how many
+// synchronized cycles a routing scheme needs when every link can carry one
+// packet of up to B elements per cycle and each node obeys a port model.
+// The routing layer produces explicit schedules — lists of
+// (cycle, from, to, packet) sends — and this executor *proves* them
+// feasible: adjacency, packet availability (store-and-forward: a packet
+// received in cycle t can be forwarded from cycle t+1), link capacity, and
+// the port-model constraints. It also measures the quantities the tables
+// report (makespan, per-packet delivery cycles, link load).
+#pragma once
+
+#include "hc/types.hpp"
+#include "sim/port_model.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hcube::sim {
+
+using hc::dim_t;
+using hc::node_t;
+
+/// Identifies one unit of data (one packet of up to B elements).
+using packet_t = std::uint32_t;
+
+/// One scheduled packet transmission: `from` sends `packet` to `to` during
+/// `cycle` (0-based); `to` holds the packet from cycle+1 onwards.
+struct ScheduledSend {
+    std::uint32_t cycle;
+    node_t from;
+    node_t to;
+    packet_t packet;
+
+    friend bool operator==(const ScheduledSend&,
+                           const ScheduledSend&) = default;
+};
+
+/// A complete schedule plus the initial packet placement.
+struct Schedule {
+    dim_t n = 0;                      ///< cube dimension
+    packet_t packet_count = 0;        ///< distinct packets
+    std::vector<ScheduledSend> sends; ///< in any order; executor sorts
+    /// initial_holder[p] = node that owns packet p at cycle 0.
+    std::vector<node_t> initial_holder;
+};
+
+/// Results of executing a schedule.
+struct CycleStats {
+    /// Number of cycles used: 1 + the largest cycle index with a send.
+    std::uint32_t makespan = 0;
+    std::uint64_t total_sends = 0;
+    /// Busiest single cycle (sends in flight).
+    std::uint64_t max_sends_in_one_cycle = 0;
+    /// delivery_cycle[node][packet] = first cycle *after* which the node
+    /// holds the packet (0 for initial holdings); kNever if never received.
+    std::vector<std::vector<std::uint32_t>> delivery_cycle;
+
+    static constexpr std::uint32_t kNever = 0xffffffffu;
+
+    /// True if `node` ends up holding `packet`.
+    [[nodiscard]] bool holds(node_t node, packet_t packet) const {
+        return delivery_cycle[node][packet] != kNever;
+    }
+};
+
+/// Executes `schedule` under `model`, throwing check_error on the first
+/// constraint violation. See file comment for the checked invariants.
+[[nodiscard]] CycleStats execute_schedule(const Schedule& schedule,
+                                          PortModel model);
+
+/// Transforms a schedule that is feasible under one_port_full_duplex into
+/// one feasible under one_port_half_duplex by splitting every cycle in which
+/// some node both sends and receives into two sub-cycles (a 2-colouring of
+/// that cycle's transfer graph; §3.3.2's "transform each cycle into two").
+/// Cycles whose transfers are unidirectional at every node stay single, so
+/// the MSBT broadcast stretches from ceil(M/B) + log N to
+/// 2 ceil(M/B) + log N - 1 cycles exactly as the paper states.
+/// Throws check_error if some cycle's transfer graph has an odd cycle
+/// (cannot happen for the schedules generated in this library; tests sweep).
+[[nodiscard]] Schedule stretch_to_half_duplex(const Schedule& schedule);
+
+} // namespace hcube::sim

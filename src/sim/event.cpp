@@ -1,0 +1,259 @@
+#include "sim/event.hpp"
+
+#include "common/check.hpp"
+#include "hc/bits.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+
+namespace hcube::sim {
+
+namespace {
+
+/// A serializing resource (a node's channel processor, or one direction of
+/// one port). Tracks the last operation so the cross-port overlap credit can
+/// be applied: an operation on a *different* port may begin `overlap`
+/// fraction of the previous operation early.
+struct Resource {
+    double busy_end = 0;
+    double prev_duration = 0;
+    dim_t last_port = -1;
+
+    [[nodiscard]] double available(dim_t port, double overlap) const {
+        if (last_port == -1 || port == last_port) {
+            return busy_end;
+        }
+        return busy_end - overlap * prev_duration;
+    }
+
+    void occupy(dim_t port, double start, double end) {
+        busy_end = end;
+        prev_duration = end - start;
+        last_port = port;
+    }
+};
+
+/// One physical packet in flight or queued.
+struct PacketJob {
+    node_t to = 0;
+    double size = 0;    ///< elements in this packet
+    double ready = 0;   ///< earliest start (enqueue time)
+    Message message;    ///< protocol message this packet belongs to
+    bool last = false;  ///< completes the message on delivery
+};
+
+struct Event {
+    double time = 0;
+    std::uint64_t seq = 0;
+    enum class Kind { attempt, delivery } kind = Kind::attempt;
+    std::size_t queue = 0; // attempt: which send queue to try
+    node_t to = 0;         // delivery: receiving node
+    Message message;       // delivery payload
+
+    friend bool operator>(const Event& a, const Event& b) {
+        if (a.time != b.time) {
+            return a.time > b.time;
+        }
+        return a.seq > b.seq;
+    }
+};
+
+} // namespace
+
+struct EventEngine::Impl {
+    dim_t n;
+    EventParams params;
+    node_t count;
+
+    double now = 0;
+    std::uint64_t next_seq = 0;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+
+    std::vector<std::deque<PacketJob>> queues; ///< per sending resource
+    std::vector<Resource> node_resources;      ///< indexed by resource_index
+    std::vector<double> link_free;             ///< per (node, dim)
+
+    EventStats stats;
+    Protocol* protocol = nullptr;
+    bool ran = false;
+
+    Impl(dim_t n_, EventParams p) : n(n_), params(p), count(node_t{1} << n_) {
+        HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+        HCUBE_ENSURE(params.tau >= 0 && params.tc >= 0);
+        HCUBE_ENSURE(params.packet_capacity > 0);
+        HCUBE_ENSURE(params.overlap >= 0 && params.overlap < 1);
+        const std::size_t nodes = count;
+        const std::size_t ports = static_cast<std::size_t>(n);
+        switch (params.model) {
+        case PortModel::one_port_half_duplex:
+            queues.resize(nodes);
+            node_resources.resize(nodes);
+            break;
+        case PortModel::one_port_full_duplex:
+            queues.resize(nodes);
+            node_resources.resize(nodes * 2);
+            break;
+        case PortModel::all_port:
+            queues.resize(nodes * ports);
+            node_resources.resize(nodes * ports * 2);
+            break;
+        }
+        link_free.assign(nodes * ports, 0);
+    }
+
+    /// Send queue feeding node `from` through port `port`.
+    [[nodiscard]] std::size_t queue_index(node_t from, dim_t port) const {
+        if (params.model == PortModel::all_port) {
+            return static_cast<std::size_t>(from) *
+                       static_cast<std::size_t>(n) +
+                   static_cast<std::size_t>(port);
+        }
+        return from;
+    }
+
+    /// Resource serializing `dir` (0 = send, 1 = receive) operations of
+    /// `node` on `port`.
+    [[nodiscard]] Resource& resource(node_t node, dim_t port, int dir) {
+        switch (params.model) {
+        case PortModel::one_port_half_duplex:
+            return node_resources[node];
+        case PortModel::one_port_full_duplex:
+            return node_resources[static_cast<std::size_t>(node) * 2 +
+                                  static_cast<std::size_t>(dir)];
+        case PortModel::all_port:
+            return node_resources[(static_cast<std::size_t>(node) *
+                                       static_cast<std::size_t>(n) +
+                                   static_cast<std::size_t>(port)) *
+                                      2 +
+                                  static_cast<std::size_t>(dir)];
+        }
+        __builtin_unreachable();
+    }
+
+    void push_event(Event event) {
+        event.seq = next_seq++;
+        events.push(std::move(event));
+    }
+
+    void enqueue_packets(node_t from, node_t to, const Message& message) {
+        HCUBE_ENSURE_MSG(hc::hamming(from, to) == 1,
+                         "protocol sent to a non-neighbor");
+        HCUBE_ENSURE_MSG(message.size > 0, "empty message");
+        const dim_t port = hc::lowest_one_bit(from ^ to);
+        const std::size_t q = queue_index(from, port);
+        const bool was_empty = queues[q].empty();
+
+        double remaining = message.size;
+        while (remaining > 0) {
+            const double piece = std::min(remaining, params.packet_capacity);
+            remaining -= piece;
+            queues[q].push_back(
+                {to, piece, now, message, remaining <= 0});
+        }
+        if (was_empty) {
+            push_event({now, 0, Event::Kind::attempt, q, 0, {}});
+        }
+    }
+
+    void try_queue(std::size_t q) {
+        if (queues[q].empty()) {
+            return;
+        }
+        const PacketJob& job = queues[q].front();
+        const node_t from = (params.model == PortModel::all_port)
+                                ? static_cast<node_t>(
+                                      q / static_cast<std::size_t>(n))
+                                : static_cast<node_t>(q);
+        const dim_t port = hc::lowest_one_bit(from ^ job.to);
+
+        Resource& snd = resource(from, port, 0);
+        Resource& rcv = resource(job.to, port, 1);
+        const double link = link_free[static_cast<std::size_t>(from) *
+                                          static_cast<std::size_t>(n) +
+                                      static_cast<std::size_t>(port)];
+        const double start =
+            std::max({job.ready, snd.available(port, params.overlap),
+                      rcv.available(port, params.overlap), link, now});
+        if (start > now) {
+            push_event({start, 0, Event::Kind::attempt, q, 0, {}});
+            return;
+        }
+
+        // Commit the transfer.
+        const double duration = params.tau + job.size * params.tc;
+        const double end = start + duration;
+        snd.occupy(port, start, end);
+        // The same Resource object may serve both roles under half-duplex;
+        // occupying twice is idempotent there.
+        rcv.occupy(port, start, end);
+        link_free[static_cast<std::size_t>(from) *
+                      static_cast<std::size_t>(n) +
+                  static_cast<std::size_t>(port)] = end;
+        ++stats.transfers;
+        stats.total_busy_time += duration;
+        if (params.record_trace) {
+            stats.trace.push_back({from, job.to, start, end, job.size});
+        }
+
+        if (job.last) {
+            push_event({end, 0, Event::Kind::delivery, 0, job.to,
+                        job.message});
+        }
+        queues[q].pop_front();
+        if (!queues[q].empty()) {
+            // Optimistic wake-up at the earliest the sender could go again.
+            push_event({std::max(now, end - params.overlap * duration), 0,
+                        Event::Kind::attempt, q, 0, {}});
+        }
+    }
+
+    EventStats run(Protocol& proto) {
+        HCUBE_ENSURE_MSG(!ran, "EventEngine::run is single-shot");
+        ran = true;
+        protocol = &proto;
+        for (node_t i = 0; i < count; ++i) {
+            NodeContext ctx(*owner, i);
+            proto.on_start(ctx);
+        }
+        while (!events.empty()) {
+            Event event = events.top();
+            events.pop();
+            now = std::max(now, event.time);
+            if (event.kind == Event::Kind::attempt) {
+                try_queue(event.queue);
+            } else {
+                ++stats.messages;
+                stats.completion_time =
+                    std::max(stats.completion_time, event.time);
+                NodeContext ctx(*owner, event.to);
+                proto.on_receive(ctx, event.message);
+            }
+        }
+        return stats;
+    }
+
+    EventEngine* owner = nullptr;
+};
+
+EventEngine::EventEngine(dim_t n, EventParams params)
+    : impl_(std::make_unique<Impl>(n, params)) {
+    impl_->owner = this;
+}
+
+EventEngine::~EventEngine() = default;
+
+EventStats EventEngine::run(Protocol& protocol) {
+    return impl_->run(protocol);
+}
+
+double NodeContext::now() const noexcept {
+    return engine_->impl_->now;
+}
+
+void NodeContext::send(node_t to, const Message& message) {
+    engine_->impl_->enqueue_packets(node_, to, message);
+}
+
+} // namespace hcube::sim

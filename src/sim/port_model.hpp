@@ -1,0 +1,30 @@
+// The paper's three communication-capability assumptions (§2, §3.3).
+#pragma once
+
+#include <string_view>
+
+namespace hcube::sim {
+
+/// What a node may do in one communication cycle.
+enum class PortModel {
+    /// "1 s or r": at most one send *or* one receive per cycle
+    /// (half-duplex, one port at a time).
+    one_port_half_duplex,
+    /// "1 s and r": one send concurrently with one receive
+    /// (full-duplex, one port each way; effectively the Intel iPSC).
+    one_port_full_duplex,
+    /// "all ports": concurrent communication on all log N ports,
+    /// each port full-duplex.
+    all_port,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(PortModel model) noexcept {
+    switch (model) {
+    case PortModel::one_port_half_duplex: return "1 s or r";
+    case PortModel::one_port_full_duplex: return "1 s and r";
+    case PortModel::all_port: return "all ports";
+    }
+    return "?";
+}
+
+} // namespace hcube::sim

@@ -1,0 +1,90 @@
+#include "sim/trace.hpp"
+
+#include "common/csv.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace hcube::sim {
+
+LinkUtilization link_utilization(const Schedule& schedule) {
+    LinkUtilization util;
+    util.directed_links_total =
+        (std::uint64_t{1} << schedule.n) * static_cast<std::uint64_t>(schedule.n);
+
+    std::map<std::pair<node_t, node_t>, std::uint64_t> per_link;
+    std::uint32_t makespan = 0;
+    for (const auto& send : schedule.sends) {
+        ++per_link[{send.from, send.to}];
+        makespan = std::max(makespan, send.cycle + 1);
+    }
+    util.directed_links_used = per_link.size();
+    for (const auto& [link, count] : per_link) {
+        util.busiest_link_sends = std::max(util.busiest_link_sends, count);
+    }
+    if (!per_link.empty()) {
+        util.mean_sends_per_used_link =
+            static_cast<double>(schedule.sends.size()) /
+            static_cast<double>(per_link.size());
+    }
+    if (makespan > 0 && !per_link.empty()) {
+        util.busy_fraction = static_cast<double>(schedule.sends.size()) /
+                             (static_cast<double>(per_link.size()) *
+                              static_cast<double>(makespan));
+    }
+    return util;
+}
+
+void schedule_to_csv(const Schedule& schedule, const std::string& path) {
+    CsvWriter csv(path, {"cycle", "from", "to", "packet"});
+    for (const auto& send : schedule.sends) {
+        csv.write_row({std::to_string(send.cycle), std::to_string(send.from),
+                       std::to_string(send.to),
+                       std::to_string(send.packet)});
+    }
+}
+
+std::string render_gantt(const Schedule& schedule, std::size_t max_links,
+                         std::size_t max_cycles) {
+    std::uint32_t makespan = 0;
+    std::map<std::pair<node_t, node_t>, std::vector<std::uint32_t>> per_link;
+    for (const auto& send : schedule.sends) {
+        per_link[{send.from, send.to}].push_back(send.cycle);
+        makespan = std::max(makespan, send.cycle + 1);
+    }
+    const std::size_t cycles =
+        std::min<std::size_t>(makespan, max_cycles);
+
+    std::string out;
+    out += "cycle        ";
+    for (std::size_t c = 0; c < cycles; ++c) {
+        out += (c % 10 == 0) ? ('0' + static_cast<char>((c / 10) % 10)) : ' ';
+    }
+    out += '\n';
+
+    std::size_t rows = 0;
+    for (const auto& [link, sends] : per_link) {
+        if (++rows > max_links) {
+            out += "... (" +
+                   std::to_string(per_link.size() - max_links) +
+                   " more links)\n";
+            break;
+        }
+        char label[16];
+        std::snprintf(label, sizeof label, "%4u->%-4u    ", link.first,
+                      link.second);
+        out += label;
+        std::string line(cycles, '.');
+        for (const std::uint32_t c : sends) {
+            if (c < cycles) {
+                line[c] = '#';
+            }
+        }
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace hcube::sim

@@ -1,0 +1,39 @@
+// Schedule inspection: text Gantt rendering and link-utilization statistics.
+//
+// The paper's arguments are all about which links are busy when — the MSBT
+// uses every directed edge except n of them, the SBT leaves most idle. These
+// helpers make that visible for any cycle schedule.
+#pragma once
+
+#include "sim/cycle.hpp"
+
+#include <string>
+
+namespace hcube::sim {
+
+/// Per-schedule link statistics.
+struct LinkUtilization {
+    std::uint64_t directed_links_used = 0;  ///< distinct (from,to) pairs
+    std::uint64_t directed_links_total = 0; ///< N * n
+    std::uint64_t busiest_link_sends = 0;   ///< max sends over one link
+    double mean_sends_per_used_link = 0;
+    /// Fraction of link-cycles actually carrying a packet
+    /// (total sends / (links used * makespan)).
+    double busy_fraction = 0;
+};
+
+/// Computes utilization statistics for a schedule.
+[[nodiscard]] LinkUtilization link_utilization(const Schedule& schedule);
+
+/// Writes the schedule as CSV (cycle,from,to,packet) for external
+/// visualization. Throws std::runtime_error if the file cannot be opened.
+void schedule_to_csv(const Schedule& schedule, const std::string& path);
+
+/// Renders a per-link time line: one row per *used* directed link, one
+/// column per cycle ('#' = packet in flight, '.' = idle). Rows and columns
+/// are truncated to `max_links` / `max_cycles` to stay readable.
+[[nodiscard]] std::string render_gantt(const Schedule& schedule,
+                                       std::size_t max_links = 48,
+                                       std::size_t max_cycles = 100);
+
+} // namespace hcube::sim

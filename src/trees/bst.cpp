@@ -1,0 +1,56 @@
+#include "trees/bst.hpp"
+
+#include "common/check.hpp"
+#include "hc/bits.hpp"
+#include "hc/necklace.hpp"
+
+namespace hcube::trees {
+
+dim_t bst_subtree_of(node_t i, node_t s, dim_t n) {
+    const node_t c = i ^ s;
+    HCUBE_ENSURE_MSG(c != 0, "the root belongs to no subtree");
+    return hc::base(c, n);
+}
+
+std::vector<node_t> bst_children(node_t i, node_t s, dim_t n) {
+    HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+    const node_t c = i ^ s;
+    if (c == 0) {
+        std::vector<node_t> kids;
+        kids.reserve(static_cast<std::size_t>(n));
+        for (dim_t m = 0; m < n; ++m) {
+            kids.push_back(hc::flip_bit(i, m));
+        }
+        return kids;
+    }
+    const dim_t j = hc::base(c, n);
+    const dim_t k = hc::first_one_right_cyclic(c, j, n);
+    std::vector<node_t> kids;
+    // Candidate children set a bit of the zero run strictly between k and j
+    // (cyclically); only those preserving the base stay in this subtree.
+    for (dim_t m = (k + 1) % n; m != j; m = (m + 1) % n) {
+        const node_t q = hc::flip_bit(i, m);
+        if (hc::base(q ^ s, n) == j) {
+            kids.push_back(q);
+        }
+    }
+    return kids;
+}
+
+node_t bst_parent(node_t i, node_t s, dim_t n) {
+    HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+    const node_t c = i ^ s;
+    if (c == 0) {
+        return SpanningTree::kNoParent;
+    }
+    const dim_t j = hc::base(c, n);
+    const dim_t k = hc::first_one_right_cyclic(c, j, n);
+    return hc::flip_bit(i, k);
+}
+
+SpanningTree build_bst(dim_t n, node_t s) {
+    return materialize_tree(
+        n, s, [=](node_t i) { return bst_children(i, s, n); });
+}
+
+} // namespace hcube::trees

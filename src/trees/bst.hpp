@@ -1,0 +1,42 @@
+// Balanced Spanning Tree (paper §4.1).
+//
+// The BST prunes the MSBT graph into a single spanning tree whose log N
+// subtrees each hold ≈ N / log N nodes: node i (relative address c = i ⊕ s)
+// belongs to subtree base(c) — the minimum number of right rotations taking
+// c to the minimal value among its rotations (hc::base). The parent of i
+// complements bit k, the first one bit of c cyclically right of bit base(c);
+// children complement a bit of the zero run below base(c) *provided the
+// result keeps the same base*.
+//
+// Properties proved in the paper and verified in tests:
+//  1. one subtree has height log N, all others log N - 1;
+//  2. max fanout at level i is ceil((log N - i) / 2) for i >= 1 (the
+//     paper prints a floor; measurement shows the ceiling is the tight
+//     bound — see DESIGN.md errata);
+//  3. a node has at least as many subtree descendants at distance d as any
+//     of its children;
+//  4. excluding the all-ones node, subtrees are isomorphic when n is prime;
+//  5. subtrees P..log N - 1 contain no cyclic node of period P;
+//  6. every cyclic node is a leaf.
+#pragma once
+
+#include "trees/spanning_tree.hpp"
+
+#include <vector>
+
+namespace hcube::trees {
+
+/// Subtree index of node `i` in the BST rooted at `s`: base(i ⊕ s).
+/// Precondition: i != s.
+[[nodiscard]] dim_t bst_subtree_of(node_t i, node_t s, dim_t n);
+
+/// Children of node `i` in the BST rooted at `s`.
+[[nodiscard]] std::vector<node_t> bst_children(node_t i, node_t s, dim_t n);
+
+/// Parent of node `i` in the BST rooted at `s` (kNoParent for i == s).
+[[nodiscard]] node_t bst_parent(node_t i, node_t s, dim_t n);
+
+/// Materializes the BST rooted at `s` in an n-cube.
+[[nodiscard]] SpanningTree build_bst(dim_t n, node_t s);
+
+} // namespace hcube::trees

@@ -1,0 +1,135 @@
+#include "trees/fault.hpp"
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "hc/bits.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace hcube::trees {
+
+Link make_link(node_t a, node_t b) {
+    HCUBE_ENSURE_MSG(hc::hamming(a, b) == 1, "not a cube link");
+    return {std::min(a, b), std::max(a, b)};
+}
+
+std::vector<node_t> sbt_children_permuted(node_t i, node_t s, dim_t n,
+                                          std::span<const dim_t> order) {
+    HCUBE_ENSURE(order.size() == static_cast<std::size_t>(n));
+    const node_t c = i ^ s;
+    // Highest *rank* t with bit order[t] set.
+    dim_t top_rank = -1;
+    for (dim_t t = n - 1; t >= 0; --t) {
+        if (hc::test_bit(c, order[static_cast<std::size_t>(t)])) {
+            top_rank = t;
+            break;
+        }
+    }
+    std::vector<node_t> kids;
+    for (dim_t t = top_rank + 1; t < n; ++t) {
+        kids.push_back(hc::flip_bit(i, order[static_cast<std::size_t>(t)]));
+    }
+    return kids;
+}
+
+node_t sbt_parent_permuted(node_t i, node_t s, dim_t n,
+                           std::span<const dim_t> order) {
+    HCUBE_ENSURE(order.size() == static_cast<std::size_t>(n));
+    const node_t c = i ^ s;
+    if (c == 0) {
+        return SpanningTree::kNoParent;
+    }
+    for (dim_t t = n - 1; t >= 0; --t) {
+        if (hc::test_bit(c, order[static_cast<std::size_t>(t)])) {
+            return hc::flip_bit(i, order[static_cast<std::size_t>(t)]);
+        }
+    }
+    return SpanningTree::kNoParent; // unreachable
+}
+
+SpanningTree build_sbt_permuted(dim_t n, node_t s,
+                                std::span<const dim_t> order) {
+    return materialize_tree(n, s, [=](node_t i) {
+        return sbt_children_permuted(i, s, n, order);
+    });
+}
+
+bool tree_avoids(const SpanningTree& tree, std::span<const Link> failed) {
+    const std::set<Link> bad(failed.begin(), failed.end());
+    for (node_t i = 0; i < tree.node_count(); ++i) {
+        if (i != tree.root && bad.contains(make_link(i, tree.parent[i]))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+namespace {
+
+/// BFS spanning tree of the cube minus `failed`, rooted at s. Children are
+/// attached in discovery (dimension) order.
+SpanningTree build_bfs_tree_avoiding(dim_t n, node_t s,
+                                     std::span<const Link> failed) {
+    const node_t count = node_t{1} << n;
+    const std::set<Link> bad(failed.begin(), failed.end());
+
+    std::vector<std::vector<node_t>> kids(count);
+    std::vector<char> seen(count, 0);
+    seen[s] = 1;
+    std::deque<node_t> queue{s};
+    node_t reached = 1;
+    while (!queue.empty()) {
+        const node_t u = queue.front();
+        queue.pop_front();
+        for (dim_t d = 0; d < n; ++d) {
+            const node_t v = hc::flip_bit(u, d);
+            if (seen[v] || bad.contains(make_link(u, v))) {
+                continue;
+            }
+            seen[v] = 1;
+            kids[u].push_back(v);
+            queue.push_back(v);
+            ++reached;
+        }
+    }
+    HCUBE_ENSURE_MSG(reached == count,
+                     "failed links disconnect the cube from the source");
+    return materialize_tree(n, s, [&kids](node_t i) { return kids[i]; });
+}
+
+} // namespace
+
+SpanningTree build_broadcast_tree_avoiding(dim_t n, node_t s,
+                                           std::span<const Link> failed,
+                                           std::uint64_t seed) {
+    std::vector<dim_t> order(static_cast<std::size_t>(n));
+    // Cyclic rotations of the identity ranking first (deterministic, covers
+    // every "which dimension goes first" choice)...
+    for (dim_t shift = 0; shift < n; ++shift) {
+        for (dim_t t = 0; t < n; ++t) {
+            order[static_cast<std::size_t>(t)] = (t + shift) % n;
+        }
+        SpanningTree tree = build_sbt_permuted(n, s, order);
+        if (tree_avoids(tree, failed)) {
+            return tree;
+        }
+    }
+    // ...then a few random permutations.
+    SplitMix64 rng(seed);
+    for (int attempt = 0; attempt < 32; ++attempt) {
+        rng.shuffle(order);
+        SpanningTree tree = build_sbt_permuted(n, s, order);
+        if (tree_avoids(tree, failed)) {
+            return tree;
+        }
+    }
+    // SBT family exhausted (e.g. a fault on one of the source's own links):
+    // generic BFS tree of the surviving graph.
+    SpanningTree tree = build_bfs_tree_avoiding(n, s, failed);
+    HCUBE_ENSURE(tree_avoids(tree, failed));
+    return tree;
+}
+
+} // namespace hcube::trees

@@ -1,0 +1,61 @@
+// Fault-aware spanning trees: dimension-permuted SBTs and link-avoiding
+// construction.
+//
+// The SBT of §3.1 privileges the natural bit order; relabelling the cube's
+// dimensions by any permutation yields an equally valid binomial tree using
+// a different set of links (a cube automorphism image). That freedom routes
+// a broadcast around failed links: a link not incident to the source is
+// avoided by a suitable permutation (putting its dimension first confines
+// that dimension's tree edges to the source's own port). A link *at* the
+// source can never be avoided within the SBT family — the neighbor across
+// it has a single-bit relative address, and every permuted SBT parents it
+// directly to the source — so a BFS spanning tree of the surviving graph
+// serves as the general fallback (the cube minus fewer than n links stays
+// connected).
+#pragma once
+
+#include "trees/spanning_tree.hpp"
+
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace hcube::trees {
+
+/// An undirected cube link, stored with the smaller endpoint first.
+using Link = std::pair<node_t, node_t>;
+
+/// Normalizes an undirected link (endpoint order independent).
+[[nodiscard]] Link make_link(node_t a, node_t b);
+
+/// Children of `i` in the SBT rooted at `s` built over the dimension
+/// ranking `order` (a permutation of 0..n-1; order.back() plays the role
+/// bit n-1 plays in the standard SBT). order == identity reproduces
+/// sbt_children.
+[[nodiscard]] std::vector<node_t>
+sbt_children_permuted(node_t i, node_t s, dim_t n,
+                      std::span<const dim_t> order);
+
+/// Parent counterpart (complements the highest-*ranked* set bit of i ^ s).
+[[nodiscard]] node_t sbt_parent_permuted(node_t i, node_t s, dim_t n,
+                                         std::span<const dim_t> order);
+
+/// Materializes the permuted SBT.
+[[nodiscard]] SpanningTree build_sbt_permuted(dim_t n, node_t s,
+                                              std::span<const dim_t> order);
+
+/// True if `tree` uses none of `failed` (as undirected links).
+[[nodiscard]] bool tree_avoids(const SpanningTree& tree,
+                               std::span<const Link> failed);
+
+/// Builds a broadcast tree rooted at `s` avoiding every failed link:
+/// first tries the n cyclic dimension rotations and a few random
+/// permutations of the SBT (preserving binomial structure and height n);
+/// if no SBT works (e.g. a fault at the source), falls back to a BFS
+/// spanning tree of the surviving graph. Throws check_error if the
+/// surviving graph is disconnected.
+[[nodiscard]] SpanningTree
+build_broadcast_tree_avoiding(dim_t n, node_t s, std::span<const Link> failed,
+                              std::uint64_t seed = 42);
+
+} // namespace hcube::trees

@@ -1,0 +1,38 @@
+#include "trees/hp.hpp"
+
+#include "common/check.hpp"
+#include "hc/gray.hpp"
+
+#include <map>
+
+namespace hcube::trees {
+
+SpanningTree build_hamiltonian_path(dim_t n, node_t s, HpVariant variant) {
+    HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+    const node_t count = node_t{1} << n;
+    HCUBE_ENSURE(s < count);
+
+    // Choose the path start so the source lands at the desired position.
+    const node_t source_pos =
+        (variant == HpVariant::source_at_end) ? 0 : count / 2;
+    const node_t start = s ^ hc::gray_encode(source_pos);
+    const std::vector<node_t> path = hc::gray_path(n, start);
+    HCUBE_ENSURE(path[source_pos] == s);
+
+    // Successor map: from the source position, walk outwards along the path
+    // in both directions (the "end" variant has an empty left arm).
+    std::map<node_t, std::vector<node_t>> kids;
+    for (node_t p = source_pos; p + 1 < count; ++p) {
+        kids[path[p]].push_back(path[p + 1]);
+    }
+    for (node_t p = source_pos; p > 0; --p) {
+        kids[path[p]].push_back(path[p - 1]);
+    }
+
+    return materialize_tree(n, s, [&kids](node_t i) {
+        auto it = kids.find(i);
+        return it == kids.end() ? std::vector<node_t>{} : it->second;
+    });
+}
+
+} // namespace hcube::trees

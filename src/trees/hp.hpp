@@ -1,0 +1,26 @@
+// Hamiltonian-path broadcast trees (paper §3.4 baselines).
+//
+// A Hamiltonian path is a (degenerate) spanning tree; the paper compares
+// broadcasting through it against the SBT/TCBT/MSBT and mentions two
+// variations: the source at one end of the path, and the source at the
+// center (two arms of roughly N/2 nodes). Both are binary-reflected Gray
+// code paths.
+#pragma once
+
+#include "trees/spanning_tree.hpp"
+
+namespace hcube::trees {
+
+/// Where the source sits on the Hamiltonian path.
+enum class HpVariant {
+    source_at_end,    ///< one arm of N-1 edges
+    source_at_center, ///< two arms of ~N/2 edges each (the "factor of two"
+                      ///< variation of §3.4)
+};
+
+/// Builds a Hamiltonian path of the n-cube as a spanning tree rooted at `s`.
+/// With source_at_end the root has one child; with source_at_center, two.
+[[nodiscard]] SpanningTree build_hamiltonian_path(dim_t n, node_t s,
+                                                  HpVariant variant);
+
+} // namespace hcube::trees

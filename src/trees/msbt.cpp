@@ -1,0 +1,95 @@
+#include "trees/msbt.hpp"
+
+#include "common/check.hpp"
+#include "hc/bits.hpp"
+
+namespace hcube::trees {
+
+namespace {
+
+/// The paper's defining index k for node i in tree j (c = i ⊕ s):
+/// first one bit of c cyclically to the right of bit j; j itself if c = 2^j;
+/// -1 if c = 0.
+dim_t msbt_k(node_t c, dim_t j, dim_t n) {
+    return hc::first_one_right_cyclic(c, j, n);
+}
+
+/// The paper's M_MSBT(c, j): bit positions strictly between k and j walking
+/// cyclically upward from k+1 to j-1 (the zero run of c below bit j).
+/// Empty when k + 1 ≡ j; all positions except j when k == j.
+std::vector<dim_t> msbt_zero_run(dim_t k, dim_t j, dim_t n) {
+    std::vector<dim_t> run;
+    for (dim_t m = (k + 1) % n; m != j; m = (m + 1) % n) {
+        run.push_back(m);
+    }
+    return run;
+}
+
+} // namespace
+
+std::vector<node_t> msbt_children(node_t i, dim_t j, node_t s, dim_t n) {
+    HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+    HCUBE_ENSURE(j >= 0 && j < n);
+    const node_t c = i ^ s;
+    if (c == 0) {
+        // The source's only edge in tree j goes to the tree's root s ⊕ 2^j.
+        return {hc::flip_bit(i, j)};
+    }
+    if (!hc::test_bit(c, j)) {
+        return {}; // leaf of the j-th ERSBT
+    }
+    const dim_t k = msbt_k(c, j, n);
+    std::vector<node_t> kids;
+    for (const dim_t m : msbt_zero_run(k, j, n)) {
+        kids.push_back(hc::flip_bit(i, m));
+    }
+    if (k != j) {
+        // Internal node that is not the tree root also feeds the leaf
+        // reached by clearing bit j.
+        kids.push_back(hc::flip_bit(i, j));
+    }
+    return kids;
+}
+
+node_t msbt_parent(node_t i, dim_t j, node_t s, dim_t n) {
+    HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+    HCUBE_ENSURE(j >= 0 && j < n);
+    const node_t c = i ^ s;
+    if (c == 0) {
+        return SpanningTree::kNoParent;
+    }
+    if (!hc::test_bit(c, j)) {
+        return hc::flip_bit(i, j);
+    }
+    return hc::flip_bit(i, msbt_k(c, j, n));
+}
+
+dim_t msbt_edge_label(node_t i, dim_t j, node_t s, dim_t n) {
+    HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+    HCUBE_ENSURE(j >= 0 && j < n);
+    const node_t c = i ^ s;
+    HCUBE_ENSURE_MSG(c != 0, "the source has no input edge");
+    if (!hc::test_bit(c, j)) {
+        return j + n;
+    }
+    const dim_t k = msbt_k(c, j, n);
+    return (k >= j) ? k : k + n;
+}
+
+SpanningTree build_ersbt(dim_t n, dim_t j, node_t s) {
+    return materialize_tree(
+        n, s, [=](node_t i) { return msbt_children(i, j, s, n); });
+}
+
+MsbtGraph build_msbt(dim_t n, node_t s) {
+    MsbtGraph graph;
+    graph.n = n;
+    graph.source = s;
+    graph.trees.reserve(static_cast<std::size_t>(n));
+    for (dim_t j = 0; j < n; ++j) {
+        graph.trees.push_back(build_ersbt(n, j, s));
+    }
+    return graph;
+}
+
+} // namespace hcube::trees

@@ -1,0 +1,55 @@
+// Multiple Spanning Binomial Trees (paper §3.2) and the cycle labelling of
+// §3.3.2.
+//
+// The MSBT graph is the union of log N edge-disjoint *edge-reversed* spanning
+// binomial trees (ERSBTs): the j-th ERSBT is an SBT rooted at the source's
+// neighbor across port j, rotated so the source sits in its smallest subtree,
+// with the edge between that root and the source reversed. We materialize the
+// j-th ERSBT as a spanning tree rooted at the source s whose single child is
+// s ⊕ 2^j (the paper's parent function already encodes this reversal).
+//
+// The defining index k for node i in tree j: with c = i ⊕ s, k is the first
+// one bit of c strictly to the right of bit j, scanning cyclically
+// (k = j when c = 2^j; k = -1 when c = 0).
+//
+// The labelling f(i, j) assigns each tree edge a cycle in 0..2n-1 such that
+// one packet per subtree can be broadcast in 2 log N cycles with one send and
+// one receive per node per cycle, and pipelining continues every log N
+// cycles (the three conditions of §3.3.2, all verified in tests).
+#pragma once
+
+#include "trees/spanning_tree.hpp"
+
+#include <vector>
+
+namespace hcube::trees {
+
+/// Children of node `i` in the j-th ERSBT of the MSBT graph with source `s`.
+[[nodiscard]] std::vector<node_t> msbt_children(node_t i, dim_t j, node_t s,
+                                                dim_t n);
+
+/// Parent of node `i` in the j-th ERSBT (kNoParent for i == s).
+[[nodiscard]] node_t msbt_parent(node_t i, dim_t j, node_t s, dim_t n);
+
+/// The paper's labelling f(i, j): the cycle (0-based, in 0..2n-1) in which
+/// node i receives the first packet of subtree j on its input edge.
+/// Precondition: i != s.
+[[nodiscard]] dim_t msbt_edge_label(node_t i, dim_t j, node_t s, dim_t n);
+
+/// Materializes the j-th ERSBT as a spanning tree rooted at `s`.
+[[nodiscard]] SpanningTree build_ersbt(dim_t n, dim_t j, node_t s);
+
+/// The whole MSBT graph: the n ERSBTs of source `s`.
+struct MsbtGraph {
+    dim_t n = 0;
+    node_t source = 0;
+    std::vector<SpanningTree> trees; ///< trees[j] = j-th ERSBT, all rooted at source
+
+    [[nodiscard]] node_t node_count() const noexcept { return node_t{1} << n; }
+};
+
+/// Builds all n ERSBTs. The edge-disjointness of the union is a theorem of
+/// the paper (§3.2) and is verified by tests, not re-checked here.
+[[nodiscard]] MsbtGraph build_msbt(dim_t n, node_t s);
+
+} // namespace hcube::trees

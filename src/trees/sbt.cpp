@@ -1,0 +1,37 @@
+#include "trees/sbt.hpp"
+
+#include "common/check.hpp"
+#include "hc/bits.hpp"
+
+namespace hcube::trees {
+
+std::vector<node_t> sbt_children(node_t i, node_t s, dim_t n) {
+    const node_t c = i ^ s;
+    const dim_t k = hc::highest_one_bit(c);
+    std::vector<node_t> kids;
+    kids.reserve(static_cast<std::size_t>(n - 1 - k));
+    // Ascending m yields children in decreasing subtree size (the child
+    // reached through port m roots 2^(n-1-m) nodes), which is the send
+    // order the one-port SBT broadcast wants (largest subtree first).
+    for (dim_t m = k + 1; m < n; ++m) {
+        kids.push_back(hc::flip_bit(i, m));
+    }
+    return kids;
+}
+
+node_t sbt_parent(node_t i, node_t s, dim_t n) {
+    HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+    const node_t c = i ^ s;
+    if (c == 0) {
+        return SpanningTree::kNoParent;
+    }
+    return hc::flip_bit(i, hc::highest_one_bit(c));
+}
+
+SpanningTree build_sbt(dim_t n, node_t s) {
+    auto tree = materialize_tree(
+        n, s, [=](node_t i) { return sbt_children(i, s, n); });
+    return tree;
+}
+
+} // namespace hcube::trees

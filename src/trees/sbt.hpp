@@ -1,0 +1,30 @@
+// Spanning Binomial Tree (paper §3.1).
+//
+// Rooted at source s, the SBT connects node i to the neighbors obtained by
+// complementing any bit among the leading zeroes of the relative address
+// c = i ⊕ s. The parent of i ≠ s complements the highest-order one bit of c.
+//
+// Structural facts used by the routing layer (paper §1):
+//  * level ℓ holds C(n, ℓ) nodes — exactly the nodes at Hamming distance ℓ;
+//  * subtree through port m (relative address with lowest set bit m) has
+//    2^(n-1-m) nodes, so subtree 0 holds half the cube.
+#pragma once
+
+#include "trees/spanning_tree.hpp"
+
+#include <vector>
+
+namespace hcube::trees {
+
+/// Children of node `i` in the SBT rooted at `s`
+/// (complement each leading zero of i ⊕ s).
+[[nodiscard]] std::vector<node_t> sbt_children(node_t i, node_t s, dim_t n);
+
+/// Parent of node `i` in the SBT rooted at `s`
+/// (complement the highest one bit of i ⊕ s). Returns kNoParent for i == s.
+[[nodiscard]] node_t sbt_parent(node_t i, node_t s, dim_t n);
+
+/// Materializes the SBT rooted at `s` in an n-cube.
+[[nodiscard]] SpanningTree build_sbt(dim_t n, node_t s);
+
+} // namespace hcube::trees

@@ -1,0 +1,168 @@
+#include "trees/spanning_tree.hpp"
+
+#include "common/check.hpp"
+#include "hc/bits.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+
+namespace hcube::trees {
+
+std::vector<std::uint64_t> SpanningTree::subtree_sizes() const {
+    std::vector<std::uint64_t> sizes(static_cast<std::size_t>(n), 0);
+    for (node_t i = 0; i < node_count(); ++i) {
+        if (i != root) {
+            ++sizes[static_cast<std::size_t>(subtree[i])];
+        }
+    }
+    return sizes;
+}
+
+dim_t SpanningTree::subtree_height(dim_t j) const {
+    dim_t h = 0;
+    for (node_t i = 0; i < node_count(); ++i) {
+        if (i != root && subtree[i] == j) {
+            h = std::max(h, level[i]);
+        }
+    }
+    return h;
+}
+
+std::vector<node_t> SpanningTree::bfs_order() const {
+    std::vector<node_t> order;
+    order.reserve(node_count());
+    std::deque<node_t> queue{root};
+    while (!queue.empty()) {
+        const node_t i = queue.front();
+        queue.pop_front();
+        order.push_back(i);
+        for (const node_t c : children[i]) {
+            queue.push_back(c);
+        }
+    }
+    return order;
+}
+
+std::vector<node_t> SpanningTree::subtree_preorder(dim_t j) const {
+    std::vector<node_t> order;
+    std::vector<node_t> stack;
+    for (const node_t c : children[root]) {
+        if (subtree[c] == j) {
+            stack.push_back(c);
+        }
+    }
+    while (!stack.empty()) {
+        const node_t i = stack.back();
+        stack.pop_back();
+        order.push_back(i);
+        // Push in reverse so preorder visits children in stored order.
+        for (auto it = children[i].rbegin(); it != children[i].rend(); ++it) {
+            stack.push_back(*it);
+        }
+    }
+    return order;
+}
+
+SpanningTree materialize_tree(dim_t n, node_t root,
+                              const ChildrenFn& children_of) {
+    HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+    const node_t count = node_t{1} << n;
+    HCUBE_ENSURE(root < count);
+
+    SpanningTree tree;
+    tree.n = n;
+    tree.root = root;
+    tree.parent.assign(count, SpanningTree::kNoParent);
+    tree.children.assign(count, {});
+    tree.level.assign(count, -1);
+    tree.subtree.assign(count, SpanningTree::kRootSubtree);
+
+    tree.level[root] = 0;
+    std::deque<node_t> queue{root};
+    node_t visited = 0;
+    while (!queue.empty()) {
+        const node_t i = queue.front();
+        queue.pop_front();
+        ++visited;
+        auto kids = children_of(i);
+        for (const node_t c : kids) {
+            HCUBE_ENSURE_MSG(c < count, "child address out of range");
+            HCUBE_ENSURE_MSG(hc::hamming(i, c) == 1,
+                             "tree edge is not a cube edge");
+            HCUBE_ENSURE_MSG(tree.level[c] == -1 && c != root,
+                             "node generated twice — not a tree");
+            tree.parent[c] = i;
+            tree.level[c] = tree.level[i] + 1;
+            // A node inherits its subtree label from its parent; children of
+            // the root start the subtree named after the first-hop port.
+            tree.subtree[c] =
+                (i == root) ? hc::lowest_one_bit(c ^ root) : tree.subtree[i];
+            tree.height = std::max(tree.height, tree.level[c]);
+            queue.push_back(c);
+        }
+        tree.children[i] = std::move(kids);
+    }
+    HCUBE_ENSURE_MSG(visited == count,
+                     "children function does not span the cube");
+    return tree;
+}
+
+void validate_tree(const SpanningTree& tree) {
+    const node_t count = tree.node_count();
+    HCUBE_ENSURE(tree.parent.size() == count);
+    HCUBE_ENSURE(tree.children.size() == count);
+    HCUBE_ENSURE(tree.parent[tree.root] == SpanningTree::kNoParent);
+
+    node_t with_parent = 0;
+    for (node_t i = 0; i < count; ++i) {
+        if (i == tree.root) {
+            continue;
+        }
+        const node_t p = tree.parent[i];
+        HCUBE_ENSURE_MSG(p < count, "non-root node without a parent");
+        HCUBE_ENSURE_MSG(hc::hamming(p, i) == 1, "tree edge not a cube edge");
+        HCUBE_ENSURE_MSG(std::ranges::count(tree.children[p], i) == 1,
+                         "parent does not list node exactly once as child");
+        HCUBE_ENSURE_MSG(tree.level[i] == tree.level[p] + 1,
+                         "level not parent level + 1");
+        ++with_parent;
+    }
+    HCUBE_ENSURE_MSG(with_parent == count - 1, "wrong number of edges");
+
+    std::size_t total_children = 0;
+    for (node_t i = 0; i < count; ++i) {
+        for (const node_t c : tree.children[i]) {
+            HCUBE_ENSURE_MSG(tree.parent[c] == i,
+                             "child does not point back to parent");
+        }
+        total_children += tree.children[i].size();
+    }
+    HCUBE_ENSURE(total_children == count - 1);
+}
+
+namespace {
+
+/// AHU canonical string of the subtree rooted at `i`.
+std::string canonical_shape(const SpanningTree& tree, node_t i) {
+    std::vector<std::string> parts;
+    parts.reserve(tree.children[i].size());
+    for (const node_t c : tree.children[i]) {
+        parts.push_back(canonical_shape(tree, c));
+    }
+    std::ranges::sort(parts);
+    std::string out = "(";
+    for (const auto& p : parts) {
+        out += p;
+    }
+    out += ")";
+    return out;
+}
+
+} // namespace
+
+bool rooted_isomorphic(const SpanningTree& tree, node_t root_a, node_t root_b) {
+    return canonical_shape(tree, root_a) == canonical_shape(tree, root_b);
+}
+
+} // namespace hcube::trees

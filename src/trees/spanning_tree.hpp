@@ -1,0 +1,81 @@
+// Materialized spanning trees of a Boolean n-cube.
+//
+// The SBT / MSBT / BST / TCBT / HP constructions are all defined by
+// parent / children functions on node addresses (paper §3-4). For routing,
+// validation and traversal we materialize them into one flat structure with
+// per-node parent, children, level and root-subtree labels.
+#pragma once
+
+#include "hc/cube.hpp"
+#include "hc/types.hpp"
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+namespace hcube::trees {
+
+using hc::dim_t;
+using hc::node_t;
+
+/// A rooted spanning tree of an n-cube, stored as flat per-node arrays.
+///
+/// Every edge connects cube neighbors (dilation 1); validate() checks this
+/// along with parent/children consistency and spanning-ness.
+struct SpanningTree {
+    /// Sentinel parent value for the root.
+    static constexpr node_t kNoParent = std::numeric_limits<node_t>::max();
+    /// Sentinel subtree label for the root itself.
+    static constexpr dim_t kRootSubtree = -1;
+
+    dim_t n = 0;        ///< cube dimension
+    node_t root = 0;    ///< root node address
+    std::vector<node_t> parent;                ///< parent[i]; kNoParent at root
+    std::vector<std::vector<node_t>> children; ///< children[i] in send order
+    std::vector<dim_t> level;                  ///< tree distance from root
+    /// Root-subtree label of each node: the cube dimension of the edge on
+    /// which the path from the root leaves the root (paper labels subtrees
+    /// 0..n-1 by that port). kRootSubtree at the root.
+    std::vector<dim_t> subtree;
+    dim_t height = 0; ///< maximum level
+
+    /// Number of nodes N = 2^n.
+    [[nodiscard]] node_t node_count() const noexcept { return node_t{1} << n; }
+
+    /// Nodes per root-subtree label, indexed by cube dimension of the first
+    /// hop. Labels with no child of the root have size 0.
+    [[nodiscard]] std::vector<std::uint64_t> subtree_sizes() const;
+
+    /// Height of the subtree hanging off the root through port `j`
+    /// (counted in edges from the root; 0 if the subtree is empty).
+    [[nodiscard]] dim_t subtree_height(dim_t j) const;
+
+    /// Nodes in breadth-first order starting at the root.
+    [[nodiscard]] std::vector<node_t> bfs_order() const;
+
+    /// Nodes of subtree `j` in depth-first (preorder) order, excluding the
+    /// root. Children are visited in their stored order.
+    [[nodiscard]] std::vector<node_t> subtree_preorder(dim_t j) const;
+};
+
+/// Produces the children of `i` for a tree rooted at `s` in an n-cube.
+using ChildrenFn = std::function<std::vector<node_t>(node_t i)>;
+
+/// Materializes a spanning tree from its children function by BFS from
+/// `root`. Throws check_error if the function does not generate a spanning
+/// tree (duplicate or out-of-range children, unreachable nodes) or uses a
+/// non-cube edge.
+[[nodiscard]] SpanningTree materialize_tree(dim_t n, node_t root,
+                                            const ChildrenFn& children_of);
+
+/// Structural soundness: parent/children mutually consistent, every edge a
+/// cube edge, exactly one root, all N nodes reachable, levels correct.
+/// Throws check_error with a description on the first violation.
+void validate_tree(const SpanningTree& tree);
+
+/// True if trees `a` and `b` are isomorphic as rooted trees
+/// (used for BST property 4: subtree isomorphism when n is prime).
+[[nodiscard]] bool rooted_isomorphic(const SpanningTree& tree, node_t root_a,
+                                     node_t root_b);
+
+} // namespace hcube::trees

@@ -1,0 +1,260 @@
+#include "trees/tcbt.hpp"
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "hc/bits.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+namespace hcube::trees {
+
+namespace {
+
+/// Abstract DRCB shape: node 0 is the primary root R, node 1 the secondary
+/// root R'; each root carries a complete binary subtree with 2^(n-1) - 1
+/// nodes. Nodes are created so that every parent index precedes its
+/// children.
+struct Shape {
+    std::vector<int> parent;
+    std::vector<std::vector<int>> children;
+    std::vector<dim_t> depth;
+    std::vector<std::vector<int>> by_level;
+
+    void add_node(int par) {
+        const int node = static_cast<int>(parent.size());
+        parent.push_back(par);
+        children.emplace_back();
+        depth.push_back(par < 0 ? 0
+                                : depth[static_cast<std::size_t>(par)] + 1);
+        if (par >= 0) {
+            children[static_cast<std::size_t>(par)].push_back(node);
+        }
+        if (static_cast<std::size_t>(depth.back()) >= by_level.size()) {
+            by_level.resize(static_cast<std::size_t>(depth.back()) + 1);
+        }
+        by_level[static_cast<std::size_t>(depth.back())].push_back(node);
+    }
+};
+
+void add_cbt(Shape& shape, int parent, dim_t levels) {
+    if (levels == 0) {
+        return;
+    }
+    const int node = static_cast<int>(shape.parent.size());
+    shape.add_node(parent);
+    add_cbt(shape, node, levels - 1);
+    add_cbt(shape, node, levels - 1);
+}
+
+Shape make_drcb_shape(dim_t n) {
+    Shape shape;
+    shape.add_node(-1); // R
+    shape.add_node(0);  // R'
+    add_cbt(shape, 0, n - 1);
+    add_cbt(shape, 1, n - 1);
+    HCUBE_ENSURE(shape.parent.size() == (std::size_t{1} << n));
+    return shape;
+}
+
+/// One randomized level-by-level attempt: the images of all tree nodes above
+/// the current level are fixed; within a level every tree node must be
+/// matched to a distinct unused cube neighbour of its parent's image — a
+/// bipartite matching solved exactly with Kuhn's algorithm. If any level has
+/// no perfect matching the attempt fails and the caller restarts with a new
+/// randomization.
+class LevelMatcher {
+public:
+    LevelMatcher(const Shape& shape, dim_t n, node_t s, SplitMix64& rng)
+        : shape_(shape), n_(n), count_(node_t{1} << n), rng_(rng),
+          img_(shape.parent.size(), SpanningTree::kNoParent),
+          used_(count_, 0) {
+        img_[0] = s;
+        used_[s] = 1;
+    }
+
+    std::optional<std::vector<node_t>> run() {
+        // Level-by-level with bounded backtracking: a level that admits no
+        // perfect matching sends the search back to re-randomize the level
+        // above it (whose placement caused the infeasibility), rather than
+        // restarting from scratch.
+        constexpr int kTriesPerLevel = 30;
+        constexpr std::uint64_t kStepCap = 20000;
+        const std::size_t levels = shape_.by_level.size();
+        std::vector<int> tries(levels, 0);
+        std::size_t level = 1;
+        std::uint64_t steps = 0;
+        while (level < levels) {
+            if (++steps > kStepCap) {
+                return std::nullopt;
+            }
+            if (match_level(shape_.by_level[level])) {
+                ++level;
+                if (level < levels) {
+                    tries[level] = 0;
+                }
+                continue;
+            }
+            for (;;) {
+                if (level == 1) {
+                    return std::nullopt;
+                }
+                --level;
+                unassign_level(shape_.by_level[level]);
+                if (++tries[level] <= kTriesPerLevel) {
+                    break;
+                }
+                tries[level] = 0;
+            }
+        }
+        return img_;
+    }
+
+private:
+    [[nodiscard]] std::size_t free_degree(node_t c) const {
+        std::size_t free_count = 0;
+        for (dim_t e = 0; e < n_; ++e) {
+            free_count += static_cast<std::size_t>(!used_[hc::flip_bit(c, e)]);
+        }
+        return free_count;
+    }
+
+    /// Candidate cube nodes for tree node v, heuristically ordered: nodes
+    /// that must host children prefer well-connected spots, leaves prefer
+    /// dead ends (preserving connectivity for later levels).
+    [[nodiscard]] std::vector<node_t> candidates(int v) {
+        const node_t p =
+            img_[static_cast<std::size_t>(shape_.parent[static_cast<std::size_t>(v)])];
+        std::vector<dim_t> dims(static_cast<std::size_t>(n_));
+        for (dim_t d = 0; d < n_; ++d) {
+            dims[static_cast<std::size_t>(d)] = d;
+        }
+        rng_.shuffle(dims);
+        std::vector<node_t> result;
+        for (const dim_t d : dims) {
+            const node_t c = hc::flip_bit(p, d);
+            if (!used_[c]) {
+                result.push_back(c);
+            }
+        }
+        const bool is_leaf =
+            shape_.children[static_cast<std::size_t>(v)].empty();
+        std::ranges::stable_sort(result, [&](node_t a, node_t b) {
+            return is_leaf ? free_degree(a) < free_degree(b)
+                           : free_degree(a) > free_degree(b);
+        });
+        return result;
+    }
+
+    void unassign_level(const std::vector<int>& level_nodes) {
+        for (const int v : level_nodes) {
+            node_t& image = img_[static_cast<std::size_t>(v)];
+            used_[image] = 0;
+            image = SpanningTree::kNoParent;
+        }
+    }
+
+    bool match_level(const std::vector<int>& level_nodes) {
+        // match_cube_[c]: index into level_nodes currently holding c.
+        std::vector<std::size_t> match_cube(count_, kUnmatched);
+        std::vector<std::vector<node_t>> cand(level_nodes.size());
+        std::vector<node_t> assigned(level_nodes.size(),
+                                     SpanningTree::kNoParent);
+        for (std::size_t i = 0; i < level_nodes.size(); ++i) {
+            cand[i] = candidates(level_nodes[i]);
+        }
+        for (std::size_t i = 0; i < level_nodes.size(); ++i) {
+            std::vector<char> visited(count_, 0);
+            if (!augment(i, cand, match_cube, assigned, visited)) {
+                return false;
+            }
+        }
+        for (std::size_t i = 0; i < level_nodes.size(); ++i) {
+            img_[static_cast<std::size_t>(level_nodes[i])] = assigned[i];
+            used_[assigned[i]] = 1;
+        }
+        return true;
+    }
+
+    bool augment(std::size_t i, const std::vector<std::vector<node_t>>& cand,
+                 std::vector<std::size_t>& match_cube,
+                 std::vector<node_t>& assigned, std::vector<char>& visited) {
+        for (const node_t c : cand[i]) {
+            if (visited[c]) {
+                continue;
+            }
+            visited[c] = 1;
+            if (match_cube[c] == kUnmatched ||
+                augment(match_cube[c], cand, match_cube, assigned, visited)) {
+                match_cube[c] = i;
+                assigned[i] = c;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    static constexpr std::size_t kUnmatched = ~std::size_t{0};
+
+    const Shape& shape_;
+    dim_t n_;
+    node_t count_;
+    SplitMix64& rng_;
+    std::vector<node_t> img_;
+    std::vector<char> used_;
+};
+
+} // namespace
+
+TcbtShapeInfo tcbt_shape(dim_t n) {
+    HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+    return {n, std::uint64_t{1} << n};
+}
+
+SpanningTree build_tcbt(dim_t n, node_t s, std::uint64_t seed) {
+    HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+    HCUBE_ENSURE(s < (node_t{1} << n));
+
+    // The search is deterministic but takes seconds at n = 8; memoize.
+    using Key = std::tuple<dim_t, node_t, std::uint64_t>;
+    static std::mutex cache_mutex;
+    static std::map<Key, SpanningTree> cache;
+    {
+        const std::lock_guard<std::mutex> lock(cache_mutex);
+        if (auto it = cache.find({n, s, seed}); it != cache.end()) {
+            return it->second;
+        }
+    }
+
+    const Shape shape = make_drcb_shape(n);
+    constexpr int kMaxRestarts = 200;
+
+    for (int restart = 0; restart < kMaxRestarts; ++restart) {
+        SplitMix64 rng(seed + static_cast<std::uint64_t>(restart) *
+                                  std::uint64_t{0x9e3779b97f4a7c15});
+        LevelMatcher matcher(shape, n, s, rng);
+        const auto img = matcher.run();
+        if (!img) {
+            continue;
+        }
+        std::vector<std::vector<node_t>> kids(node_t{1} << n);
+        for (std::size_t v = 0; v < shape.parent.size(); ++v) {
+            for (const int c : shape.children[v]) {
+                kids[(*img)[v]].push_back((*img)[static_cast<std::size_t>(c)]);
+            }
+        }
+        SpanningTree tree = materialize_tree(
+            n, s, [&kids](node_t i) { return kids[i]; });
+        const std::lock_guard<std::mutex> lock(cache_mutex);
+        return cache.emplace(Key{n, s, seed}, std::move(tree))
+            .first->second;
+    }
+    HCUBE_ENSURE_MSG(false, "TCBT embedding search budget exhausted");
+    __builtin_unreachable();
+}
+
+} // namespace hcube::trees

@@ -1,0 +1,43 @@
+// Two-rooted Complete Binary Tree (paper §3.4 baseline; refs [2, 3]).
+//
+// The TCBT (a.k.a. double-rooted complete binary tree) on N = 2^n nodes is a
+// complete binary tree with N-1 nodes whose root is split into two adjacent
+// roots; it is a *spanning subgraph* of the n-cube (Bhatt & Ipsen 1985).
+// Viewed as a tree rooted at the primary root R, R has two children: the
+// secondary root R' and the root of R's half-size complete binary subtree;
+// R' has one child. The tree height is n, leaves sit at depths n-1 and n.
+//
+// There is no simple closed-form embedding, and the constructive proofs in
+// the literature thread several auxiliary lemmas; since this repository only
+// needs concrete TCBT instances (the paper uses the TCBT purely as an
+// analytic baseline and never runs it on hardware), we *find* an embedding
+// with a deterministic randomized search (level-by-level exact bipartite
+// matching with bounded backtracking), seeded for reproducibility. The
+// search is fast for the cube sizes the benches simulate (n <= 8, seconds
+// at n = 8); the analytic model covers all n. Embeddings are memoized per
+// (n, root, seed).
+#pragma once
+
+#include "trees/spanning_tree.hpp"
+
+#include <cstdint>
+
+namespace hcube::trees {
+
+/// Abstract (unembedded) TCBT shape facts for dimension n.
+struct TcbtShapeInfo {
+    dim_t height;          ///< n (through the secondary root)
+    std::uint64_t nodes;   ///< 2^n
+};
+
+/// Shape facts without running the embedding search.
+[[nodiscard]] TcbtShapeInfo tcbt_shape(dim_t n);
+
+/// Builds a TCBT spanning tree of the n-cube rooted at `s` (the primary
+/// root). The secondary root is children(s)[0]. Throws check_error if the
+/// search budget is exhausted (does not happen for n <= 8; tests pin this
+/// down).
+[[nodiscard]] SpanningTree build_tcbt(dim_t n, node_t s,
+                                      std::uint64_t seed = 1986);
+
+} // namespace hcube::trees

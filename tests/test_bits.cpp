@@ -1,0 +1,101 @@
+// Unit tests for hc/bits.hpp — the address arithmetic of paper §2.
+#include "hc/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hcube::hc {
+namespace {
+
+TEST(Bits, WeightCountsOneBits) {
+    EXPECT_EQ(weight(0b0), 0);
+    EXPECT_EQ(weight(0b1), 1);
+    EXPECT_EQ(weight(0b1011), 3);
+    EXPECT_EQ(weight(0xffffffffu), 32);
+}
+
+TEST(Bits, HammingIsWeightOfXor) {
+    EXPECT_EQ(hamming(0b1010, 0b1010), 0);
+    EXPECT_EQ(hamming(0b1010, 0b0101), 4);
+    EXPECT_EQ(hamming(0, 0b100), 1);
+}
+
+TEST(Bits, TestAndFlipBitRoundTrip) {
+    const node_t x = 0b1001101;
+    for (dim_t j = 0; j < 8; ++j) {
+        EXPECT_EQ(test_bit(flip_bit(x, j), j), !test_bit(x, j));
+        EXPECT_EQ(flip_bit(flip_bit(x, j), j), x);
+    }
+}
+
+TEST(Bits, FlipBitIsACubeNeighbor) {
+    for (node_t x = 0; x < 64; ++x) {
+        for (dim_t j = 0; j < 6; ++j) {
+            EXPECT_EQ(hamming(x, flip_bit(x, j)), 1);
+        }
+    }
+}
+
+TEST(Bits, HighestOneBit) {
+    EXPECT_EQ(highest_one_bit(0), -1);
+    EXPECT_EQ(highest_one_bit(1), 0);
+    EXPECT_EQ(highest_one_bit(0b100), 2);
+    EXPECT_EQ(highest_one_bit(0b101100), 5);
+}
+
+TEST(Bits, LowestOneBit) {
+    EXPECT_EQ(lowest_one_bit(0), -1);
+    EXPECT_EQ(lowest_one_bit(1), 0);
+    EXPECT_EQ(lowest_one_bit(0b101100), 2);
+}
+
+TEST(Bits, LowMask) {
+    EXPECT_EQ(low_mask(1), 0b1u);
+    EXPECT_EQ(low_mask(4), 0b1111u);
+    EXPECT_EQ(low_mask(20), (node_t{1} << 20) - 1);
+}
+
+// The paper's k for the MSBT: first one bit cyclically to the right of bit j.
+TEST(Bits, FirstOneRightCyclicScansDownAndWraps) {
+    const dim_t n = 6;
+    // c = 110110: right of bit 1 -> bit 0 is 0, wrap to bit 5 which is 1.
+    EXPECT_EQ(first_one_right_cyclic(0b110110, 1, n), 5);
+    // right of bit 2 -> bit 1 is 1.
+    EXPECT_EQ(first_one_right_cyclic(0b110110, 2, n), 1);
+    // right of bit 5 -> bit 4 is 1.
+    EXPECT_EQ(first_one_right_cyclic(0b110110, 5, n), 4);
+}
+
+TEST(Bits, FirstOneRightCyclicSingleBitReturnsJ) {
+    const dim_t n = 5;
+    for (dim_t j = 0; j < n; ++j) {
+        EXPECT_EQ(first_one_right_cyclic(node_t{1} << j, j, n), j);
+    }
+}
+
+TEST(Bits, FirstOneRightCyclicZeroIsMinusOne) {
+    EXPECT_EQ(first_one_right_cyclic(0, 3, 6), -1);
+}
+
+// Exhaustive cross-check against a direct definition for n = 6.
+TEST(Bits, FirstOneRightCyclicExhaustive) {
+    const dim_t n = 6;
+    for (node_t c = 1; c < (node_t{1} << n); ++c) {
+        for (dim_t j = 0; j < n; ++j) {
+            dim_t expected = -1;
+            for (dim_t step = 1; step <= n; ++step) {
+                const dim_t pos = ((j - step) % n + n) % n;
+                if (test_bit(c, pos)) {
+                    expected = pos;
+                    break;
+                }
+            }
+            EXPECT_EQ(first_one_right_cyclic(c, j, n), expected)
+                << "c=" << c << " j=" << j;
+        }
+    }
+}
+
+} // namespace
+} // namespace hcube::hc

@@ -1,0 +1,365 @@
+// Behavioural tests for the broadcast schedules (paper §3): every schedule
+// must pass the cycle executor under its port model, deliver all packets to
+// all nodes, and use exactly the number of routing steps behind Table 3.
+#include "routing/broadcast.hpp"
+
+#include "trees/bst.hpp"
+#include "trees/hp.hpp"
+#include "trees/sbt.hpp"
+#include "trees/tcbt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hcube::routing {
+namespace {
+
+using sim::CycleStats;
+using sim::execute_schedule;
+using trees::SpanningTree;
+
+/// Asserts that every node ends up holding every packet.
+void expect_full_broadcast(const CycleStats& stats, const Schedule& schedule) {
+    const node_t count = node_t{1} << schedule.n;
+    for (node_t i = 0; i < count; ++i) {
+        for (packet_t p = 0; p < schedule.packet_count; ++p) {
+            EXPECT_TRUE(stats.holds(i, p))
+                << "node " << i << " missing packet " << p;
+        }
+    }
+}
+
+struct Case {
+    dim_t n;
+    node_t source;
+    packet_t packets;
+};
+
+class BroadcastSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(BroadcastSweep, SbtPortOrientedTakesNTimesPCycles) {
+    const auto [n, s, P] = GetParam();
+    const SpanningTree tree = trees::build_sbt(n, s);
+    const Schedule schedule = port_oriented_broadcast(tree, P);
+    for (const auto model : {sim::PortModel::one_port_half_duplex,
+                             sim::PortModel::one_port_full_duplex,
+                             sim::PortModel::all_port}) {
+        const auto stats = execute_schedule(schedule, model);
+        EXPECT_EQ(stats.makespan, static_cast<std::uint32_t>(n) * P);
+        expect_full_broadcast(stats, schedule);
+    }
+}
+
+TEST_P(BroadcastSweep, SbtPipelinedAllPortTakesPPlusNMinus1) {
+    const auto [n, s, P] = GetParam();
+    const SpanningTree tree = trees::build_sbt(n, s);
+    const Schedule schedule =
+        paced_broadcast(tree, P, sim::PortModel::all_port);
+    const auto stats = execute_schedule(schedule, sim::PortModel::all_port);
+    EXPECT_EQ(stats.makespan, P + static_cast<std::uint32_t>(n) - 1);
+    expect_full_broadcast(stats, schedule);
+}
+
+TEST_P(BroadcastSweep, MsbtFullDuplexTakesTotalPacketsPlusN) {
+    const auto [n, s, Pps] = GetParam();
+    const Schedule schedule =
+        msbt_broadcast(n, s, Pps, sim::PortModel::one_port_full_duplex);
+    const auto stats =
+        execute_schedule(schedule, sim::PortModel::one_port_full_duplex);
+    // ceil(M/B) = n * Pps packets; T = ceil(M/B) + log N (§3.3.2).
+    EXPECT_EQ(stats.makespan,
+              static_cast<std::uint32_t>(n) * Pps +
+                  static_cast<std::uint32_t>(n));
+    expect_full_broadcast(stats, schedule);
+}
+
+TEST_P(BroadcastSweep, MsbtHalfDuplexTakesTwicePacketsPlusNMinus1) {
+    const auto [n, s, Pps] = GetParam();
+    const Schedule schedule =
+        msbt_broadcast(n, s, Pps, sim::PortModel::one_port_half_duplex);
+    const auto stats =
+        execute_schedule(schedule, sim::PortModel::one_port_half_duplex);
+    // T = 2 ceil(M/B) + log N - 1 (§3.3.2).
+    EXPECT_EQ(stats.makespan,
+              2 * static_cast<std::uint32_t>(n) * Pps +
+                  static_cast<std::uint32_t>(n) - 1);
+    expect_full_broadcast(stats, schedule);
+}
+
+TEST_P(BroadcastSweep, MsbtAllPortTakesPerSubtreePacketsPlusN) {
+    const auto [n, s, Pps] = GetParam();
+    const Schedule schedule =
+        msbt_broadcast(n, s, Pps, sim::PortModel::all_port);
+    const auto stats = execute_schedule(schedule, sim::PortModel::all_port);
+    // T = ceil(M / (B log N)) + log N (§3.3.2).
+    EXPECT_EQ(stats.makespan, Pps + static_cast<std::uint32_t>(n));
+    expect_full_broadcast(stats, schedule);
+}
+
+TEST_P(BroadcastSweep, HamiltonianPathPipelines) {
+    const auto [n, s, P] = GetParam();
+    const node_t N = node_t{1} << n;
+    const SpanningTree tree =
+        trees::build_hamiltonian_path(n, s, trees::HpVariant::source_at_end);
+
+    // Half duplex: 2P + N - 3 steps — matches the HP row of Table 3.
+    const Schedule half =
+        paced_broadcast(tree, P, sim::PortModel::one_port_half_duplex);
+    const auto half_stats =
+        execute_schedule(half, sim::PortModel::one_port_half_duplex);
+    EXPECT_EQ(half_stats.makespan, 2 * P + N - 3);
+    expect_full_broadcast(half_stats, half);
+
+    // Full duplex: P + N - 2 steps (the paper's row says P + N - 3; its own
+    // Table 1 delay of N - 1 at P = 1 agrees with our count — see DESIGN.md).
+    const Schedule full =
+        paced_broadcast(tree, P, sim::PortModel::one_port_full_duplex);
+    const auto full_stats =
+        execute_schedule(full, sim::PortModel::one_port_full_duplex);
+    EXPECT_EQ(full_stats.makespan, P + N - 2);
+    expect_full_broadcast(full_stats, full);
+}
+
+TEST_P(BroadcastSweep, TcbtPacedMatchesTable3) {
+    const auto [n, s, P] = GetParam();
+    if (n < 3 || n > 7) {
+        GTEST_SKIP() << "TCBT formulas hold for n >= 3; embeddings kept <= 7 "
+                        "here for test time";
+    }
+    const SpanningTree tree = trees::build_tcbt(n, s);
+
+    const Schedule half =
+        paced_broadcast(tree, P, sim::PortModel::one_port_half_duplex);
+    const auto half_stats =
+        execute_schedule(half, sim::PortModel::one_port_half_duplex);
+    EXPECT_EQ(half_stats.makespan,
+              3 * P + 2 * static_cast<std::uint32_t>(n) - 5);
+    expect_full_broadcast(half_stats, half);
+
+    const Schedule full =
+        paced_broadcast(tree, P, sim::PortModel::one_port_full_duplex);
+    const auto full_stats =
+        execute_schedule(full, sim::PortModel::one_port_full_duplex);
+    EXPECT_EQ(full_stats.makespan,
+              2 * (P + static_cast<std::uint32_t>(n) - 2));
+    expect_full_broadcast(full_stats, full);
+
+    const Schedule all = paced_broadcast(tree, P, sim::PortModel::all_port);
+    const auto all_stats = execute_schedule(all, sim::PortModel::all_port);
+    EXPECT_EQ(all_stats.makespan, P + static_cast<std::uint32_t>(n) - 1);
+    expect_full_broadcast(all_stats, all);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimensionsSourcesPackets, BroadcastSweep,
+    ::testing::Values(Case{2, 0, 1}, Case{2, 3, 4}, Case{3, 0, 1},
+                      Case{3, 6, 5}, Case{4, 0, 3}, Case{5, 0b10101, 2},
+                      Case{6, 0, 4}, Case{7, 0b1111111, 2}, Case{8, 1, 3}),
+    [](const auto& param_info) {
+        return "n" + std::to_string(param_info.param.n) + "_s" +
+               std::to_string(param_info.param.source) + "_p" +
+               std::to_string(param_info.param.packets);
+    });
+
+// BST broadcast is not one of the paper's broadcast algorithms, but the
+// generic paced pipeline must still deliver on it (it is a spanning tree).
+TEST(Broadcast, PacedWorksOnBstToo) {
+    const SpanningTree tree = trees::build_bst(5, 0);
+    const Schedule schedule =
+        paced_broadcast(tree, 3, sim::PortModel::all_port);
+    const auto stats = execute_schedule(schedule, sim::PortModel::all_port);
+    expect_full_broadcast(stats, schedule);
+    // Height log N (property 1) pipelines in P + height - 1 cycles.
+    EXPECT_EQ(stats.makespan, 3u + 5 - 1);
+}
+
+// Table 2: steady-state cycles per distinct packet, measured as the
+// makespan increase per additional packet.
+TEST(Broadcast, Table2CyclesPerPacket) {
+    const dim_t n = 5;
+    const node_t s = 0;
+    const auto measure = [&](auto&& make_schedule, sim::PortModel model) {
+        const auto s1 = execute_schedule(make_schedule(8), model).makespan;
+        const auto s2 = execute_schedule(make_schedule(16), model).makespan;
+        return static_cast<double>(s2 - s1) / 8.0;
+    };
+
+    const SpanningTree hp =
+        trees::build_hamiltonian_path(n, s, trees::HpVariant::source_at_end);
+    EXPECT_DOUBLE_EQ(
+        measure([&](packet_t p) { return paced_broadcast(
+                        hp, p, sim::PortModel::one_port_half_duplex); },
+                sim::PortModel::one_port_half_duplex),
+        2.0);
+    EXPECT_DOUBLE_EQ(
+        measure([&](packet_t p) { return paced_broadcast(
+                        hp, p, sim::PortModel::one_port_full_duplex); },
+                sim::PortModel::one_port_full_duplex),
+        1.0);
+
+    const SpanningTree sbt = trees::build_sbt(n, s);
+    EXPECT_DOUBLE_EQ(
+        measure([&](packet_t p) { return port_oriented_broadcast(sbt, p); },
+                sim::PortModel::one_port_half_duplex),
+        static_cast<double>(n));
+
+    const SpanningTree tcbt = trees::build_tcbt(n, s);
+    EXPECT_DOUBLE_EQ(
+        measure([&](packet_t p) { return paced_broadcast(
+                        tcbt, p, sim::PortModel::one_port_half_duplex); },
+                sim::PortModel::one_port_half_duplex),
+        3.0);
+    EXPECT_DOUBLE_EQ(
+        measure([&](packet_t p) { return paced_broadcast(
+                        tcbt, p, sim::PortModel::one_port_full_duplex); },
+                sim::PortModel::one_port_full_duplex),
+        2.0);
+
+    // MSBT full duplex: 1 cycle per distinct packet; all-port: 1/n.
+    EXPECT_DOUBLE_EQ(
+        measure([&](packet_t p) { return msbt_broadcast(
+                        n, s, p, sim::PortModel::one_port_full_duplex); },
+                sim::PortModel::one_port_full_duplex),
+        static_cast<double>(n)); // p is per-subtree: n·p distinct packets
+    EXPECT_DOUBLE_EQ(
+        measure([&](packet_t p) { return msbt_broadcast(
+                        n, s, p, sim::PortModel::all_port); },
+                sim::PortModel::all_port),
+        1.0); // n distinct packets per cycle
+}
+
+// Table 1: propagation delay = makespan at one packet (per distinct stream).
+TEST(Broadcast, Table1PropagationDelays) {
+    const dim_t n = 6;
+    const node_t N = node_t{1} << n;
+    const node_t s = 0;
+
+    const SpanningTree hp =
+        trees::build_hamiltonian_path(n, s, trees::HpVariant::source_at_end);
+    EXPECT_EQ(execute_schedule(
+                  paced_broadcast(hp, 1, sim::PortModel::one_port_half_duplex),
+                  sim::PortModel::one_port_half_duplex)
+                  .makespan,
+              N - 1);
+
+    const SpanningTree sbt = trees::build_sbt(n, s);
+    EXPECT_EQ(execute_schedule(port_oriented_broadcast(sbt, 1),
+                               sim::PortModel::one_port_half_duplex)
+                  .makespan,
+              static_cast<std::uint32_t>(n));
+
+    const SpanningTree tcbt = trees::build_tcbt(n, s);
+    // Paper: 2 log N - 2 under both one-port models; our rooting yields
+    // 2 log N - 2 at P = 1 for half duplex (3·1 + 2n - 5) and 2n - 2 for
+    // full duplex (2(1 + n - 2)).
+    EXPECT_EQ(execute_schedule(
+                  paced_broadcast(tcbt, 1,
+                                  sim::PortModel::one_port_half_duplex),
+                  sim::PortModel::one_port_half_duplex)
+                  .makespan,
+              2 * static_cast<std::uint32_t>(n) - 2);
+    EXPECT_EQ(execute_schedule(
+                  paced_broadcast(tcbt, 1, sim::PortModel::all_port),
+                  sim::PortModel::all_port)
+                  .makespan,
+              static_cast<std::uint32_t>(n));
+
+    // MSBT: 2 log N full duplex, 3 log N - 1 half duplex, log N + 1 all-port.
+    EXPECT_EQ(execute_schedule(
+                  msbt_broadcast(n, s, 1, sim::PortModel::one_port_full_duplex),
+                  sim::PortModel::one_port_full_duplex)
+                  .makespan,
+              2 * static_cast<std::uint32_t>(n));
+    EXPECT_EQ(execute_schedule(
+                  msbt_broadcast(n, s, 1, sim::PortModel::one_port_half_duplex),
+                  sim::PortModel::one_port_half_duplex)
+                  .makespan,
+              3 * static_cast<std::uint32_t>(n) - 1);
+    EXPECT_EQ(execute_schedule(
+                  msbt_broadcast(n, s, 1, sim::PortModel::all_port),
+                  sim::PortModel::all_port)
+                  .makespan,
+              static_cast<std::uint32_t>(n) + 1);
+}
+
+// §3.4's HP variation: with the source at the center of the path, the
+// propagation delay halves (two arms of ~N/2) while full-duplex pipelining
+// drops to one packet every two cycles (the root alternates arms) — "these
+// variations only affect delays, and the number of cycles per packet, by at
+// most a factor of two".
+TEST(Broadcast, HamiltonianCenterVariantTradesDelayForRate) {
+    const dim_t n = 5;
+    const node_t N = node_t{1} << n;
+    const SpanningTree center = trees::build_hamiltonian_path(
+        n, 0, trees::HpVariant::source_at_center);
+
+    // One packet: delay ~ N/2 instead of N - 1.
+    const auto delay =
+        execute_schedule(
+            paced_broadcast(center, 1, sim::PortModel::one_port_full_duplex),
+            sim::PortModel::one_port_full_duplex)
+            .makespan;
+    EXPECT_LE(delay, N / 2 + 1);
+    EXPECT_GE(delay, N / 2 - 1);
+
+    // Long pipeline: ~2 cycles per packet (vs 1 for the end variant).
+    const auto t8 =
+        execute_schedule(
+            paced_broadcast(center, 8, sim::PortModel::one_port_full_duplex),
+            sim::PortModel::one_port_full_duplex)
+            .makespan;
+    const auto t24 =
+        execute_schedule(
+            paced_broadcast(center, 24,
+                            sim::PortModel::one_port_full_duplex),
+            sim::PortModel::one_port_full_duplex)
+            .makespan;
+    EXPECT_EQ((t24 - t8) / 16, 2u);
+
+    // All ports: both arms stream concurrently at 1 cycle/packet, delay N/2.
+    const auto all = execute_schedule(
+        paced_broadcast(center, 8, sim::PortModel::all_port),
+        sim::PortModel::all_port);
+    EXPECT_EQ(all.makespan, 8u + N / 2 - 1);
+    expect_full_broadcast(all, paced_broadcast(center, 8,
+                                               sim::PortModel::all_port));
+}
+
+// Translation invariance: every algorithm works from *every* source node
+// (exhaustive for small cubes).
+TEST(Broadcast, ExhaustiveSourceSweep) {
+    for (const dim_t n : {dim_t{3}, dim_t{4}}) {
+        for (node_t s = 0; s < (node_t{1} << n); ++s) {
+            {
+                const auto schedule = msbt_broadcast(
+                    n, s, 2, sim::PortModel::one_port_full_duplex);
+                const auto stats = execute_schedule(
+                    schedule, sim::PortModel::one_port_full_duplex);
+                EXPECT_EQ(stats.makespan, 2u * static_cast<std::uint32_t>(n) +
+                                              static_cast<std::uint32_t>(n));
+                expect_full_broadcast(stats, schedule);
+            }
+            {
+                const SpanningTree tree = trees::build_sbt(n, s);
+                const auto schedule = port_oriented_broadcast(tree, 2);
+                const auto stats = execute_schedule(
+                    schedule, sim::PortModel::one_port_half_duplex);
+                EXPECT_EQ(stats.makespan,
+                          2u * static_cast<std::uint32_t>(n));
+                expect_full_broadcast(stats, schedule);
+            }
+            {
+                const SpanningTree tree = trees::build_bst(n, s);
+                const auto schedule =
+                    paced_broadcast(tree, 2, sim::PortModel::all_port);
+                const auto stats =
+                    execute_schedule(schedule, sim::PortModel::all_port);
+                expect_full_broadcast(stats, schedule);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace hcube::routing

@@ -1,0 +1,380 @@
+// Tests for the data-carrying collectives (routing/collectives.hpp):
+// element-by-element value correctness plus timing agreement with the
+// underlying algorithms.
+#include "routing/collectives.hpp"
+
+#include "common/check.hpp"
+#include "model/broadcast_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace hcube::routing {
+namespace {
+
+using sim::EventParams;
+using sim::PortModel;
+
+EventParams unit_params(PortModel model) {
+    EventParams p;
+    p.tau = 1.0;
+    p.tc = 0.001;
+    p.packet_capacity = 1000;
+    p.model = model;
+    return p;
+}
+
+/// A recognizable value per (node, element).
+double pattern(hc::node_t node, std::size_t element) {
+    return static_cast<double>(node) * 1000.0 +
+           static_cast<double>(element);
+}
+
+std::vector<Buffer> patterned_data(hc::dim_t n, std::size_t elements) {
+    std::vector<Buffer> data(std::size_t{1} << n);
+    for (hc::node_t i = 0; i < (hc::node_t{1} << n); ++i) {
+        data[i].resize(elements);
+        for (std::size_t e = 0; e < elements; ++e) {
+            data[i][e] = pattern(i, e);
+        }
+    }
+    return data;
+}
+
+struct Case {
+    hc::dim_t n;
+    hc::node_t root;
+    std::size_t elements;
+};
+
+class CollectiveSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CollectiveSweep, BroadcastSbtReplicatesTheRootBuffer) {
+    const auto [n, root, elements] = GetParam();
+    CollectiveComm comm(n, unit_params(PortModel::one_port_full_duplex));
+    std::vector<Buffer> data(comm.node_count());
+    data[root].resize(elements);
+    for (std::size_t e = 0; e < elements; ++e) {
+        data[root][e] = pattern(root, e);
+    }
+    const auto result =
+        comm.broadcast(data, root, BroadcastAlgo::sbt_port_oriented, 500);
+    EXPECT_GT(result.time, 0);
+    for (hc::node_t i = 0; i < comm.node_count(); ++i) {
+        ASSERT_EQ(data[i].size(), elements) << "node " << i;
+        for (std::size_t e = 0; e < elements; ++e) {
+            EXPECT_EQ(data[i][e], pattern(root, e))
+                << "node " << i << " element " << e;
+        }
+    }
+}
+
+TEST_P(CollectiveSweep, BroadcastMsbtReplicatesTheRootBuffer) {
+    const auto [n, root, elements] = GetParam();
+    CollectiveComm comm(n, unit_params(PortModel::one_port_full_duplex));
+    std::vector<Buffer> data(comm.node_count());
+    data[root].resize(elements);
+    for (std::size_t e = 0; e < elements; ++e) {
+        data[root][e] = pattern(root, e);
+    }
+    const auto result =
+        comm.broadcast(data, root, BroadcastAlgo::msbt_streams, 500);
+    EXPECT_GT(result.time, 0);
+    for (hc::node_t i = 0; i < comm.node_count(); ++i) {
+        ASSERT_EQ(data[i].size(), elements);
+        for (std::size_t e = 0; e < elements; ++e) {
+            EXPECT_EQ(data[i][e], pattern(root, e))
+                << "node " << i << " element " << e;
+        }
+    }
+}
+
+TEST(Collectives, MsbtBroadcastBeatsSbtOnBigMessages) {
+    // M/B = 20 packets >> log N = 5: expect speedup nP/(P+n) = 4.
+    const hc::dim_t n = 5;
+    const std::size_t elements = 20000;
+    CollectiveComm comm(n, unit_params(PortModel::one_port_full_duplex));
+    auto data_a = patterned_data(n, elements);
+    auto data_b = data_a;
+    const double sbt =
+        comm.broadcast(data_a, 0, BroadcastAlgo::sbt_port_oriented, 1000)
+            .time;
+    CollectiveComm comm2(n, unit_params(PortModel::one_port_full_duplex));
+    const double msbt =
+        comm2.broadcast(data_b, 0, BroadcastAlgo::msbt_streams, 1000).time;
+    EXPECT_GT(sbt / msbt, 0.7 * n);
+}
+
+TEST_P(CollectiveSweep, ScatterDeliversPersonalizedSlices) {
+    const auto [n, root, elements] = GetParam();
+    for (const auto algo :
+         {ScatterAlgo::sbt_descending, ScatterAlgo::bst_cyclic}) {
+        CollectiveComm comm(n, unit_params(PortModel::one_port_full_duplex));
+        const std::vector<Buffer> slices = patterned_data(n, elements);
+        std::vector<Buffer> data(comm.node_count());
+        const auto result = comm.scatter(slices, data, root, algo);
+        EXPECT_GT(result.time, 0);
+        for (hc::node_t i = 0; i < comm.node_count(); ++i) {
+            ASSERT_EQ(data[i].size(), elements) << "node " << i;
+            for (std::size_t e = 0; e < elements; ++e) {
+                EXPECT_EQ(data[i][e], pattern(i, e));
+            }
+        }
+    }
+}
+
+TEST_P(CollectiveSweep, GatherCollectsEveryBuffer) {
+    const auto [n, root, elements] = GetParam();
+    for (const auto algo :
+         {ScatterAlgo::sbt_descending, ScatterAlgo::bst_cyclic}) {
+        CollectiveComm comm(n, unit_params(PortModel::one_port_full_duplex));
+        const std::vector<Buffer> data = patterned_data(n, elements);
+        std::vector<Buffer> gathered;
+        const auto result = comm.gather(data, gathered, root, algo);
+        EXPECT_GT(result.time, 0);
+        ASSERT_EQ(gathered.size(), comm.node_count());
+        for (hc::node_t src = 0; src < comm.node_count(); ++src) {
+            ASSERT_EQ(gathered[src].size(), elements) << "source " << src;
+            for (std::size_t e = 0; e < elements; ++e) {
+                EXPECT_EQ(gathered[src][e], pattern(src, e));
+            }
+        }
+    }
+}
+
+TEST_P(CollectiveSweep, AllreduceSumsEverywhere) {
+    const auto [n, root, elements] = GetParam();
+    (void)root;
+    CollectiveComm comm(n, unit_params(PortModel::one_port_full_duplex));
+    std::vector<Buffer> data = patterned_data(n, elements);
+    const auto result = comm.allreduce_sum(data);
+    EXPECT_GT(result.time, 0);
+    const double count = std::ldexp(1.0, n);
+    for (hc::node_t i = 0; i < comm.node_count(); ++i) {
+        for (std::size_t e = 0; e < elements; ++e) {
+            // sum over nodes of (node*1000 + e).
+            const double expected =
+                1000.0 * (count * (count - 1) / 2) +
+                count * static_cast<double>(e);
+            EXPECT_NEAR(data[i][e], expected, 1e-6)
+                << "node " << i << " element " << e;
+        }
+    }
+}
+
+TEST_P(CollectiveSweep, AllgatherConcatenatesInNodeOrder) {
+    const auto [n, root, elements] = GetParam();
+    (void)root;
+    CollectiveComm comm(n, unit_params(PortModel::one_port_full_duplex));
+    const std::vector<Buffer> data = patterned_data(n, elements);
+    std::vector<Buffer> out;
+    const auto result = comm.allgather(data, out);
+    EXPECT_GT(result.time, 0);
+    for (hc::node_t i = 0; i < comm.node_count(); ++i) {
+        ASSERT_EQ(out[i].size(), comm.node_count() * elements);
+        for (hc::node_t src = 0; src < comm.node_count(); ++src) {
+            for (std::size_t e = 0; e < elements; ++e) {
+                EXPECT_EQ(out[i][src * elements + e], pattern(src, e))
+                    << "node " << i << " block " << src << " element " << e;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CollectiveSweep,
+    ::testing::Values(Case{1, 0, 8}, Case{2, 3, 16}, Case{3, 0, 64},
+                      Case{4, 9, 100}, Case{5, 0, 600}, Case{6, 21, 32}),
+    [](const auto& param_info) {
+        return "n" + std::to_string(param_info.param.n) + "_r" +
+               std::to_string(param_info.param.root) + "_m" +
+               std::to_string(param_info.param.elements);
+    });
+
+TEST(Collectives, AllreduceTimeIsLogNRounds) {
+    // Recursive doubling: log N rounds of fixed-size pairwise exchange.
+    const hc::dim_t n = 5;
+    const std::size_t M = 500;
+    const auto params = unit_params(PortModel::one_port_full_duplex);
+    CollectiveComm comm(n, params);
+    std::vector<Buffer> data = patterned_data(n, M);
+    const auto result = comm.allreduce_sum(data);
+    const double per_round =
+        params.tau + static_cast<double>(M) * params.tc;
+    EXPECT_NEAR(result.time, n * per_round, 1e-6);
+}
+
+TEST(Collectives, AllgatherTimeSumsDoublingBlocks) {
+    // Round d exchanges 2^d blocks: sum_d (tau + 2^d M t_c), with each
+    // payload split into internal packets as needed.
+    const hc::dim_t n = 4;
+    const std::size_t M = 100;
+    auto params = unit_params(PortModel::one_port_full_duplex);
+    params.packet_capacity = 1e9; // keep each round one transfer
+    CollectiveComm comm(n, params);
+    const std::vector<Buffer> data = patterned_data(n, M);
+    std::vector<Buffer> out;
+    const auto result = comm.allgather(data, out);
+    double expected = 0;
+    for (hc::dim_t d = 0; d < n; ++d) {
+        expected += params.tau +
+                    std::ldexp(static_cast<double>(M), d) * params.tc;
+    }
+    EXPECT_NEAR(result.time, expected, 1e-6);
+}
+
+TEST_P(CollectiveSweep, ReduceScatterSumsPerBlock) {
+    const auto [n, root, elements] = GetParam();
+    (void)root;
+    if (elements > 1000) {
+        GTEST_SKIP() << "N^2-sized inputs kept small";
+    }
+    CollectiveComm comm(n, unit_params(PortModel::one_port_full_duplex));
+    const hc::node_t N = comm.node_count();
+    const std::size_t block = 4;
+    // data[i] = N blocks; block b element e = pattern(i, b) + e.
+    std::vector<Buffer> data(N);
+    for (hc::node_t i = 0; i < N; ++i) {
+        data[i].resize(N * block);
+        for (hc::node_t b = 0; b < N; ++b) {
+            for (std::size_t e = 0; e < block; ++e) {
+                data[i][b * block + e] =
+                    pattern(i, b) + static_cast<double>(e);
+            }
+        }
+    }
+    std::vector<Buffer> out;
+    const auto result = comm.reduce_scatter_sum(data, out);
+    EXPECT_GT(result.time, 0);
+    const double count = std::ldexp(1.0, n);
+    for (hc::node_t b = 0; b < N; ++b) {
+        ASSERT_EQ(out[b].size(), block);
+        for (std::size_t e = 0; e < block; ++e) {
+            // sum over i of (i*1000 + b + e).
+            const double expected = 1000.0 * (count * (count - 1) / 2) +
+                                    count * (static_cast<double>(b) +
+                                             static_cast<double>(e));
+            EXPECT_NEAR(out[b][e], expected, 1e-6)
+                << "block " << b << " element " << e;
+        }
+    }
+}
+
+TEST(Collectives, ReduceScatterTimeIsBandwidthOptimal) {
+    // Recursive halving: sum_d (tau + (N M / 2^(d+1)) t_c) — the N M t_c
+    // transfer term does not multiply by log N.
+    const hc::dim_t n = 4;
+    const std::size_t block = 50;
+    auto params = unit_params(PortModel::one_port_full_duplex);
+    params.packet_capacity = 1e9;
+    CollectiveComm comm(n, params);
+    const hc::node_t N = 1 << n;
+    std::vector<Buffer> data(N, Buffer(N * block, 1.0));
+    std::vector<Buffer> out;
+    const auto result = comm.reduce_scatter_sum(data, out);
+    double expected = 0;
+    for (hc::dim_t d = 0; d < n; ++d) {
+        expected += params.tau +
+                    static_cast<double>(N) * static_cast<double>(block) /
+                        std::ldexp(2.0, d) * params.tc;
+    }
+    EXPECT_NEAR(result.time, expected, 1e-6);
+}
+
+TEST(Collectives, ReduceScatterPlusAllgatherEqualsAllreduce) {
+    // The classic identity — and a cross-check between three independent
+    // implementations.
+    const hc::dim_t n = 3;
+    const std::size_t block = 8;
+    const hc::node_t N = 1 << n;
+    std::vector<Buffer> data(N);
+    for (hc::node_t i = 0; i < N; ++i) {
+        data[i].resize(N * block);
+        for (std::size_t e = 0; e < N * block; ++e) {
+            data[i][e] = pattern(i, e);
+        }
+    }
+    // reduce-scatter then allgather.
+    CollectiveComm comm(n, unit_params(PortModel::one_port_full_duplex));
+    std::vector<Buffer> reduced;
+    (void)comm.reduce_scatter_sum(data, reduced);
+    CollectiveComm comm2(n, unit_params(PortModel::one_port_full_duplex));
+    std::vector<Buffer> gathered;
+    (void)comm2.allgather(reduced, gathered);
+    // direct allreduce.
+    CollectiveComm comm3(n, unit_params(PortModel::one_port_full_duplex));
+    auto direct = data;
+    (void)comm3.allreduce_sum(direct);
+    for (hc::node_t i = 0; i < N; ++i) {
+        ASSERT_EQ(gathered[i].size(), direct[i].size());
+        for (std::size_t e = 0; e < direct[i].size(); ++e) {
+            EXPECT_NEAR(gathered[i][e], direct[i][e], 1e-6)
+                << "node " << i << " element " << e;
+        }
+    }
+}
+
+TEST_P(CollectiveSweep, AllToAllTransposesBlocks) {
+    const auto [n, root, elements] = GetParam();
+    (void)root;
+    if (elements > 1000) {
+        GTEST_SKIP() << "N^2-sized inputs kept small";
+    }
+    CollectiveComm comm(n, unit_params(PortModel::one_port_full_duplex));
+    const hc::node_t N = comm.node_count();
+    const std::size_t block = 3;
+    // data[i] block b element e = i*1e6 + b*1e3 + e.
+    std::vector<Buffer> data(N);
+    for (hc::node_t i = 0; i < N; ++i) {
+        data[i].resize(N * block);
+        for (hc::node_t b = 0; b < N; ++b) {
+            for (std::size_t e = 0; e < block; ++e) {
+                data[i][b * block + e] = 1e6 * i + 1e3 * b +
+                                         static_cast<double>(e);
+            }
+        }
+    }
+    std::vector<Buffer> out;
+    const auto result = comm.alltoall(data, out);
+    EXPECT_GT(result.time, 0);
+    for (hc::node_t i = 0; i < N; ++i) {
+        ASSERT_EQ(out[i].size(), N * block);
+        for (hc::node_t src = 0; src < N; ++src) {
+            for (std::size_t e = 0; e < block; ++e) {
+                // out[i] block src == data[src] block i.
+                EXPECT_EQ(out[i][src * block + e],
+                          1e6 * src + 1e3 * i + static_cast<double>(e))
+                    << "node " << i << " src " << src << " element " << e;
+            }
+        }
+    }
+}
+
+TEST(Collectives, AllToAllTimeMatchesRecursiveExchange) {
+    // Each round ships N/2 blocks: sum over rounds of
+    // (tau + (N/2) * block * t_c).
+    const hc::dim_t n = 4;
+    const std::size_t block = 64;
+    auto params = unit_params(PortModel::one_port_full_duplex);
+    params.packet_capacity = 1e9;
+    CollectiveComm comm(n, params);
+    const hc::node_t N = 1 << n;
+    std::vector<Buffer> data(N, Buffer(N * block, 1.0));
+    std::vector<Buffer> out;
+    const auto result = comm.alltoall(data, out);
+    const double per_round =
+        params.tau +
+        (static_cast<double>(N) / 2) * static_cast<double>(block) * params.tc;
+    EXPECT_NEAR(result.time, n * per_round, 1e-6);
+}
+
+TEST(Collectives, RejectsWrongBufferCounts) {
+    CollectiveComm comm(3, unit_params(PortModel::all_port));
+    std::vector<Buffer> wrong(3); // needs 8
+    EXPECT_THROW((void)comm.allreduce_sum(wrong), check_error);
+}
+
+} // namespace
+} // namespace hcube::routing

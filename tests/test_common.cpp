@@ -1,0 +1,116 @@
+// Unit tests for the common utilities (table/CSV/CLI/PRNG/check).
+#include "hypercoll.hpp"
+
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/prng.hpp"
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+namespace hcube {
+namespace {
+
+TEST(Check, EnsureThrowsWithLocation) {
+    try {
+        HCUBE_ENSURE_MSG(1 == 2, "math broke");
+        FAIL() << "should have thrown";
+    } catch (const check_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("1 == 2"), std::string::npos);
+        EXPECT_NE(what.find("math broke"), std::string::npos);
+    }
+}
+
+TEST(Table, RendersAlignedColumns) {
+    TextTable table({"algo", "T"});
+    table.add_row({"SBT", "12"});
+    table.add_row({"MSBT", "7"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("| algo "), std::string::npos);
+    EXPECT_NE(out.find("| MSBT | 7 "), std::string::npos);
+    EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, PadsShortRowsRejectsLongOnes) {
+    TextTable table({"a", "b"});
+    table.add_row({"x"});
+    EXPECT_THROW(table.add_row({"1", "2", "3"}), check_error);
+}
+
+TEST(Table, FormatHelpers) {
+    EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(format_seconds(2.5), "2.500 s");
+    EXPECT_EQ(format_seconds(2.5e-3), "2.500 ms");
+    EXPECT_EQ(format_seconds(2.5e-6), "2.500 us");
+}
+
+TEST(Csv, WritesQuotedCells) {
+    const std::string path = "/tmp/hypercoll_test.csv";
+    {
+        CsvWriter csv(path, {"a", "b"});
+        csv.write_row({"plain", "has,comma"});
+        csv.write_row({"has\"quote", "x"});
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "a,b");
+    std::getline(in, line);
+    EXPECT_EQ(line, "plain,\"has,comma\"");
+    std::getline(in, line);
+    EXPECT_EQ(line, "\"has\"\"quote\",x");
+    std::remove(path.c_str());
+}
+
+TEST(Cli, ParsesFlagsAndValues) {
+    const char* argv[] = {"prog",   "pos1", "--dim", "7",
+                          "--msg=60", "--rate", "2.5",  "--csv"};
+    CliOptions opts(8, argv);
+    EXPECT_EQ(opts.get_int("dim", 0), 7);
+    EXPECT_EQ(opts.get_int("msg", 0), 60);
+    EXPECT_TRUE(opts.has("csv"));
+    EXPECT_FALSE(opts.has("absent"));
+    EXPECT_DOUBLE_EQ(opts.get_double("rate", 0), 2.5);
+    EXPECT_EQ(opts.get_int("absent", 42), 42);
+    ASSERT_EQ(opts.positional().size(), 1u);
+    EXPECT_EQ(opts.positional()[0], "pos1");
+}
+
+TEST(Cli, RejectsMalformedNumbers) {
+    const char* argv[] = {"prog", "--dim", "7x"};
+    CliOptions opts(3, argv);
+    EXPECT_THROW((void)opts.get_int("dim", 0), std::invalid_argument);
+}
+
+TEST(Prng, DeterministicAcrossInstances) {
+    SplitMix64 a(123), b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Prng, ShuffleIsAPermutation) {
+    std::vector<int> items{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    SplitMix64 rng(7);
+    rng.shuffle(items);
+    std::set<int> seen(items.begin(), items.end());
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Prng, BoundedValuesInRange) {
+    SplitMix64 rng(99);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.next_below(17), 17u);
+    }
+}
+
+} // namespace
+} // namespace hcube

@@ -1,0 +1,93 @@
+// Unit tests for hc/cube.hpp — the Boolean n-cube description.
+#include "hc/cube.hpp"
+
+#include "common/check.hpp"
+#include "hc/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <set>
+
+namespace hcube::hc {
+namespace {
+
+TEST(Cube, BasicShape) {
+    const Cube cube(5);
+    EXPECT_EQ(cube.dimension(), 5);
+    EXPECT_EQ(cube.node_count(), 32u);
+    EXPECT_TRUE(cube.contains(31));
+    EXPECT_FALSE(cube.contains(32));
+}
+
+TEST(Cube, RejectsBadDimension) {
+    EXPECT_THROW(Cube(0), check_error);
+    EXPECT_THROW(Cube(kMaxDimension + 1), check_error);
+}
+
+TEST(Cube, NeighborFlipsExactlyOneBit) {
+    const Cube cube(6);
+    for (node_t i = 0; i < cube.node_count(); ++i) {
+        std::set<node_t> nbrs;
+        for (dim_t j = 0; j < 6; ++j) {
+            const node_t k = cube.neighbor(i, j);
+            EXPECT_TRUE(cube.adjacent(i, k));
+            EXPECT_EQ(i ^ k, node_t{1} << j);
+            nbrs.insert(k);
+        }
+        EXPECT_EQ(nbrs.size(), 6u); // fanout log N (paper §1)
+    }
+}
+
+TEST(Cube, DirectedEdgeCountIsNLogN) {
+    // Total communication links: (1/2) N log N, i.e. N log N directed edges.
+    for (dim_t n = 1; n <= 8; ++n) {
+        const Cube cube(n);
+        const auto edges = cube.directed_edges();
+        EXPECT_EQ(edges.size(), (std::size_t{1} << n) *
+                                    static_cast<std::size_t>(n));
+        std::set<std::pair<node_t, node_t>> unique;
+        for (const auto& e : edges) {
+            EXPECT_EQ(e.to, flip_bit(e.from, e.dim));
+            unique.emplace(e.from, e.to);
+        }
+        EXPECT_EQ(unique.size(), edges.size());
+    }
+}
+
+TEST(Cube, DistanceDistributionIsBinomial) {
+    // C(log N, i) nodes at distance i from any node (paper §1).
+    const Cube cube(7);
+    for (node_t center : {node_t{0}, node_t{0b1010101}}) {
+        std::vector<std::uint64_t> histogram(8, 0);
+        for (node_t i = 0; i < cube.node_count(); ++i) {
+            ++histogram[static_cast<std::size_t>(hamming(center, i))];
+        }
+        for (dim_t d = 0; d <= 7; ++d) {
+            EXPECT_EQ(histogram[static_cast<std::size_t>(d)],
+                      cube.nodes_at_distance(d));
+        }
+    }
+}
+
+TEST(Cube, BinomialKnownValues) {
+    EXPECT_EQ(binomial(0, 0), 1u);
+    EXPECT_EQ(binomial(5, 2), 10u);
+    EXPECT_EQ(binomial(20, 10), 184756u);
+    EXPECT_EQ(binomial(7, -1), 0u);
+    EXPECT_EQ(binomial(7, 8), 0u);
+}
+
+TEST(Cube, BinomialRowSumsToPowerOfTwo) {
+    for (dim_t n = 1; n <= 20; ++n) {
+        std::uint64_t sum = 0;
+        for (dim_t k = 0; k <= n; ++k) {
+            sum += binomial(n, k);
+        }
+        EXPECT_EQ(sum, std::uint64_t{1} << n);
+    }
+}
+
+} // namespace
+} // namespace hcube::hc

@@ -1,0 +1,175 @@
+// Tests for the cycle-accurate schedule executor and the half-duplex
+// stretching transform (sim/cycle.hpp).
+#include "sim/cycle.hpp"
+
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hcube::sim {
+namespace {
+
+Schedule simple_schedule() {
+    // 2-cube, packet 0 travels 0 -> 1 -> 3.
+    Schedule s;
+    s.n = 2;
+    s.packet_count = 1;
+    s.initial_holder = {0};
+    s.sends = {{0, 0, 1, 0}, {1, 1, 3, 0}};
+    return s;
+}
+
+TEST(CycleExecutor, DeliversAlongAPath) {
+    const auto stats =
+        execute_schedule(simple_schedule(), PortModel::one_port_half_duplex);
+    EXPECT_EQ(stats.makespan, 2u);
+    EXPECT_EQ(stats.total_sends, 2u);
+    EXPECT_TRUE(stats.holds(1, 0));
+    EXPECT_TRUE(stats.holds(3, 0));
+    EXPECT_FALSE(stats.holds(2, 0));
+    EXPECT_EQ(stats.delivery_cycle[1][0], 1u);
+    EXPECT_EQ(stats.delivery_cycle[3][0], 2u);
+    EXPECT_EQ(stats.delivery_cycle[0][0], 0u); // initial holding
+}
+
+TEST(CycleExecutor, RejectsNonNeighborSend) {
+    auto s = simple_schedule();
+    s.sends[1] = {1, 1, 2, 0}; // 1 and 2 differ in two bits
+    EXPECT_THROW((void)execute_schedule(s, PortModel::all_port), check_error);
+}
+
+TEST(CycleExecutor, RejectsForwardingBeforeArrival) {
+    auto s = simple_schedule();
+    s.sends[1].cycle = 0; // 1 forwards the packet in the cycle it arrives
+    EXPECT_THROW((void)execute_schedule(s, PortModel::all_port), check_error);
+}
+
+TEST(CycleExecutor, RejectsSendOfUnheldPacket) {
+    Schedule s;
+    s.n = 2;
+    s.packet_count = 1;
+    s.initial_holder = {0};
+    s.sends = {{0, 1, 3, 0}}; // node 1 never got packet 0
+    EXPECT_THROW((void)execute_schedule(s, PortModel::all_port), check_error);
+}
+
+TEST(CycleExecutor, RejectsDuplicateDelivery) {
+    Schedule s;
+    s.n = 2;
+    s.packet_count = 1;
+    s.initial_holder = {0};
+    // 0 -> 1, then 3 gets it twice via 1 and via 2... first give 2 a copy.
+    s.sends = {{0, 0, 1, 0}, {1, 0, 2, 0}, {2, 1, 3, 0}, {3, 2, 3, 0}};
+    EXPECT_THROW((void)execute_schedule(s, PortModel::all_port), check_error);
+}
+
+TEST(CycleExecutor, RejectsTwoPacketsOnOneLinkPerCycle) {
+    Schedule s;
+    s.n = 2;
+    s.packet_count = 2;
+    s.initial_holder = {0, 0};
+    s.sends = {{0, 0, 1, 0}, {0, 0, 1, 1}};
+    EXPECT_THROW((void)execute_schedule(s, PortModel::all_port), check_error);
+}
+
+TEST(CycleExecutor, HalfDuplexForbidsSendPlusReceive) {
+    Schedule s;
+    s.n = 2;
+    s.packet_count = 2;
+    s.initial_holder = {0, 1};
+    // Node 1 receives packet 0 and sends packet 1 in cycle 0.
+    s.sends = {{0, 0, 1, 0}, {0, 1, 3, 1}};
+    EXPECT_THROW((void)execute_schedule(s, PortModel::one_port_half_duplex),
+                 check_error);
+    // Full duplex allows exactly this.
+    EXPECT_NO_THROW(
+        (void)execute_schedule(s, PortModel::one_port_full_duplex));
+}
+
+TEST(CycleExecutor, FullDuplexForbidsTwoSends) {
+    Schedule s;
+    s.n = 2;
+    s.packet_count = 2;
+    s.initial_holder = {0, 0};
+    s.sends = {{0, 0, 1, 0}, {0, 0, 2, 1}};
+    EXPECT_THROW((void)execute_schedule(s, PortModel::one_port_full_duplex),
+                 check_error);
+    EXPECT_NO_THROW((void)execute_schedule(s, PortModel::all_port));
+}
+
+TEST(CycleExecutor, FullDuplexForbidsTwoReceives) {
+    Schedule s;
+    s.n = 2;
+    s.packet_count = 2;
+    s.initial_holder = {1, 2};
+    s.sends = {{0, 1, 3, 0}, {0, 2, 3, 1}};
+    EXPECT_THROW((void)execute_schedule(s, PortModel::one_port_full_duplex),
+                 check_error);
+    EXPECT_NO_THROW((void)execute_schedule(s, PortModel::all_port));
+}
+
+TEST(CycleExecutor, AllPortAllowsFullFanout) {
+    Schedule s;
+    s.n = 3;
+    s.packet_count = 1;
+    s.initial_holder = {0};
+    s.sends = {{0, 0, 1, 0}, {0, 0, 2, 0}, {0, 0, 4, 0}};
+    const auto stats = execute_schedule(s, PortModel::all_port);
+    EXPECT_EQ(stats.makespan, 1u);
+    EXPECT_EQ(stats.max_sends_in_one_cycle, 3u);
+}
+
+TEST(StretchToHalfDuplex, UnidirectionalCyclesStaySingle) {
+    Schedule s;
+    s.n = 2;
+    s.packet_count = 2;
+    s.initial_holder = {0, 0};
+    // Cycle 0: 0 -> 1 (one transfer, trivially unidirectional).
+    // Cycle 1: 0 -> 2 and 1 -> 3: no node both sends and receives.
+    s.sends = {{0, 0, 1, 0}, {1, 0, 2, 1}, {1, 1, 3, 0}};
+    const auto stretched = stretch_to_half_duplex(s);
+    const auto stats =
+        execute_schedule(stretched, PortModel::one_port_half_duplex);
+    EXPECT_EQ(stats.makespan, 2u); // nothing was doubled
+}
+
+TEST(StretchToHalfDuplex, BidirectionalCyclesSplitInTwo) {
+    Schedule s;
+    s.n = 2;
+    s.packet_count = 2;
+    s.initial_holder = {0, 1};
+    // Cycle 0: 0 -> 1 and 1 -> 3 (node 1 both receives and sends).
+    s.sends = {{0, 0, 1, 0}, {0, 1, 3, 1}};
+    const auto stretched = stretch_to_half_duplex(s);
+    EXPECT_EQ(stretched.sends.size(), 2u);
+    const auto stats =
+        execute_schedule(stretched, PortModel::one_port_half_duplex);
+    EXPECT_EQ(stats.makespan, 2u);
+    EXPECT_TRUE(stats.holds(3, 1));
+}
+
+TEST(StretchToHalfDuplex, PreservesDeliveries) {
+    Schedule s;
+    s.n = 3;
+    s.packet_count = 3;
+    s.initial_holder = {0, 0, 0};
+    // A small full-duplex pipeline down the path 0 -> 1 -> 3 -> 7.
+    for (packet_t p = 0; p < 3; ++p) {
+        s.sends.push_back({p + 0, 0, 1, p});
+        s.sends.push_back({p + 1, 1, 3, p});
+        s.sends.push_back({p + 2, 3, 7, p});
+    }
+    ASSERT_NO_THROW(
+        (void)execute_schedule(s, PortModel::one_port_full_duplex));
+    const auto stretched = stretch_to_half_duplex(s);
+    const auto stats =
+        execute_schedule(stretched, PortModel::one_port_half_duplex);
+    for (packet_t p = 0; p < 3; ++p) {
+        EXPECT_TRUE(stats.holds(7, p));
+    }
+}
+
+} // namespace
+} // namespace hcube::sim

@@ -1,0 +1,82 @@
+// Tests for the Gray-code ring/torus embeddings (hc/embed.hpp).
+#include "hc/embed.hpp"
+
+#include "common/check.hpp"
+#include "hc/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hcube::hc {
+namespace {
+
+TEST(EmbedRing, IsAHamiltonianCycle) {
+    for (dim_t n = 1; n <= 10; ++n) {
+        const auto ring = embed_ring(n);
+        ASSERT_EQ(ring.size(), std::size_t{1} << n);
+        std::set<node_t> seen(ring.begin(), ring.end());
+        EXPECT_EQ(seen.size(), ring.size());
+        for (std::size_t p = 0; p < ring.size(); ++p) {
+            const node_t next = ring[(p + 1) % ring.size()];
+            EXPECT_EQ(hamming(ring[p], next), 1)
+                << "n=" << n << " position " << p;
+        }
+    }
+}
+
+class TorusSweep
+    : public ::testing::TestWithParam<std::pair<dim_t, dim_t>> {};
+
+TEST_P(TorusSweep, IsABijection) {
+    const auto [rd, cd] = GetParam();
+    const TorusEmbedding torus = embed_torus(rd, cd);
+    std::set<node_t> seen;
+    for (node_t r = 0; r < torus.rows(); ++r) {
+        for (node_t c = 0; c < torus.cols(); ++c) {
+            const node_t node = torus.node_at(r, c);
+            EXPECT_TRUE(seen.insert(node).second);
+            EXPECT_LT(node, node_t{1} << (rd + cd));
+            const auto [rr, cc] = torus.coord_of(node);
+            EXPECT_EQ(rr, r);
+            EXPECT_EQ(cc, c);
+        }
+    }
+    EXPECT_EQ(seen.size(), std::size_t{1} << (rd + cd));
+}
+
+TEST_P(TorusSweep, AllFourDirectionsAreDilationOne) {
+    const auto [rd, cd] = GetParam();
+    const TorusEmbedding torus = embed_torus(rd, cd);
+    for (node_t r = 0; r < torus.rows(); ++r) {
+        for (node_t c = 0; c < torus.cols(); ++c) {
+            const node_t here = torus.node_at(r, c);
+            const node_t right = torus.node_at(r, (c + 1) % torus.cols());
+            const node_t down = torus.node_at((r + 1) % torus.rows(), c);
+            EXPECT_EQ(hamming(here, right), 1)
+                << "(" << r << "," << c << ") right";
+            EXPECT_EQ(hamming(here, down), 1)
+                << "(" << r << "," << c << ") down";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TorusSweep,
+                         ::testing::Values(std::pair<dim_t, dim_t>{1, 1},
+                                           std::pair<dim_t, dim_t>{2, 2},
+                                           std::pair<dim_t, dim_t>{3, 2},
+                                           std::pair<dim_t, dim_t>{2, 5},
+                                           std::pair<dim_t, dim_t>{4, 4}),
+                         [](const auto& param_info) {
+                             return std::to_string(param_info.param.first) +
+                                    "x" +
+                                    std::to_string(param_info.param.second);
+                         });
+
+TEST(EmbedTorus, RejectsDegenerateShapes) {
+    EXPECT_THROW((void)embed_torus(0, 3), check_error);
+    EXPECT_THROW((void)embed_torus(20, 20), check_error);
+}
+
+} // namespace
+} // namespace hcube::hc

@@ -1,0 +1,114 @@
+// Robustness of the cycle executor: randomized mutations of a known-valid
+// schedule must either be rejected or remain semantically valid — the
+// executor is the proof system for every lower-bound claim, so its checks
+// must actually fire.
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "routing/broadcast.hpp"
+#include "hc/bits.hpp"
+#include "sim/cycle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcube::sim {
+namespace {
+
+Schedule base_schedule() {
+    // MSBT full-duplex broadcast: dense, every node busy — a good mutation
+    // target.
+    return routing::msbt_broadcast(4, 0, 2,
+                                   PortModel::one_port_full_duplex);
+}
+
+TEST(ExecutorRobustness, BaseScheduleIsValid) {
+    EXPECT_NO_THROW((void)execute_schedule(base_schedule(),
+                                           PortModel::one_port_full_duplex));
+}
+
+TEST(ExecutorRobustness, MovingASendEarlierBreaksAvailability) {
+    // Any non-root-adjacent send moved to cycle 0 forwards a packet its
+    // sender cannot hold yet.
+    const Schedule original = base_schedule();
+    std::size_t mutated = 0;
+    for (std::size_t idx = 0;
+         idx < original.sends.size() && mutated < 10; ++idx) {
+        if (original.sends[idx].from == 0 || original.sends[idx].cycle == 0) {
+            continue;
+        }
+        Schedule copy = original;
+        copy.sends[idx].cycle = 0;
+        EXPECT_THROW(
+            (void)execute_schedule(copy, PortModel::one_port_full_duplex),
+            check_error);
+        ++mutated;
+    }
+    EXPECT_EQ(mutated, 10u);
+}
+
+TEST(ExecutorRobustness, RedirectingASendIsCaught) {
+    SplitMix64 rng(5);
+    const Schedule original = base_schedule();
+    int caught = 0;
+    for (int trial = 0; trial < 50; ++trial) {
+        Schedule copy = original;
+        auto& send =
+            copy.sends[static_cast<std::size_t>(rng.next_below(
+                copy.sends.size()))];
+        // Retarget to another neighbor of the sender.
+        const auto d = static_cast<hc::dim_t>(rng.next_below(4));
+        const hc::node_t new_to = send.from ^ (hc::node_t{1} << d);
+        if (new_to == send.to) {
+            continue;
+        }
+        send.to = new_to;
+        try {
+            (void)execute_schedule(copy, PortModel::one_port_full_duplex);
+        } catch (const check_error&) {
+            ++caught;
+        }
+    }
+    // Redirecting a tree edge almost always duplicates a delivery or
+    // leaves the old receiver without the packet it later forwards.
+    EXPECT_GE(caught, 40);
+}
+
+TEST(ExecutorRobustness, DuplicatingASendIsAlwaysCaught) {
+    SplitMix64 rng(9);
+    const Schedule original = base_schedule();
+    for (int trial = 0; trial < 25; ++trial) {
+        Schedule copy = original;
+        const auto& victim =
+            copy.sends[static_cast<std::size_t>(rng.next_below(
+                copy.sends.size()))];
+        // Same packet delivered a second time, later, from a node that has
+        // it (the original receiver relays it straight back).
+        copy.sends.push_back({victim.cycle + 1, victim.to, victim.from,
+                              victim.packet});
+        EXPECT_THROW((void)execute_schedule(
+                         copy, PortModel::one_port_full_duplex),
+                     check_error)
+            << "trial " << trial;
+    }
+}
+
+TEST(ExecutorRobustness, TighteningTheModelIsCaught) {
+    // The full-duplex MSBT schedule has bidirectional cycles: it must fail
+    // under half duplex as-is.
+    EXPECT_THROW((void)execute_schedule(base_schedule(),
+                                        PortModel::one_port_half_duplex),
+                 check_error);
+    // But is fine under the looser all-port model.
+    EXPECT_NO_THROW(
+        (void)execute_schedule(base_schedule(), PortModel::all_port));
+}
+
+TEST(ExecutorRobustness, PacketCountMismatchIsCaught) {
+    Schedule schedule = base_schedule();
+    schedule.initial_holder.pop_back();
+    EXPECT_THROW((void)execute_schedule(schedule,
+                                        PortModel::one_port_full_duplex),
+                 check_error);
+}
+
+} // namespace
+} // namespace hcube::sim

@@ -1,0 +1,139 @@
+// Tests for fault-aware spanning trees (trees/fault.hpp).
+#include "trees/fault.hpp"
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "hc/bits.hpp"
+#include "hc/cube.hpp"
+#include "routing/broadcast.hpp"
+#include "trees/sbt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace hcube::trees {
+namespace {
+
+std::vector<dim_t> identity_order(dim_t n) {
+    std::vector<dim_t> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    return order;
+}
+
+TEST(PermutedSbt, IdentityOrderReproducesTheSbt) {
+    const dim_t n = 5;
+    const auto order = identity_order(n);
+    for (const node_t s : {node_t{0}, node_t{13}}) {
+        const SpanningTree a = build_sbt(n, s);
+        const SpanningTree b = build_sbt_permuted(n, s, order);
+        EXPECT_EQ(a.parent, b.parent);
+    }
+}
+
+TEST(PermutedSbt, AnyOrderYieldsABinomialSpanningTree) {
+    const dim_t n = 6;
+    SplitMix64 rng(3);
+    auto order = identity_order(n);
+    for (int trial = 0; trial < 10; ++trial) {
+        rng.shuffle(order);
+        const SpanningTree tree = build_sbt_permuted(n, 9, order);
+        EXPECT_NO_THROW(validate_tree(tree));
+        EXPECT_EQ(tree.height, n);
+        // Binomial level populations survive the relabelling.
+        std::vector<std::uint64_t> per_level(static_cast<std::size_t>(n) + 1,
+                                             0);
+        for (node_t i = 0; i < tree.node_count(); ++i) {
+            ++per_level[static_cast<std::size_t>(tree.level[i])];
+        }
+        for (dim_t l = 0; l <= n; ++l) {
+            EXPECT_EQ(per_level[static_cast<std::size_t>(l)],
+                      hc::binomial(n, l));
+        }
+    }
+}
+
+TEST(PermutedSbt, ParentChildrenConsistent) {
+    const dim_t n = 5;
+    const std::vector<dim_t> order = {3, 0, 4, 1, 2};
+    for (node_t i = 0; i < (node_t{1} << n); ++i) {
+        for (const node_t c : sbt_children_permuted(i, 7, n, order)) {
+            EXPECT_EQ(sbt_parent_permuted(c, 7, n, order), i);
+        }
+    }
+}
+
+TEST(FaultAvoidance, SingleMidCubeFaultKeepsBinomialShape) {
+    const dim_t n = 5;
+    const node_t s = 0;
+    // A link far from the source: permuted SBTs should handle it.
+    const Link bad[] = {make_link(0b01100, 0b01110)};
+    const SpanningTree tree = build_broadcast_tree_avoiding(n, s, bad);
+    EXPECT_NO_THROW(validate_tree(tree));
+    EXPECT_TRUE(tree_avoids(tree, bad));
+    EXPECT_EQ(tree.height, n); // stayed in the SBT family
+}
+
+TEST(FaultAvoidance, SourceIncidentFaultFallsBackToBfs) {
+    const dim_t n = 4;
+    const node_t s = 0b0101;
+    const Link bad[] = {make_link(s, hc::flip_bit(s, 2))};
+    const SpanningTree tree = build_broadcast_tree_avoiding(n, s, bad);
+    EXPECT_NO_THROW(validate_tree(tree));
+    EXPECT_TRUE(tree_avoids(tree, bad));
+    // The cut-off neighbor is still reached, via the shortest detour —
+    // three hops (any alternative path flips bit 2 once and some other bit
+    // twice).
+    EXPECT_EQ(tree.level[hc::flip_bit(s, 2)], 3);
+}
+
+TEST(FaultAvoidance, RandomFaultSetsSweep) {
+    const dim_t n = 5;
+    SplitMix64 rng(11);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto s = static_cast<node_t>(rng.next_below(1u << n));
+        std::vector<Link> bad;
+        for (int f = 0; f < 3; ++f) {
+            const auto u = static_cast<node_t>(rng.next_below(1u << n));
+            const auto d = static_cast<dim_t>(rng.next_below(
+                static_cast<std::uint64_t>(n)));
+            bad.push_back(make_link(u, hc::flip_bit(u, d)));
+        }
+        const SpanningTree tree =
+            build_broadcast_tree_avoiding(n, s, bad, rng.next());
+        EXPECT_NO_THROW(validate_tree(tree));
+        EXPECT_TRUE(tree_avoids(tree, bad));
+    }
+}
+
+TEST(FaultAvoidance, BroadcastStillDeliversOnTheRepairedTree) {
+    const dim_t n = 5;
+    const Link bad[] = {make_link(0, 1), make_link(0b00110, 0b00100)};
+    const SpanningTree tree = build_broadcast_tree_avoiding(n, 0, bad);
+    const auto schedule =
+        routing::paced_broadcast(tree, 4, sim::PortModel::all_port);
+    const auto stats =
+        sim::execute_schedule(schedule, sim::PortModel::all_port);
+    for (node_t i = 0; i < tree.node_count(); ++i) {
+        for (sim::packet_t p = 0; p < 4; ++p) {
+            EXPECT_TRUE(stats.holds(i, p));
+        }
+    }
+}
+
+TEST(FaultAvoidance, DisconnectingTheSourceThrows) {
+    const dim_t n = 2;
+    // Cut both of node 0's links: nothing can reach it.
+    const Link bad[] = {make_link(0, 1), make_link(0, 2)};
+    EXPECT_THROW((void)build_broadcast_tree_avoiding(n, 0, bad), check_error);
+}
+
+TEST(MakeLink, NormalizesAndValidates) {
+    EXPECT_EQ(make_link(5, 4), (Link{4, 5}));
+    EXPECT_EQ(make_link(4, 5), (Link{4, 5}));
+    EXPECT_THROW((void)make_link(3, 5), check_error);
+}
+
+} // namespace
+} // namespace hcube::trees

@@ -1,0 +1,63 @@
+// Unit tests for hc/gray.hpp — binary-reflected Gray codes (paper §3.4, §5.2).
+#include "hc/gray.hpp"
+
+#include "hc/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <set>
+
+namespace hcube::hc {
+namespace {
+
+TEST(Gray, EncodeDecodeRoundTrip) {
+    for (node_t i = 0; i < 4096; ++i) {
+        EXPECT_EQ(gray_decode(gray_encode(i)), i);
+    }
+}
+
+TEST(Gray, ConsecutiveCodewordsDifferInOneBit) {
+    for (node_t i = 0; i + 1 < 4096; ++i) {
+        EXPECT_EQ(hamming(gray_encode(i), gray_encode(i + 1)), 1);
+    }
+}
+
+TEST(Gray, TransitionSequenceMatchesCodewords) {
+    for (node_t i = 0; i + 1 < 2048; ++i) {
+        const node_t diff = gray_encode(i) ^ gray_encode(i + 1);
+        EXPECT_EQ(node_t{1} << gray_transition(i), diff);
+    }
+}
+
+// §5.2: descending destination addresses use root ports in BRGC transition
+// order — port 0 every other step, port 1 every fourth, ...
+TEST(Gray, TransitionSequenceIsTheRulerSequence) {
+    EXPECT_EQ(gray_transition(0), 0);
+    EXPECT_EQ(gray_transition(1), 1);
+    EXPECT_EQ(gray_transition(2), 0);
+    EXPECT_EQ(gray_transition(3), 2);
+    EXPECT_EQ(gray_transition(4), 0);
+    EXPECT_EQ(gray_transition(5), 1);
+    EXPECT_EQ(gray_transition(6), 0);
+    EXPECT_EQ(gray_transition(7), 3);
+}
+
+TEST(Gray, PathIsHamiltonian) {
+    for (dim_t n = 1; n <= 8; ++n) {
+        for (node_t start : {node_t{0}, (node_t{1} << n) - 1}) {
+            const auto path = gray_path(n, start);
+            ASSERT_EQ(path.size(), std::size_t{1} << n);
+            EXPECT_EQ(path.front(), start);
+            std::set<node_t> seen(path.begin(), path.end());
+            EXPECT_EQ(seen.size(), path.size()); // visits every node once
+            for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+                EXPECT_EQ(hamming(path[i], path[i + 1]), 1);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace hcube::hc

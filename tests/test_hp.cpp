@@ -1,0 +1,68 @@
+// Tests for the Hamiltonian-path spanning trees (paper §3.4).
+#include "trees/hp.hpp"
+
+#include "hc/bits.hpp"
+#include "trees/spanning_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hcube::trees {
+namespace {
+
+struct HpCase {
+    dim_t n;
+    node_t source;
+    HpVariant variant;
+};
+
+class HpSweep : public ::testing::TestWithParam<HpCase> {};
+
+TEST_P(HpSweep, IsAValidSpanningTree) {
+    const auto [n, s, variant] = GetParam();
+    const SpanningTree tree = build_hamiltonian_path(n, s, variant);
+    EXPECT_NO_THROW(validate_tree(tree));
+    EXPECT_EQ(tree.root, s);
+}
+
+TEST_P(HpSweep, EveryNodeHasAtMostOneChildExceptCenterRoot) {
+    const auto [n, s, variant] = GetParam();
+    const SpanningTree tree = build_hamiltonian_path(n, s, variant);
+    for (node_t i = 0; i < tree.node_count(); ++i) {
+        const std::size_t expected_max =
+            (i == s && variant == HpVariant::source_at_center) ? 2 : 1;
+        EXPECT_LE(tree.children[i].size(), expected_max) << "node " << i;
+    }
+}
+
+TEST_P(HpSweep, HeightMatchesVariant) {
+    const auto [n, s, variant] = GetParam();
+    const SpanningTree tree = build_hamiltonian_path(n, s, variant);
+    const node_t N = tree.node_count();
+    if (variant == HpVariant::source_at_end) {
+        EXPECT_EQ(static_cast<node_t>(tree.height), N - 1);
+    } else {
+        // Arms of N/2 and N/2 - 1 edges.
+        EXPECT_EQ(static_cast<node_t>(tree.height), N / 2);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, HpSweep,
+    ::testing::Values(HpCase{2, 0, HpVariant::source_at_end},
+                      HpCase{3, 5, HpVariant::source_at_end},
+                      HpCase{5, 0, HpVariant::source_at_end},
+                      HpCase{7, 0b1010101, HpVariant::source_at_end},
+                      HpCase{2, 3, HpVariant::source_at_center},
+                      HpCase{4, 9, HpVariant::source_at_center},
+                      HpCase{6, 0, HpVariant::source_at_center}),
+    [](const auto& param_info) {
+        return "n" + std::to_string(param_info.param.n) + "_s" +
+               std::to_string(param_info.param.source) +
+               (param_info.param.variant == HpVariant::source_at_end ? "_end"
+                                                               : "_center");
+    });
+
+} // namespace
+} // namespace hcube::trees

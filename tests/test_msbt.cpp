@@ -1,0 +1,175 @@
+// Tests for the Multiple Spanning Binomial Trees (paper §3.2-3.3.2):
+// spanning-ness of every ERSBT, pairwise edge-disjointness, and the three
+// conditions on the labelling f.
+#include "trees/msbt.hpp"
+
+#include "hc/bits.hpp"
+#include "trees/spanning_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <map>
+#include <set>
+
+namespace hcube::trees {
+namespace {
+
+struct MsbtCase {
+    dim_t n;
+    node_t source;
+};
+
+class MsbtSweep : public ::testing::TestWithParam<MsbtCase> {};
+
+TEST_P(MsbtSweep, EveryErsbtIsAValidSpanningTree) {
+    const auto [n, s] = GetParam();
+    for (dim_t j = 0; j < n; ++j) {
+        const SpanningTree tree = build_ersbt(n, j, s);
+        EXPECT_NO_THROW(validate_tree(tree));
+        EXPECT_EQ(tree.root, s);
+        // The source's only edge goes to the tree root s ^ 2^j; the graph
+        // height is log N + 1 (paper: the MSBT diameter).
+        ASSERT_EQ(tree.children[s].size(), 1u);
+        EXPECT_EQ(tree.children[s][0], hc::flip_bit(s, j));
+        EXPECT_LE(tree.height, n + 1);
+    }
+}
+
+TEST_P(MsbtSweep, TreesAreEdgeDisjoint) {
+    const auto [n, s] = GetParam();
+    const MsbtGraph graph = build_msbt(n, s);
+    std::set<std::pair<node_t, node_t>> edges;
+    std::size_t total = 0;
+    for (const auto& tree : graph.trees) {
+        for (node_t i = 0; i < tree.node_count(); ++i) {
+            if (i == s) {
+                continue;
+            }
+            EXPECT_TRUE(edges.emplace(tree.parent[i], i).second)
+                << "edge " << tree.parent[i] << "->" << i
+                << " used by two ERSBTs";
+            ++total;
+        }
+    }
+    // n spanning trees of N-1 edges each = n(N-1) = all nN directed edges
+    // except the n edges pointing back into the source (paper §3.2).
+    EXPECT_EQ(total, static_cast<std::size_t>(n) *
+                         ((std::size_t{1} << n) - 1));
+    for (dim_t j = 0; j < n; ++j) {
+        EXPECT_FALSE(edges.contains({hc::flip_bit(s, j), s}));
+    }
+}
+
+TEST_P(MsbtSweep, InternalNodesAreExactlyThoseWithBitJSet) {
+    const auto [n, s] = GetParam();
+    if (n == 1) {
+        GTEST_SKIP() << "the 1-cube ERSBT root has no children";
+    }
+    for (dim_t j = 0; j < n; ++j) {
+        const SpanningTree tree = build_ersbt(n, j, s);
+        for (node_t i = 0; i < tree.node_count(); ++i) {
+            if (i == s) {
+                continue;
+            }
+            const bool internal = !tree.children[i].empty();
+            EXPECT_EQ(internal, hc::test_bit(i ^ s, j))
+                << "node " << i << " tree " << j;
+        }
+    }
+}
+
+TEST_P(MsbtSweep, LabelConditionOneOutputsExceedInput) {
+    const auto [n, s] = GetParam();
+    for (dim_t j = 0; j < n; ++j) {
+        const SpanningTree tree = build_ersbt(n, j, s);
+        for (node_t i = 0; i < tree.node_count(); ++i) {
+            if (i == s) {
+                continue;
+            }
+            const dim_t in_label = msbt_edge_label(i, j, s, n);
+            EXPECT_GE(in_label, 0);
+            EXPECT_LE(in_label, 2 * n - 1); // largest label is 2n-1
+            for (const node_t c : tree.children[i]) {
+                EXPECT_GT(msbt_edge_label(c, j, s, n), in_label)
+                    << "tree " << j << ": " << i << " -> " << c;
+            }
+        }
+    }
+}
+
+TEST_P(MsbtSweep, LabelConditionTwoInputLabelsDistinctModN) {
+    const auto [n, s] = GetParam();
+    for (node_t i = 0; i < (node_t{1} << n); ++i) {
+        if (i == s) {
+            continue;
+        }
+        std::set<dim_t> classes;
+        for (dim_t j = 0; j < n; ++j) {
+            classes.insert(msbt_edge_label(i, j, s, n) % n);
+        }
+        EXPECT_EQ(classes.size(), static_cast<std::size_t>(n))
+            << "node " << i;
+    }
+}
+
+TEST_P(MsbtSweep, LabelConditionThreeOutputLabelsDistinctModN) {
+    const auto [n, s] = GetParam();
+    const MsbtGraph graph = build_msbt(n, s);
+    std::map<node_t, std::multiset<dim_t>> out_labels;
+    for (dim_t j = 0; j < n; ++j) {
+        const auto& tree = graph.trees[static_cast<std::size_t>(j)];
+        for (node_t i = 0; i < tree.node_count(); ++i) {
+            for (const node_t c : tree.children[i]) {
+                out_labels[i].insert(msbt_edge_label(c, j, s, n) % n);
+            }
+        }
+    }
+    for (const auto& [node, labels] : out_labels) {
+        std::set<dim_t> unique(labels.begin(), labels.end());
+        EXPECT_EQ(unique.size(), labels.size())
+            << "node " << node << " repeats an output label class";
+    }
+}
+
+TEST_P(MsbtSweep, ParentChildrenConsistent) {
+    const auto [n, s] = GetParam();
+    for (dim_t j = 0; j < n; ++j) {
+        for (node_t i = 0; i < (node_t{1} << n); ++i) {
+            for (const node_t c : msbt_children(i, j, s, n)) {
+                EXPECT_EQ(msbt_parent(c, j, s, n), i)
+                    << "tree " << j << " node " << i << " child " << c;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimensionsAndSources, MsbtSweep,
+    ::testing::Values(MsbtCase{1, 0}, MsbtCase{2, 0}, MsbtCase{3, 0},
+                      MsbtCase{3, 5}, MsbtCase{4, 0b1001}, MsbtCase{5, 0},
+                      MsbtCase{6, 0b110110}, MsbtCase{7, 0b1111111},
+                      MsbtCase{8, 0b10000001}),
+    [](const auto& param_info) {
+        return "n" + std::to_string(param_info.param.n) + "_s" +
+               std::to_string(param_info.param.source);
+    });
+
+// Figure 2/3 spot checks: the 3-cube MSBT with source 0.
+TEST(Msbt, ThreeCubeRootsAndLabels) {
+    const dim_t n = 3;
+    // Root of tree j is 2^j, reached at cycle j.
+    for (dim_t j = 0; j < n; ++j) {
+        EXPECT_EQ(msbt_parent(node_t{1} << j, j, 0, n), 0u);
+        EXPECT_EQ(msbt_edge_label(node_t{1} << j, j, 0, n), j);
+    }
+    // Node 0's children: exactly one per tree.
+    for (dim_t j = 0; j < n; ++j) {
+        EXPECT_EQ(msbt_children(0, j, 0, n),
+                  (std::vector<node_t>{node_t{1} << j}));
+    }
+}
+
+} // namespace
+} // namespace hcube::trees

@@ -1,0 +1,147 @@
+// Unit tests for hc/necklace.hpp — generator sets and the BST base function.
+#include "hc/necklace.hpp"
+
+#include "hc/bits.hpp"
+#include "hc/rotate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace hcube::hc {
+namespace {
+
+TEST(Necklace, CanonicalIsMinimalOverRotations) {
+    const dim_t n = 9;
+    for (node_t x = 0; x < (node_t{1} << n); x += 5) {
+        node_t expected = x;
+        for (dim_t j = 1; j < n; ++j) {
+            expected = std::min(expected, rotate_right(x, j, n));
+        }
+        EXPECT_EQ(necklace_canonical(x, n), expected);
+    }
+}
+
+TEST(Necklace, PaperGeneratorSetExample) {
+    // (001001), (010010), (100100) form one generator set (§2).
+    const dim_t n = 6;
+    EXPECT_EQ(necklace_canonical(0b001001, n), 0b001001u);
+    EXPECT_EQ(necklace_canonical(0b010010, n), 0b001001u);
+    EXPECT_EQ(necklace_canonical(0b100100, n), 0b001001u);
+}
+
+TEST(Necklace, BaseOfConsistentPaperExample) {
+    // base((110110)) = 1 (§4.1). (The companion example (011010) -> 3 in the
+    // paper contradicts its own definition, which yields 1; see DESIGN.md.)
+    EXPECT_EQ(base(0b110110, 6), 1);
+}
+
+TEST(Necklace, BaseIsLeastRotationReachingCanonical) {
+    const dim_t n = 8;
+    for (node_t x = 1; x < (node_t{1} << n); ++x) {
+        const dim_t b = base(x, n);
+        EXPECT_EQ(rotate_right(x, b, n), necklace_canonical(x, n));
+        for (dim_t j = 0; j < b; ++j) {
+            EXPECT_NE(rotate_right(x, j, n), necklace_canonical(x, n));
+        }
+    }
+}
+
+TEST(Necklace, CanonicalRotationIsOddForNonzero) {
+    // The minimal rotation of a nonzero string ends in a 1 bit — the fact
+    // that guarantees every BST node i has bit base(i) set (§4.1).
+    const dim_t n = 10;
+    for (node_t x = 1; x < (node_t{1} << n); x += 3) {
+        EXPECT_TRUE(test_bit(necklace_canonical(x, n), 0)) << x;
+        EXPECT_TRUE(test_bit(x, base(x, n))) << x;
+    }
+}
+
+TEST(Necklace, BaseSetSizeIsLengthOverPeriod) {
+    const dim_t n = 12;
+    for (node_t x = 0; x < (node_t{1} << n); x += 17) {
+        EXPECT_EQ(base_set(x, n).size(),
+                  static_cast<std::size_t>(n / period(x, n)));
+    }
+}
+
+TEST(Necklace, NecklaceCountMatchesBruteForce) {
+    for (dim_t n = 1; n <= 14; ++n) {
+        std::set<node_t> canons;
+        for (node_t x = 0; x < (node_t{1} << n); ++x) {
+            canons.insert(necklace_canonical(x, n));
+        }
+        EXPECT_EQ(necklace_count(n), canons.size()) << "n=" << n;
+    }
+}
+
+// OEIS A000031: necklaces over a binary alphabet.
+TEST(Necklace, NecklaceCountKnownValues) {
+    EXPECT_EQ(necklace_count(1), 2u);
+    EXPECT_EQ(necklace_count(4), 6u);
+    EXPECT_EQ(necklace_count(8), 36u);
+    EXPECT_EQ(necklace_count(16), 4116u);
+    EXPECT_EQ(necklace_count(20), 52488u);
+}
+
+TEST(Necklace, CyclicStringCountMatchesBruteForce) {
+    for (dim_t n = 1; n <= 14; ++n) {
+        std::uint64_t brute = 0;
+        for (node_t x = 0; x < (node_t{1} << n); ++x) {
+            brute += is_cyclic(x, n) ? 1u : 0u;
+        }
+        EXPECT_EQ(cyclic_string_count(n), brute) << "n=" << n;
+    }
+}
+
+TEST(Necklace, CyclicNecklaceCountMatchesBruteForce) {
+    for (dim_t n = 1; n <= 14; ++n) {
+        std::set<node_t> degenerate;
+        for (node_t x = 0; x < (node_t{1} << n); ++x) {
+            if (is_cyclic(x, n)) {
+                degenerate.insert(necklace_canonical(x, n));
+            }
+        }
+        EXPECT_EQ(cyclic_necklace_count(n), degenerate.size()) << "n=" << n;
+    }
+}
+
+// Lemma 4.1 relies on B = O(sqrt N): check the bound numerically.
+TEST(Necklace, DegenerateNecklacesAreOrderSqrtN) {
+    for (dim_t n = 2; n <= 20; ++n) {
+        const double bound =
+            3.0 * std::sqrt(std::ldexp(1.0, n)); // generous constant
+        EXPECT_LT(static_cast<double>(cyclic_necklace_count(n)), bound)
+            << "n=" << n;
+    }
+}
+
+TEST(Necklace, BaseCensusCoversEveryNonzeroAddress) {
+    for (dim_t n = 2; n <= 12; ++n) {
+        const auto census = base_census(n);
+        std::uint64_t total = 0;
+        for (const auto c : census) {
+            total += c;
+        }
+        EXPECT_EQ(total, (std::uint64_t{1} << n) - 1);
+    }
+}
+
+TEST(Necklace, BaseCensusMatchesDirectCount) {
+    const dim_t n = 10;
+    const auto census = base_census(n);
+    std::map<dim_t, std::uint64_t> direct;
+    for (node_t x = 1; x < (node_t{1} << n); ++x) {
+        ++direct[base(x, n)];
+    }
+    for (dim_t j = 0; j < n; ++j) {
+        EXPECT_EQ(census[static_cast<std::size_t>(j)], direct[j]);
+    }
+}
+
+} // namespace
+} // namespace hcube::hc

@@ -1,0 +1,75 @@
+// Unit tests for hc/paths.hpp — the log N node-disjoint paths (paper §1).
+#include "hc/paths.hpp"
+
+#include "common/check.hpp"
+#include "hc/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <set>
+
+namespace hcube::hc {
+namespace {
+
+void check_paths(node_t a, node_t b, dim_t n) {
+    const auto paths = disjoint_paths(a, b, n);
+    const auto d = static_cast<std::size_t>(hamming(a, b));
+    ASSERT_EQ(paths.size(), static_cast<std::size_t>(n));
+
+    std::set<node_t> interior_nodes;
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+        const auto& path = paths[p];
+        ASSERT_GE(path.size(), 2u);
+        EXPECT_EQ(path.front(), a);
+        EXPECT_EQ(path.back(), b);
+        // Lengths: d short paths, n - d paths of length d + 2 (paper §1,
+        // citing Saad & Schultz).
+        const std::size_t expected_len = (p < d) ? d : d + 2;
+        EXPECT_EQ(path.size() - 1, expected_len);
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            EXPECT_EQ(hamming(path[i], path[i + 1]), 1);
+        }
+        for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+            EXPECT_TRUE(interior_nodes.insert(path[i]).second)
+                << "interior node " << path[i] << " shared between paths";
+            EXPECT_NE(path[i], a);
+            EXPECT_NE(path[i], b);
+        }
+    }
+}
+
+TEST(DisjointPaths, AdjacentNodes) { check_paths(0b0000, 0b0001, 4); }
+
+TEST(DisjointPaths, AntipodalNodes) { check_paths(0b00000, 0b11111, 5); }
+
+TEST(DisjointPaths, ExhaustiveSmallCube) {
+    const dim_t n = 4;
+    for (node_t a = 0; a < (node_t{1} << n); ++a) {
+        for (node_t b = 0; b < (node_t{1} << n); ++b) {
+            if (a != b) {
+                check_paths(a, b, n);
+            }
+        }
+    }
+}
+
+TEST(DisjointPaths, SampledLargerCube) {
+    const dim_t n = 9;
+    for (node_t a : {node_t{0}, node_t{0b101010101}, node_t{0b111000111}}) {
+        for (node_t b : {node_t{1}, node_t{0b010101010}, node_t{0b111111111},
+                         node_t{0b100000000}}) {
+            if (a != b) {
+                check_paths(a, b, n);
+            }
+        }
+    }
+}
+
+TEST(DisjointPaths, RejectsEqualEndpoints) {
+    EXPECT_THROW((void)disjoint_paths(3, 3, 4), check_error);
+}
+
+} // namespace
+} // namespace hcube::hc

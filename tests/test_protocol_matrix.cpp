@@ -1,0 +1,162 @@
+// Cross-product sweep: every event protocol under every port model must
+// deliver completely, and for uniform chunk sizes the event-engine time must
+// equal the cycle count times (τ + B t_c) — the two simulators agree on the
+// algorithms they both model.
+#include "model/broadcast_model.hpp"
+#include "routing/broadcast.hpp"
+#include "routing/protocols.hpp"
+#include "routing/scatter.hpp"
+#include "trees/bst.hpp"
+#include "trees/sbt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcube::routing {
+namespace {
+
+using sim::EventParams;
+using sim::PortModel;
+
+constexpr PortModel kModels[] = {PortModel::one_port_half_duplex,
+                                 PortModel::one_port_full_duplex,
+                                 PortModel::all_port};
+
+EventParams unit_params(PortModel model) {
+    EventParams p;
+    p.tau = 1.0;
+    p.tc = 0.001;
+    p.packet_capacity = 1000;
+    p.overlap = 0;
+    p.model = model;
+    return p;
+}
+
+class ModelSweep : public ::testing::TestWithParam<PortModel> {};
+
+TEST_P(ModelSweep, PortOrientedBroadcastDeliversEverywhere) {
+    const auto model = GetParam();
+    const hc::dim_t n = 5;
+    const trees::SpanningTree tree = trees::build_sbt(n, 3);
+    sim::EventEngine engine(n, unit_params(model));
+    PortOrientedBroadcast protocol(tree, 5000, 1000);
+    (void)engine.run(protocol);
+    EXPECT_TRUE(protocol.complete());
+}
+
+TEST_P(ModelSweep, PipelinedBroadcastDeliversEverywhere) {
+    const auto model = GetParam();
+    const hc::dim_t n = 5;
+    const trees::SpanningTree tree = trees::build_sbt(n, 0);
+    sim::EventEngine engine(n, unit_params(model));
+    PipelinedBroadcast protocol(tree, 5000, 1000);
+    (void)engine.run(protocol);
+    EXPECT_TRUE(protocol.complete());
+}
+
+TEST_P(ModelSweep, MsbtBroadcastDeliversEverywhere) {
+    const auto model = GetParam();
+    const hc::dim_t n = 5;
+    sim::EventEngine engine(n, unit_params(model));
+    MsbtBroadcastProtocol protocol(n, 7, 5000, 1000);
+    (void)engine.run(protocol);
+    EXPECT_TRUE(protocol.complete());
+}
+
+TEST_P(ModelSweep, ScatterDeliversEverywhere) {
+    const auto model = GetParam();
+    const hc::dim_t n = 5;
+    const trees::SpanningTree tree = trees::build_bst(n, 0);
+    sim::EventEngine engine(n, unit_params(model));
+    ScatterProtocol protocol(
+        tree, cyclic_dest_order(tree, SubtreeOrder::depth_first), 800);
+    (void)engine.run(protocol);
+    EXPECT_EQ(protocol.delivered(), (std::size_t{1} << n) - 1);
+}
+
+TEST_P(ModelSweep, MergedScatterDeliversEverywhere) {
+    const auto model = GetParam();
+    const hc::dim_t n = 5;
+    auto params = unit_params(model);
+    params.packet_capacity = 1e9;
+    const trees::SpanningTree tree = trees::build_sbt(n, 0);
+    sim::EventEngine engine(n, params);
+    MergedScatterProtocol protocol(tree, 100);
+    (void)engine.run(protocol);
+    EXPECT_EQ(protocol.delivered(), (std::size_t{1} << n) - 1);
+}
+
+TEST_P(ModelSweep, GatherCompletesEverywhere) {
+    const auto model = GetParam();
+    const hc::dim_t n = 5;
+    const trees::SpanningTree tree = trees::build_bst(n, 0);
+    sim::EventEngine engine(n, unit_params(model));
+    GatherProtocol protocol(tree, 100, /*combining=*/true);
+    (void)engine.run(protocol);
+    EXPECT_TRUE(protocol.complete());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPortModels, ModelSweep, ::testing::ValuesIn(kModels),
+    [](const auto& param_info) {
+        switch (param_info.param) {
+        case PortModel::one_port_half_duplex: return "half";
+        case PortModel::one_port_full_duplex: return "full";
+        case PortModel::all_port: return "all";
+        }
+        return "?";
+    });
+
+// Engine <-> executor equivalence: with uniform packet sizes the measured
+// event time is exactly (cycle makespan) x (tau + B t_c).
+TEST(EngineEquivalence, MsbtFullDuplexTimesMatchCycleCounts) {
+    for (const hc::dim_t n : {hc::dim_t{3}, hc::dim_t{4}, hc::dim_t{6}}) {
+        for (const sim::packet_t pps : {sim::packet_t{1}, sim::packet_t{4}}) {
+            const double B = 1000;
+            const double M = B * n * pps;
+            const EventParams params =
+                unit_params(PortModel::one_port_full_duplex);
+
+            const auto schedule = msbt_broadcast(
+                n, 0, pps, PortModel::one_port_full_duplex);
+            const auto cycles =
+                sim::execute_schedule(schedule,
+                                      PortModel::one_port_full_duplex)
+                    .makespan;
+
+            sim::EventEngine engine(n, params);
+            MsbtBroadcastProtocol protocol(n, 0, M, B);
+            const double time = engine.run(protocol).completion_time;
+
+            EXPECT_NEAR(time, cycles * (params.tau + B * params.tc), 1e-9)
+                << "n=" << n << " pps=" << pps;
+        }
+    }
+}
+
+TEST(EngineEquivalence, SbtPortOrientedTimesMatchCycleCounts) {
+    for (const hc::dim_t n : {hc::dim_t{3}, hc::dim_t{5}}) {
+        for (const sim::packet_t packets :
+             {sim::packet_t{1}, sim::packet_t{6}}) {
+            const double B = 1000;
+            const double M = B * packets;
+            const EventParams params =
+                unit_params(PortModel::one_port_full_duplex);
+            const trees::SpanningTree tree = trees::build_sbt(n, 0);
+
+            const auto cycles =
+                sim::execute_schedule(port_oriented_broadcast(tree, packets),
+                                      PortModel::one_port_full_duplex)
+                    .makespan;
+
+            sim::EventEngine engine(n, params);
+            PortOrientedBroadcast protocol(tree, M, B);
+            const double time = engine.run(protocol).completion_time;
+
+            EXPECT_NEAR(time, cycles * (params.tau + B * params.tc), 1e-9)
+                << "n=" << n << " packets=" << packets;
+        }
+    }
+}
+
+} // namespace
+} // namespace hcube::routing

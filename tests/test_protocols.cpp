@@ -1,0 +1,236 @@
+// Tests for the event-engine protocols (routing/protocols.hpp): correctness
+// of delivery and agreement of measured times with the Table 3 / Table 6
+// formulas for uniform packet sizes.
+#include "routing/protocols.hpp"
+
+#include "model/broadcast_model.hpp"
+#include "model/personalized_model.hpp"
+#include "routing/scatter.hpp"
+#include "trees/bst.hpp"
+#include "trees/sbt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hcube::routing {
+namespace {
+
+using sim::EventEngine;
+using sim::EventParams;
+using sim::EventStats;
+using sim::PortModel;
+using trees::SpanningTree;
+
+EventParams unit_params(PortModel model) {
+    EventParams p;
+    p.tau = 1.0;
+    p.tc = 0.001;
+    p.packet_capacity = 1000;
+    p.overlap = 0;
+    p.model = model;
+    return p;
+}
+
+TEST(PortOrientedBroadcast, SbtOnePortMatchesCeilMOverBTimesLogN) {
+    const hc::dim_t n = 5;
+    const double M = 6000; // 6 external packets of 1000 elements
+    const double B = 1000;
+    const SpanningTree tree = trees::build_sbt(n, 0);
+    EventParams params = unit_params(PortModel::one_port_full_duplex);
+    EventEngine engine(n, params);
+    PortOrientedBroadcast protocol(tree, M, B);
+    const EventStats stats = engine.run(protocol);
+    EXPECT_TRUE(protocol.complete());
+    // T = ceil(M/B) log N (τ + B t_c) — Table 3, SBT 1 port.
+    const double expected = model::broadcast_time(
+        model::Algorithm::sbt, PortModel::one_port_half_duplex, M, B, n,
+        {params.tau, params.tc});
+    EXPECT_NEAR(stats.completion_time, expected, 1e-6);
+}
+
+TEST(PipelinedBroadcast, SbtAllPortMatchesPipelineFormula) {
+    const hc::dim_t n = 5;
+    const double M = 6000;
+    const double B = 1000;
+    const SpanningTree tree = trees::build_sbt(n, 0);
+    EventParams params = unit_params(PortModel::all_port);
+    EventEngine engine(n, params);
+    PipelinedBroadcast protocol(tree, M, B);
+    const EventStats stats = engine.run(protocol);
+    EXPECT_TRUE(protocol.complete());
+    // T = (ceil(M/B) + log N - 1)(τ + B t_c) — Table 3, SBT log N ports.
+    const double expected =
+        model::broadcast_time(model::Algorithm::sbt, PortModel::all_port, M,
+                              B, n, {params.tau, params.tc});
+    EXPECT_NEAR(stats.completion_time, expected, 1e-6);
+}
+
+TEST(MsbtBroadcast, FullDuplexMatchesCeilMOverBPlusLogN) {
+    const hc::dim_t n = 4;
+    const double B = 1000;
+    const double M = B * n * 3; // 3 packets per subtree
+    EventParams params = unit_params(PortModel::one_port_full_duplex);
+    EventEngine engine(n, params);
+    MsbtBroadcastProtocol protocol(n, 0, M, B);
+    const EventStats stats = engine.run(protocol);
+    EXPECT_TRUE(protocol.complete());
+    // T = (ceil(M/B) + log N)(τ + B t_c) — Table 3, MSBT 1 s and r.
+    const double expected = model::broadcast_time(
+        model::Algorithm::msbt, PortModel::one_port_full_duplex, M, B, n,
+        {params.tau, params.tc});
+    EXPECT_NEAR(stats.completion_time, expected, 1e-6);
+}
+
+TEST(MsbtBroadcast, AllPortMatchesTable3) {
+    const hc::dim_t n = 4;
+    const double B = 1000;
+    const double M = B * n * 2;
+    EventParams params = unit_params(PortModel::all_port);
+    EventEngine engine(n, params);
+    MsbtBroadcastProtocol protocol(n, 0, M, B);
+    const EventStats stats = engine.run(protocol);
+    EXPECT_TRUE(protocol.complete());
+    const double expected =
+        model::broadcast_time(model::Algorithm::msbt, PortModel::all_port, M,
+                              B, n, {params.tau, params.tc});
+    EXPECT_NEAR(stats.completion_time, expected, 1e-6);
+}
+
+TEST(MsbtBroadcast, BeatsSbtByAboutLogNFullDuplex) {
+    // Figure 7's headline: speedup ≈ log N for M/B >> log N.
+    const hc::dim_t n = 5;
+    const double B = 1000;
+    const double M = 60 * B;
+    EventParams params = unit_params(PortModel::one_port_full_duplex);
+
+    EventEngine sbt_engine(n, params);
+    const SpanningTree tree = trees::build_sbt(n, 0);
+    PortOrientedBroadcast sbt(tree, M, B);
+    const double sbt_time = sbt_engine.run(sbt).completion_time;
+
+    EventEngine msbt_engine(n, params);
+    MsbtBroadcastProtocol msbt(n, 0, M, B);
+    const double msbt_time = msbt_engine.run(msbt).completion_time;
+
+    const double speedup = sbt_time / msbt_time;
+    EXPECT_GT(speedup, 0.75 * n);
+    EXPECT_LT(speedup, 1.05 * n);
+}
+
+TEST(ScatterProtocol, DeliversEveryPayload) {
+    const hc::dim_t n = 4;
+    const SpanningTree tree = trees::build_bst(n, 3);
+    EventEngine engine(n, unit_params(PortModel::one_port_full_duplex));
+    ScatterProtocol protocol(
+        tree, cyclic_dest_order(tree, SubtreeOrder::depth_first), 500);
+    const EventStats stats = engine.run(protocol);
+    EXPECT_EQ(protocol.delivered(), (std::size_t{1} << n) - 1);
+    EXPECT_GT(stats.completion_time, 0);
+}
+
+TEST(ScatterProtocol, OnePortTimeTracksRootEmission) {
+    // B = M regime: T ≈ (N-1)(τ + M t_c) for both SBT and BST (§4.2.2).
+    const hc::dim_t n = 5;
+    const double M = 1000;
+    EventParams params = unit_params(PortModel::one_port_full_duplex);
+    const double step = params.tau + M * params.tc;
+    for (const bool use_bst : {false, true}) {
+        const SpanningTree tree =
+            use_bst ? trees::build_bst(n, 0) : trees::build_sbt(n, 0);
+        const auto order =
+            use_bst ? cyclic_dest_order(tree,
+                                        SubtreeOrder::reverse_breadth_first)
+                    : descending_dest_order(tree);
+        EventEngine engine(n, params);
+        ScatterProtocol protocol(tree, order, M);
+        const EventStats stats = engine.run(protocol);
+        const double root_time = ((1 << n) - 1) * step;
+        EXPECT_GE(stats.completion_time, root_time - 1e-9);
+        EXPECT_LE(stats.completion_time, root_time + (n + 1) * step);
+    }
+}
+
+TEST(MergedScatter, SbtOnePortMatchesTable6) {
+    // B unbounded: T = (N-1) M t_c + log N τ (Table 6, SBT 1 port).
+    const hc::dim_t n = 5;
+    const double M = 1000;
+    EventParams params = unit_params(PortModel::one_port_full_duplex);
+    params.packet_capacity = 1e9; // merged messages stay whole
+    const SpanningTree tree = trees::build_sbt(n, 0);
+    EventEngine engine(n, params);
+    MergedScatterProtocol protocol(tree, M);
+    const EventStats stats = engine.run(protocol);
+    EXPECT_EQ(protocol.delivered(), (std::size_t{1} << n) - 1);
+    const double expected = model::personalized_tmin(
+        model::Algorithm::sbt, false, M, n, {params.tau, params.tc});
+    // The root finishes at exactly the Table 6 value; the last short hops
+    // add a lower-order tail.
+    EXPECT_GE(stats.completion_time, expected - 1e-9);
+    EXPECT_LE(stats.completion_time, expected * 1.10);
+}
+
+TEST(MergedScatter, DeliversOnBst) {
+    const hc::dim_t n = 6;
+    EventParams params = unit_params(PortModel::all_port);
+    params.packet_capacity = 1e9;
+    const SpanningTree tree = trees::build_bst(n, 0);
+    EventEngine engine(n, params);
+    MergedScatterProtocol protocol(tree, 100);
+    (void)engine.run(protocol);
+    EXPECT_EQ(protocol.delivered(), (std::size_t{1} << n) - 1);
+}
+
+TEST(MergedScatter, BstAllPortApproachesBalancedBound) {
+    // Table 6, BST log N ports: T ≈ (N-1)/log N · M t_c + log N τ.
+    const hc::dim_t n = 6;
+    const double M = 1000;
+    EventParams params = unit_params(PortModel::all_port);
+    params.packet_capacity = 1e9;
+    const SpanningTree tree = trees::build_bst(n, 0);
+    EventEngine engine(n, params);
+    MergedScatterProtocol protocol(tree, M);
+    const EventStats stats = engine.run(protocol);
+    const double bound = model::personalized_tmin(
+        model::Algorithm::bst, true, M, n, {params.tau, params.tc});
+    EXPECT_GE(stats.completion_time, 0.9 * bound);
+    // The fully-merged recursive algorithm pays the whole deep-subtree chain
+    // sum (≈ 2x the subtree load) on its critical path; the lemma-4.2
+    // level-by-level schedule that actually attains the Table 6 bound is
+    // exercised at cycle level in test_scatter_schedules
+    // (BstAllPortHitsTheBalancedLowerBound).
+    EXPECT_LE(stats.completion_time, 3.0 * bound);
+}
+
+TEST(Gather, ReductionCostsLogNStepsOnSbt) {
+    // Reverse operation (§1): combining reduction up the SBT needs log N
+    // sequential (τ + M t_c) steps on the critical path.
+    const hc::dim_t n = 5;
+    const double M = 1000;
+    EventParams params = unit_params(PortModel::all_port);
+    const SpanningTree tree = trees::build_sbt(n, 0);
+    EventEngine engine(n, params);
+    GatherProtocol protocol(tree, M, /*combining=*/true);
+    const EventStats stats = engine.run(protocol);
+    EXPECT_TRUE(protocol.complete());
+    const double step = params.tau + M * params.tc;
+    EXPECT_NEAR(stats.completion_time, n * step, n * step * 0.5);
+}
+
+TEST(Gather, CollectionGrowsMessagesUpTheTree) {
+    const hc::dim_t n = 4;
+    const double M = 100;
+    EventParams params = unit_params(PortModel::all_port);
+    params.packet_capacity = 1e9;
+    const SpanningTree tree = trees::build_sbt(n, 0);
+    EventEngine engine(n, params);
+    GatherProtocol protocol(tree, M, /*combining=*/false);
+    const EventStats stats = engine.run(protocol);
+    EXPECT_TRUE(protocol.complete());
+    // The last hop into the root carries half the cube's data: the total
+    // time exceeds (N/2) M t_c.
+    EXPECT_GT(stats.completion_time, (1 << (n - 1)) * M * params.tc);
+}
+
+} // namespace
+} // namespace hcube::routing

@@ -1,0 +1,90 @@
+// Unit tests for hc/rotate.hpp — R^j, periods, cyclic strings (paper §2).
+#include "hc/rotate.hpp"
+
+#include "hc/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hcube::hc {
+namespace {
+
+TEST(Rotate, SingleStepMovesLowBitToTop) {
+    // R(a_{n-1} ... a_1 a_0) = (a_0 a_{n-1} ... a_1).
+    EXPECT_EQ(rotate_right(0b011010, 6), 0b001101u);
+    EXPECT_EQ(rotate_right(0b000001, 6), 0b100000u);
+    EXPECT_EQ(rotate_right(0b100000, 6), 0b010000u);
+}
+
+TEST(Rotate, MultiStepMatchesIteratedSingleStep) {
+    const dim_t n = 7;
+    for (node_t x : {node_t{0b1011001}, node_t{0}, node_t{0b1111111}}) {
+        node_t iterated = x;
+        for (dim_t j = 0; j <= 2 * n; ++j) {
+            EXPECT_EQ(rotate_right(x, j, n), iterated) << "j=" << j;
+            iterated = rotate_right(iterated, n);
+        }
+    }
+}
+
+TEST(Rotate, LeftInvertsRight) {
+    const dim_t n = 9;
+    for (node_t x = 0; x < (node_t{1} << n); x += 7) {
+        for (dim_t j = 0; j < n; ++j) {
+            EXPECT_EQ(rotate_left(rotate_right(x, j, n), j, n), x);
+        }
+    }
+}
+
+TEST(Rotate, RotationPreservesWeight) {
+    const dim_t n = 8;
+    for (node_t x = 0; x < (node_t{1} << n); ++x) {
+        EXPECT_EQ(weight(rotate_right(x, 3, n)), weight(x));
+    }
+}
+
+TEST(Rotate, PaperPeriodExample) {
+    // "the period of (011011) is 3" (paper §2).
+    EXPECT_EQ(period(0b011011, 6), 3);
+    // (110110) also has period 3 (§4.1 example).
+    EXPECT_EQ(period(0b110110, 6), 3);
+    // (011010) has period 6 (§4.1 example).
+    EXPECT_EQ(period(0b011010, 6), 6);
+}
+
+TEST(Rotate, PeriodDividesLength) {
+    const dim_t n = 12;
+    for (node_t x = 0; x < (node_t{1} << n); x += 11) {
+        EXPECT_EQ(n % period(x, n), 0);
+    }
+}
+
+TEST(Rotate, PeriodIsMinimal) {
+    const dim_t n = 10;
+    for (node_t x = 0; x < (node_t{1} << n); x += 3) {
+        const dim_t p = period(x, n);
+        EXPECT_EQ(rotate_right(x, p, n), x);
+        for (dim_t q = 1; q < p; ++q) {
+            EXPECT_NE(rotate_right(x, q, n), x) << "x=" << x << " q=" << q;
+        }
+    }
+}
+
+TEST(Rotate, CyclicMeansPeriodBelowLength) {
+    EXPECT_TRUE(is_cyclic(0b0101, 4));
+    EXPECT_TRUE(is_cyclic(0b1111, 4));
+    EXPECT_TRUE(is_cyclic(0, 4));
+    EXPECT_FALSE(is_cyclic(0b0001, 4));
+    EXPECT_FALSE(is_cyclic(0b0111, 4));
+}
+
+TEST(Rotate, AllOnesAndZeroHavePeriodOne) {
+    for (dim_t n = 1; n <= 16; ++n) {
+        EXPECT_EQ(period(0, n), 1);
+        EXPECT_EQ(period(low_mask(n), n), 1);
+    }
+}
+
+} // namespace
+} // namespace hcube::hc

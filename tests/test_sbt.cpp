@@ -1,0 +1,129 @@
+// Tests for the Spanning Binomial Tree (paper §3.1).
+#include "trees/sbt.hpp"
+
+#include "hc/bits.hpp"
+#include "hc/cube.hpp"
+#include "trees/spanning_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hcube::trees {
+namespace {
+
+struct SbtCase {
+    dim_t n;
+    node_t source;
+};
+
+class SbtSweep : public ::testing::TestWithParam<SbtCase> {};
+
+TEST_P(SbtSweep, IsAValidSpanningTree) {
+    const auto [n, s] = GetParam();
+    const SpanningTree tree = build_sbt(n, s);
+    EXPECT_NO_THROW(validate_tree(tree));
+    EXPECT_EQ(tree.root, s);
+    EXPECT_EQ(tree.height, n);
+}
+
+TEST_P(SbtSweep, LevelsAreBinomialAndEqualHammingDistance) {
+    const auto [n, s] = GetParam();
+    const SpanningTree tree = build_sbt(n, s);
+    std::vector<std::uint64_t> per_level(static_cast<std::size_t>(n) + 1, 0);
+    for (node_t i = 0; i < tree.node_count(); ++i) {
+        // In the SBT, tree level equals cube distance from the source.
+        EXPECT_EQ(tree.level[i], hc::hamming(i, s));
+        ++per_level[static_cast<std::size_t>(tree.level[i])];
+    }
+    for (dim_t l = 0; l <= n; ++l) {
+        EXPECT_EQ(per_level[static_cast<std::size_t>(l)], hc::binomial(n, l));
+    }
+}
+
+TEST_P(SbtSweep, SubtreeThroughPortMHas2PowNMinus1MinusMNodes) {
+    const auto [n, s] = GetParam();
+    const SpanningTree tree = build_sbt(n, s);
+    const auto sizes = tree.subtree_sizes();
+    for (dim_t m = 0; m < n; ++m) {
+        EXPECT_EQ(sizes[static_cast<std::size_t>(m)],
+                  std::uint64_t{1} << (n - 1 - m));
+    }
+}
+
+TEST_P(SbtSweep, ParentComplementsHighestOneOfRelativeAddress) {
+    const auto [n, s] = GetParam();
+    for (node_t i = 0; i < (node_t{1} << n); ++i) {
+        if (i == s) {
+            EXPECT_EQ(sbt_parent(i, s, n), SpanningTree::kNoParent);
+            continue;
+        }
+        const node_t p = sbt_parent(i, s, n);
+        const dim_t k = hc::highest_one_bit(i ^ s);
+        EXPECT_EQ(p, hc::flip_bit(i, k));
+        // Consistency: i appears among its parent's children.
+        const auto kids = sbt_children(p, s, n);
+        EXPECT_NE(std::ranges::find(kids, i), kids.end());
+    }
+}
+
+TEST_P(SbtSweep, ChildrenComplementLeadingZeroes) {
+    const auto [n, s] = GetParam();
+    for (node_t i = 0; i < (node_t{1} << n); ++i) {
+        const dim_t k = hc::highest_one_bit(i ^ s);
+        const auto kids = sbt_children(i, s, n);
+        EXPECT_EQ(kids.size(), static_cast<std::size_t>(n - 1 - k));
+        for (const node_t c : kids) {
+            EXPECT_GT(hc::highest_one_bit(c ^ s), k);
+            EXPECT_EQ(sbt_parent(c, s, n), i);
+        }
+    }
+}
+
+TEST_P(SbtSweep, ChildrenStoredLargestSubtreeFirst) {
+    const auto [n, s] = GetParam();
+    const SpanningTree tree = build_sbt(n, s);
+    // Count descendants per child; stored order must be non-increasing.
+    std::vector<std::uint64_t> desc(tree.node_count(), 1);
+    const auto order = tree.bfs_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        for (const node_t c : tree.children[*it]) {
+            desc[*it] += desc[c];
+        }
+    }
+    for (node_t u = 0; u < tree.node_count(); ++u) {
+        for (std::size_t c = 0; c + 1 < tree.children[u].size(); ++c) {
+            EXPECT_GE(desc[tree.children[u][c]],
+                      desc[tree.children[u][c + 1]]);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimensionsAndSources, SbtSweep,
+    ::testing::Values(SbtCase{1, 0}, SbtCase{2, 3}, SbtCase{3, 0},
+                      SbtCase{4, 0b1010}, SbtCase{5, 0b10111},
+                      SbtCase{6, 0}, SbtCase{7, 0b1010101},
+                      SbtCase{8, 0b11001100}, SbtCase{10, 0b1111100000}),
+    [](const auto& param_info) {
+        return "n" + std::to_string(param_info.param.n) + "_s" +
+               std::to_string(param_info.param.source);
+    });
+
+// Figure 1 of the paper: the SBT rooted at node 0 of a 4-cube.
+TEST(Sbt, Figure1Structure) {
+    const SpanningTree tree = build_sbt(4, 0);
+    // Root children: 1, 2, 4, 8 (complement any bit of c = 0).
+    EXPECT_EQ(tree.children[0], (std::vector<node_t>{1, 2, 4, 8}));
+    // Node 1 (0001): leading zeroes at bits 1..3 -> children 3, 5, 9.
+    EXPECT_EQ(tree.children[1], (std::vector<node_t>{3, 5, 9}));
+    // Node 5 (0101): leading zero at bit 3 -> child 13.
+    EXPECT_EQ(tree.children[5], (std::vector<node_t>{13}));
+    // Node 15 (1111) is a leaf.
+    EXPECT_TRUE(tree.children[15].empty());
+    // Half the cube hangs off node 1.
+    EXPECT_EQ(tree.subtree_sizes()[0], 8u);
+}
+
+} // namespace
+} // namespace hcube::trees

@@ -1,0 +1,253 @@
+// Behavioural tests for personalized communication (paper §4): every
+// scatter schedule validates under its port model, delivers exactly the
+// right payload to each destination, and uses the step counts behind §4.2;
+// gather (the reverse operation) round-trips.
+#include "routing/scatter.hpp"
+
+#include "trees/bst.hpp"
+#include "trees/sbt.hpp"
+#include "trees/tcbt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace hcube::routing {
+namespace {
+
+using sim::CycleStats;
+using sim::execute_schedule;
+using trees::SpanningTree;
+
+/// Store-and-forward delivery invariant: node i saw packet p exactly when i
+/// lies on the tree path from the root to p's destination — in particular
+/// every destination got its own payload and nothing leaked off-path.
+void expect_exact_scatter(const CycleStats& stats, const Schedule& schedule,
+                          const SpanningTree& tree, packet_t per_dest) {
+    const node_t count = node_t{1} << schedule.n;
+    std::vector<std::set<node_t>> on_path(count);
+    for (node_t dest = 0; dest < count; ++dest) {
+        if (dest == tree.root) {
+            continue;
+        }
+        for (node_t u = dest;; u = tree.parent[u]) {
+            on_path[dest].insert(u);
+            if (u == tree.root) {
+                break;
+            }
+        }
+    }
+    for (node_t i = 0; i < count; ++i) {
+        for (node_t rel = 1; rel < count; ++rel) {
+            const node_t dest = tree.root ^ rel;
+            for (packet_t k = 0; k < per_dest; ++k) {
+                const packet_t p =
+                    scatter_packet_id(dest, tree.root, per_dest, k);
+                EXPECT_EQ(stats.holds(i, p), on_path[dest].contains(i))
+                    << "node " << i << " packet " << p;
+            }
+        }
+    }
+}
+
+struct Case {
+    dim_t n;
+    node_t source;
+    packet_t per_dest;
+};
+
+class ScatterSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ScatterSweep, SbtDescendingOnePortIsRootBound) {
+    const auto [n, s, Pd] = GetParam();
+    const SpanningTree tree = trees::build_sbt(n, s);
+    const Schedule schedule =
+        scatter_one_port(tree, descending_dest_order(tree), Pd);
+    const auto stats =
+        execute_schedule(schedule, sim::PortModel::one_port_full_duplex);
+    expect_exact_scatter(stats, schedule, tree, Pd);
+    // The root sends (N-1)·Pd packets, one per cycle; descending order ends
+    // with relative address 1 (one hop), so completion tracks the root.
+    const std::uint32_t root_cycles = ((node_t{1} << n) - 1) * Pd;
+    EXPECT_GE(stats.makespan, root_cycles);
+    EXPECT_LE(stats.makespan, root_cycles + static_cast<std::uint32_t>(n));
+}
+
+TEST_P(ScatterSweep, BstCyclicOnePortMatchesSbtOnePort) {
+    const auto [n, s, Pd] = GetParam();
+    const SpanningTree tree = trees::build_bst(n, s);
+    const Schedule schedule = scatter_one_port(
+        tree, cyclic_dest_order(tree, SubtreeOrder::reverse_breadth_first),
+        Pd);
+    const auto stats =
+        execute_schedule(schedule, sim::PortModel::one_port_full_duplex);
+    expect_exact_scatter(stats, schedule, tree, Pd);
+    // §4.3: with one port and B <= M, SBT- and BST-based personalized
+    // communication have the same complexity (both root-bound).
+    const std::uint32_t root_cycles = ((node_t{1} << n) - 1) * Pd;
+    EXPECT_GE(stats.makespan, root_cycles);
+    EXPECT_LE(stats.makespan, root_cycles + 2 * static_cast<std::uint32_t>(n));
+}
+
+TEST_P(ScatterSweep, BstAllPortHitsTheBalancedLowerBound) {
+    const auto [n, s, Pd] = GetParam();
+    if (n < 2) {
+        GTEST_SKIP();
+    }
+    const SpanningTree tree = trees::build_bst(n, s);
+    const Schedule schedule = scatter_all_port(
+        tree,
+        per_subtree_dest_orders(tree, SubtreeOrder::reverse_breadth_first),
+        Pd);
+    const auto stats = execute_schedule(schedule, sim::PortModel::all_port);
+    expect_exact_scatter(stats, schedule, tree, Pd);
+    // §4.2.2: the root streams each subtree concurrently; completion is the
+    // max subtree load ~ N/log N times Pd, plus a pipeline tail.
+    const auto sizes = tree.subtree_sizes();
+    const auto max_size =
+        static_cast<std::uint32_t>(*std::ranges::max_element(sizes));
+    EXPECT_GE(stats.makespan, max_size * Pd);
+    EXPECT_LE(stats.makespan,
+              max_size * Pd + 2 * static_cast<std::uint32_t>(n));
+}
+
+TEST_P(ScatterSweep, SbtAllPortIsBoundByTheBigSubtree) {
+    const auto [n, s, Pd] = GetParam();
+    const SpanningTree tree = trees::build_sbt(n, s);
+    const Schedule schedule = scatter_all_port(
+        tree,
+        per_subtree_dest_orders(tree, SubtreeOrder::reverse_breadth_first),
+        Pd);
+    const auto stats = execute_schedule(schedule, sim::PortModel::all_port);
+    expect_exact_scatter(stats, schedule, tree, Pd);
+    // Subtree 0 holds N/2 nodes: the SBT cannot do better than N/2 · Pd.
+    const std::uint32_t bound = (node_t{1} << (n - 1)) * Pd;
+    EXPECT_GE(stats.makespan, bound);
+    EXPECT_LE(stats.makespan, bound + 2 * static_cast<std::uint32_t>(n));
+}
+
+TEST_P(ScatterSweep, DepthFirstOrderAlsoDelivers) {
+    const auto [n, s, Pd] = GetParam();
+    const SpanningTree tree = trees::build_bst(n, s);
+    const Schedule schedule = scatter_one_port(
+        tree, cyclic_dest_order(tree, SubtreeOrder::depth_first), Pd);
+    const auto stats =
+        execute_schedule(schedule, sim::PortModel::one_port_full_duplex);
+    expect_exact_scatter(stats, schedule, tree, Pd);
+}
+
+TEST_P(ScatterSweep, GatherIsTheReverseOperation) {
+    const auto [n, s, Pd] = GetParam();
+    const SpanningTree tree = trees::build_sbt(n, s);
+    const Schedule scatter =
+        scatter_one_port(tree, descending_dest_order(tree), Pd);
+    const Schedule gather = reverse_schedule(scatter);
+
+    // Every packet starts at its scatter destination...
+    for (node_t rel = 1; rel < (node_t{1} << n); ++rel) {
+        for (packet_t k = 0; k < Pd; ++k) {
+            EXPECT_EQ(gather.initial_holder[scatter_packet_id(s ^ rel, s, Pd,
+                                                              k)],
+                      s ^ rel);
+        }
+    }
+    // ... is feasible under the same port model, and ends at the root.
+    const auto stats =
+        execute_schedule(gather, sim::PortModel::one_port_full_duplex);
+    for (packet_t p = 0; p < gather.packet_count; ++p) {
+        EXPECT_TRUE(stats.holds(s, p));
+    }
+    // Same number of routing steps by time symmetry.
+    const auto fwd =
+        execute_schedule(scatter, sim::PortModel::one_port_full_duplex);
+    EXPECT_EQ(stats.makespan, fwd.makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimensionsSourcesPackets, ScatterSweep,
+    ::testing::Values(Case{2, 0, 1}, Case{3, 0, 1}, Case{3, 5, 2},
+                      Case{4, 0, 1}, Case{5, 0b10010, 1}, Case{6, 0, 2},
+                      Case{7, 0, 1}),
+    [](const auto& param_info) {
+        return "n" + std::to_string(param_info.param.n) + "_s" +
+               std::to_string(param_info.param.source) + "_p" +
+               std::to_string(param_info.param.per_dest);
+    });
+
+// §4.2.2's headline: with all ports, the BST beats the SBT by ~ log N / 2.
+TEST(Scatter, BstBeatsSbtByHalfLogNAllPort) {
+    const dim_t n = 7;
+    const SpanningTree sbt = trees::build_sbt(n, 0);
+    const SpanningTree bst = trees::build_bst(n, 0);
+    const auto run = [&](const SpanningTree& tree) {
+        return execute_schedule(
+                   scatter_all_port(
+                       tree,
+                       per_subtree_dest_orders(
+                           tree, SubtreeOrder::reverse_breadth_first),
+                       1),
+                   sim::PortModel::all_port)
+            .makespan;
+    };
+    const double speedup =
+        static_cast<double>(run(sbt)) / static_cast<double>(run(bst));
+    // N/2 vs ~N/log N: expect ~ log N / 2 = 3.5 (within pipeline-tail slop).
+    EXPECT_GT(speedup, 0.8 * n / 2.0);
+    EXPECT_LT(speedup, 1.2 * n / 2.0);
+}
+
+// The emission orders really are the §5.2 policies.
+TEST(Scatter, DescendingOrderUsesGrayCodePortPattern) {
+    const SpanningTree tree = trees::build_sbt(4, 0);
+    const auto order = descending_dest_order(tree);
+    ASSERT_EQ(order.size(), 15u);
+    EXPECT_EQ(order.front(), 15u);
+    EXPECT_EQ(order.back(), 1u);
+    // First hop of destination d is through port lowest_one_bit(d):
+    // descending addresses give the ruler pattern 0,1,0,2,0,1,0,...
+    // i.e. port 0 every other step (§5.2).
+    int port0 = 0;
+    for (std::size_t i = 0; i < order.size(); i += 2) {
+        port0 += (order[i] & 1u) ? 1 : 0;
+    }
+    EXPECT_EQ(port0, 8); // all odd destinations sit at even positions
+}
+
+TEST(Scatter, CyclicOrderRoundRobinsSubtrees) {
+    const SpanningTree tree = trees::build_bst(5, 0);
+    const auto order =
+        cyclic_dest_order(tree, SubtreeOrder::reverse_breadth_first);
+    ASSERT_EQ(order.size(), 31u);
+    // The first n entries hit n distinct subtrees.
+    std::set<dim_t> first_round;
+    for (dim_t j = 0; j < 5; ++j) {
+        first_round.insert(tree.subtree[order[static_cast<std::size_t>(j)]]);
+    }
+    EXPECT_EQ(first_round.size(), 5u);
+}
+
+TEST(Scatter, ReverseBreadthFirstSendsFarthestFirst) {
+    const SpanningTree tree = trees::build_bst(6, 0);
+    for (const auto& seq :
+         per_subtree_dest_orders(tree, SubtreeOrder::reverse_breadth_first)) {
+        for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+            EXPECT_GE(tree.level[seq[i]], tree.level[seq[i + 1]]);
+        }
+    }
+}
+
+// TCBT scatter works through the same generic machinery (Table 6 row).
+TEST(Scatter, TcbtScatterDelivers) {
+    const dim_t n = 5;
+    const SpanningTree tree = trees::build_tcbt(n, 0);
+    const Schedule schedule =
+        scatter_one_port(tree, descending_dest_order(tree), 1);
+    const auto stats =
+        execute_schedule(schedule, sim::PortModel::one_port_full_duplex);
+    expect_exact_scatter(stats, schedule, tree, 1);
+}
+
+} // namespace
+} // namespace hcube::routing

@@ -1,0 +1,141 @@
+// Tests for the generic SpanningTree machinery (trees/spanning_tree.hpp):
+// materialization errors, traversals, subtree accessors, isomorphism.
+#include "trees/spanning_tree.hpp"
+
+#include "common/check.hpp"
+#include "trees/sbt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace hcube::trees {
+namespace {
+
+TEST(Materialize, RejectsNonCubeEdges) {
+    // Children function pointing two bits away.
+    EXPECT_THROW((void)materialize_tree(
+                     2, 0,
+                     [](node_t i) {
+                         return i == 0 ? std::vector<node_t>{3}
+                                       : std::vector<node_t>{};
+                     }),
+                 check_error);
+}
+
+TEST(Materialize, RejectsDoubleGeneration) {
+    // Node 3 generated from both 1 and 2.
+    EXPECT_THROW((void)materialize_tree(
+                     2, 0,
+                     [](node_t i) -> std::vector<node_t> {
+                         if (i == 0) {
+                             return {1, 2};
+                         }
+                         if (i == 1 || i == 2) {
+                             return {3};
+                         }
+                         return {};
+                     }),
+                 check_error);
+}
+
+TEST(Materialize, RejectsNonSpanningFunctions) {
+    // Nothing below the root: nodes unreachable.
+    EXPECT_THROW((void)materialize_tree(
+                     2, 0, [](node_t) { return std::vector<node_t>{}; }),
+                 check_error);
+}
+
+TEST(SpanningTree, BfsOrderStartsAtRootAndCoversAll) {
+    const SpanningTree tree = build_sbt(5, 7);
+    const auto order = tree.bfs_order();
+    ASSERT_EQ(order.size(), tree.node_count());
+    EXPECT_EQ(order.front(), tree.root);
+    std::set<node_t> seen;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        EXPECT_TRUE(seen.insert(order[i]).second);
+        // Levels are non-decreasing along BFS order.
+        if (i > 0) {
+            EXPECT_GE(tree.level[order[i]], tree.level[order[i - 1]]);
+        }
+    }
+}
+
+TEST(SpanningTree, SubtreePreorderVisitsParentsBeforeChildren) {
+    const SpanningTree tree = build_sbt(5, 0);
+    for (dim_t j = 0; j < 5; ++j) {
+        const auto order = tree.subtree_preorder(j);
+        std::set<node_t> visited;
+        for (const node_t u : order) {
+            EXPECT_EQ(tree.subtree[u], j);
+            const node_t p = tree.parent[u];
+            if (p != tree.root) {
+                EXPECT_TRUE(visited.contains(p))
+                    << "child " << u << " before parent " << p;
+            }
+            visited.insert(u);
+        }
+    }
+}
+
+TEST(SpanningTree, SubtreeSizesSumToNMinus1) {
+    const SpanningTree tree = build_sbt(6, 11);
+    const auto sizes = tree.subtree_sizes();
+    std::uint64_t total = 0;
+    for (const auto size : sizes) {
+        total += size;
+    }
+    EXPECT_EQ(total, tree.node_count() - 1);
+}
+
+TEST(SpanningTree, SubtreeHeightOfEmptySubtreeIsZero) {
+    // A path tree has only one root subtree; the others are empty.
+    SpanningTree tree = materialize_tree(2, 0, [](node_t i) {
+        switch (i) {
+        case 0: return std::vector<node_t>{1};
+        case 1: return std::vector<node_t>{3};
+        case 3: return std::vector<node_t>{2};
+        default: return std::vector<node_t>{};
+        }
+    });
+    EXPECT_EQ(tree.subtree_height(0), 3);
+    EXPECT_EQ(tree.subtree_height(1), 0);
+}
+
+TEST(RootedIsomorphism, DistinguishesShapes) {
+    const SpanningTree tree = build_sbt(4, 0);
+    // Subtrees of the SBT root have sizes 8, 4, 2, 1 — pairwise
+    // non-isomorphic.
+    const auto& roots = tree.children[0];
+    for (std::size_t a = 0; a < roots.size(); ++a) {
+        for (std::size_t b = a + 1; b < roots.size(); ++b) {
+            EXPECT_FALSE(rooted_isomorphic(tree, roots[a], roots[b]));
+        }
+    }
+    // But each subtree of node 1 mirrors the same-size subtree of the root:
+    // children of 1 are 3, 5, 9 rooting SBTs of 4, 2, 1 nodes.
+    EXPECT_TRUE(rooted_isomorphic(tree, 2, 3));
+    EXPECT_TRUE(rooted_isomorphic(tree, 4, 5));
+    EXPECT_TRUE(rooted_isomorphic(tree, 8, 9));
+}
+
+TEST(ValidateTree, CatchesTamperedStructures) {
+    SpanningTree tree = build_sbt(3, 0);
+    EXPECT_NO_THROW(validate_tree(tree));
+
+    SpanningTree broken = tree;
+    broken.parent[5] = 2; // 5's parent is really 1
+    EXPECT_THROW(validate_tree(broken), check_error);
+
+    broken = tree;
+    broken.level[7] = 1;
+    EXPECT_THROW(validate_tree(broken), check_error);
+
+    broken = tree;
+    broken.children[0].pop_back();
+    EXPECT_THROW(validate_tree(broken), check_error);
+}
+
+} // namespace
+} // namespace hcube::trees

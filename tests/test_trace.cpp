@@ -1,0 +1,85 @@
+// Tests for schedule tracing (sim/trace.hpp).
+#include "sim/trace.hpp"
+
+#include "routing/broadcast.hpp"
+#include "trees/sbt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace hcube::sim {
+namespace {
+
+Schedule tiny_schedule() {
+    Schedule s;
+    s.n = 2;
+    s.packet_count = 2;
+    s.initial_holder = {0, 0};
+    s.sends = {{0, 0, 1, 0}, {1, 0, 2, 1}, {1, 1, 3, 0}, {2, 2, 3, 1}};
+    return s;
+}
+
+TEST(LinkUtilization, CountsLinksAndSends) {
+    const auto util = link_utilization(tiny_schedule());
+    EXPECT_EQ(util.directed_links_total, 8u); // N * n = 4 * 2
+    EXPECT_EQ(util.directed_links_used, 4u);
+    EXPECT_EQ(util.busiest_link_sends, 1u);
+    EXPECT_DOUBLE_EQ(util.mean_sends_per_used_link, 1.0);
+    // 4 sends / (4 links * 3 cycles).
+    EXPECT_NEAR(util.busy_fraction, 4.0 / 12.0, 1e-12);
+}
+
+TEST(LinkUtilization, MsbtUsesAlmostEveryLink) {
+    // The MSBT's point: n(N-1) of the nN directed links carry data.
+    const hc::dim_t n = 4;
+    const auto schedule = routing::msbt_broadcast(
+        n, 0, 2, PortModel::one_port_full_duplex);
+    const auto util = link_utilization(schedule);
+    EXPECT_EQ(util.directed_links_used,
+              static_cast<std::uint64_t>(n) * ((1u << n) - 1));
+    EXPECT_EQ(util.directed_links_total,
+              static_cast<std::uint64_t>(n) * (1u << n));
+}
+
+TEST(LinkUtilization, SbtPortOrientedUsesOnlyTreeLinks) {
+    const hc::dim_t n = 4;
+    const auto tree = trees::build_sbt(n, 0);
+    const auto schedule = routing::port_oriented_broadcast(tree, 2);
+    const auto util = link_utilization(schedule);
+    EXPECT_EQ(util.directed_links_used, (1u << n) - 1); // N-1 tree edges
+}
+
+TEST(RenderGantt, ShowsBusyCells) {
+    const std::string gantt = render_gantt(tiny_schedule());
+    // Link 0->1 active in cycle 0 only.
+    EXPECT_NE(gantt.find("   0->1       #.."), std::string::npos) << gantt;
+    // Link 1->3 active in cycle 1.
+    EXPECT_NE(gantt.find("   1->3       .#."), std::string::npos) << gantt;
+}
+
+TEST(RenderGantt, TruncatesLongSchedules) {
+    const auto schedule = routing::msbt_broadcast(
+        5, 0, 4, PortModel::one_port_full_duplex);
+    const std::string gantt = render_gantt(schedule, 8, 20);
+    EXPECT_NE(gantt.find("more links"), std::string::npos);
+}
+
+TEST(ScheduleCsv, WritesOneRowPerSend) {
+    const std::string path = "/tmp/hypercoll_schedule.csv";
+    schedule_to_csv(tiny_schedule(), path);
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "cycle,from,to,packet");
+    std::size_t rows = 0;
+    while (std::getline(in, line)) {
+        ++rows;
+    }
+    EXPECT_EQ(rows, tiny_schedule().sends.size());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace hcube::sim
