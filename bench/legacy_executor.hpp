@@ -1,0 +1,143 @@
+// Faithful copy of the pre-rewrite schedule executor (the growth seed's
+// sim/cycle.cpp), kept as the baseline for bench_executor's before/after
+// comparison. It validates exactly the same invariants as
+// sim::execute_schedule but with the original data structures: eager
+// per-send diagnostic strings, per-cycle std::set link tracking,
+// std::map port counters, and a dense vector-of-vectors delivery matrix.
+// Do not "optimize" this file — its slowness is the point.
+#pragma once
+
+#include "common/check.hpp"
+#include "hc/bits.hpp"
+#include "sim/cycle.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hcube::bench::legacy {
+
+using sim::packet_t;
+using sim::PortModel;
+using sim::Schedule;
+using sim::ScheduledSend;
+using hc::node_t;
+
+struct LegacyStats {
+    std::uint32_t makespan = 0;
+    std::uint64_t total_sends = 0;
+    std::uint64_t max_sends_in_one_cycle = 0;
+    std::vector<std::vector<std::uint32_t>> delivery_cycle;
+
+    static constexpr std::uint32_t kNever = 0xffffffffu;
+};
+
+inline LegacyStats execute_schedule(const Schedule& schedule,
+                                    PortModel model) {
+    HCUBE_ENSURE(schedule.n >= 1 && schedule.n <= hc::kMaxDimension);
+    const node_t count = node_t{1} << schedule.n;
+    HCUBE_ENSURE(schedule.initial_holder.size() == schedule.packet_count);
+
+    LegacyStats stats;
+    stats.delivery_cycle.assign(
+        count, std::vector<std::uint32_t>(schedule.packet_count,
+                                          LegacyStats::kNever));
+    for (packet_t p = 0; p < schedule.packet_count; ++p) {
+        const node_t holder = schedule.initial_holder[p];
+        HCUBE_ENSURE(holder < count);
+        stats.delivery_cycle[holder][p] = 0;
+    }
+
+    std::vector<ScheduledSend> sends(schedule.sends.begin(),
+                                     schedule.sends.end());
+    std::ranges::stable_sort(sends, {}, &ScheduledSend::cycle);
+
+    std::size_t at = 0;
+    while (at < sends.size()) {
+        const std::uint32_t cycle = sends[at].cycle;
+        std::size_t end = at;
+        while (end < sends.size() && sends[end].cycle == cycle) {
+            ++end;
+        }
+
+        std::set<std::pair<node_t, node_t>> links_used;
+        std::map<node_t, int> sends_by_node;
+        std::map<node_t, int> recvs_by_node;
+
+        for (std::size_t idx = at; idx < end; ++idx) {
+            const ScheduledSend& send = sends[idx];
+            const std::string where = "cycle " + std::to_string(cycle) +
+                                      ", " + std::to_string(send.from) +
+                                      " -> " + std::to_string(send.to) +
+                                      ", packet " +
+                                      std::to_string(send.packet);
+            HCUBE_ENSURE_MSG(send.from < count && send.to < count,
+                             "node out of range: " + where);
+            HCUBE_ENSURE_MSG(hc::hamming(send.from, send.to) == 1,
+                             "send between non-neighbors: " + where);
+            HCUBE_ENSURE_MSG(send.packet < schedule.packet_count,
+                             "unknown packet: " + where);
+            HCUBE_ENSURE_MSG(
+                stats.delivery_cycle[send.from][send.packet] <= cycle,
+                "sender does not hold the packet yet: " + where);
+            HCUBE_ENSURE_MSG(
+                stats.delivery_cycle[send.to][send.packet] ==
+                    LegacyStats::kNever,
+                "receiver already holds the packet: " + where);
+            HCUBE_ENSURE_MSG(
+                links_used.emplace(send.from, send.to).second,
+                "two packets on one directed link in one cycle: " + where);
+
+            ++sends_by_node[send.from];
+            ++recvs_by_node[send.to];
+            stats.delivery_cycle[send.to][send.packet] = cycle + 1;
+        }
+
+        switch (model) {
+        case PortModel::one_port_half_duplex:
+            for (const auto& [node, n_sends] : sends_by_node) {
+                auto it = recvs_by_node.find(node);
+                const int n_recvs = (it == recvs_by_node.end()) ? 0
+                                                                : it->second;
+                HCUBE_ENSURE_MSG(n_sends + n_recvs <= 1,
+                                 "half-duplex node " + std::to_string(node) +
+                                     " does more than one operation in cycle " +
+                                     std::to_string(cycle));
+            }
+            for (const auto& [node, n_recvs] : recvs_by_node) {
+                HCUBE_ENSURE_MSG(n_recvs <= 1,
+                                 "half-duplex node " + std::to_string(node) +
+                                     " receives twice in cycle " +
+                                     std::to_string(cycle));
+            }
+            break;
+        case PortModel::one_port_full_duplex:
+            for (const auto& [node, n_sends] : sends_by_node) {
+                HCUBE_ENSURE_MSG(n_sends <= 1,
+                                 "full-duplex node " + std::to_string(node) +
+                                     " sends twice in cycle " +
+                                     std::to_string(cycle));
+            }
+            for (const auto& [node, n_recvs] : recvs_by_node) {
+                HCUBE_ENSURE_MSG(n_recvs <= 1,
+                                 "full-duplex node " + std::to_string(node) +
+                                     " receives twice in cycle " +
+                                     std::to_string(cycle));
+            }
+            break;
+        case PortModel::all_port:
+            break;
+        }
+
+        stats.total_sends += end - at;
+        stats.max_sends_in_one_cycle =
+            std::max<std::uint64_t>(stats.max_sends_in_one_cycle, end - at);
+        stats.makespan = cycle + 1;
+        at = end;
+    }
+    return stats;
+}
+
+} // namespace hcube::bench::legacy

@@ -8,7 +8,6 @@
 #include "trees/sbt.hpp"
 
 #include <algorithm>
-#include <map>
 #include <memory>
 
 namespace hcube::routing {
@@ -271,25 +270,27 @@ private:
 // ------------------------------------------- recursive-doubling exchanges
 
 /// Shared skeleton for the dimension-order exchanges: per-node round
-/// counter plus reordering of early-arriving partner messages.
+/// counter plus reordering of early-arriving partner messages. Early
+/// arrivals park in a flat (node, round) slot array — rounds are bounded by
+/// n, so no associative container is needed.
 class RecursiveDoubling : public sim::Protocol {
 public:
     RecursiveDoubling(dim_t n, node_t count)
-        : n_(n), round_(count, 0), pending_(count) {}
+        : n_(n), round_(count, 0),
+          pending_(static_cast<std::size_t>(count) *
+                   static_cast<std::size_t>(n)) {}
 
     void on_start(NodeContext& ctx) override { send_round(ctx); }
 
     void on_receive(NodeContext& ctx, const Message& message) override {
-        auto& pending = pending_[ctx.self()];
-        pending.emplace(message.tag, message.payload);
+        HCUBE_ENSURE(message.tag < static_cast<std::uint64_t>(n_));
+        pending_[slot(ctx.self(), message.tag)] = message.payload;
         auto& r = round_[ctx.self()];
-        while (true) {
-            auto it = pending.find(static_cast<std::uint64_t>(r));
-            if (it == pending.end()) {
-                break;
-            }
-            absorb(ctx.self(), static_cast<dim_t>(r), *it->second);
-            pending.erase(it);
+        while (r < static_cast<std::uint64_t>(n_) &&
+               pending_[slot(ctx.self(), r)] != nullptr) {
+            const auto payload = std::move(pending_[slot(ctx.self(), r)]);
+            pending_[slot(ctx.self(), r)] = nullptr;
+            absorb(ctx.self(), static_cast<dim_t>(r), *payload);
             ++r;
             if (r < static_cast<std::uint64_t>(n_)) {
                 send_round(ctx);
@@ -306,6 +307,13 @@ protected:
     dim_t n_;
 
 private:
+    [[nodiscard]] std::size_t slot(node_t node,
+                                   std::uint64_t r) const noexcept {
+        return static_cast<std::size_t>(node) *
+                   static_cast<std::size_t>(n_) +
+               static_cast<std::size_t>(r);
+    }
+
     void send_round(NodeContext& ctx) {
         const node_t self = ctx.self();
         const auto r = static_cast<dim_t>(round_[self]);
@@ -317,8 +325,7 @@ private:
     }
 
     std::vector<std::uint64_t> round_;
-    std::vector<std::map<std::uint64_t, std::shared_ptr<const Buffer>>>
-        pending_;
+    std::vector<std::shared_ptr<const Buffer>> pending_;
 };
 
 /// All-reduce (elementwise sum) by recursive doubling.
@@ -424,19 +431,18 @@ public:
         : RecursiveDoubling(n, static_cast<node_t>(data.size())), out_(out) {
         const node_t count = node_t{1} << n;
         block_ = data[0].size() / count;
-        hold_.resize(count);
+        keys_.resize(count);
+        elems_.resize(count);
         for (node_t i = 0; i < count; ++i) {
             HCUBE_ENSURE_MSG(data[i].size() ==
                                  static_cast<std::size_t>(count) * block_,
                              "alltoall needs N equal blocks per node");
+            // data[i] is already block dest's elements at dest·block_, i.e.
+            // ascending (src = i, dest) key order.
+            elems_[i] = data[i];
+            keys_[i].resize(count);
             for (node_t dest = 0; dest < count; ++dest) {
-                const auto begin =
-                    data[i].begin() +
-                    static_cast<std::ptrdiff_t>(dest * block_);
-                hold_[i].emplace(
-                    std::pair{i, dest},
-                    Buffer(begin,
-                           begin + static_cast<std::ptrdiff_t>(block_)));
+                keys_[i][dest] = make_key(i, dest);
             }
         }
     }
@@ -445,78 +451,126 @@ public:
         const node_t count = static_cast<node_t>(out_.size());
         for (node_t i = 0; i < count; ++i) {
             out_[i].assign(static_cast<std::size_t>(count) * block_, 0);
-            HCUBE_ENSURE_MSG(hold_[i].size() == count,
+            HCUBE_ENSURE_MSG(keys_[i].size() == count,
                              "wrong number of blocks after the exchange");
-            for (const auto& [key, block] : hold_[i]) {
-                HCUBE_ENSURE_MSG(key.second == i,
+            for (std::size_t k = 0; k < keys_[i].size(); ++k) {
+                HCUBE_ENSURE_MSG(key_dest(keys_[i][k]) == i,
                                  "undelivered block after the exchange");
-                std::ranges::copy(
-                    block, out_[i].begin() +
-                               static_cast<std::ptrdiff_t>(key.first *
-                                                           block_));
+                const auto begin =
+                    elems_[i].begin() +
+                    static_cast<std::ptrdiff_t>(k * block_);
+                std::copy(begin, begin + static_cast<std::ptrdiff_t>(block_),
+                          out_[i].begin() +
+                              static_cast<std::ptrdiff_t>(
+                                  key_src(keys_[i][k]) * block_));
             }
         }
     }
 
 protected:
     std::shared_ptr<const Buffer> outgoing(node_t self, dim_t r) override {
-        // Serialize and *drop* the blocks leaving this node, in the same
-        // lexicographic (src, dest) order moving_keys() promises.
+        // Serialize and drop the blocks leaving this node: those whose dest
+        // differs from self in bit r. The per-node store is kept in
+        // ascending (src, dest) key order, so one stable partition both
+        // produces the wire order both sides agree on and compacts the
+        // staying blocks — no per-block lookups or allocations.
         auto payload = std::make_shared<Buffer>();
-        auto& mine = hold_[self];
-        for (const auto& key : moving_keys(self, r)) {
-            const auto it = mine.find(key);
-            HCUBE_ENSURE(it != mine.end());
-            payload->insert(payload->end(), it->second.begin(),
-                            it->second.end());
-            mine.erase(it);
+        const std::vector<std::uint64_t>& keys = keys_[self];
+        const Buffer& elems = elems_[self];
+        payload->reserve(keys.size() / 2 * block_);
+        scratch_keys_.clear();
+        scratch_elems_.clear();
+        for (std::size_t k = 0; k < keys.size(); ++k) {
+            const auto begin =
+                elems.begin() + static_cast<std::ptrdiff_t>(k * block_);
+            const auto end = begin + static_cast<std::ptrdiff_t>(block_);
+            if (hc::test_bit(key_dest(keys[k]) ^ self, r)) {
+                payload->insert(payload->end(), begin, end);
+            } else {
+                scratch_keys_.push_back(keys[k]);
+                scratch_elems_.insert(scratch_elems_.end(), begin, end);
+            }
         }
+        keys_[self].swap(scratch_keys_);
+        elems_[self].swap(scratch_elems_);
         return payload;
     }
 
     void absorb(node_t self, dim_t r, const Buffer& incoming) override {
+        // The partner ships the blocks { (partner ^ x, d) : x < 2^r, d
+        // agreeing with partner on bits 0..r-1 and with self on bit r } in
+        // ascending (src, dest) order. Both that stream and the staying
+        // blocks are key-sorted, so a single merge restores the invariant.
         const node_t partner = hc::flip_bit(self, r);
+        const node_t count = node_t{1} << n_;
+        HCUBE_ENSURE(incoming.size() ==
+                     static_cast<std::size_t>(count / 2) * block_);
+        const node_t src_base = partner & ~hc::low_mask(r);
+        const node_t dest_fixed =
+            (partner & hc::low_mask(r)) | (self & (node_t{1} << r));
+        const std::vector<std::uint64_t>& keys = keys_[self];
+        const Buffer& elems = elems_[self];
+        scratch_keys_.clear();
+        scratch_elems_.clear();
+        scratch_keys_.reserve(count);
+        scratch_elems_.reserve(static_cast<std::size_t>(count) * block_);
+
+        std::size_t stay = 0;
         std::size_t cursor = 0;
-        for (const auto& key : moving_keys(partner, r)) {
-            hold_[self].emplace(
-                key, Buffer(incoming.begin() +
-                                static_cast<std::ptrdiff_t>(cursor),
-                            incoming.begin() +
-                                static_cast<std::ptrdiff_t>(cursor +
-                                                            block_)));
-            cursor += block_;
+        const auto copy_staying = [&](std::size_t k) {
+            const auto begin =
+                elems.begin() + static_cast<std::ptrdiff_t>(k * block_);
+            scratch_keys_.push_back(keys[k]);
+            scratch_elems_.insert(scratch_elems_.end(), begin,
+                                  begin + static_cast<std::ptrdiff_t>(
+                                              block_));
+        };
+        for (node_t y = 0; y < (node_t{1} << r); ++y) {
+            const node_t src = src_base | y;
+            for (node_t hi = 0; hi < (count >> (r + 1)); ++hi) {
+                const std::uint64_t key =
+                    make_key(src, dest_fixed | (hi << (r + 1)));
+                while (stay < keys.size() && keys[stay] < key) {
+                    copy_staying(stay++);
+                }
+                scratch_keys_.push_back(key);
+                scratch_elems_.insert(
+                    scratch_elems_.end(),
+                    incoming.begin() + static_cast<std::ptrdiff_t>(cursor),
+                    incoming.begin() +
+                        static_cast<std::ptrdiff_t>(cursor + block_));
+                cursor += block_;
+            }
+        }
+        while (stay < keys.size()) {
+            copy_staying(stay++);
         }
         HCUBE_ENSURE(cursor == incoming.size());
+        keys_[self].swap(scratch_keys_);
+        elems_[self].swap(scratch_elems_);
     }
 
 private:
-    /// Keys `node` ships in round r, ascending (src, dest): sources are
-    /// {node ^ x : x < 2^r}; destinations agree with node on bits 0..r-1,
-    /// differ in bit r, and range over all higher bits.
-    [[nodiscard]] std::vector<std::pair<node_t, node_t>>
-    moving_keys(node_t node, dim_t r) const {
-        const node_t count = static_cast<node_t>(hold_.size());
-        std::vector<node_t> sources;
-        for (node_t x = 0; x < (node_t{1} << r); ++x) {
-            sources.push_back(node ^ x);
-        }
-        std::ranges::sort(sources);
-        const node_t low_mask = (node_t{1} << r) - 1;
-        const node_t fixed =
-            (node & low_mask) | (hc::flip_bit(node, r) & (node_t{1} << r));
-        std::vector<std::pair<node_t, node_t>> keys;
-        for (const node_t src : sources) {
-            for (node_t hi = 0; hi < (count >> (r + 1)); ++hi) {
-                keys.emplace_back(src, fixed | (hi << (r + 1)));
-            }
-        }
-        return keys;
+    /// Ascending (src, dest) lexicographic order == ascending key order.
+    [[nodiscard]] static std::uint64_t make_key(node_t src,
+                                                node_t dest) noexcept {
+        return (std::uint64_t{src} << 32) | dest;
+    }
+    [[nodiscard]] static node_t key_src(std::uint64_t key) noexcept {
+        return static_cast<node_t>(key >> 32);
+    }
+    [[nodiscard]] static node_t key_dest(std::uint64_t key) noexcept {
+        return static_cast<node_t>(key & 0xffffffffu);
     }
 
     std::vector<Buffer>& out_;
     std::size_t block_ = 0;
-    /// hold_[i]: (source, dest) -> block currently resident at node i.
-    std::vector<std::map<std::pair<node_t, node_t>, Buffer>> hold_;
+    /// Node i's resident blocks: keys_[i] ascending, elems_[i] the block
+    /// elements in the same order (block k at k·block_), contiguous.
+    std::vector<std::vector<std::uint64_t>> keys_;
+    std::vector<Buffer> elems_;
+    std::vector<std::uint64_t> scratch_keys_;
+    Buffer scratch_elems_;
 };
 
 /// Reduce-scatter by recursive halving: after round r a node's *active*

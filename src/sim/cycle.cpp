@@ -4,110 +4,214 @@
 #include "hc/bits.hpp"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <bit>
+#include <span>
 #include <string>
+#include <vector>
 
 namespace hcube::sim {
 
-CycleStats execute_schedule(const Schedule& schedule, PortModel model) {
+namespace {
+
+// Cold failure paths. Formatting the diagnostic only once a violation is
+// found keeps the validation loop free of string construction — the single
+// biggest cost of the previous executor.
+[[noreturn]] [[gnu::cold]] [[gnu::noinline]] void
+fail_send(const char* what, const ScheduledSend& send) {
+    throw check_error(std::string("schedule violation: ") + what +
+                      " (cycle " + std::to_string(send.cycle) + ", " +
+                      std::to_string(send.from) + " -> " +
+                      std::to_string(send.to) + ", packet " +
+                      std::to_string(send.packet) + ")");
+}
+
+/// Sends ordered by cycle. `view` aliases the input when it was already
+/// non-decreasing (the common case for generator output), else `storage`
+/// holds a stable counting-sorted copy (O(S + makespan)); a comparison sort
+/// only ever runs for adversarial cycle numbering far beyond the send count.
+struct OrderedSends {
+    std::vector<ScheduledSend> storage;
+    std::span<const ScheduledSend> view;
+};
+
+OrderedSends order_by_cycle(std::span<const ScheduledSend> sends) {
+    OrderedSends out;
+    bool sorted = true;
+    std::uint32_t max_cycle = 0;
+    for (std::size_t i = 0; i < sends.size(); ++i) {
+        sorted &= i == 0 || sends[i].cycle >= sends[i - 1].cycle;
+        max_cycle = std::max(max_cycle, sends[i].cycle);
+    }
+    if (sorted) {
+        out.view = sends;
+        return out;
+    }
+    if (std::uint64_t{max_cycle} <= 2 * sends.size() + 4096) {
+        std::vector<std::uint64_t> start(std::size_t{max_cycle} + 1, 0);
+        for (const ScheduledSend& send : sends) {
+            ++start[send.cycle];
+        }
+        std::uint64_t acc = 0;
+        for (std::uint64_t& slot : start) {
+            const std::uint64_t bucket = slot;
+            slot = acc;
+            acc += bucket;
+        }
+        out.storage.resize(sends.size());
+        for (const ScheduledSend& send : sends) {
+            out.storage[start[send.cycle]++] = send;
+        }
+    } else {
+        out.storage.assign(sends.begin(), sends.end());
+        std::ranges::stable_sort(out.storage, {}, &ScheduledSend::cycle);
+    }
+    out.view = out.storage;
+    return out;
+}
+
+} // namespace
+
+CycleStats execute_schedule(const Schedule& schedule, PortModel model,
+                            DeliveryTracking tracking) {
     HCUBE_ENSURE(schedule.n >= 1 && schedule.n <= hc::kMaxDimension);
     const node_t count = node_t{1} << schedule.n;
+    const auto n = static_cast<std::uint32_t>(schedule.n);
     HCUBE_ENSURE(schedule.initial_holder.size() == schedule.packet_count);
 
     CycleStats stats;
-    stats.delivery_cycle.assign(
-        count, std::vector<std::uint32_t>(schedule.packet_count,
-                                          CycleStats::kNever));
+    const std::uint64_t dense_cells =
+        std::uint64_t{count} * schedule.packet_count;
+    const std::uint64_t expected_entries =
+        schedule.packet_count + std::uint64_t{schedule.sends.size()};
+    // Dense unless the matrix dwarfs both a fixed budget and the number of
+    // deliveries the schedule can actually make (one per send + initials).
+    const bool use_sparse =
+        tracking == DeliveryTracking::sparse ||
+        (tracking == DeliveryTracking::automatic &&
+         dense_cells > std::max<std::uint64_t>(std::uint64_t{1} << 22,
+                                               8 * expected_entries));
+    stats.delivery_cycle =
+        use_sparse
+            ? DeliveryMap::sparse(count, schedule.packet_count,
+                                  static_cast<std::size_t>(expected_entries))
+            : DeliveryMap::dense(count, schedule.packet_count);
+    DeliveryMap& delivered = stats.delivery_cycle;
     for (packet_t p = 0; p < schedule.packet_count; ++p) {
         const node_t holder = schedule.initial_holder[p];
         HCUBE_ENSURE(holder < count);
-        stats.delivery_cycle[holder][p] = 0;
+        delivered.set(holder, p, 0);
     }
 
-    std::vector<ScheduledSend> sends(schedule.sends.begin(),
-                                     schedule.sends.end());
-    std::ranges::stable_sort(sends, {}, &ScheduledSend::cycle);
+    const OrderedSends ordered = order_by_cycle(schedule.sends);
+    const std::span<const ScheduledSend> sends = ordered.view;
+
+    // Directed-link occupancy of the current cycle: bit from·n + dim. Bits
+    // set while validating a cycle are cleared by re-walking that cycle's
+    // sends, so the whole run touches O(total sends) words.
+    std::vector<std::uint64_t> link_used(
+        static_cast<std::size_t>((std::uint64_t{count} * n + 63) / 64), 0);
+    // Epoch-stamped per-node port state: a node sent (received) in the
+    // current cycle iff its stamp equals cycle + 1. Never cleared.
+    std::vector<std::uint32_t> sent_stamp;
+    std::vector<std::uint32_t> recv_stamp;
+    if (model != PortModel::all_port) {
+        sent_stamp.assign(count, 0);
+        recv_stamp.assign(count, 0);
+    }
 
     std::size_t at = 0;
     while (at < sends.size()) {
         const std::uint32_t cycle = sends[at].cycle;
+        if (cycle + 2 == 0 || cycle + 1 == 0) [[unlikely]] {
+            // cycle + 1 must stay below kNever (reserved) and nonzero (the
+            // epoch stamps use 0 as "never").
+            fail_send("cycle index too large", sends[at]);
+        }
+        const std::uint32_t stamp = cycle + 1;
         std::size_t end = at;
         while (end < sends.size() && sends[end].cycle == cycle) {
             ++end;
         }
 
-        std::set<std::pair<node_t, node_t>> links_used;
-        std::map<node_t, int> sends_by_node;
-        std::map<node_t, int> recvs_by_node;
+        for (std::size_t idx = at; idx < end; ++idx) {
+            const ScheduledSend& send = sends[idx];
+            if (send.from >= count || send.to >= count) [[unlikely]] {
+                fail_send("node out of range", send);
+            }
+            const node_t diff = send.from ^ send.to;
+            if (!std::has_single_bit(diff)) [[unlikely]] {
+                fail_send("send between non-neighbors", send);
+            }
+            if (send.packet >= schedule.packet_count) [[unlikely]] {
+                fail_send("unknown packet", send);
+            }
+
+            const auto dim =
+                static_cast<std::uint32_t>(std::countr_zero(diff));
+            const std::uint64_t link = std::uint64_t{send.from} * n + dim;
+            std::uint64_t& word = link_used[static_cast<std::size_t>(
+                link >> 6)];
+            const std::uint64_t bit = std::uint64_t{1} << (link & 63);
+            if ((word & bit) != 0) [[unlikely]] {
+                fail_send("two packets on one directed link in one cycle",
+                          send);
+            }
+            word |= bit;
+
+            switch (model) {
+            case PortModel::one_port_half_duplex:
+                // At most one operation — send *or* receive — per node.
+                if (sent_stamp[send.from] == stamp ||
+                    recv_stamp[send.from] == stamp) [[unlikely]] {
+                    fail_send("half-duplex sender already busy this cycle",
+                              send);
+                }
+                if (sent_stamp[send.to] == stamp ||
+                    recv_stamp[send.to] == stamp) [[unlikely]] {
+                    fail_send("half-duplex receiver already busy this cycle",
+                              send);
+                }
+                sent_stamp[send.from] = stamp;
+                recv_stamp[send.to] = stamp;
+                break;
+            case PortModel::one_port_full_duplex:
+                if (sent_stamp[send.from] == stamp) [[unlikely]] {
+                    fail_send("full-duplex node sends twice in one cycle",
+                              send);
+                }
+                if (recv_stamp[send.to] == stamp) [[unlikely]] {
+                    fail_send("full-duplex node receives twice in one cycle",
+                              send);
+                }
+                sent_stamp[send.from] = stamp;
+                recv_stamp[send.to] = stamp;
+                break;
+            case PortModel::all_port:
+                // One packet per directed link per cycle is the only
+                // constraint, already enforced via link_used (ports are in
+                // bijection with incident links).
+                break;
+            }
+
+            // kNever compares greater than every admissible cycle, so one
+            // comparison covers both "never held" and "held too late".
+            if (delivered.get(send.from, send.packet) > cycle) [[unlikely]] {
+                fail_send("sender does not hold the packet yet", send);
+            }
+            if (delivered.get(send.to, send.packet) !=
+                CycleStats::kNever) [[unlikely]] {
+                fail_send("receiver already holds the packet", send);
+            }
+            delivered.set(send.to, send.packet, cycle + 1);
+        }
 
         for (std::size_t idx = at; idx < end; ++idx) {
             const ScheduledSend& send = sends[idx];
-            const std::string where = "cycle " + std::to_string(cycle) +
-                                      ", " + std::to_string(send.from) +
-                                      " -> " + std::to_string(send.to) +
-                                      ", packet " +
-                                      std::to_string(send.packet);
-            HCUBE_ENSURE_MSG(send.from < count && send.to < count,
-                             "node out of range: " + where);
-            HCUBE_ENSURE_MSG(hc::hamming(send.from, send.to) == 1,
-                             "send between non-neighbors: " + where);
-            HCUBE_ENSURE_MSG(send.packet < schedule.packet_count,
-                             "unknown packet: " + where);
-            HCUBE_ENSURE_MSG(
-                stats.delivery_cycle[send.from][send.packet] <= cycle,
-                "sender does not hold the packet yet: " + where);
-            HCUBE_ENSURE_MSG(
-                stats.delivery_cycle[send.to][send.packet] ==
-                    CycleStats::kNever,
-                "receiver already holds the packet: " + where);
-            HCUBE_ENSURE_MSG(
-                links_used.emplace(send.from, send.to).second,
-                "two packets on one directed link in one cycle: " + where);
-
-            ++sends_by_node[send.from];
-            ++recvs_by_node[send.to];
-            stats.delivery_cycle[send.to][send.packet] = cycle + 1;
-        }
-
-        // Port-model constraints over the whole cycle.
-        switch (model) {
-        case PortModel::one_port_half_duplex:
-            for (const auto& [node, n_sends] : sends_by_node) {
-                auto it = recvs_by_node.find(node);
-                const int n_recvs = (it == recvs_by_node.end()) ? 0
-                                                                : it->second;
-                HCUBE_ENSURE_MSG(n_sends + n_recvs <= 1,
-                                 "half-duplex node " + std::to_string(node) +
-                                     " does more than one operation in cycle " +
-                                     std::to_string(cycle));
-            }
-            for (const auto& [node, n_recvs] : recvs_by_node) {
-                HCUBE_ENSURE_MSG(n_recvs <= 1,
-                                 "half-duplex node " + std::to_string(node) +
-                                     " receives twice in cycle " +
-                                     std::to_string(cycle));
-            }
-            break;
-        case PortModel::one_port_full_duplex:
-            for (const auto& [node, n_sends] : sends_by_node) {
-                HCUBE_ENSURE_MSG(n_sends <= 1,
-                                 "full-duplex node " + std::to_string(node) +
-                                     " sends twice in cycle " +
-                                     std::to_string(cycle));
-            }
-            for (const auto& [node, n_recvs] : recvs_by_node) {
-                HCUBE_ENSURE_MSG(n_recvs <= 1,
-                                 "full-duplex node " + std::to_string(node) +
-                                     " receives twice in cycle " +
-                                     std::to_string(cycle));
-            }
-            break;
-        case PortModel::all_port:
-            // One packet per directed link per cycle is the only constraint,
-            // already enforced via links_used (ports are in bijection with
-            // incident links).
-            break;
+            const auto dim = static_cast<std::uint32_t>(
+                std::countr_zero(send.from ^ send.to));
+            const std::uint64_t link = std::uint64_t{send.from} * n + dim;
+            link_used[static_cast<std::size_t>(link >> 6)] &=
+                ~(std::uint64_t{1} << (link & 63));
         }
 
         stats.total_sends += end - at;
@@ -120,9 +224,11 @@ CycleStats execute_schedule(const Schedule& schedule, PortModel model) {
 }
 
 Schedule stretch_to_half_duplex(const Schedule& schedule) {
-    std::vector<ScheduledSend> sends(schedule.sends.begin(),
-                                     schedule.sends.end());
-    std::ranges::stable_sort(sends, {}, &ScheduledSend::cycle);
+    HCUBE_ENSURE(schedule.n >= 1 && schedule.n <= hc::kMaxDimension);
+    const node_t count = node_t{1} << schedule.n;
+
+    const OrderedSends ordered = order_by_cycle(schedule.sends);
+    const std::span<const ScheduledSend> sends = ordered.view;
 
     Schedule out;
     out.n = schedule.n;
@@ -130,32 +236,49 @@ Schedule stretch_to_half_duplex(const Schedule& schedule) {
     out.initial_holder = schedule.initial_holder;
     out.sends.reserve(sends.size());
 
+    // Per node: index of its outgoing / incoming transfer in the current
+    // cycle's group, epoch-stamped by cycle + 1 so nothing is cleared.
+    std::vector<std::uint32_t> out_idx(count, 0);
+    std::vector<std::uint32_t> in_idx(count, 0);
+    std::vector<std::uint32_t> out_stamp(count, 0);
+    std::vector<std::uint32_t> in_stamp(count, 0);
+    std::vector<int> colour;
+    std::vector<std::uint32_t> stack;
+
     std::uint32_t next_cycle = 0;
     std::size_t at = 0;
     while (at < sends.size()) {
         const std::uint32_t cycle = sends[at].cycle;
+        if (cycle + 1 == 0) [[unlikely]] {
+            fail_send("cycle index too large", sends[at]);
+        }
+        const std::uint32_t stamp = cycle + 1;
         std::size_t end = at;
         while (end < sends.size() && sends[end].cycle == cycle) {
             ++end;
         }
-        const std::size_t group = end - at;
+        const auto group = static_cast<std::uint32_t>(end - at);
 
-        // Per node: index of its outgoing / incoming transfer in this cycle.
-        std::map<node_t, std::size_t> out_of;
-        std::map<node_t, std::size_t> in_of;
         bool bidirectional_node = false;
         for (std::size_t idx = at; idx < end; ++idx) {
-            HCUBE_ENSURE_MSG(
-                out_of.emplace(sends[idx].from, idx - at).second,
-                "stretch_to_half_duplex input is not full-duplex feasible");
-            HCUBE_ENSURE_MSG(
-                in_of.emplace(sends[idx].to, idx - at).second,
-                "stretch_to_half_duplex input is not full-duplex feasible");
-        }
-        for (const auto& [node, _] : out_of) {
-            if (in_of.contains(node)) {
-                bidirectional_node = true;
+            const ScheduledSend& send = sends[idx];
+            if (send.from >= count || send.to >= count) [[unlikely]] {
+                fail_send("node out of range", send);
             }
+            if (out_stamp[send.from] == stamp ||
+                in_stamp[send.to] == stamp) [[unlikely]] {
+                fail_send(
+                    "stretch_to_half_duplex input is not full-duplex "
+                    "feasible",
+                    send);
+            }
+            const auto t = static_cast<std::uint32_t>(idx - at);
+            out_stamp[send.from] = stamp;
+            out_idx[send.from] = t;
+            in_stamp[send.to] = stamp;
+            in_idx[send.to] = t;
+            bidirectional_node |= in_stamp[send.from] == stamp;
+            bidirectional_node |= out_stamp[send.to] == stamp;
         }
 
         if (!bidirectional_node) {
@@ -171,33 +294,33 @@ Schedule stretch_to_half_duplex(const Schedule& schedule) {
             // most two others (the transfer into its sender and the transfer
             // out of its receiver), so components are paths or cycles;
             // alternate colours along them. Odd cycles would be infeasible.
-            std::vector<int> colour(group, -1);
-            for (std::size_t seed = 0; seed < group; ++seed) {
+            colour.assign(group, -1);
+            for (std::uint32_t seed = 0; seed < group; ++seed) {
                 if (colour[seed] != -1) {
                     continue;
                 }
                 colour[seed] = 0;
-                std::vector<std::size_t> stack{seed};
+                stack.clear();
+                stack.push_back(seed);
                 while (!stack.empty()) {
-                    const std::size_t t = stack.back();
+                    const std::uint32_t t = stack.back();
                     stack.pop_back();
                     const ScheduledSend& s = sends[at + t];
-                    const std::size_t neighbours[2] = {
-                        in_of.contains(s.from) ? in_of.at(s.from) : group,
-                        out_of.contains(s.to) ? out_of.at(s.to) : group,
+                    const std::uint32_t neighbours[2] = {
+                        in_stamp[s.from] == stamp ? in_idx[s.from] : group,
+                        out_stamp[s.to] == stamp ? out_idx[s.to] : group,
                     };
-                    for (const std::size_t u : neighbours) {
+                    for (const std::uint32_t u : neighbours) {
                         if (u == group) {
                             continue;
                         }
                         if (colour[u] == -1) {
                             colour[u] = 1 - colour[t];
                             stack.push_back(u);
-                        } else {
-                            HCUBE_ENSURE_MSG(
-                                colour[u] != colour[t],
-                                "odd transfer cycle: not half-duplex "
-                                "schedulable in two sub-cycles");
+                        } else if (colour[u] == colour[t]) [[unlikely]] {
+                            fail_send("odd transfer cycle: not half-duplex "
+                                      "schedulable in two sub-cycles",
+                                      s);
                         }
                     }
                 }

@@ -9,22 +9,25 @@
 // received in cycle t can be forwarded from cycle t+1), link capacity, and
 // the port-model constraints. It also measures the quantities the tables
 // report (makespan, per-packet delivery cycles, link load).
+//
+// The executor is a flat, allocation-free hot path (docs/PERFORMANCE.md):
+// sends are counting-sorted by cycle once, directed-link occupancy lives in
+// a 2^n·n bit array, port constraints in epoch-stamped per-node counters,
+// and diagnostics are formatted only on violation — which is what lets the
+// same validation loop run n = 20 schedules with tens of millions of sends.
 #pragma once
 
 #include "hc/types.hpp"
+#include "sim/delivery_map.hpp"
 #include "sim/port_model.hpp"
 
 #include <cstdint>
-#include <span>
 #include <vector>
 
 namespace hcube::sim {
 
 using hc::dim_t;
 using hc::node_t;
-
-/// Identifies one unit of data (one packet of up to B elements).
-using packet_t = std::uint32_t;
 
 /// One scheduled packet transmission: `from` sends `packet` to `to` during
 /// `cycle` (0-based); `to` holds the packet from cycle+1 onwards.
@@ -47,6 +50,16 @@ struct Schedule {
     std::vector<node_t> initial_holder;
 };
 
+/// How execute_schedule materializes the delivery matrix.
+enum class DeliveryTracking {
+    /// Dense when N·P is small or the schedule delivers a comparable number
+    /// of (node, packet) pairs (broadcasts); sparse otherwise (scatter /
+    /// all-to-all, where most pairs are never delivered).
+    automatic,
+    dense,
+    sparse,
+};
+
 /// Results of executing a schedule.
 struct CycleStats {
     /// Number of cycles used: 1 + the largest cycle index with a send.
@@ -56,20 +69,23 @@ struct CycleStats {
     std::uint64_t max_sends_in_one_cycle = 0;
     /// delivery_cycle[node][packet] = first cycle *after* which the node
     /// holds the packet (0 for initial holdings); kNever if never received.
-    std::vector<std::vector<std::uint32_t>> delivery_cycle;
+    /// Packet-major dense matrix or (packet, node)-keyed hash, per the
+    /// DeliveryTracking mode.
+    DeliveryMap delivery_cycle;
 
-    static constexpr std::uint32_t kNever = 0xffffffffu;
+    static constexpr std::uint32_t kNever = DeliveryMap::kNever;
 
     /// True if `node` ends up holding `packet`.
     [[nodiscard]] bool holds(node_t node, packet_t packet) const {
-        return delivery_cycle[node][packet] != kNever;
+        return delivery_cycle.get(node, packet) != kNever;
     }
 };
 
 /// Executes `schedule` under `model`, throwing check_error on the first
 /// constraint violation. See file comment for the checked invariants.
-[[nodiscard]] CycleStats execute_schedule(const Schedule& schedule,
-                                          PortModel model);
+[[nodiscard]] CycleStats
+execute_schedule(const Schedule& schedule, PortModel model,
+                 DeliveryTracking tracking = DeliveryTracking::automatic);
 
 /// Transforms a schedule that is feasible under one_port_full_duplex into
 /// one feasible under one_port_half_duplex by splitting every cycle in which

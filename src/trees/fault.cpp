@@ -6,7 +6,7 @@
 
 #include <algorithm>
 #include <deque>
-#include <set>
+#include <vector>
 
 namespace hcube::trees {
 
@@ -14,6 +14,28 @@ Link make_link(node_t a, node_t b) {
     HCUBE_ENSURE_MSG(hc::hamming(a, b) == 1, "not a cube link");
     return {std::min(a, b), std::max(a, b)};
 }
+
+namespace {
+
+/// Failed-link membership as one sorted vector with binary-search lookups —
+/// a single contiguous allocation per query instead of a node-per-link
+/// std::set rebuild.
+class LinkSet {
+public:
+    explicit LinkSet(std::span<const Link> links)
+        : links_(links.begin(), links.end()) {
+        std::ranges::sort(links_);
+    }
+
+    [[nodiscard]] bool contains(const Link& link) const {
+        return std::ranges::binary_search(links_, link);
+    }
+
+private:
+    std::vector<Link> links_;
+};
+
+} // namespace
 
 std::vector<node_t> sbt_children_permuted(node_t i, node_t s, dim_t n,
                                           std::span<const dim_t> order) {
@@ -57,7 +79,7 @@ SpanningTree build_sbt_permuted(dim_t n, node_t s,
 }
 
 bool tree_avoids(const SpanningTree& tree, std::span<const Link> failed) {
-    const std::set<Link> bad(failed.begin(), failed.end());
+    const LinkSet bad(failed);
     for (node_t i = 0; i < tree.node_count(); ++i) {
         if (i != tree.root && bad.contains(make_link(i, tree.parent[i]))) {
             return false;
@@ -73,7 +95,7 @@ namespace {
 SpanningTree build_bfs_tree_avoiding(dim_t n, node_t s,
                                      std::span<const Link> failed) {
     const node_t count = node_t{1} << n;
-    const std::set<Link> bad(failed.begin(), failed.end());
+    const LinkSet bad(failed);
 
     std::vector<std::vector<node_t>> kids(count);
     std::vector<char> seen(count, 0);

@@ -8,6 +8,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <tuple>
 #include <vector>
 
@@ -220,11 +221,14 @@ SpanningTree build_tcbt(dim_t n, node_t s, std::uint64_t seed) {
     HCUBE_ENSURE(s < (node_t{1} << n));
 
     // The search is deterministic but takes seconds at n = 8; memoize.
+    // Reader/writer locking keeps concurrent executor drivers (which mostly
+    // hit the cache) from serializing on lookups; the copy-out happens under
+    // the lock so a concurrent insert can never invalidate the map node.
     using Key = std::tuple<dim_t, node_t, std::uint64_t>;
-    static std::mutex cache_mutex;
+    static std::shared_mutex cache_mutex;
     static std::map<Key, SpanningTree> cache;
     {
-        const std::lock_guard<std::mutex> lock(cache_mutex);
+        const std::shared_lock<std::shared_mutex> lock(cache_mutex);
         if (auto it = cache.find({n, s, seed}); it != cache.end()) {
             return it->second;
         }
@@ -249,7 +253,10 @@ SpanningTree build_tcbt(dim_t n, node_t s, std::uint64_t seed) {
         }
         SpanningTree tree = materialize_tree(
             n, s, [&kids](node_t i) { return kids[i]; });
-        const std::lock_guard<std::mutex> lock(cache_mutex);
+        // emplace is a no-op if a concurrent caller inserted first; either
+        // way the returned tree is the cached one (the search is
+        // deterministic, so both copies are identical).
+        const std::unique_lock<std::shared_mutex> lock(cache_mutex);
         return cache.emplace(Key{n, s, seed}, std::move(tree))
             .first->second;
     }

@@ -1,0 +1,169 @@
+// Tests for the flat execution engine at scale: sparse vs dense delivery
+// tracking, the DeliveryMap hash itself, the half-duplex stretcher's error
+// paths, and an n = 16 smoke test pinning the MSBT makespan formulas
+// P + n (full duplex) and 2P + n - 1 (stretched half duplex) from Table 3.
+#include "routing/broadcast.hpp"
+#include "routing/scatter.hpp"
+#include "sim/cycle.hpp"
+#include "trees/bst.hpp"
+#include "trees/sbt.hpp"
+
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcube::sim {
+namespace {
+
+using routing::msbt_broadcast;
+using routing::scatter_one_port;
+
+/// Every (node, packet) cell of two executions must agree, whatever the
+/// backing representation.
+void expect_same_deliveries(const CycleStats& a, const CycleStats& b,
+                            node_t count, packet_t packets) {
+    ASSERT_EQ(a.makespan, b.makespan);
+    ASSERT_EQ(a.total_sends, b.total_sends);
+    for (node_t i = 0; i < count; ++i) {
+        for (packet_t p = 0; p < packets; ++p) {
+            ASSERT_EQ(a.delivery_cycle.get(i, p), b.delivery_cycle.get(i, p))
+                << "node " << i << ", packet " << p;
+        }
+    }
+}
+
+TEST(DeliveryTrackingModes, SparseMatchesDenseOnBroadcast) {
+    const Schedule schedule =
+        msbt_broadcast(5, 0, 3, PortModel::one_port_full_duplex);
+    const auto dense = execute_schedule(
+        schedule, PortModel::one_port_full_duplex, DeliveryTracking::dense);
+    const auto sparse = execute_schedule(
+        schedule, PortModel::one_port_full_duplex, DeliveryTracking::sparse);
+    EXPECT_FALSE(dense.delivery_cycle.is_sparse());
+    EXPECT_TRUE(sparse.delivery_cycle.is_sparse());
+    expect_same_deliveries(dense, sparse, node_t{1} << 5,
+                           schedule.packet_count);
+}
+
+TEST(DeliveryTrackingModes, SparseMatchesDenseOnScatter) {
+    const trees::SpanningTree tree = trees::build_sbt(7, 0);
+    const Schedule schedule = scatter_one_port(
+        tree, routing::descending_dest_order(tree), 2);
+    const auto dense = execute_schedule(
+        schedule, PortModel::one_port_full_duplex, DeliveryTracking::dense);
+    const auto sparse = execute_schedule(
+        schedule, PortModel::one_port_full_duplex, DeliveryTracking::sparse);
+    expect_same_deliveries(dense, sparse, node_t{1} << 7,
+                           schedule.packet_count);
+}
+
+TEST(DeliveryTrackingModes, AutomaticPicksSparseForLargeScatter) {
+    // n = 12 scatter: 4096 x 4095 = 16.8M dense cells, but only ~25k sends —
+    // the automatic heuristic must choose the hash.
+    const trees::SpanningTree tree = trees::build_sbt(12, 0);
+    const Schedule schedule = scatter_one_port(
+        tree, routing::descending_dest_order(tree), 1);
+    const auto stats =
+        execute_schedule(schedule, PortModel::one_port_full_duplex);
+    EXPECT_TRUE(stats.delivery_cycle.is_sparse());
+    // ...and still answers point queries: the farthest node holds its packet.
+    const node_t all_ones = (node_t{1} << 12) - 1;
+    EXPECT_TRUE(stats.holds(all_ones,
+                            routing::scatter_packet_id(all_ones, 0, 1, 0)));
+    EXPECT_FALSE(stats.holds(1, routing::scatter_packet_id(2, 0, 1, 0)));
+}
+
+TEST(DeliveryTrackingModes, AutomaticStaysDenseForBroadcast) {
+    // Broadcasts deliver ~every cell, so dense is the right call even when
+    // the matrix is biggish.
+    const Schedule schedule =
+        msbt_broadcast(9, 0, 2, PortModel::one_port_full_duplex);
+    const auto stats =
+        execute_schedule(schedule, PortModel::one_port_full_duplex);
+    EXPECT_FALSE(stats.delivery_cycle.is_sparse());
+}
+
+TEST(DeliveryMapHash, GrowsFromTinyInitialCapacity) {
+    // Seeding with expected_entries = 1 forces several rehashes.
+    DeliveryMap map = DeliveryMap::sparse(1024, 4096, 1);
+    for (node_t i = 0; i < 1024; ++i) {
+        for (packet_t p = 0; p < 8; ++p) {
+            map.set(i, p * 512 + i % 512, i + p);
+        }
+    }
+    EXPECT_EQ(map.entry_count(), std::size_t{1024} * 8);
+    for (node_t i = 0; i < 1024; ++i) {
+        for (packet_t p = 0; p < 8; ++p) {
+            ASSERT_EQ(map.get(i, p * 512 + i % 512), i + p);
+        }
+        // Written packets all satisfy packet % 512 == i % 512; probe one
+        // with the wrong residue.
+        ASSERT_EQ(map.get(i, (i + 1) % 512), DeliveryMap::kNever);
+    }
+}
+
+TEST(StretchToHalfDuplex, RejectsOddTransferCycle) {
+    // A directed 3-cycle of transfers in one cycle: every node both sends
+    // and receives, and the transfer graph 0-1-2 is an odd cycle, so no
+    // 2-colouring into two sub-cycles exists. (The stretcher checks port
+    // feasibility, not cube adjacency, so the 1-2 edge is fine as input.)
+    Schedule s;
+    s.n = 2;
+    s.packet_count = 3;
+    s.initial_holder = {0, 1, 2};
+    s.sends = {{0, 0, 1, 0}, {0, 1, 2, 1}, {0, 2, 0, 2}};
+    EXPECT_THROW((void)stretch_to_half_duplex(s), check_error);
+}
+
+TEST(StretchToHalfDuplex, RejectsDoubleSendInput) {
+    Schedule s;
+    s.n = 2;
+    s.packet_count = 2;
+    s.initial_holder = {0, 0};
+    s.sends = {{0, 0, 1, 0}, {0, 0, 2, 1}}; // node 0 sends twice in cycle 0
+    EXPECT_THROW((void)stretch_to_half_duplex(s), check_error);
+}
+
+TEST(StretchToHalfDuplex, RejectsDoubleReceiveInput) {
+    Schedule s;
+    s.n = 2;
+    s.packet_count = 2;
+    s.initial_holder = {1, 2};
+    s.sends = {{0, 1, 3, 0}, {0, 2, 3, 1}}; // node 3 receives twice
+    EXPECT_THROW((void)stretch_to_half_duplex(s), check_error);
+}
+
+TEST(ExecutorScale, MsbtMakespansAtN16MatchTable3) {
+    // P = n * packets_per_subtree; full duplex finishes in P + n cycles and
+    // the stretched half-duplex schedule in 2P + n - 1 (paper §3.3.2).
+    constexpr dim_t n = 16;
+    constexpr packet_t pps = 3;
+    constexpr std::uint32_t P = static_cast<std::uint32_t>(n) * pps;
+
+    const Schedule full =
+        msbt_broadcast(n, 0, pps, PortModel::one_port_full_duplex);
+    const auto full_stats =
+        execute_schedule(full, PortModel::one_port_full_duplex);
+    EXPECT_EQ(full_stats.makespan, P + static_cast<std::uint32_t>(n));
+
+    const Schedule half =
+        msbt_broadcast(n, 0, pps, PortModel::one_port_half_duplex);
+    const auto half_stats =
+        execute_schedule(half, PortModel::one_port_half_duplex);
+    EXPECT_EQ(half_stats.makespan,
+              2 * P + static_cast<std::uint32_t>(n) - 1);
+
+    // Broadcast really completed: every node holds every packet.
+    const node_t count = node_t{1} << n;
+    EXPECT_EQ(full_stats.total_sends,
+              std::uint64_t{count - 1} * P);
+    for (const node_t i : {node_t{1}, count / 2, count - 1}) {
+        for (const packet_t p : {packet_t{0}, P - 1}) {
+            EXPECT_TRUE(full_stats.holds(i, p));
+            EXPECT_TRUE(half_stats.holds(i, p));
+        }
+    }
+}
+
+} // namespace
+} // namespace hcube::sim
