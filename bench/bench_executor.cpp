@@ -11,6 +11,7 @@
 #include "bench_util.hpp"
 #include "legacy_executor.hpp"
 
+#include "common/json.hpp"
 #include "routing/broadcast.hpp"
 #include "routing/scatter.hpp"
 #include "sim/cycle.hpp"
@@ -134,32 +135,26 @@ std::vector<Workload> make_workloads(packet_t packets, packet_t pps,
 }
 
 bool write_json(const std::string& path, const std::vector<Result>& rows) {
-    std::FILE* out = std::fopen(path.c_str(), "w");
-    if (out == nullptr) {
+    hcube::JsonArrayWriter json(path);
+    if (!json.ok()) {
         std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
         return false;
     }
-    std::fprintf(out, "[\n");
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        const Result& r = rows[i];
-        std::fprintf(out,
-                     "  {\"workload\": \"%s\", \"n\": %d, \"sends\": %llu, "
-                     "\"makespan\": %u, \"sparse\": %s, "
-                     "\"flat_sends_per_sec\": %.6g",
-                     r.workload.c_str(), r.n,
-                     static_cast<unsigned long long>(r.sends), r.makespan,
-                     r.sparse ? "true" : "false", r.flat_rate);
+    for (const Result& r : rows) {
+        json.begin_row();
+        json.field("workload", r.workload);
+        json.field("n", r.n);
+        json.field("sends", r.sends);
+        json.field("makespan", r.makespan);
+        json.field("sparse", r.sparse);
+        json.field("flat_sends_per_sec", r.flat_rate);
         if (r.legacy_rate > 0.0) {
-            std::fprintf(out,
-                         ", \"legacy_sends_per_sec\": %.6g, "
-                         "\"speedup\": %.3g",
-                         r.legacy_rate, r.flat_rate / r.legacy_rate);
+            json.field("legacy_sends_per_sec", r.legacy_rate);
+            json.field("speedup", r.flat_rate / r.legacy_rate);
         }
-        std::fprintf(out, "}%s\n", i + 1 < rows.size() ? "," : "");
+        json.end_row();
     }
-    std::fprintf(out, "]\n");
-    std::fclose(out);
-    return true;
+    return json.close();
 }
 
 } // namespace

@@ -1,0 +1,287 @@
+// Wall-clock benchmark of the threaded collective runtime (hcube::rt):
+// delivered GB/s and measured speedup of MSBT-vs-SBT broadcast and
+// BST-vs-SBT scatter, with three cross-checks per row —
+//   * the runtime's barrier-synchronized cycle count must equal the
+//     CycleExecutor makespan of the same schedule exactly,
+//   * the makespan is printed next to the model:: closed-form step count
+//     (Table 3) where one exists,
+//   * every delivered block is checksum-verified and the final memory state
+//     is checked against the schedule's delivery matrix.
+//
+// The timed region is Player::play() only: schedule generation, plan
+// compilation and allocation are excluded, mirroring bench_executor.
+//
+// The default block size (32 doubles) sits in the latency-bound regime
+// where per-cycle barrier cost dominates and the cycle-count ratios of
+// Table 3 translate into wall-clock speedups; large blocks (--block 1024+)
+// move both algorithms into the bandwidth-bound regime where equal bytes
+// mean near-equal time — the live form of the paper's B_opt trade-off
+// (docs/RUNTIME.md).
+//
+//   bench_rt --nmin 4 --nmax 8 [--pps 4] [--ppd 2] [--block 32]
+//            [--threads T] [--reps 3] [--min-time 0.1] [--json <path>]
+#include "bench_util.hpp"
+
+#include "common/json.hpp"
+#include "model/broadcast_model.hpp"
+#include "routing/schedule_export.hpp"
+#include "rt/communicator.hpp"
+#include "rt/plan.hpp"
+#include "rt/player.hpp"
+#include "sim/cycle.hpp"
+#include "trees/bst.hpp"
+#include "trees/sbt.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using hcube::CliOptions;
+using hcube::hc::dim_t;
+using hcube::sim::packet_t;
+using hcube::sim::PortModel;
+using hcube::sim::Schedule;
+
+struct Workload {
+    std::string name;
+    std::string op;   ///< broadcast | scatter
+    std::string algo; ///< sbt | msbt | bst
+    std::function<Schedule(dim_t)> generate;
+    /// Closed-form routing-step count from model::, 0 if none applies.
+    std::function<double(dim_t, packet_t)> model_steps;
+};
+
+struct Row {
+    std::string workload;
+    std::string op;
+    std::string algo;
+    dim_t n = 0;
+    std::uint32_t threads = 0;
+    std::uint64_t block_elems = 0;
+    packet_t packets = 0;
+    std::uint32_t rt_cycles = 0;
+    std::uint32_t sim_makespan = 0;
+    double model_steps = 0;
+    std::uint64_t blocks_delivered = 0;
+    std::uint64_t payload_bytes = 0;
+    double seconds = 0; ///< best-of-reps wall clock of the threaded region
+    double gbps = 0;
+    bool verified = false;
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const CliOptions options(argc, argv);
+    const auto nmin = static_cast<dim_t>(options.get_int("nmin", 4));
+    const auto nmax = static_cast<dim_t>(options.get_int("nmax", 8));
+    const auto pps = static_cast<packet_t>(options.get_int("pps", 4));
+    const auto ppd = static_cast<packet_t>(options.get_int("ppd", 2));
+    const auto block =
+        static_cast<std::size_t>(options.get_int("block", 32));
+    const auto threads =
+        static_cast<std::uint32_t>(options.get_int("threads", 0));
+    const auto reps = static_cast<int>(options.get_int("reps", 3));
+    const double min_time = options.get_double("min-time", 0.1);
+    const std::string json_path = options.get_string("json", "");
+
+    hcube::bench::banner(
+        "Runtime throughput",
+        "threaded schedule execution: GB/s and wall-clock speedups");
+    std::printf("  threads=%s block=%zu doubles  (timed region: "
+                "Player::play only, best of >= %d reps)\n\n",
+                threads == 0 ? "auto" : std::to_string(threads).c_str(),
+                block, reps);
+
+    // Broadcast pair uses the same total packet count P = n * pps for both
+    // algorithms (the MSBT needs P divisible by n), so byte-for-byte the
+    // same message crosses the cube. Scatter pair uses ppd packets per
+    // destination on both trees.
+    const std::vector<Workload> workloads = {
+        {"sbt_bcast", "broadcast", "sbt",
+         [pps](dim_t n) {
+             return hcube::routing::make_tree_broadcast(
+                 hcube::trees::build_sbt(n, 0),
+                 hcube::routing::BroadcastDiscipline::port_oriented,
+                 static_cast<packet_t>(n) * pps,
+                 PortModel::one_port_full_duplex);
+         },
+         [](dim_t n, packet_t packets) {
+             return static_cast<double>(n) * packets;
+         }},
+        {"msbt_bcast", "broadcast", "msbt",
+         [pps](dim_t n) {
+             return hcube::routing::make_msbt_broadcast(
+                 n, 0, static_cast<packet_t>(n) * pps,
+                 PortModel::one_port_full_duplex);
+         },
+         [](dim_t n, packet_t packets) {
+             return static_cast<double>(packets) + n;
+         }},
+        {"sbt_scatter", "scatter", "sbt",
+         [ppd](dim_t n) {
+             return hcube::routing::make_tree_scatter(
+                 hcube::trees::build_sbt(n, 0),
+                 hcube::routing::ScatterPolicy::descending, ppd,
+                 PortModel::one_port_full_duplex);
+         },
+         [](dim_t, packet_t) { return 0.0; }},
+        {"bst_scatter", "scatter", "bst",
+         [ppd](dim_t n) {
+             return hcube::routing::make_tree_scatter(
+                 hcube::trees::build_bst(n, 0),
+                 hcube::routing::ScatterPolicy::cyclic, ppd,
+                 PortModel::one_port_full_duplex);
+         },
+         [](dim_t, packet_t) { return 0.0; }},
+    };
+
+    std::printf("%-12s %3s %4s %8s %7s %8s %7s %10s %9s %9s %5s\n",
+                "workload", "n", "thr", "packets", "cycles", "makespan",
+                "model", "blocks", "ms", "GB/s", "ok");
+
+    std::vector<Row> rows;
+    for (const Workload& w : workloads) {
+        for (dim_t n = nmin; n <= nmax; ++n) {
+            const Schedule schedule = w.generate(n);
+            const auto sim_stats = hcube::sim::execute_schedule(
+                schedule, PortModel::one_port_full_duplex);
+
+            const std::uint32_t nodes = std::uint32_t{1} << n;
+            const std::uint32_t use_threads =
+                threads != 0 ? std::min(threads, nodes)
+                             : std::min(nodes,
+                                        std::max(2u,
+                                                 std::thread::
+                                                     hardware_concurrency()));
+            const hcube::rt::Plan plan = hcube::rt::compile_plan(
+                schedule, hcube::rt::DataMode::move, block, use_threads);
+            hcube::rt::Player player(plan);
+
+            Row row;
+            row.workload = w.name;
+            row.op = w.op;
+            row.algo = w.algo;
+            row.n = n;
+            row.threads = use_threads;
+            row.block_elems = block;
+            row.packets = schedule.packet_count;
+            row.sim_makespan = sim_stats.makespan;
+            row.model_steps = w.model_steps(n, schedule.packet_count);
+            row.seconds = 1e300;
+            row.verified = true;
+
+            double elapsed = 0.0;
+            int runs = 0;
+            while (runs < reps || elapsed < min_time) {
+                const auto stats = player.play();
+                row.rt_cycles = stats.cycles;
+                row.blocks_delivered = stats.blocks_delivered;
+                row.payload_bytes = stats.payload_bytes;
+                row.seconds = std::min(row.seconds, stats.seconds);
+                row.verified = row.verified && stats.clean() &&
+                               stats.cycles == sim_stats.makespan &&
+                               stats.blocks_delivered ==
+                                   schedule.sends.size();
+                elapsed += stats.seconds;
+                ++runs;
+                if (runs >= 1000) {
+                    break;
+                }
+            }
+            row.gbps = static_cast<double>(row.payload_bytes) /
+                       row.seconds * 1e-9;
+
+            std::printf("%-12s %3d %4u %8u %7u %8u %7.0f %10llu %9.3f "
+                        "%9.3f %5s\n",
+                        row.workload.c_str(), n, row.threads, row.packets,
+                        row.rt_cycles, row.sim_makespan, row.model_steps,
+                        static_cast<unsigned long long>(
+                            row.blocks_delivered),
+                        row.seconds * 1e3, row.gbps,
+                        row.verified ? "yes" : "NO");
+            std::fflush(stdout);
+            rows.push_back(row);
+        }
+    }
+
+    // Headline speedups: measured wall-clock ratios at equal payload.
+    std::printf("\n%-28s %3s %10s %10s %8s\n", "speedup (measured)", "n",
+                "base ms", "fast ms", "ratio");
+    const auto find = [&rows](const std::string& name, dim_t n) -> const Row* {
+        for (const Row& r : rows) {
+            if (r.workload == name && r.n == n) {
+                return &r;
+            }
+        }
+        return nullptr;
+    };
+    for (dim_t n = nmin; n <= nmax; ++n) {
+        const struct {
+            const char* label;
+            const char* base;
+            const char* fast;
+        } pairs[] = {
+            {"msbt vs sbt broadcast", "sbt_bcast", "msbt_bcast"},
+            {"bst vs sbt scatter", "sbt_scatter", "bst_scatter"},
+        };
+        for (const auto& pair : pairs) {
+            const Row* base = find(pair.base, n);
+            const Row* fast = find(pair.fast, n);
+            if (base == nullptr || fast == nullptr) {
+                continue;
+            }
+            std::printf("%-28s %3d %10.3f %10.3f %7.2fx\n", pair.label, n,
+                        base->seconds * 1e3, fast->seconds * 1e3,
+                        base->seconds / fast->seconds);
+        }
+    }
+
+    if (!json_path.empty()) {
+        hcube::JsonArrayWriter json(json_path);
+        if (!json.ok()) {
+            std::fprintf(stderr, "cannot open %s for writing\n",
+                         json_path.c_str());
+            return 1;
+        }
+        for (const Row& r : rows) {
+            json.begin_row();
+            json.field("workload", r.workload);
+            json.field("op", r.op);
+            json.field("algo", r.algo);
+            json.field("n", r.n);
+            json.field("threads", r.threads);
+            json.field("block_elems", r.block_elems);
+            json.field("packets", r.packets);
+            json.field("rt_cycles", r.rt_cycles);
+            json.field("sim_makespan", r.sim_makespan);
+            if (r.model_steps > 0) {
+                json.field("model_steps", r.model_steps);
+            }
+            json.field("blocks_delivered", r.blocks_delivered);
+            json.field("payload_bytes", r.payload_bytes);
+            json.field("seconds", r.seconds);
+            json.field("gbytes_per_sec", r.gbps);
+            json.field("verified", r.verified);
+            json.end_row();
+        }
+        if (json.close()) {
+            std::printf("\nwrote %s\n", json_path.c_str());
+        }
+    }
+
+    bool all_verified = true;
+    for (const Row& r : rows) {
+        all_verified = all_verified && r.verified;
+    }
+    if (!all_verified) {
+        std::fprintf(stderr, "\nFAILED: some rows did not verify\n");
+        return 1;
+    }
+    return 0;
+}

@@ -12,11 +12,15 @@
 //   --port  half | full | all
 //   --trace print a per-link Gantt chart and utilization statistics
 //   --dump-schedule <path>  write the cycle schedule as CSV
+//   --rt [--threads T]  additionally execute the schedule on real worker
+//         threads (hcube::rt) and print measured wall clock and GB/s
 #include "common/check.hpp"
 #include "common/cli.hpp"
 #include "routing/broadcast.hpp"
 #include "routing/protocols.hpp"
 #include "routing/scatter.hpp"
+#include "routing/schedule_export.hpp"
+#include "rt/communicator.hpp"
 #include "sim/trace.hpp"
 #include "trees/bst.hpp"
 #include "trees/hp.hpp"
@@ -60,6 +64,16 @@ trees::SpanningTree build(const std::string& algo, hc::dim_t n,
                                              trees::HpVariant::source_at_end);
     }
     throw check_error("unknown --algo");
+}
+
+/// Runs one collective through the threaded runtime and prints measured
+/// wall clock, delivered GB/s, and whether every block checksum-verified.
+void print_rt_result(const hcube::rt::Result& result) {
+    std::printf("  rt (threads=%u): %u cycles (sim makespan %u), "
+                "%.3f ms, %.3f GB/s, %s\n",
+                result.threads, result.rt_cycles, result.sim_makespan,
+                result.seconds * 1e3, result.gbytes_per_sec(),
+                result.verified ? "verified" : "VERIFICATION FAILED");
 }
 
 } // namespace
@@ -142,6 +156,29 @@ int main(int argc, char** argv) {
             }
         }
         std::printf("  simulated time: %.6f s\n", time);
+
+        // Real data movement on worker threads, cross-checked against the
+        // cycle simulator.
+        if (options.has("rt")) {
+            rt::Params rt_params;
+            rt_params.threads = static_cast<std::uint32_t>(
+                options.get_int("threads", 0));
+            rt_params.model = port;
+            rt::Communicator comm(n, rt_params);
+            if (algo == "msbt") {
+                const auto pps = static_cast<sim::packet_t>(
+                    std::ceil(M / (B * n)));
+                print_rt_result(comm.broadcast_msbt(
+                    s, pps * static_cast<sim::packet_t>(n)));
+            } else {
+                const auto discipline =
+                    (algo == "sbt" && port != sim::PortModel::all_port)
+                        ? routing::BroadcastDiscipline::port_oriented
+                        : routing::BroadcastDiscipline::paced;
+                print_rt_result(
+                    comm.broadcast(build(algo, n, s), discipline, packets));
+            }
+        }
         return 0;
     }
 
@@ -171,6 +208,25 @@ int main(int argc, char** argv) {
         const auto stats = engine.run(protocol);
         std::printf("  simulated time: %.6f s (%zu payloads delivered)\n",
                     stats.completion_time, protocol.delivered());
+
+        if (options.has("rt")) {
+            if (port == sim::PortModel::one_port_half_duplex) {
+                std::printf("  rt: half-duplex scatter has no cycle "
+                            "schedule; skipped\n");
+            } else {
+                rt::Params rt_params;
+                rt_params.threads = static_cast<std::uint32_t>(
+                    options.get_int("threads", 0));
+                rt_params.model = port;
+                rt::Communicator comm(n, rt_params);
+                const auto policy =
+                    (port == sim::PortModel::all_port)
+                        ? routing::ScatterPolicy::per_port
+                        : (algo == "bst" ? routing::ScatterPolicy::cyclic
+                                         : routing::ScatterPolicy::descending);
+                print_rt_result(comm.scatter(tree, policy, 1));
+            }
+        }
         return 0;
     }
 

@@ -1,0 +1,126 @@
+#include "common/json.hpp"
+
+#include <cinttypes>
+
+namespace hcube {
+
+namespace {
+
+/// The bench schemas only carry identifier-like strings, but escape the
+/// JSON specials anyway so the writer can never emit an invalid document.
+std::string escaped(const std::string& value) {
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c; break;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+JsonArrayWriter::JsonArrayWriter(const std::string& path)
+    : out_(std::fopen(path.c_str(), "w")) {
+    if (out_ != nullptr) {
+        failed_ = std::fprintf(out_, "[") < 0;
+    }
+}
+
+JsonArrayWriter::~JsonArrayWriter() {
+    if (out_ != nullptr) {
+        std::fclose(out_);
+    }
+}
+
+void JsonArrayWriter::begin_row() {
+    if (out_ == nullptr) {
+        return;
+    }
+    failed_ |= std::fprintf(out_, "%s\n  {", any_row_ ? "," : "") < 0;
+    any_row_ = true;
+    any_field_ = false;
+}
+
+void JsonArrayWriter::key_prefix(const std::string& key) {
+    failed_ |= std::fprintf(out_, "%s\"%s\": ", any_field_ ? ", " : "",
+                            escaped(key).c_str()) < 0;
+    any_field_ = true;
+}
+
+void JsonArrayWriter::field(const std::string& key,
+                            const std::string& value) {
+    if (out_ == nullptr) {
+        return;
+    }
+    key_prefix(key);
+    failed_ |= std::fprintf(out_, "\"%s\"", escaped(value).c_str()) < 0;
+}
+
+void JsonArrayWriter::field(const std::string& key, const char* value) {
+    field(key, std::string(value));
+}
+
+void JsonArrayWriter::field(const std::string& key, std::int64_t value) {
+    if (out_ == nullptr) {
+        return;
+    }
+    key_prefix(key);
+    failed_ |= std::fprintf(out_, "%" PRId64, value) < 0;
+}
+
+void JsonArrayWriter::field(const std::string& key, std::uint64_t value) {
+    if (out_ == nullptr) {
+        return;
+    }
+    key_prefix(key);
+    failed_ |= std::fprintf(out_, "%" PRIu64, value) < 0;
+}
+
+void JsonArrayWriter::field(const std::string& key, std::uint32_t value) {
+    field(key, std::uint64_t{value});
+}
+
+void JsonArrayWriter::field(const std::string& key, int value) {
+    field(key, std::int64_t{value});
+}
+
+void JsonArrayWriter::field(const std::string& key, double value) {
+    if (out_ == nullptr) {
+        return;
+    }
+    key_prefix(key);
+    failed_ |= std::fprintf(out_, "%.6g", value) < 0;
+}
+
+void JsonArrayWriter::field(const std::string& key, bool value) {
+    if (out_ == nullptr) {
+        return;
+    }
+    key_prefix(key);
+    failed_ |= std::fprintf(out_, "%s", value ? "true" : "false") < 0;
+}
+
+void JsonArrayWriter::end_row() {
+    if (out_ == nullptr) {
+        return;
+    }
+    failed_ |= std::fprintf(out_, "}") < 0;
+}
+
+bool JsonArrayWriter::close() {
+    if (out_ == nullptr) {
+        return false;
+    }
+    failed_ |= std::fprintf(out_, "\n]\n") < 0;
+    failed_ |= std::fclose(out_) != 0;
+    out_ = nullptr;
+    return !failed_;
+}
+
+} // namespace hcube

@@ -1,0 +1,52 @@
+// Minimal machine-readable JSON emission shared by the bench binaries.
+//
+// Every bench records its result table as a JSON array of flat objects
+// (one object per measured row, keys = column names) — the schema of
+// BENCH_executor.json and BENCH_rt.json. The writer streams rows, so a
+// bench can emit while measuring; close() finishes the array and reports
+// whether every write succeeded.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace hcube {
+
+class JsonArrayWriter {
+public:
+    /// Opens `path` for writing; ok() is false if that failed.
+    explicit JsonArrayWriter(const std::string& path);
+    ~JsonArrayWriter();
+    JsonArrayWriter(const JsonArrayWriter&) = delete;
+    JsonArrayWriter& operator=(const JsonArrayWriter&) = delete;
+
+    [[nodiscard]] bool ok() const noexcept { return out_ != nullptr; }
+
+    /// Starts the next object in the array.
+    void begin_row();
+
+    /// Adds one key/value pair to the current row.
+    void field(const std::string& key, const std::string& value);
+    void field(const std::string& key, const char* value);
+    void field(const std::string& key, std::int64_t value);
+    void field(const std::string& key, std::uint64_t value);
+    void field(const std::string& key, std::uint32_t value);
+    void field(const std::string& key, int value);
+    void field(const std::string& key, double value);
+    void field(const std::string& key, bool value);
+
+    void end_row();
+
+    /// Closes the array and the file; true if everything was written.
+    bool close();
+
+private:
+    void key_prefix(const std::string& key);
+
+    std::FILE* out_ = nullptr;
+    bool any_row_ = false;
+    bool any_field_ = false;
+    bool failed_ = false;
+};
+
+} // namespace hcube

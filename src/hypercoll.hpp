@@ -4,13 +4,15 @@
 //
 // pulls in the cube arithmetic (hcube::hc), the spanning structures
 // (hcube::trees), both simulators (hcube::sim), the routing algorithms and
-// data-carrying collectives (hcube::routing), and the analytic models
-// (hcube::model). Individual headers remain includable on their own.
+// data-carrying collectives (hcube::routing), the threaded collective
+// runtime (hcube::rt), and the analytic models (hcube::model). Individual
+// headers remain includable on their own.
 #pragma once
 
 #include "common/check.hpp"
 #include "common/cli.hpp"
 #include "common/csv.hpp"
+#include "common/json.hpp"
 #include "common/prng.hpp"
 #include "common/table.hpp"
 
@@ -42,6 +44,13 @@
 #include "routing/multipath.hpp"
 #include "routing/protocols.hpp"
 #include "routing/scatter.hpp"
+#include "routing/schedule_export.hpp"
+
+#include "rt/channel.hpp"
+#include "rt/checksum.hpp"
+#include "rt/communicator.hpp"
+#include "rt/plan.hpp"
+#include "rt/player.hpp"
 
 #include "model/broadcast_model.hpp"
 #include "model/personalized_model.hpp"

@@ -1,0 +1,96 @@
+#include "routing/schedule_export.hpp"
+
+#include "common/check.hpp"
+#include "routing/alltoall.hpp"
+#include "routing/broadcast.hpp"
+
+#include <algorithm>
+
+namespace hcube::routing {
+
+Schedule make_tree_broadcast(const trees::SpanningTree& tree,
+                             BroadcastDiscipline discipline, packet_t packets,
+                             PortModel model) {
+    HCUBE_ENSURE_MSG(packets >= 1, "broadcast needs at least one packet");
+    if (discipline == BroadcastDiscipline::port_oriented) {
+        // Feasible under every port model as generated.
+        return port_oriented_broadcast(tree, packets);
+    }
+    return paced_broadcast(tree, packets, model);
+}
+
+Schedule make_msbt_broadcast(hc::dim_t n, hc::node_t root, packet_t packets,
+                             PortModel model) {
+    HCUBE_ENSURE_MSG(n >= 1 && packets >= 1 &&
+                         packets % static_cast<packet_t>(n) == 0,
+                     "MSBT total packet count must be a positive multiple "
+                     "of n (one equal stream per ERSBT)");
+    return msbt_broadcast(n, root, packets / static_cast<packet_t>(n), model);
+}
+
+Schedule make_tree_scatter(const trees::SpanningTree& tree,
+                           ScatterPolicy policy, packet_t packets_per_dest,
+                           PortModel model) {
+    HCUBE_ENSURE_MSG(packets_per_dest >= 1,
+                     "scatter needs at least one packet per destination");
+    HCUBE_ENSURE_MSG(model != PortModel::one_port_half_duplex,
+                     "half-duplex personalized communication is modelled in "
+                     "the event engine, not as a cycle schedule");
+    switch (policy) {
+    case ScatterPolicy::descending:
+        return scatter_one_port(tree, descending_dest_order(tree),
+                                packets_per_dest);
+    case ScatterPolicy::cyclic:
+        return scatter_one_port(
+            tree,
+            cyclic_dest_order(tree, SubtreeOrder::reverse_breadth_first),
+            packets_per_dest);
+    case ScatterPolicy::per_port:
+        HCUBE_ENSURE_MSG(model == PortModel::all_port,
+                         "per-port scatter streams all root ports at once "
+                         "and needs the all-port model");
+        return scatter_all_port(
+            tree,
+            per_subtree_dest_orders(tree,
+                                    SubtreeOrder::reverse_breadth_first),
+            packets_per_dest);
+    }
+    throw check_error("unknown scatter policy");
+}
+
+Schedule make_tree_gather(const trees::SpanningTree& tree,
+                          ScatterPolicy policy, packet_t packets_per_dest,
+                          PortModel model) {
+    return reverse_schedule(
+        make_tree_scatter(tree, policy, packets_per_dest, model));
+}
+
+Schedule make_allgather_schedule(hc::dim_t n) {
+    return allgather_recursive_doubling(n);
+}
+
+Schedule make_alltoall_schedule(hc::dim_t n, packet_t packets_per_pair) {
+    HCUBE_ENSURE_MSG(packets_per_pair >= 1,
+                     "all-to-all needs at least one packet per pair");
+    return alltoall_recursive_exchange(n, packets_per_pair);
+}
+
+Schedule reverse_broadcast_for_reduce(const Schedule& broadcast,
+                                      hc::node_t root) {
+    std::uint32_t makespan = 0;
+    for (const auto& send : broadcast.sends) {
+        makespan = std::max(makespan, send.cycle + 1);
+    }
+    Schedule out;
+    out.n = broadcast.n;
+    out.packet_count = broadcast.packet_count;
+    out.initial_holder.assign(broadcast.packet_count, root);
+    out.sends.reserve(broadcast.sends.size());
+    for (const auto& send : broadcast.sends) {
+        out.sends.push_back(
+            {makespan - 1 - send.cycle, send.to, send.from, send.packet});
+    }
+    return out;
+}
+
+} // namespace hcube::routing

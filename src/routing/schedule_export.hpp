@@ -1,0 +1,93 @@
+// Named schedule families exported for consumers that *execute* schedules
+// rather than generate them piecemeal — the threaded runtime (hcube::rt) and
+// the bench harnesses. Each hook pairs a generator from broadcast.hpp /
+// scatter.hpp / alltoall.hpp with the argument plumbing (tree, ordering
+// policy, port model) so every consumer builds byte-identical schedules.
+#pragma once
+
+#include "routing/scatter.hpp"
+#include "sim/cycle.hpp"
+#include "trees/spanning_tree.hpp"
+
+#include <string_view>
+
+namespace hcube::routing {
+
+/// How a single-tree broadcast forwards the message (paper §2).
+enum class BroadcastDiscipline {
+    port_oriented, ///< receive everything, then retransmit whole (§3.3.1)
+    paced,         ///< pipelined packet-by-packet forwarding
+};
+
+/// Root emission policy for a single-tree scatter (paper §4-5).
+enum class ScatterPolicy {
+    descending, ///< descending relative address (SBT §5.2), one port
+    cyclic,     ///< round-robin across subtrees (BST §4.2.2), one port
+    per_port,   ///< every root port streams its own subtree (lemma 4.2)
+};
+
+[[nodiscard]] constexpr std::string_view
+to_string(BroadcastDiscipline d) noexcept {
+    return d == BroadcastDiscipline::port_oriented ? "port-oriented" : "paced";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(ScatterPolicy p) noexcept {
+    switch (p) {
+    case ScatterPolicy::descending: return "descending";
+    case ScatterPolicy::cyclic: return "cyclic";
+    case ScatterPolicy::per_port: return "per-port";
+    }
+    return "?";
+}
+
+/// Broadcast of `packets` packets from tree.root down `tree` under
+/// `discipline`. Works for any spanning tree (SBT, BST, TCBT, HP).
+[[nodiscard]] Schedule make_tree_broadcast(const trees::SpanningTree& tree,
+                                           BroadcastDiscipline discipline,
+                                           packet_t packets, PortModel model);
+
+/// MSBT broadcast of `packets` total packets (must be divisible by n; each
+/// of the n ERSBT streams carries packets/n of them).
+[[nodiscard]] Schedule make_msbt_broadcast(hc::dim_t n, hc::node_t root,
+                                           packet_t packets, PortModel model);
+
+/// Scatter of `packets_per_dest` packets to every non-root node down `tree`.
+/// `per_port` requires the all-port model; the one-port policies are
+/// generated against the full-duplex cycle model (and remain feasible under
+/// all-port).
+[[nodiscard]] Schedule make_tree_scatter(const trees::SpanningTree& tree,
+                                         ScatterPolicy policy,
+                                         packet_t packets_per_dest,
+                                         PortModel model);
+
+/// Gather: the time-reversed scatter (every node's packets collected at the
+/// root), feasible under the same port model by symmetry.
+[[nodiscard]] Schedule make_tree_gather(const trees::SpanningTree& tree,
+                                        ScatterPolicy policy,
+                                        packet_t packets_per_dest,
+                                        PortModel model);
+
+/// All-to-all broadcast (allgather) by recursive doubling; packet j is node
+/// j's contribution. One-port full duplex, N - 1 cycles.
+[[nodiscard]] Schedule make_allgather_schedule(hc::dim_t n);
+
+/// Dimension-order complete exchange with `packets_per_pair` packets per
+/// (src, dest) pair. One-port full duplex.
+[[nodiscard]] Schedule make_alltoall_schedule(hc::dim_t n,
+                                              packet_t packets_per_pair);
+
+/// Time-reverses a broadcast schedule into a *combining* reduction schedule:
+/// every forward send (c, u -> v, p) becomes (T-1-c, v -> u, p), so each
+/// non-root node sends packet p exactly once (its accumulated partial sum)
+/// and every internal node has received all of its children's contributions
+/// strictly before its own send — the store-and-forward availability rule of
+/// the forward schedule time-reverses into exactly this guarantee. The
+/// result is NOT a valid schedule for sim::execute_schedule (a reduction
+/// delivers packet p to the root once per child, which the executor rejects
+/// as duplicate delivery); it is meant for the runtime's combining mode,
+/// where duplicate arrivals accumulate. initial_holder is rewritten to the
+/// reduction root for every packet.
+[[nodiscard]] Schedule reverse_broadcast_for_reduce(const Schedule& broadcast,
+                                                    hc::node_t root);
+
+} // namespace hcube::routing

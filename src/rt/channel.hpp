@@ -1,0 +1,120 @@
+// Fixed-capacity SPSC ring-buffer channels, one per directed cube link.
+//
+// A channel's producer is the worker thread that owns the sending node and
+// its consumer the worker that owns the receiving node — node ownership is a
+// partition, so single-producer / single-consumer holds by construction.
+// Indices are monotonically increasing uint32 counters masked into a
+// power-of-two ring (the classic Lamport queue): the producer publishes a
+// slot with a release store of `tail`, the consumer acquires it by loading
+// `tail` and retires it with a release store of `head`. Payload blocks are
+// copied into channel-owned storage, so the runtime really moves every byte
+// twice per hop (into the link, out of the link) — the memory-traffic
+// analogue of a packet crossing a physical channel.
+//
+// All channels live in one bank: contiguous slot storage, and head/tail
+// counters each padded to a cache line so two threads hammering opposite
+// ends of one link never false-share.
+#pragma once
+
+#include "common/check.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace hcube::rt {
+
+class ChannelBank {
+public:
+    /// `capacity` slots per channel (rounded up to a power of two), each
+    /// slot holding one block of `block_elems` doubles plus its packet id.
+    ChannelBank(std::uint32_t channels, std::uint32_t capacity,
+                std::size_t block_elems)
+        : channels_(channels), capacity_(std::bit_ceil(
+                                   std::max<std::uint32_t>(capacity, 1))),
+          block_elems_(block_elems), heads_(channels), tails_(channels),
+          packet_ids_(std::size_t{channels} * capacity_, 0),
+          slots_(std::size_t{channels} * capacity_ * block_elems, 0.0) {
+        HCUBE_ENSURE(block_elems >= 1);
+    }
+
+    [[nodiscard]] std::uint32_t channel_count() const noexcept {
+        return channels_;
+    }
+    [[nodiscard]] std::uint32_t capacity() const noexcept {
+        return capacity_;
+    }
+
+    /// Producer side: copies `block` into the ring. False only when the
+    /// channel is full (a runtime invariant violation for schedule-driven
+    /// traffic, where every cycle's sends are drained the same cycle).
+    [[nodiscard]] bool try_push(std::uint32_t channel, std::uint32_t packet,
+                                std::span<const double> block) noexcept {
+        const std::uint32_t tail =
+            tails_[channel].v.load(std::memory_order_relaxed);
+        const std::uint32_t head =
+            heads_[channel].v.load(std::memory_order_acquire);
+        if (tail - head >= capacity_) {
+            return false;
+        }
+        const std::size_t slot = slot_index(channel, tail);
+        std::memcpy(slots_.data() + slot * block_elems_, block.data(),
+                    block_elems_ * sizeof(double));
+        packet_ids_[slot] = packet;
+        tails_[channel].v.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer side: a view of the oldest undelivered block, or an empty
+    /// span if the channel is empty. The view stays valid until pop_front.
+    [[nodiscard]] std::span<const double>
+    front(std::uint32_t channel, std::uint32_t& packet) const noexcept {
+        const std::uint32_t head =
+            heads_[channel].v.load(std::memory_order_relaxed);
+        const std::uint32_t tail =
+            tails_[channel].v.load(std::memory_order_acquire);
+        if (head == tail) {
+            return {};
+        }
+        const std::size_t slot = slot_index(channel, head);
+        packet = packet_ids_[slot];
+        return {slots_.data() + slot * block_elems_, block_elems_};
+    }
+
+    /// Consumer side: retires the block returned by front().
+    void pop_front(std::uint32_t channel) noexcept {
+        const std::uint32_t head =
+            heads_[channel].v.load(std::memory_order_relaxed);
+        heads_[channel].v.store(head + 1, std::memory_order_release);
+    }
+
+    /// Blocks currently in flight (either endpoint may call; approximate
+    /// while threads are running, exact when quiescent).
+    [[nodiscard]] std::uint32_t in_flight(std::uint32_t channel) const {
+        return tails_[channel].v.load(std::memory_order_acquire) -
+               heads_[channel].v.load(std::memory_order_acquire);
+    }
+
+private:
+    struct alignas(64) PaddedCounter {
+        std::atomic<std::uint32_t> v{0};
+    };
+
+    [[nodiscard]] std::size_t slot_index(std::uint32_t channel,
+                                         std::uint32_t pos) const noexcept {
+        return std::size_t{channel} * capacity_ + (pos & (capacity_ - 1));
+    }
+
+    std::uint32_t channels_;
+    std::uint32_t capacity_; ///< per channel, power of two
+    std::size_t block_elems_;
+    std::vector<PaddedCounter> heads_; ///< consumer counters
+    std::vector<PaddedCounter> tails_; ///< producer counters
+    std::vector<std::uint32_t> packet_ids_;
+    std::vector<double> slots_;
+};
+
+} // namespace hcube::rt

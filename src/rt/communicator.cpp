@@ -1,0 +1,170 @@
+#include "rt/communicator.hpp"
+
+#include "common/check.hpp"
+#include "rt/checksum.hpp"
+#include "rt/player.hpp"
+#include "sim/cycle.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace hcube::rt {
+
+namespace {
+
+using sim::packet_t;
+using sim::Schedule;
+
+std::uint32_t pick_threads(hc::dim_t n, std::uint32_t requested) {
+    const std::uint32_t nodes = std::uint32_t{1} << n;
+    if (requested == 0) {
+        requested = std::max(2u, std::thread::hardware_concurrency());
+    }
+    return std::min(requested, nodes);
+}
+
+} // namespace
+
+Communicator::Communicator(hc::dim_t n, Params params)
+    : n_(n), params_(params), threads_(pick_threads(n, params.threads)) {
+    HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+    HCUBE_ENSURE(params_.block_elems >= 1);
+}
+
+Result Communicator::run_move(const Schedule& schedule) {
+    // The cycle executor proves the schedule feasible under the port model
+    // and provides the makespan + delivery matrix the runtime must match.
+    const sim::CycleStats sim_stats =
+        sim::execute_schedule(schedule, params_.model);
+
+    const Plan plan = compile_plan(schedule, DataMode::move,
+                                   params_.block_elems, threads_);
+    Player player(plan, params_.channel_capacity);
+    const PlayStats stats = player.play();
+
+    Result result;
+    result.rt_cycles = stats.cycles;
+    result.sim_makespan = sim_stats.makespan;
+    result.blocks_delivered = stats.blocks_delivered;
+    result.payload_bytes = stats.payload_bytes;
+    result.seconds = stats.seconds;
+    result.threads = threads_;
+
+    // Verified = every in-flight checksum passed, every channel behaved,
+    // exactly one delivery per scheduled send, the runtime's cycle count
+    // matches the cycle model, and every (node, packet) the simulator says
+    // is held ends up holding the canonical block.
+    bool ok = stats.clean() &&
+              stats.blocks_delivered == schedule.sends.size() &&
+              stats.cycles == sim_stats.makespan;
+    const node_t count = node_t{1} << n_;
+    for (node_t i = 0; ok && i < count; ++i) {
+        for (packet_t p = 0; p < schedule.packet_count; ++p) {
+            const bool held = sim_stats.holds(i, p);
+            const std::span<const double> block = player.block(i, p);
+            if (!held) {
+                ok = block.empty();
+                continue;
+            }
+            if (block.empty() ||
+                block_checksum(block) !=
+                    canonical_checksum(p, params_.block_elems)) {
+                ok = false;
+                break;
+            }
+        }
+    }
+    result.verified = ok;
+    return result;
+}
+
+Result Communicator::broadcast(const trees::SpanningTree& tree,
+                               routing::BroadcastDiscipline discipline,
+                               packet_t packets) {
+    HCUBE_ENSURE(tree.n == n_);
+    return run_move(routing::make_tree_broadcast(tree, discipline, packets,
+                                                 params_.model));
+}
+
+Result Communicator::broadcast_msbt(hc::node_t root, packet_t packets) {
+    return run_move(
+        routing::make_msbt_broadcast(n_, root, packets, params_.model));
+}
+
+Result Communicator::scatter(const trees::SpanningTree& tree,
+                             routing::ScatterPolicy policy,
+                             packet_t packets_per_dest) {
+    HCUBE_ENSURE(tree.n == n_);
+    return run_move(routing::make_tree_scatter(tree, policy,
+                                               packets_per_dest,
+                                               params_.model));
+}
+
+Result Communicator::gather(const trees::SpanningTree& tree,
+                            routing::ScatterPolicy policy,
+                            packet_t packets_per_dest) {
+    HCUBE_ENSURE(tree.n == n_);
+    return run_move(routing::make_tree_gather(tree, policy, packets_per_dest,
+                                              params_.model));
+}
+
+Result Communicator::allgather() {
+    return run_move(routing::make_allgather_schedule(n_));
+}
+
+Result Communicator::alltoall(packet_t packets_per_pair) {
+    return run_move(routing::make_alltoall_schedule(n_, packets_per_pair));
+}
+
+Result Communicator::reduce(const trees::SpanningTree& tree,
+                            packet_t packets) {
+    HCUBE_ENSURE(tree.n == n_);
+    // The forward broadcast provides the feasibility proof and the
+    // makespan; time reversal preserves both (every constraint the
+    // executor checks is symmetric under reversal).
+    const Schedule forward = routing::make_tree_broadcast(
+        tree, routing::BroadcastDiscipline::port_oriented, packets,
+        params_.model);
+    const sim::CycleStats sim_stats =
+        sim::execute_schedule(forward, params_.model);
+    const Schedule reduction =
+        routing::reverse_broadcast_for_reduce(forward, tree.root);
+
+    const Plan plan = compile_plan(reduction, DataMode::combine,
+                                   params_.block_elems, threads_);
+    Player player(plan, params_.channel_capacity);
+    const PlayStats stats = player.play();
+
+    Result result;
+    result.rt_cycles = stats.cycles;
+    result.sim_makespan = sim_stats.makespan;
+    result.blocks_delivered = stats.blocks_delivered;
+    result.payload_bytes = stats.payload_bytes;
+    result.seconds = stats.seconds;
+    result.threads = threads_;
+
+    // The root's block for every packet must equal the exact elementwise
+    // integer sum of all N contributions.
+    bool ok = stats.clean() &&
+              stats.blocks_delivered == reduction.sends.size() &&
+              stats.cycles == sim_stats.makespan;
+    const node_t count = node_t{1} << n_;
+    for (packet_t p = 0; ok && p < packets; ++p) {
+        const std::span<const double> block = player.block(tree.root, p);
+        if (block.size() != params_.block_elems) {
+            ok = false;
+            break;
+        }
+        for (std::size_t e = 0; ok && e < params_.block_elems; ++e) {
+            double expected = 0.0;
+            for (node_t i = 0; i < count; ++i) {
+                expected += contribution_element(i, p, e);
+            }
+            ok = block[e] == expected;
+        }
+    }
+    result.verified = ok;
+    return result;
+}
+
+} // namespace hcube::rt

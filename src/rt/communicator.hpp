@@ -1,0 +1,105 @@
+// rt::Communicator — the collective API of the threaded runtime.
+//
+// Where routing::CollectiveComm runs the paper's algorithms on the *event
+// simulator* (simulated seconds), this communicator runs the cycle-exact
+// schedules as *real data movement*: logical cube nodes mapped onto a
+// thread pool, directed links as SPSC ring-buffer channels, one barrier-
+// synchronized send/receive phase pair per routing cycle, and a checksum
+// check on every delivered block. Every operation also executes the same
+// schedule through sim::execute_schedule, so the result carries both the
+// measured wall clock and the cycle-model cross-check: for uniform packets
+// the runtime's cycle count equals the CycleExecutor makespan exactly.
+//
+// Operations map onto the paper's schedule families via the
+// routing/schedule_export.hpp hooks:
+//   broadcast  — any spanning tree (port-oriented or paced) or the MSBT;
+//   scatter    — SBT descending / BST cyclic / all-port per-subtree;
+//   gather     — the time-reversed scatter;
+//   reduce     — the time-reversed broadcast, combining elementwise;
+//   allgather  — recursive doubling (packet j = node j's block);
+//   alltoall   — dimension-order complete exchange.
+#pragma once
+
+#include "routing/schedule_export.hpp"
+#include "sim/port_model.hpp"
+#include "trees/spanning_tree.hpp"
+
+#include <cstdint>
+
+namespace hcube::rt {
+
+struct Params {
+    /// Worker threads; 0 picks min(2^n, max(2, hardware_concurrency)).
+    std::uint32_t threads = 0;
+    /// Elements (doubles) per packet — the internal packet size B_int.
+    std::size_t block_elems = 256;
+    /// Ring slots per link channel.
+    std::uint32_t channel_capacity = 2;
+    /// Port model the schedules are generated for and validated under.
+    sim::PortModel model = sim::PortModel::one_port_full_duplex;
+};
+
+struct Result {
+    std::uint32_t rt_cycles = 0;    ///< cycles the runtime executed
+    std::uint32_t sim_makespan = 0; ///< CycleExecutor makespan (cross-check)
+    std::uint64_t blocks_delivered = 0;
+    std::uint64_t payload_bytes = 0; ///< bytes drained from link channels
+    double seconds = 0;              ///< wall clock of the threaded region
+    bool verified = false; ///< per-block checksums + final-state check
+    std::uint32_t threads = 1;
+
+    [[nodiscard]] double gbytes_per_sec() const noexcept {
+        return seconds > 0
+                   ? static_cast<double>(payload_bytes) / seconds * 1e-9
+                   : 0.0;
+    }
+};
+
+class Communicator {
+public:
+    explicit Communicator(hc::dim_t n, Params params = {});
+
+    [[nodiscard]] hc::dim_t dimension() const noexcept { return n_; }
+    [[nodiscard]] std::uint32_t threads() const noexcept { return threads_; }
+
+    /// Broadcast `packets` blocks from tree.root down `tree`.
+    Result broadcast(const trees::SpanningTree& tree,
+                     routing::BroadcastDiscipline discipline,
+                     sim::packet_t packets);
+
+    /// MSBT broadcast of `packets` blocks (divisible by n) from `root`.
+    Result broadcast_msbt(hc::node_t root, sim::packet_t packets);
+
+    /// Scatter `packets_per_dest` blocks from tree.root to every node.
+    Result scatter(const trees::SpanningTree& tree,
+                   routing::ScatterPolicy policy,
+                   sim::packet_t packets_per_dest);
+
+    /// Gather every node's blocks at tree.root (time-reversed scatter).
+    Result gather(const trees::SpanningTree& tree,
+                  routing::ScatterPolicy policy,
+                  sim::packet_t packets_per_dest);
+
+    /// Elementwise-sum reduction of `packets` blocks per node into
+    /// tree.root, down the time-reversed port-oriented broadcast of `tree`.
+    /// Verified against the exact integer sums of every contribution.
+    Result reduce(const trees::SpanningTree& tree, sim::packet_t packets);
+
+    /// Allgather: node j's block (packet j) reaches every node.
+    Result allgather();
+
+    /// All-to-all personalized exchange, `packets_per_pair` blocks per
+    /// (src, dest) pair.
+    Result alltoall(sim::packet_t packets_per_pair);
+
+private:
+    /// Validates via the cycle executor, compiles, plays, verifies final
+    /// holdings block by block.
+    Result run_move(const sim::Schedule& schedule);
+
+    hc::dim_t n_;
+    Params params_;
+    std::uint32_t threads_;
+};
+
+} // namespace hcube::rt

@@ -1,0 +1,172 @@
+#include "rt/plan.hpp"
+
+#include "common/check.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+
+namespace hcube::rt {
+
+namespace {
+
+[[noreturn]] [[gnu::cold]] [[gnu::noinline]] void
+fail_send(const char* what, const sim::ScheduledSend& send) {
+    throw check_error(std::string("plan violation: ") + what + " (cycle " +
+                      std::to_string(send.cycle) + ", " +
+                      std::to_string(send.from) + " -> " +
+                      std::to_string(send.to) + ", packet " +
+                      std::to_string(send.packet) + ")");
+}
+
+} // namespace
+
+Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
+                  std::size_t block_elems, std::uint32_t workers) {
+    HCUBE_ENSURE(schedule.n >= 1 && schedule.n <= hc::kMaxDimension);
+    HCUBE_ENSURE(block_elems >= 1);
+    const node_t count = node_t{1} << schedule.n;
+    HCUBE_ENSURE(workers >= 1 && workers <= count);
+    HCUBE_ENSURE(schedule.initial_holder.size() == schedule.packet_count);
+
+    Plan plan;
+    plan.n = schedule.n;
+    plan.packet_count = schedule.packet_count;
+    plan.block_elems = block_elems;
+    plan.mode = mode;
+    plan.workers = workers;
+
+    std::vector<sim::ScheduledSend> sends = schedule.sends;
+    std::ranges::stable_sort(sends, {}, &sim::ScheduledSend::cycle);
+    if (!sends.empty()) {
+        const std::uint32_t last = sends.back().cycle;
+        if (last + 1 == 0) [[unlikely]] {
+            fail_send("cycle index too large", sends.back());
+        }
+        plan.cycles = last + 1;
+    }
+
+    // ---- slot assignment with availability / duplicate checks ---------
+    /// Cycle from which each slot's block may be forwarded (0 = initially
+    /// held). Only consulted in move mode; combine slots are all available
+    /// from the start (they hold the node's own contribution).
+    std::vector<std::uint32_t> slot_acquire;
+    const auto create_slot = [&](node_t node, packet_t packet,
+                                 std::uint32_t acquire) {
+        const std::uint64_t id = plan.total_slots++;
+        plan.slot_index_.emplace((std::uint64_t{packet} << 32) | node, id);
+        plan.slot_packet.push_back(packet);
+        plan.slot_node.push_back(node);
+        slot_acquire.push_back(acquire);
+        return id;
+    };
+
+    if (mode == DataMode::move) {
+        for (packet_t p = 0; p < schedule.packet_count; ++p) {
+            const node_t holder = schedule.initial_holder[p];
+            HCUBE_ENSURE(holder < count);
+            plan.seeded_slots.push_back(create_slot(holder, p, 0));
+        }
+    }
+
+    // ---- channel numbering + lowering ---------------------------------
+    std::unordered_map<std::uint64_t, std::uint32_t> channel_of;
+    /// Last cycle each channel carried a block (one packet per directed
+    /// link per cycle, the link-capacity rule).
+    std::vector<std::uint64_t> channel_last_cycle;
+    static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+    struct Lowered {
+        std::uint32_t cycle;
+        Action action;
+    };
+    std::vector<Lowered> low_sends;
+    std::vector<Lowered> low_recvs;
+    low_sends.reserve(sends.size());
+    low_recvs.reserve(sends.size());
+
+    for (const sim::ScheduledSend& send : sends) {
+        if (send.from >= count || send.to >= count) [[unlikely]] {
+            fail_send("node out of range", send);
+        }
+        if (!std::has_single_bit(send.from ^ send.to)) [[unlikely]] {
+            fail_send("send between non-neighbors", send);
+        }
+        if (send.packet >= schedule.packet_count) [[unlikely]] {
+            fail_send("unknown packet", send);
+        }
+
+        const std::uint64_t link_key =
+            (std::uint64_t{send.from} << 32) | send.to;
+        const auto [it, inserted] = channel_of.emplace(
+            link_key, static_cast<std::uint32_t>(channel_of.size()));
+        const std::uint32_t channel = it->second;
+        if (inserted) {
+            channel_last_cycle.push_back(kIdle);
+            plan.channel_link.emplace_back(send.from, send.to);
+        }
+        if (channel_last_cycle[channel] == send.cycle) [[unlikely]] {
+            fail_send("two packets on one directed link in one cycle", send);
+        }
+        channel_last_cycle[channel] = send.cycle;
+
+        std::uint64_t src_slot = plan.slot_of(send.from, send.packet);
+        if (src_slot == Plan::kNoSlot) {
+            if (mode == DataMode::move) [[unlikely]] {
+                fail_send("sender never holds the packet", send);
+            }
+            src_slot = create_slot(send.from, send.packet, 0);
+        } else if (mode == DataMode::move &&
+                   slot_acquire[src_slot] > send.cycle) [[unlikely]] {
+            fail_send("sender does not hold the packet yet", send);
+        }
+
+        std::uint64_t dst_slot = plan.slot_of(send.to, send.packet);
+        if (dst_slot == Plan::kNoSlot) {
+            dst_slot = create_slot(send.to, send.packet, send.cycle + 1);
+        } else if (mode == DataMode::move) [[unlikely]] {
+            fail_send("receiver already holds the packet", send);
+        }
+
+        low_sends.push_back(
+            {send.cycle, {channel, send.from, src_slot, send.packet}});
+        low_recvs.push_back(
+            {send.cycle, {channel, send.to, dst_slot, send.packet}});
+    }
+    plan.channel_count = static_cast<std::uint32_t>(channel_of.size());
+
+    if (mode == DataMode::combine) {
+        plan.seeded_slots.resize(plan.total_slots);
+        for (std::uint64_t s = 0; s < plan.total_slots; ++s) {
+            plan.seeded_slots[s] = s;
+        }
+    }
+
+    // ---- CSR bucketing by (cycle, worker) -----------------------------
+    const std::size_t buckets = std::size_t{plan.cycles} * workers;
+    const auto bucket_sort = [&](const std::vector<Lowered>& lowered,
+                                 std::vector<std::uint64_t>& begin,
+                                 std::vector<Action>& out) {
+        begin.assign(buckets + 1, 0);
+        for (const Lowered& l : lowered) {
+            const std::size_t b =
+                std::size_t{l.cycle} * workers + plan.owner_of(l.action.node);
+            ++begin[b + 1];
+        }
+        for (std::size_t b = 1; b <= buckets; ++b) {
+            begin[b] += begin[b - 1];
+        }
+        out.resize(lowered.size());
+        std::vector<std::uint64_t> cursor(begin.begin(), begin.end() - 1);
+        for (const Lowered& l : lowered) {
+            const std::size_t b =
+                std::size_t{l.cycle} * workers + plan.owner_of(l.action.node);
+            out[cursor[b]++] = l.action;
+        }
+    };
+    bucket_sort(low_sends, plan.send_begin, plan.sends);
+    bucket_sort(low_recvs, plan.recv_begin, plan.recvs);
+    return plan;
+}
+
+} // namespace hcube::rt

@@ -1,0 +1,106 @@
+// Compiles a sim::Schedule into a flat execution plan for the threaded
+// runtime.
+//
+// The cycle simulator works with abstract packet ids; the runtime moves real
+// blocks of `block_elems` doubles. The compiler assigns every (node, packet)
+// the node will ever hold a node-local block slot, numbers every directed
+// link the schedule uses as an SPSC channel, and lowers each scheduled send
+// into two actions — a producer-side push and a consumer-side pop — bucketed
+// CSR-style by (cycle, worker) so each worker thread walks a contiguous
+// range per phase with no allocation or locking on the hot path.
+//
+// Two data modes:
+//   move    — a block travels verbatim; a second delivery of the same packet
+//             to the same node is rejected at compile time (the executor's
+//             duplicate-delivery rule).
+//   combine — duplicate arrivals accumulate elementwise into the slot, and
+//             every node's slot is pre-seeded with its own contribution:
+//             the reduction semantics of a reversed broadcast schedule.
+#pragma once
+
+#include "hc/types.hpp"
+#include "sim/cycle.hpp"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace hcube::rt {
+
+using hc::dim_t;
+using hc::node_t;
+using sim::packet_t;
+
+enum class DataMode {
+    move,
+    combine,
+};
+
+/// One lowered runtime action. For a send: copy the node-local block at
+/// `slot` into `channel`. For a receive: drain `channel` into `slot`
+/// (verifying or combining), expecting `packet`.
+struct Action {
+    std::uint32_t channel;
+    node_t node;
+    std::uint64_t slot; ///< absolute block-slot id (node-local memory)
+    packet_t packet;
+};
+
+struct Plan {
+    dim_t n = 0;
+    std::uint32_t cycles = 0; ///< 1 + largest scheduled cycle, 0 if no sends
+    packet_t packet_count = 0;
+    std::size_t block_elems = 0;
+    DataMode mode = DataMode::move;
+    std::uint32_t workers = 1;
+
+    /// Worker that owns `node` (contiguous balanced ranges).
+    [[nodiscard]] std::uint32_t owner_of(node_t node) const noexcept {
+        return static_cast<std::uint32_t>(
+            (std::uint64_t{node} * workers) >> n);
+    }
+
+    // ---- node-local memory layout -------------------------------------
+    std::uint64_t total_slots = 0;
+    std::vector<packet_t> slot_packet; ///< per slot: the packet it holds
+    std::vector<node_t> slot_node;     ///< per slot: the owning node
+    /// Slots the player seeds before cycle 0: in move mode the initial
+    /// holders' canonical blocks, in combine mode every slot (each node's
+    /// own contribution).
+    std::vector<std::uint64_t> seeded_slots;
+
+    // ---- channels ------------------------------------------------------
+    std::uint32_t channel_count = 0;
+    /// Per channel: (from, to) endpoints, for diagnostics.
+    std::vector<std::pair<node_t, node_t>> channel_link;
+
+    // ---- per-(cycle, worker) action buckets ---------------------------
+    /// CSR offsets of size cycles*workers + 1 into `sends` / `recvs`;
+    /// bucket index = cycle * workers + worker.
+    std::vector<std::uint64_t> send_begin;
+    std::vector<std::uint64_t> recv_begin;
+    std::vector<Action> sends; ///< keyed by owner of the sending node
+    std::vector<Action> recvs; ///< keyed by owner of the receiving node
+
+    /// Slot of (node, packet), or kNoSlot if the node never holds it.
+    static constexpr std::uint64_t kNoSlot = ~std::uint64_t{0};
+    [[nodiscard]] std::uint64_t slot_of(node_t node, packet_t packet) const {
+        const auto it =
+            slot_index_.find((std::uint64_t{packet} << 32) | node);
+        return it == slot_index_.end() ? kNoSlot : it->second;
+    }
+
+    /// Used by the compiler only.
+    std::unordered_map<std::uint64_t, std::uint64_t> slot_index_;
+};
+
+/// Lowers `schedule` for `workers` threads. Performs the store-and-forward
+/// availability and (in move mode) duplicate-delivery checks while
+/// lowering, and rejects two packets on one directed link in one cycle —
+/// so a plan that compiles is executable without deadlock by construction.
+/// Throws check_error on violation.
+[[nodiscard]] Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
+                                std::size_t block_elems,
+                                std::uint32_t workers);
+
+} // namespace hcube::rt

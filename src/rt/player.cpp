@@ -1,0 +1,161 @@
+#include "rt/player.hpp"
+
+#include "common/check.hpp"
+#include "rt/barrier.hpp"
+#include "rt/checksum.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace hcube::rt {
+
+namespace {
+
+/// Worker-local stats padded to a cache line so concurrent increments never
+/// false-share.
+struct alignas(64) WorkerStats {
+    PlayStats stats;
+};
+
+} // namespace
+
+Player::Player(const Plan& plan, std::uint32_t channel_capacity)
+    : plan_(plan),
+      channels_(plan.channel_count, channel_capacity, plan.block_elems) {
+    const std::uint64_t bytes =
+        plan.total_slots * plan.block_elems * sizeof(double);
+    HCUBE_ENSURE_MSG(bytes <= (std::uint64_t{1} << 34),
+                     "runtime payload exceeds 16 GiB; shrink the schedule "
+                     "or the block size");
+    memory_.assign(static_cast<std::size_t>(plan.total_slots) *
+                       plan.block_elems,
+                   0.0);
+    if (plan.mode == DataMode::move) {
+        expected_checksum_.resize(plan.packet_count);
+        for (packet_t p = 0; p < plan.packet_count; ++p) {
+            expected_checksum_[p] = canonical_checksum(p, plan.block_elems);
+        }
+    }
+}
+
+void Player::seed_memory() {
+    std::fill(memory_.begin(), memory_.end(), 0.0);
+    for (const std::uint64_t slot : plan_.seeded_slots) {
+        const std::span<double> block{
+            memory_.data() +
+                static_cast<std::size_t>(slot) * plan_.block_elems,
+            plan_.block_elems};
+        if (plan_.mode == DataMode::move) {
+            fill_canonical(block, plan_.slot_packet[slot]);
+        } else {
+            fill_contribution(block, plan_.slot_node[slot],
+                              plan_.slot_packet[slot]);
+        }
+    }
+}
+
+std::span<const double> Player::block(node_t node, packet_t packet) const {
+    const std::uint64_t slot = plan_.slot_of(node, packet);
+    if (slot == Plan::kNoSlot) {
+        return {};
+    }
+    return {memory_.data() + static_cast<std::size_t>(slot) *
+                                 plan_.block_elems,
+            plan_.block_elems};
+}
+
+void Player::run_worker(std::uint32_t worker, PlayStats& stats) {
+    const std::size_t blk = plan_.block_elems;
+    const std::uint32_t workers = plan_.workers;
+    for (std::uint32_t cycle = 0; cycle < plan_.cycles; ++cycle) {
+        const std::size_t bucket = std::size_t{cycle} * workers + worker;
+
+        for (std::uint64_t i = plan_.send_begin[bucket];
+             i < plan_.send_begin[bucket + 1]; ++i) {
+            const Action& a = plan_.sends[i];
+            const std::span<const double> block{
+                memory_.data() + static_cast<std::size_t>(a.slot) * blk,
+                blk};
+            if (!channels_.try_push(a.channel, a.packet, block))
+                [[unlikely]] {
+                ++stats.channel_faults;
+            } else {
+                ++stats.blocks_sent;
+            }
+        }
+        // All of this cycle's blocks are on their links.
+        barrier_->arrive_and_wait();
+
+        for (std::uint64_t i = plan_.recv_begin[bucket];
+             i < plan_.recv_begin[bucket + 1]; ++i) {
+            const Action& a = plan_.recvs[i];
+            std::uint32_t packet = 0;
+            const std::span<const double> arrived =
+                channels_.front(a.channel, packet);
+            if (arrived.empty() || packet != a.packet) [[unlikely]] {
+                ++stats.channel_faults;
+                continue;
+            }
+            double* dst =
+                memory_.data() + static_cast<std::size_t>(a.slot) * blk;
+            if (plan_.mode == DataMode::move) {
+                if (block_checksum(arrived) !=
+                    expected_checksum_[a.packet]) [[unlikely]] {
+                    ++stats.checksum_failures;
+                }
+                std::memcpy(dst, arrived.data(), blk * sizeof(double));
+            } else {
+                for (std::size_t e = 0; e < blk; ++e) {
+                    dst[e] += arrived[e];
+                }
+            }
+            channels_.pop_front(a.channel);
+            ++stats.blocks_delivered;
+        }
+        // All of this cycle's deliveries have landed; cycle c+1 may forward
+        // them.
+        barrier_->arrive_and_wait();
+    }
+}
+
+PlayStats Player::play() {
+    seed_memory();
+
+    CycleBarrier barrier(plan_.workers);
+    barrier_ = &barrier;
+    std::vector<WorkerStats> per_worker(plan_.workers);
+
+    const auto start = std::chrono::steady_clock::now();
+    if (plan_.workers == 1) {
+        run_worker(0, per_worker[0].stats);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(plan_.workers);
+        for (std::uint32_t w = 0; w < plan_.workers; ++w) {
+            pool.emplace_back(
+                [this, w, &per_worker] { run_worker(w, per_worker[w].stats); });
+        }
+        for (std::thread& t : pool) {
+            t.join();
+        }
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    barrier_ = nullptr;
+
+    PlayStats total;
+    total.cycles = plan_.cycles;
+    total.seconds = std::chrono::duration<double>(stop - start).count();
+    for (const WorkerStats& w : per_worker) {
+        total.blocks_sent += w.stats.blocks_sent;
+        total.blocks_delivered += w.stats.blocks_delivered;
+        total.checksum_failures += w.stats.checksum_failures;
+        total.channel_faults += w.stats.channel_faults;
+    }
+    total.payload_bytes =
+        total.blocks_delivered * plan_.block_elems * sizeof(double);
+    return total;
+}
+
+} // namespace hcube::rt

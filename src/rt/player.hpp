@@ -1,0 +1,73 @@
+// Executes a compiled Plan as real data movement on a worker-thread pool.
+//
+// Each worker owns a contiguous range of cube nodes. Execution is
+// cycle-synchronous: during cycle c every worker first pushes its nodes'
+// scheduled blocks into the outgoing link channels (send phase), the pool
+// barriers, then drains its nodes' incoming channels (receive phase) —
+// verifying each delivered block's checksum in move mode or accumulating it
+// elementwise in combine mode — and barriers again. The two barriers per
+// cycle realize the paper's synchronized routing steps: a block pushed in
+// cycle c is consumed in cycle c and forwardable from cycle c+1, exactly
+// the store-and-forward rule the cycle simulator validates. Consequently
+// the number of cycles the player executes equals the CycleExecutor
+// makespan of the same schedule.
+//
+// Violations on worker threads (channel under/overflow, packet mismatch,
+// checksum mismatch) cannot throw across the pool; they are counted in the
+// stats and surfaced by the caller.
+#pragma once
+
+#include "rt/channel.hpp"
+#include "rt/plan.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hcube::rt {
+
+class CycleBarrier;
+
+struct PlayStats {
+    std::uint32_t cycles = 0;          ///< barrier-synchronized cycles run
+    std::uint64_t blocks_sent = 0;     ///< blocks pushed into channels
+    std::uint64_t blocks_delivered = 0;///< blocks drained, verified/combined
+    std::uint64_t payload_bytes = 0;   ///< blocks_delivered x block bytes
+    std::uint64_t checksum_failures = 0;
+    std::uint64_t channel_faults = 0;  ///< full-on-push / empty-on-pop /
+                                       ///< wrong packet at the head
+    double seconds = 0;                ///< wall clock of the threaded region
+
+    [[nodiscard]] bool clean() const noexcept {
+        return checksum_failures == 0 && channel_faults == 0;
+    }
+};
+
+class Player {
+public:
+    /// Allocates node-local block memory and the channel bank for `plan`.
+    /// The plan must outlive the player.
+    explicit Player(const Plan& plan, std::uint32_t channel_capacity = 2);
+
+    /// Seeds initial blocks, runs the full schedule on plan.workers
+    /// threads, and returns the aggregated stats. Reusable: every call
+    /// starts from freshly seeded memory.
+    [[nodiscard]] PlayStats play();
+
+    /// Post-run view of the block held by (node, packet); empty span if the
+    /// node has no slot for the packet.
+    [[nodiscard]] std::span<const double> block(node_t node,
+                                               packet_t packet) const;
+
+private:
+    void run_worker(std::uint32_t worker, PlayStats& stats);
+    void seed_memory();
+
+    const Plan& plan_;
+    CycleBarrier* barrier_ = nullptr; ///< non-null only inside play()
+    ChannelBank channels_;
+    std::vector<double> memory_; ///< total_slots x block_elems doubles
+    std::vector<std::uint64_t> expected_checksum_; ///< per packet, move mode
+};
+
+} // namespace hcube::rt

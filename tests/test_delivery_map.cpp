@@ -1,0 +1,129 @@
+// Focused tests for DeliveryMap's sparse open-addressing mode — growth and
+// rehash under collision-heavy key streams, overwrite semantics, and the
+// executor's duplicate-delivery detection under both tracking layouts.
+#include "sim/delivery_map.hpp"
+
+#include "common/check.hpp"
+#include "sim/cycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace hcube::sim {
+namespace {
+
+TEST(DeliveryMapSparse, GrowsPastItsInitialSizingWithoutLosingEntries) {
+    // Sized for 4 entries, then fed 4096: forces many doubling rehashes.
+    DeliveryMap map = DeliveryMap::sparse(1u << 12, 4096, 4);
+    ASSERT_TRUE(map.is_sparse());
+    for (std::uint32_t i = 0; i < 4096; ++i) {
+        map.set(static_cast<node_t>(i), static_cast<packet_t>(i), i + 1);
+    }
+    EXPECT_EQ(map.entry_count(), 4096u);
+    for (std::uint32_t i = 0; i < 4096; ++i) {
+        EXPECT_EQ(map.get(static_cast<node_t>(i),
+                          static_cast<packet_t>(i)),
+                  i + 1);
+    }
+    // Pairs never set still read back as never-delivered.
+    EXPECT_EQ(map.get(0, 1), DeliveryMap::kNever);
+    EXPECT_EQ(map.get(4095, 0), DeliveryMap::kNever);
+}
+
+TEST(DeliveryMapSparse, CollisionHeavyKeysSurviveRehash) {
+    // All keys share one node so the low 32 key bits are identical; the
+    // Fibonacci probe must still spread them and the rehash preserve them.
+    constexpr packet_t kPackets = 1024;
+    DeliveryMap map = DeliveryMap::sparse(8, kPackets, 2);
+    for (packet_t p = 0; p < kPackets; ++p) {
+        map.set(5, p, 100 + p);
+    }
+    EXPECT_EQ(map.entry_count(), kPackets);
+    for (packet_t p = 0; p < kPackets; ++p) {
+        EXPECT_EQ(map.get(5, p), 100 + p);
+    }
+    for (packet_t p = 0; p < kPackets; ++p) {
+        EXPECT_EQ(map.get(4, p), DeliveryMap::kNever);
+    }
+}
+
+TEST(DeliveryMapSparse, OverwritingAKeyDoesNotGrowTheEntryCount) {
+    DeliveryMap map = DeliveryMap::sparse(16, 16, 8);
+    map.set(3, 2, 10);
+    EXPECT_EQ(map.entry_count(), 1u);
+    map.set(3, 2, 4); // earlier delivery recorded later: last write wins
+    EXPECT_EQ(map.entry_count(), 1u);
+    EXPECT_EQ(map.get(3, 2), 4u);
+    map.set(3, 3, 10);
+    EXPECT_EQ(map.entry_count(), 2u);
+}
+
+TEST(DeliveryMapDense, EntryCountTracksDistinctCellsWritten) {
+    DeliveryMap map = DeliveryMap::dense(4, 4);
+    ASSERT_FALSE(map.is_sparse());
+    EXPECT_EQ(map.entry_count(), 0u);
+    map.set(1, 1, 7);
+    map.set(1, 1, 9); // overwrite: still one distinct cell
+    map.set(2, 1, 7);
+    EXPECT_EQ(map.entry_count(), 2u);
+    EXPECT_EQ(map.get(1, 1), 9u);
+    EXPECT_EQ(map[1][1], 9u); // row-view indexing agrees
+    EXPECT_EQ(map.get(0, 0), DeliveryMap::kNever);
+}
+
+TEST(DeliveryMapDense, RejectsMatricesBeyondTheDenseCellBudget) {
+    // 2^26 nodes x 2^7 packets = 2^33 cells > the 2^32 dense budget.
+    EXPECT_THROW((void)DeliveryMap::dense(1u << 26, 1u << 7), check_error);
+}
+
+/// A two-send schedule delivering the same packet to the same node twice —
+/// the executor must reject it regardless of the tracking layout.
+[[nodiscard]] Schedule duplicate_delivery_schedule() {
+    Schedule s;
+    s.n = 2;
+    s.packet_count = 1;
+    s.initial_holder = {0};
+    s.sends = {{0, 0, 1, 0}, {1, 0, 1, 0}};
+    return s;
+}
+
+TEST(DeliveryMapExecutor, DuplicateDeliveryIsRejectedUnderDenseTracking) {
+    EXPECT_THROW((void)execute_schedule(duplicate_delivery_schedule(),
+                                        PortModel::one_port_full_duplex,
+                                        DeliveryTracking::dense),
+                 check_error);
+}
+
+TEST(DeliveryMapExecutor, DuplicateDeliveryIsRejectedUnderSparseTracking) {
+    EXPECT_THROW((void)execute_schedule(duplicate_delivery_schedule(),
+                                        PortModel::one_port_full_duplex,
+                                        DeliveryTracking::sparse),
+                 check_error);
+}
+
+TEST(DeliveryMapExecutor, DenseAndSparseAgreeOnAValidSchedule) {
+    Schedule s;
+    s.n = 3;
+    s.packet_count = 2;
+    s.initial_holder = {0, 0};
+    s.sends = {{0, 0, 1, 0}, {1, 1, 3, 0}, {1, 0, 2, 1}, {2, 3, 7, 0}};
+    const auto dense =
+        execute_schedule(s, PortModel::one_port_full_duplex,
+                         DeliveryTracking::dense);
+    const auto sparse =
+        execute_schedule(s, PortModel::one_port_full_duplex,
+                         DeliveryTracking::sparse);
+    EXPECT_EQ(dense.makespan, sparse.makespan);
+    EXPECT_EQ(dense.total_sends, sparse.total_sends);
+    for (node_t node = 0; node < 8; ++node) {
+        for (packet_t packet = 0; packet < 2; ++packet) {
+            EXPECT_EQ(dense.delivery_cycle.get(node, packet),
+                      sparse.delivery_cycle.get(node, packet));
+        }
+    }
+}
+
+} // namespace
+} // namespace hcube::sim

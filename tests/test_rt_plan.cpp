@@ -1,0 +1,143 @@
+// Tests for the schedule -> execution-plan compiler: slot assignment,
+// channel numbering, CSR bucketing, and the feasibility checks it shares
+// with the cycle executor (availability, duplicate delivery, link
+// capacity).
+#include "rt/plan.hpp"
+
+#include "common/check.hpp"
+#include "routing/broadcast.hpp"
+#include "routing/schedule_export.hpp"
+#include "trees/sbt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcube::rt {
+namespace {
+
+using sim::Schedule;
+using sim::ScheduledSend;
+
+Schedule two_hop_chain() {
+    // 0 -> 1 in cycle 0, 1 -> 3 in cycle 1 on a 2-cube.
+    Schedule s;
+    s.n = 2;
+    s.packet_count = 1;
+    s.initial_holder = {0};
+    s.sends = {{0, 0, 1, 0}, {1, 1, 3, 0}};
+    return s;
+}
+
+TEST(RtPlan, LowersChainIntoSlotsChannelsAndBuckets) {
+    const Plan plan = compile_plan(two_hop_chain(), DataMode::move, 4, 1);
+    EXPECT_EQ(plan.cycles, 2u);
+    EXPECT_EQ(plan.channel_count, 2u);
+    EXPECT_EQ(plan.total_slots, 3u); // held by 0, 1 and 3
+    EXPECT_EQ(plan.sends.size(), 2u);
+    EXPECT_EQ(plan.recvs.size(), 2u);
+    EXPECT_EQ(plan.seeded_slots.size(), 1u); // the initial holder
+    EXPECT_NE(plan.slot_of(0, 0), Plan::kNoSlot);
+    EXPECT_NE(plan.slot_of(1, 0), Plan::kNoSlot);
+    EXPECT_NE(plan.slot_of(3, 0), Plan::kNoSlot);
+    EXPECT_EQ(plan.slot_of(2, 0), Plan::kNoSlot);
+}
+
+TEST(RtPlan, OwnerPartitionIsBalancedAndContiguous) {
+    Plan plan;
+    plan.n = 4;
+    plan.workers = 3;
+    std::uint32_t last = 0;
+    std::uint32_t counts[3] = {0, 0, 0};
+    for (node_t i = 0; i < 16; ++i) {
+        const std::uint32_t owner = plan.owner_of(i);
+        ASSERT_LT(owner, 3u);
+        ASSERT_GE(owner, last); // contiguous, non-decreasing
+        last = owner;
+        ++counts[owner];
+    }
+    for (const std::uint32_t c : counts) {
+        EXPECT_GE(c, 5u);
+        EXPECT_LE(c, 6u);
+    }
+}
+
+TEST(RtPlan, RejectsForwardingBeforeArrival) {
+    Schedule s = two_hop_chain();
+    s.sends[1].cycle = 0; // forwards in the cycle it is still in flight
+    EXPECT_THROW((void)compile_plan(s, DataMode::move, 4, 1), check_error);
+}
+
+TEST(RtPlan, RejectsDuplicateDeliveryInMoveMode) {
+    Schedule s;
+    s.n = 2;
+    s.packet_count = 1;
+    s.initial_holder = {0};
+    s.sends = {{0, 0, 1, 0}, {1, 0, 1, 0}};
+    EXPECT_THROW((void)compile_plan(s, DataMode::move, 4, 1), check_error);
+}
+
+TEST(RtPlan, RejectsTwoPacketsOnOneLinkInOneCycle) {
+    Schedule s;
+    s.n = 2;
+    s.packet_count = 2;
+    s.initial_holder = {0, 0};
+    s.sends = {{0, 0, 1, 0}, {0, 0, 1, 1}};
+    EXPECT_THROW((void)compile_plan(s, DataMode::move, 4, 1), check_error);
+}
+
+TEST(RtPlan, RejectsNonNeighborSends) {
+    Schedule s;
+    s.n = 2;
+    s.packet_count = 1;
+    s.initial_holder = {0};
+    s.sends = {{0, 0, 3, 0}};
+    EXPECT_THROW((void)compile_plan(s, DataMode::move, 4, 1), check_error);
+}
+
+TEST(RtPlan, CombineModeAcceptsDuplicateArrivalsAndSeedsEverySlot) {
+    // Reversed broadcast: the root receives packet p once per child, and
+    // every node's slot starts as its own contribution.
+    const auto tree = trees::build_sbt(3, 0);
+    const sim::Schedule forward = routing::make_tree_broadcast(
+        tree, routing::BroadcastDiscipline::port_oriented, 2,
+        sim::PortModel::one_port_full_duplex);
+    const sim::Schedule reduction =
+        routing::reverse_broadcast_for_reduce(forward, 0);
+    const Plan plan = compile_plan(reduction, DataMode::combine, 4, 2);
+    EXPECT_EQ(plan.mode, DataMode::combine);
+    EXPECT_EQ(plan.seeded_slots.size(), plan.total_slots);
+    // 8 nodes x 2 packets, every node touches every packet.
+    EXPECT_EQ(plan.total_slots, 16u);
+    // Cycle count is preserved by time reversal.
+    const auto stats = sim::execute_schedule(
+        forward, sim::PortModel::one_port_full_duplex);
+    EXPECT_EQ(plan.cycles, stats.makespan);
+}
+
+TEST(RtPlan, BucketsPartitionEverySendByCycleAndOwner) {
+    const sim::Schedule schedule = routing::make_msbt_broadcast(
+        4, 0, 8, sim::PortModel::one_port_full_duplex);
+    const std::uint32_t workers = 3;
+    const Plan plan =
+        compile_plan(schedule, DataMode::move, 2, workers);
+    ASSERT_EQ(plan.send_begin.size(),
+              std::size_t{plan.cycles} * workers + 1);
+    EXPECT_EQ(plan.send_begin.back(), schedule.sends.size());
+    EXPECT_EQ(plan.recv_begin.back(), schedule.sends.size());
+    // Every action sits in the bucket of its cycle and its node's owner.
+    for (std::uint32_t c = 0; c < plan.cycles; ++c) {
+        for (std::uint32_t w = 0; w < workers; ++w) {
+            const std::size_t b = std::size_t{c} * workers + w;
+            for (std::uint64_t i = plan.send_begin[b];
+                 i < plan.send_begin[b + 1]; ++i) {
+                EXPECT_EQ(plan.owner_of(plan.sends[i].node), w);
+            }
+            for (std::uint64_t i = plan.recv_begin[b];
+                 i < plan.recv_begin[b + 1]; ++i) {
+                EXPECT_EQ(plan.owner_of(plan.recvs[i].node), w);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace hcube::rt
