@@ -1,42 +1,50 @@
 // Wall-clock benchmark of the threaded collective runtime (hcube::rt):
-// delivered GB/s and measured speedup of MSBT-vs-SBT broadcast and
-// BST-vs-SBT scatter, with three cross-checks per row —
-//   * the runtime's barrier-synchronized cycle count must equal the
-//     CycleExecutor makespan of the same schedule exactly,
+// delivered GB/s of the barrier and async engines across a worker-thread
+// sweep, with four cross-checks per configuration —
+//   * the barrier engine's cycle count must equal the CycleExecutor
+//     makespan of the same schedule exactly,
 //   * the makespan is printed next to the model:: closed-form step count
 //     (Table 3) where one exists,
-//   * every delivered block is checksum-verified and the final memory state
-//     is checked against the schedule's delivery matrix.
+//   * every delivered block is checksum-verified,
+//   * the async engine's final memory must be byte-identical to the
+//     barrier engine's (the dataflow engine's oracle check).
 //
-// The timed region is Player::play() only: schedule generation, plan
-// compilation and allocation are excluded, mirroring bench_executor.
+// Every (workload, n, threads) runs under both engines; the async row's
+// `speedup` column is barrier-seconds / async-seconds at identical payload
+// and thread count — the measured cost of two global barriers per routing
+// cycle versus dependency-only synchronization.
+//
+// The timed region is play() only: schedule generation, plan compilation
+// and allocation are excluded, mirroring bench_executor.
 //
 // The default block size (32 doubles) sits in the latency-bound regime
-// where per-cycle barrier cost dominates and the cycle-count ratios of
-// Table 3 translate into wall-clock speedups; large blocks (--block 1024+)
-// move both algorithms into the bandwidth-bound regime where equal bytes
-// mean near-equal time — the live form of the paper's B_opt trade-off
+// where per-cycle synchronization dominates; large blocks (--block 1024+)
+// move both engines into the bandwidth-bound regime where equal bytes mean
+// near-equal time — the live form of the paper's B_opt trade-off
 // (docs/RUNTIME.md).
 //
 //   bench_rt --nmin 4 --nmax 8 [--pps 4] [--ppd 2] [--block 32]
-//            [--threads T] [--reps 3] [--min-time 0.1] [--json <path>]
+//            [--threads T (0 sweeps 1,2,4,hw)] [--reps 3] [--min-time 0.1]
+//            [--json <path>]
 #include "bench_util.hpp"
 
 #include "common/json.hpp"
 #include "model/broadcast_model.hpp"
 #include "routing/schedule_export.hpp"
+#include "rt/async_player.hpp"
 #include "rt/communicator.hpp"
 #include "rt/plan.hpp"
 #include "rt/player.hpp"
+#include "rt/threads.hpp"
 #include "sim/cycle.hpp"
 #include "trees/bst.hpp"
 #include "trees/sbt.hpp"
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <string>
-#include <thread>
 #include <vector>
 
 namespace {
@@ -60,6 +68,7 @@ struct Row {
     std::string workload;
     std::string op;
     std::string algo;
+    std::string engine; ///< barrier | async
     dim_t n = 0;
     std::uint32_t threads = 0;
     std::uint64_t block_elems = 0;
@@ -69,10 +78,50 @@ struct Row {
     double model_steps = 0;
     std::uint64_t blocks_delivered = 0;
     std::uint64_t payload_bytes = 0;
+    std::uint64_t steals = 0;
     double seconds = 0; ///< best-of-reps wall clock of the threaded region
     double gbps = 0;
+    double speedup = 0; ///< async rows: barrier seconds / async seconds
     bool verified = false;
 };
+
+/// The worker counts to sweep: {1, 2, 4, auto} clamped/deduplicated via
+/// the shared pick_worker_threads policy, or just the explicit request.
+std::vector<std::uint32_t> thread_counts(dim_t n, std::uint32_t requested) {
+    std::vector<std::uint32_t> out;
+    const auto add = [&out, n](std::uint32_t t) {
+        const std::uint32_t picked = hcube::rt::pick_worker_threads(n, t);
+        if (std::ranges::find(out, picked) == out.end()) {
+            out.push_back(picked);
+        }
+    };
+    if (requested != 0) {
+        add(requested);
+        return out;
+    }
+    add(1);
+    add(2);
+    add(4);
+    add(0); // auto: max(2, hardware_concurrency), clamped to 2^n
+    std::ranges::sort(out);
+    return out;
+}
+
+/// Byte-identical final-state comparison, slot by slot.
+bool identical_memory(const hcube::rt::Plan& plan,
+                      const hcube::rt::Player& ref,
+                      const hcube::rt::AsyncPlayer& dut) {
+    for (std::uint64_t s = 0; s < plan.total_slots; ++s) {
+        const auto a = ref.block(plan.slot_node[s], plan.slot_packet[s]);
+        const auto b = dut.block(plan.slot_node[s], plan.slot_packet[s]);
+        if (a.size() != b.size() ||
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) !=
+                0) {
+            return false;
+        }
+    }
+    return true;
+}
 
 } // namespace
 
@@ -92,10 +141,11 @@ int main(int argc, char** argv) {
 
     hcube::bench::banner(
         "Runtime throughput",
-        "threaded schedule execution: GB/s and wall-clock speedups");
-    std::printf("  threads=%s block=%zu doubles  (timed region: "
-                "Player::play only, best of >= %d reps)\n\n",
-                threads == 0 ? "auto" : std::to_string(threads).c_str(),
+        "barrier vs dataflow engines: GB/s and wall-clock speedups");
+    std::printf("  threads=%s block=%zu doubles  (timed region: play() "
+                "only, best of >= %d reps)\n\n",
+                threads == 0 ? "1,2,4,auto"
+                             : std::to_string(threads).c_str(),
                 block, reps);
 
     // Broadcast pair uses the same total packet count P = n * pps for both
@@ -141,9 +191,9 @@ int main(int argc, char** argv) {
          [](dim_t, packet_t) { return 0.0; }},
     };
 
-    std::printf("%-12s %3s %4s %8s %7s %8s %7s %10s %9s %9s %5s\n",
-                "workload", "n", "thr", "packets", "cycles", "makespan",
-                "model", "blocks", "ms", "GB/s", "ok");
+    std::printf("%-12s %3s %4s %-8s %8s %7s %7s %10s %9s %9s %8s %5s\n",
+                "workload", "n", "thr", "engine", "packets", "cycles",
+                "model", "blocks", "ms", "GB/s", "speedup", "ok");
 
     std::vector<Row> rows;
     for (const Workload& w : workloads) {
@@ -152,75 +202,114 @@ int main(int argc, char** argv) {
             const auto sim_stats = hcube::sim::execute_schedule(
                 schedule, PortModel::one_port_full_duplex);
 
-            const std::uint32_t nodes = std::uint32_t{1} << n;
-            const std::uint32_t use_threads =
-                threads != 0 ? std::min(threads, nodes)
-                             : std::min(nodes,
-                                        std::max(2u,
-                                                 std::thread::
-                                                     hardware_concurrency()));
-            const hcube::rt::Plan plan = hcube::rt::compile_plan(
-                schedule, hcube::rt::DataMode::move, block, use_threads);
-            hcube::rt::Player player(plan);
+            for (const std::uint32_t use_threads :
+                 thread_counts(n, threads)) {
+                const hcube::rt::Plan plan = hcube::rt::compile_plan(
+                    schedule, hcube::rt::DataMode::move, block,
+                    use_threads);
+                hcube::rt::Player barrier_player(plan);
+                hcube::rt::AsyncPlayer async_player(plan);
 
-            Row row;
-            row.workload = w.name;
-            row.op = w.op;
-            row.algo = w.algo;
-            row.n = n;
-            row.threads = use_threads;
-            row.block_elems = block;
-            row.packets = schedule.packet_count;
-            row.sim_makespan = sim_stats.makespan;
-            row.model_steps = w.model_steps(n, schedule.packet_count);
-            row.seconds = 1e300;
-            row.verified = true;
+                Row base;
+                base.workload = w.name;
+                base.op = w.op;
+                base.algo = w.algo;
+                base.n = n;
+                base.threads = use_threads;
+                base.block_elems = block;
+                base.packets = schedule.packet_count;
+                base.sim_makespan = sim_stats.makespan;
+                base.model_steps = w.model_steps(n, schedule.packet_count);
 
-            double elapsed = 0.0;
-            int runs = 0;
-            while (runs < reps || elapsed < min_time) {
-                const auto stats = player.play();
-                row.rt_cycles = stats.cycles;
-                row.blocks_delivered = stats.blocks_delivered;
-                row.payload_bytes = stats.payload_bytes;
-                row.seconds = std::min(row.seconds, stats.seconds);
-                row.verified = row.verified && stats.clean() &&
-                               stats.cycles == sim_stats.makespan &&
-                               stats.blocks_delivered ==
-                                   schedule.sends.size();
-                elapsed += stats.seconds;
-                ++runs;
-                if (runs >= 1000) {
-                    break;
+                // One rep loop per engine, identical policy: best-of wall
+                // clock over >= reps runs or min_time, whichever is later.
+                const auto measure = [&](auto& player, Row& row,
+                                         bool check_makespan) {
+                    row.seconds = 1e300;
+                    row.verified = true;
+                    double elapsed = 0.0;
+                    int runs = 0;
+                    while (runs < reps || elapsed < min_time) {
+                        const auto stats = player.play();
+                        row.rt_cycles = stats.cycles;
+                        row.blocks_delivered = stats.blocks_delivered;
+                        row.payload_bytes = stats.payload_bytes;
+                        row.steals = stats.steals;
+                        row.seconds = std::min(row.seconds, stats.seconds);
+                        row.verified =
+                            row.verified && stats.clean() &&
+                            (!check_makespan ||
+                             stats.cycles == sim_stats.makespan) &&
+                            stats.blocks_delivered ==
+                                schedule.sends.size();
+                        elapsed += stats.seconds;
+                        ++runs;
+                        if (runs >= 1000) {
+                            break;
+                        }
+                    }
+                    row.gbps = static_cast<double>(row.payload_bytes) /
+                               row.seconds * 1e-9;
+                };
+
+                Row barrier_row = base;
+                barrier_row.engine = "barrier";
+                measure(barrier_player, barrier_row, true);
+
+                Row async_row = base;
+                async_row.engine = "async";
+                measure(async_player, async_row, true);
+                // The oracle check: after both engines' final reps the
+                // memory images must agree byte for byte.
+                async_row.verified =
+                    async_row.verified && barrier_row.verified &&
+                    identical_memory(plan, barrier_player, async_player);
+                async_row.speedup =
+                    barrier_row.seconds / async_row.seconds;
+
+                for (const Row* row : {&barrier_row, &async_row}) {
+                    std::printf("%-12s %3d %4u %-8s %8u %7u %7.0f %10llu "
+                                "%9.3f %9.3f ",
+                                row->workload.c_str(), n, row->threads,
+                                row->engine.c_str(), row->packets,
+                                row->rt_cycles, row->model_steps,
+                                static_cast<unsigned long long>(
+                                    row->blocks_delivered),
+                                row->seconds * 1e3, row->gbps);
+                    if (row->speedup > 0) {
+                        std::printf("%7.2fx ", row->speedup);
+                    } else {
+                        std::printf("%8s ", "-");
+                    }
+                    std::printf("%5s\n", row->verified ? "yes" : "NO");
                 }
+                std::fflush(stdout);
+                rows.push_back(barrier_row);
+                rows.push_back(async_row);
             }
-            row.gbps = static_cast<double>(row.payload_bytes) /
-                       row.seconds * 1e-9;
-
-            std::printf("%-12s %3d %4u %8u %7u %8u %7.0f %10llu %9.3f "
-                        "%9.3f %5s\n",
-                        row.workload.c_str(), n, row.threads, row.packets,
-                        row.rt_cycles, row.sim_makespan, row.model_steps,
-                        static_cast<unsigned long long>(
-                            row.blocks_delivered),
-                        row.seconds * 1e3, row.gbps,
-                        row.verified ? "yes" : "NO");
-            std::fflush(stdout);
-            rows.push_back(row);
         }
     }
 
-    // Headline speedups: measured wall-clock ratios at equal payload.
-    std::printf("\n%-28s %3s %10s %10s %8s\n", "speedup (measured)", "n",
-                "base ms", "fast ms", "ratio");
-    const auto find = [&rows](const std::string& name, dim_t n) -> const Row* {
+    // Headline algorithm-vs-algorithm speedups, measured on the barrier
+    // engine at the widest swept thread count: the paper's latency
+    // argument (fewer routing cycles at equal bytes) is a statement about
+    // the per-cycle synchronization cost, which is exactly what the
+    // barrier engine pays and the async engine retires. The async rows'
+    // own speedup column quantifies that retirement per workload.
+    const auto find = [&rows](const std::string& name,
+                              dim_t n) -> const Row* {
+        const Row* best = nullptr;
         for (const Row& r : rows) {
-            if (r.workload == name && r.n == n) {
-                return &r;
+            if (r.workload == name && r.n == n && r.engine == "barrier" &&
+                (best == nullptr || r.threads > best->threads)) {
+                best = &r;
             }
         }
-        return nullptr;
+        return best;
     };
+    std::printf("\n%-28s %3s %10s %10s %8s\n",
+                "speedup (barrier engine)", "n", "base ms", "fast ms",
+                "ratio");
     for (dim_t n = nmin; n <= nmax; ++n) {
         const struct {
             const char* label;
@@ -231,14 +320,14 @@ int main(int argc, char** argv) {
             {"bst vs sbt scatter", "sbt_scatter", "bst_scatter"},
         };
         for (const auto& pair : pairs) {
-            const Row* base = find(pair.base, n);
-            const Row* fast = find(pair.fast, n);
-            if (base == nullptr || fast == nullptr) {
+            const Row* b = find(pair.base, n);
+            const Row* f = find(pair.fast, n);
+            if (b == nullptr || f == nullptr) {
                 continue;
             }
             std::printf("%-28s %3d %10.3f %10.3f %7.2fx\n", pair.label, n,
-                        base->seconds * 1e3, fast->seconds * 1e3,
-                        base->seconds / fast->seconds);
+                        b->seconds * 1e3, f->seconds * 1e3,
+                        b->seconds / f->seconds);
         }
     }
 
@@ -254,6 +343,7 @@ int main(int argc, char** argv) {
             json.field("workload", r.workload);
             json.field("op", r.op);
             json.field("algo", r.algo);
+            json.field("engine", r.engine);
             json.field("n", r.n);
             json.field("threads", r.threads);
             json.field("block_elems", r.block_elems);
@@ -267,6 +357,10 @@ int main(int argc, char** argv) {
             json.field("payload_bytes", r.payload_bytes);
             json.field("seconds", r.seconds);
             json.field("gbytes_per_sec", r.gbps);
+            if (r.engine == "async") {
+                json.field("speedup_vs_barrier", r.speedup);
+                json.field("steals", r.steals);
+            }
             json.field("verified", r.verified);
             json.end_row();
         }

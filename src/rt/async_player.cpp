@@ -1,0 +1,232 @@
+#include "rt/async_player.hpp"
+
+#include "common/check.hpp"
+#include "rt/checksum.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace hcube::rt {
+
+namespace {
+
+constexpr std::uint32_t kNoAction = ~std::uint32_t{0};
+
+} // namespace
+
+/// Per-worker run queue + stats, padded so two workers' queue heads never
+/// false-share. The owner pops from the back (LIFO: depth-first along the
+/// chain of actions it just enabled); thieves pop from the front (FIFO:
+/// the oldest ready action is the most likely to unblock a long chain).
+struct alignas(64) AsyncPlayer::Worker {
+    std::mutex mutex;
+    std::deque<std::uint32_t> queue;
+    PlayStats stats;
+};
+
+AsyncPlayer::AsyncPlayer(const Plan& plan, std::uint32_t channel_capacity)
+    : plan_(plan),
+      channels_(plan.channel_count,
+                channel_capacity == 0 ? plan.async_depth : channel_capacity,
+                plan.block_elems),
+      deps_(plan.dep_count.size()) {
+    HCUBE_ENSURE_MSG(channels_.capacity() >= plan.async_depth,
+                     "channel ring shallower than the depth the plan's "
+                     "capacity edges were emitted for");
+    const std::uint64_t bytes =
+        plan.total_slots * plan.block_elems * sizeof(double);
+    HCUBE_ENSURE_MSG(bytes <= (std::uint64_t{1} << 34),
+                     "runtime payload exceeds 16 GiB; shrink the schedule "
+                     "or the block size");
+    memory_.assign(static_cast<std::size_t>(plan.total_slots) *
+                       plan.block_elems,
+                   0.0);
+    if (plan.mode == DataMode::move) {
+        expected_checksum_.resize(plan.packet_count);
+        for (packet_t p = 0; p < plan.packet_count; ++p) {
+            expected_checksum_[p] = canonical_checksum(p, plan.block_elems);
+        }
+    }
+}
+
+std::span<const double> AsyncPlayer::block(node_t node,
+                                           packet_t packet) const {
+    const std::uint64_t slot = plan_.slot_of(node, packet);
+    if (slot == Plan::kNoSlot) {
+        return {};
+    }
+    return {memory_.data() +
+                static_cast<std::size_t>(slot) * plan_.block_elems,
+            plan_.block_elems};
+}
+
+void AsyncPlayer::execute(std::uint32_t action, PlayStats& stats) {
+    const std::size_t blk = plan_.block_elems;
+    if (plan_.is_send_action(action)) {
+        const Action& a = plan_.flat_sends[action];
+        const std::span<const double> block{
+            memory_.data() + static_cast<std::size_t>(a.slot) * blk, blk};
+        if (!channels_.try_push(a.channel, a.packet, block)) [[unlikely]] {
+            ++stats.channel_faults; // impossible while capacity edges hold
+        } else {
+            ++stats.blocks_sent;
+        }
+        return;
+    }
+    const Action& a =
+        plan_.flat_recvs[action -
+                         static_cast<std::uint32_t>(plan_.flat_sends.size())];
+    std::uint32_t packet = 0;
+    std::uint32_t seq = 0;
+    const std::span<const double> arrived =
+        channels_.front(a.channel, packet, seq);
+    if (arrived.empty() || packet != a.packet || seq != a.seq) [[unlikely]] {
+        ++stats.channel_faults;
+        return;
+    }
+    double* dst = memory_.data() + static_cast<std::size_t>(a.slot) * blk;
+    if (plan_.mode == DataMode::move) {
+        if (block_checksum(arrived) != expected_checksum_[a.packet])
+            [[unlikely]] {
+            ++stats.checksum_failures;
+        }
+        std::memcpy(dst, arrived.data(), blk * sizeof(double));
+    } else {
+        for (std::size_t e = 0; e < blk; ++e) {
+            dst[e] += arrived[e];
+        }
+    }
+    channels_.pop_front(a.channel);
+    ++stats.blocks_delivered;
+}
+
+void AsyncPlayer::finish(std::uint32_t action, std::uint32_t self,
+                         Worker* workers) {
+    for (std::uint32_t e = plan_.succ_begin[action];
+         e < plan_.succ_begin[action + 1]; ++e) {
+        const std::uint32_t succ = plan_.succ[e];
+        // acq_rel: the final decrement acquires every predecessor's writes
+        // (block memory, ring slots) before the successor may run anywhere.
+        if (deps_[succ].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            const std::uint32_t owner =
+                plan_.owner_of(plan_.action(succ).node);
+            Worker& target = workers[owner == self ? self : owner];
+            const std::lock_guard lock(target.mutex);
+            target.queue.push_back(succ);
+        }
+    }
+    completed_.fetch_add(1, std::memory_order_release);
+}
+
+void AsyncPlayer::run_worker(std::uint32_t worker, Worker* workers) {
+    Worker& self = workers[worker];
+    const std::uint32_t count = plan_.workers;
+    const std::uint64_t total = plan_.action_count();
+    std::uint32_t misses = 0;
+    while (completed_.load(std::memory_order_acquire) < total) {
+        std::uint32_t action = kNoAction;
+        {
+            const std::lock_guard lock(self.mutex);
+            if (!self.queue.empty()) {
+                action = self.queue.back();
+                self.queue.pop_back();
+            }
+        }
+        if (action == kNoAction) {
+            for (std::uint32_t d = 1; d < count && action == kNoAction;
+                 ++d) {
+                Worker& victim = workers[(worker + d) % count];
+                const std::lock_guard lock(victim.mutex);
+                if (!victim.queue.empty()) {
+                    action = victim.queue.front();
+                    victim.queue.pop_front();
+                    ++self.stats.steals;
+                }
+            }
+        }
+        if (action == kNoAction) {
+            // Out of work but the run is not over: someone else holds the
+            // frontier. Yield (oversubscribed hosts) and eventually nap.
+            if (++misses < 1024) {
+                std::this_thread::yield();
+            } else {
+                std::this_thread::sleep_for(std::chrono::microseconds(50));
+            }
+            continue;
+        }
+        misses = 0;
+        execute(action, self.stats);
+        finish(action, worker, workers);
+    }
+}
+
+PlayStats AsyncPlayer::play() {
+    seed_plan_memory(plan_, memory_);
+    channels_.reset();
+    completed_.store(0, std::memory_order_relaxed);
+    const std::uint32_t total = plan_.action_count();
+    for (std::uint32_t a = 0; a < total; ++a) {
+        deps_[a].store(plan_.dep_count[a], std::memory_order_relaxed);
+    }
+
+    std::vector<Worker> workers(plan_.workers);
+    for (std::uint32_t a = 0; a < total; ++a) {
+        if (plan_.dep_count[a] == 0) {
+            workers[plan_.owner_of(plan_.action(a).node)].queue.push_back(a);
+        }
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    if (plan_.workers == 1) {
+        // Serial fast path: (cycle, sends-before-recvs) is a topological
+        // order of the dependency graph, so a single worker can walk the
+        // actions in lowered order — same semantics and same per-slot
+        // accumulation order, none of the queue/atomic bookkeeping. With
+        // one worker the (cycle, worker) buckets are the per-cycle ranges
+        // of the flat lowered arrays, so bucket index i is action id i.
+        PlayStats& stats = workers[0].stats;
+        for (std::uint32_t cycle = 0; cycle < plan_.cycles; ++cycle) {
+            for (std::uint64_t i = plan_.send_begin[cycle];
+                 i < plan_.send_begin[cycle + 1]; ++i) {
+                execute(static_cast<std::uint32_t>(i), stats);
+            }
+            const auto sends =
+                static_cast<std::uint32_t>(plan_.flat_sends.size());
+            for (std::uint64_t i = plan_.recv_begin[cycle];
+                 i < plan_.recv_begin[cycle + 1]; ++i) {
+                execute(sends + static_cast<std::uint32_t>(i), stats);
+            }
+        }
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(plan_.workers);
+        for (std::uint32_t w = 0; w < plan_.workers; ++w) {
+            pool.emplace_back(
+                [this, w, &workers] { run_worker(w, workers.data()); });
+        }
+        for (std::thread& t : pool) {
+            t.join();
+        }
+    }
+    const auto stop = std::chrono::steady_clock::now();
+
+    PlayStats stats;
+    stats.cycles = plan_.cycles; // logical schedule depth, never barriered
+    stats.seconds = std::chrono::duration<double>(stop - start).count();
+    for (const Worker& w : workers) {
+        stats.blocks_sent += w.stats.blocks_sent;
+        stats.blocks_delivered += w.stats.blocks_delivered;
+        stats.checksum_failures += w.stats.checksum_failures;
+        stats.channel_faults += w.stats.channel_faults;
+        stats.steals += w.stats.steals;
+    }
+    stats.payload_bytes =
+        stats.blocks_delivered * plan_.block_elems * sizeof(double);
+    return stats;
+}
+
+} // namespace hcube::rt

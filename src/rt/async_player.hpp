@@ -1,0 +1,74 @@
+// Dataflow execution engine: runs a compiled Plan's dependency graph with
+// per-worker run queues and work-stealing — no global barriers anywhere on
+// the hot path.
+//
+// Where the barrier Player advances the whole machine in lockstep (two
+// barrier crossings per routing cycle), the AsyncPlayer synchronizes on the
+// schedule's *data dependencies* only: every action starts with an atomic
+// counter of unmet dependencies (emitted by compile_plan), a completed
+// action decrements its successors' counters, and an action whose counter
+// hits zero is enqueued on the run queue of the worker that owns its node.
+// A worker drains its own queue LIFO (depth-first along the dependency
+// chains it just enabled, which keeps the hot block in cache) and steals
+// FIFO from other workers when empty. Sequence-stamped multi-slot channel
+// rings let a producer run up to Plan::async_depth logical cycles ahead of
+// a slow consumer; capacity edges in the graph make ring overflow
+// impossible rather than merely unlikely.
+//
+// Progress argument (docs/RUNTIME.md § The dataflow engine): the graph is a
+// DAG (every edge points forward in schedule order), workers only retire
+// once all actions completed, and a counter reaches zero exactly once — so
+// every action is enqueued exactly once and some queue is always non-empty
+// while work remains. Violations on worker threads are counted in the
+// stats, never thrown, mirroring the barrier Player.
+#pragma once
+
+#include "rt/channel.hpp"
+#include "rt/plan.hpp"
+#include "rt/player.hpp" // PlayStats
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hcube::rt {
+
+class AsyncPlayer {
+public:
+    /// Allocates node-local block memory and a channel bank of
+    /// `channel_capacity` ring slots per link (0 picks the plan's
+    /// async_depth; anything smaller than async_depth is rejected, since
+    /// the plan's capacity edges only guard that depth). The plan must
+    /// outlive the player.
+    explicit AsyncPlayer(const Plan& plan,
+                         std::uint32_t channel_capacity = 0);
+
+    /// Seeds initial blocks, runs the dependency graph to completion on
+    /// plan.workers threads, and returns the aggregated stats (cycles is
+    /// the logical schedule depth; no barrier ever synchronizes on it).
+    /// Reusable: every call starts from freshly seeded memory and
+    /// rewound channels.
+    [[nodiscard]] PlayStats play();
+
+    /// Post-run view of the block held by (node, packet); empty span if
+    /// the node has no slot for the packet.
+    [[nodiscard]] std::span<const double> block(node_t node,
+                                                packet_t packet) const;
+
+private:
+    struct Worker;
+
+    void run_worker(std::uint32_t worker, Worker* workers);
+    void execute(std::uint32_t action, PlayStats& stats);
+    void finish(std::uint32_t action, std::uint32_t self, Worker* workers);
+
+    const Plan& plan_;
+    ChannelBank channels_;
+    std::vector<double> memory_; ///< total_slots x block_elems doubles
+    std::vector<std::uint64_t> expected_checksum_; ///< per packet, move mode
+    std::vector<std::atomic<std::uint32_t>> deps_; ///< live dep counters
+    std::atomic<std::uint64_t> completed_{0};
+};
+
+} // namespace hcube::rt

@@ -1,8 +1,13 @@
-// Fixed-capacity SPSC ring-buffer channels, one per directed cube link.
+// Fixed-capacity sequence-stamped ring-buffer channels, one per directed
+// cube link.
 //
-// A channel's producer is the worker thread that owns the sending node and
-// its consumer the worker that owns the receiving node — node ownership is a
-// partition, so single-producer / single-consumer holds by construction.
+// Under the barrier Player a channel's producer is the worker thread that
+// owns the sending node and its consumer the worker that owns the receiving
+// node — node ownership is a partition, so single-producer / single-consumer
+// holds by construction. The dataflow AsyncPlayer relaxes who runs an
+// action (work-stealing) but serializes same-channel pushes and pops with
+// dependency edges, so at most one producer and one consumer are active at
+// any instant and the same acquire/release protocol carries over.
 // Indices are monotonically increasing uint32 counters masked into a
 // power-of-two ring (the classic Lamport queue): the producer publishes a
 // slot with a release store of `tail`, the consumer acquires it by loading
@@ -10,6 +15,11 @@
 // copied into channel-owned storage, so the runtime really moves every byte
 // twice per hop (into the link, out of the link) — the memory-traffic
 // analogue of a packet crossing a physical channel.
+//
+// Every slot is stamped with its push sequence number (the k-th push on a
+// channel is sequence k), which lets an asynchronous consumer assert it is
+// draining exactly the block its dependency graph promised even when the
+// producer has run several logical cycles ahead into a deep ring.
 //
 // All channels live in one bank: contiguous slot storage, and head/tail
 // counters each padded to a cache line so two threads hammering opposite
@@ -37,6 +47,7 @@ public:
                                    std::max<std::uint32_t>(capacity, 1))),
           block_elems_(block_elems), heads_(channels), tails_(channels),
           packet_ids_(std::size_t{channels} * capacity_, 0),
+          seqs_(std::size_t{channels} * capacity_, 0),
           slots_(std::size_t{channels} * capacity_ * block_elems, 0.0) {
         HCUBE_ENSURE(block_elems >= 1);
     }
@@ -64,6 +75,7 @@ public:
         std::memcpy(slots_.data() + slot * block_elems_, block.data(),
                     block_elems_ * sizeof(double));
         packet_ids_[slot] = packet;
+        seqs_[slot] = tail; // the k-th push carries sequence stamp k
         tails_[channel].v.store(tail + 1, std::memory_order_release);
         return true;
     }
@@ -72,6 +84,16 @@ public:
     /// span if the channel is empty. The view stays valid until pop_front.
     [[nodiscard]] std::span<const double>
     front(std::uint32_t channel, std::uint32_t& packet) const noexcept {
+        std::uint32_t seq = 0;
+        return front(channel, packet, seq);
+    }
+
+    /// Consumer side, sequence-checked variant: additionally reports the
+    /// block's push sequence number so a dataflow consumer can assert it is
+    /// draining the k-th push its dependency edge waited for.
+    [[nodiscard]] std::span<const double>
+    front(std::uint32_t channel, std::uint32_t& packet,
+          std::uint32_t& seq) const noexcept {
         const std::uint32_t head =
             heads_[channel].v.load(std::memory_order_relaxed);
         const std::uint32_t tail =
@@ -81,6 +103,7 @@ public:
         }
         const std::size_t slot = slot_index(channel, head);
         packet = packet_ids_[slot];
+        seq = seqs_[slot];
         return {slots_.data() + slot * block_elems_, block_elems_};
     }
 
@@ -96,6 +119,16 @@ public:
     [[nodiscard]] std::uint32_t in_flight(std::uint32_t channel) const {
         return tails_[channel].v.load(std::memory_order_acquire) -
                heads_[channel].v.load(std::memory_order_acquire);
+    }
+
+    /// Rewinds every channel's counters to zero so sequence stamps restart
+    /// at 0 on the next run. Only valid while no worker thread is active
+    /// (the caller's thread creation/join provides the happens-before).
+    void reset() noexcept {
+        for (std::uint32_t c = 0; c < channels_; ++c) {
+            heads_[c].v.store(0, std::memory_order_relaxed);
+            tails_[c].v.store(0, std::memory_order_relaxed);
+        }
     }
 
 private:
@@ -114,6 +147,7 @@ private:
     std::vector<PaddedCounter> heads_; ///< consumer counters
     std::vector<PaddedCounter> tails_; ///< producer counters
     std::vector<std::uint32_t> packet_ids_;
+    std::vector<std::uint32_t> seqs_; ///< per slot: its push sequence stamp
     std::vector<double> slots_;
 };
 

@@ -1,12 +1,13 @@
 #include "rt/communicator.hpp"
 
 #include "common/check.hpp"
+#include "rt/async_player.hpp"
 #include "rt/checksum.hpp"
 #include "rt/player.hpp"
+#include "rt/threads.hpp"
 #include "sim/cycle.hpp"
 
-#include <algorithm>
-#include <thread>
+#include <cstring>
 
 namespace hcube::rt {
 
@@ -15,18 +16,30 @@ namespace {
 using sim::packet_t;
 using sim::Schedule;
 
-std::uint32_t pick_threads(hc::dim_t n, std::uint32_t requested) {
-    const std::uint32_t nodes = std::uint32_t{1} << n;
-    if (requested == 0) {
-        requested = std::max(2u, std::thread::hardware_concurrency());
+/// Byte-identical final-state comparison across the two engines, slot by
+/// slot — the cross-check that makes the barrier Player the async engine's
+/// oracle.
+bool identical_memory(const Plan& plan, const Player& ref,
+                      const AsyncPlayer& dut) {
+    for (std::uint64_t s = 0; s < plan.total_slots; ++s) {
+        const std::span<const double> a =
+            ref.block(plan.slot_node[s], plan.slot_packet[s]);
+        const std::span<const double> b =
+            dut.block(plan.slot_node[s], plan.slot_packet[s]);
+        if (a.size() != b.size() ||
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) !=
+                0) {
+            return false;
+        }
     }
-    return std::min(requested, nodes);
+    return true;
 }
 
 } // namespace
 
 Communicator::Communicator(hc::dim_t n, Params params)
-    : n_(n), params_(params), threads_(pick_threads(n, params.threads)) {
+    : n_(n), params_(params),
+      threads_(pick_worker_threads(n, params.threads)) {
     HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
     HCUBE_ENSURE(params_.block_elems >= 1);
 }
@@ -39,40 +52,67 @@ Result Communicator::run_move(const Schedule& schedule) {
 
     const Plan plan = compile_plan(schedule, DataMode::move,
                                    params_.block_elems, threads_);
-    Player player(plan, params_.channel_capacity);
-    const PlayStats stats = player.play();
 
-    Result result;
-    result.rt_cycles = stats.cycles;
-    result.sim_makespan = sim_stats.makespan;
-    result.blocks_delivered = stats.blocks_delivered;
-    result.payload_bytes = stats.payload_bytes;
-    result.seconds = stats.seconds;
-    result.threads = threads_;
+    // The barrier player always runs: with Engine::barrier it is the
+    // measured engine, with Engine::async it is the reference oracle.
+    Player ref(plan, params_.channel_capacity);
+    const PlayStats ref_stats = ref.play();
 
-    // Verified = every in-flight checksum passed, every channel behaved,
-    // exactly one delivery per scheduled send, the runtime's cycle count
-    // matches the cycle model, and every (node, packet) the simulator says
-    // is held ends up holding the canonical block.
-    bool ok = stats.clean() &&
-              stats.blocks_delivered == schedule.sends.size() &&
-              stats.cycles == sim_stats.makespan;
-    const node_t count = node_t{1} << n_;
-    for (node_t i = 0; ok && i < count; ++i) {
-        for (packet_t p = 0; p < schedule.packet_count; ++p) {
-            const bool held = sim_stats.holds(i, p);
-            const std::span<const double> block = player.block(i, p);
-            if (!held) {
-                ok = block.empty();
-                continue;
-            }
-            if (block.empty() ||
-                block_checksum(block) !=
-                    canonical_checksum(p, params_.block_elems)) {
-                ok = false;
-                break;
+    // Every (node, packet) the simulator says is held must end up holding
+    // the canonical block, and nothing else may appear.
+    const auto holdings_match = [&](const auto& player) {
+        const node_t count = node_t{1} << n_;
+        for (node_t i = 0; i < count; ++i) {
+            for (packet_t p = 0; p < schedule.packet_count; ++p) {
+                const bool held = sim_stats.holds(i, p);
+                const std::span<const double> block = player.block(i, p);
+                if (!held) {
+                    if (!block.empty()) {
+                        return false;
+                    }
+                    continue;
+                }
+                if (block.empty() ||
+                    block_checksum(block) !=
+                        canonical_checksum(p, params_.block_elems)) {
+                    return false;
+                }
             }
         }
+        return true;
+    };
+
+    // The oracle itself must be clean regardless of the reported engine:
+    // every in-flight checksum passed, every channel behaved, exactly one
+    // delivery per scheduled send, and its barriered cycle count matches
+    // the cycle model.
+    bool ok = ref_stats.clean() &&
+              ref_stats.blocks_delivered == schedule.sends.size() &&
+              ref_stats.cycles == sim_stats.makespan;
+
+    Result result;
+    result.engine = params_.engine;
+    result.threads = threads_;
+    result.sim_makespan = sim_stats.makespan;
+
+    if (params_.engine == Engine::barrier) {
+        ok = ok && holdings_match(ref);
+        result.rt_cycles = ref_stats.cycles;
+        result.blocks_delivered = ref_stats.blocks_delivered;
+        result.payload_bytes = ref_stats.payload_bytes;
+        result.seconds = ref_stats.seconds;
+    } else {
+        AsyncPlayer dut(plan);
+        const PlayStats stats = dut.play();
+        ok = ok && stats.clean() &&
+             stats.blocks_delivered == schedule.sends.size() &&
+             identical_memory(plan, ref, dut) && holdings_match(dut);
+        result.rt_cycles = stats.cycles;
+        result.blocks_delivered = stats.blocks_delivered;
+        result.payload_bytes = stats.payload_bytes;
+        result.seconds = stats.seconds;
+        result.ref_seconds = ref_stats.seconds;
+        result.steals = stats.steals;
     }
     result.verified = ok;
     return result;
@@ -132,36 +172,61 @@ Result Communicator::reduce(const trees::SpanningTree& tree,
 
     const Plan plan = compile_plan(reduction, DataMode::combine,
                                    params_.block_elems, threads_);
-    Player player(plan, params_.channel_capacity);
-    const PlayStats stats = player.play();
-
-    Result result;
-    result.rt_cycles = stats.cycles;
-    result.sim_makespan = sim_stats.makespan;
-    result.blocks_delivered = stats.blocks_delivered;
-    result.payload_bytes = stats.payload_bytes;
-    result.seconds = stats.seconds;
-    result.threads = threads_;
+    Player ref(plan, params_.channel_capacity);
+    const PlayStats ref_stats = ref.play();
 
     // The root's block for every packet must equal the exact elementwise
     // integer sum of all N contributions.
-    bool ok = stats.clean() &&
-              stats.blocks_delivered == reduction.sends.size() &&
-              stats.cycles == sim_stats.makespan;
-    const node_t count = node_t{1} << n_;
-    for (packet_t p = 0; ok && p < packets; ++p) {
-        const std::span<const double> block = player.block(tree.root, p);
-        if (block.size() != params_.block_elems) {
-            ok = false;
-            break;
-        }
-        for (std::size_t e = 0; ok && e < params_.block_elems; ++e) {
-            double expected = 0.0;
-            for (node_t i = 0; i < count; ++i) {
-                expected += contribution_element(i, p, e);
+    const auto sums_match = [&](const auto& player) {
+        const node_t count = node_t{1} << n_;
+        for (packet_t p = 0; p < packets; ++p) {
+            const std::span<const double> block = player.block(tree.root, p);
+            if (block.size() != params_.block_elems) {
+                return false;
             }
-            ok = block[e] == expected;
+            for (std::size_t e = 0; e < params_.block_elems; ++e) {
+                double expected = 0.0;
+                for (node_t i = 0; i < count; ++i) {
+                    expected += contribution_element(i, p, e);
+                }
+                if (block[e] != expected) {
+                    return false;
+                }
+            }
         }
+        return true;
+    };
+
+    bool ok = ref_stats.clean() &&
+              ref_stats.blocks_delivered == reduction.sends.size() &&
+              ref_stats.cycles == sim_stats.makespan;
+
+    Result result;
+    result.engine = params_.engine;
+    result.threads = threads_;
+    result.sim_makespan = sim_stats.makespan;
+
+    if (params_.engine == Engine::barrier) {
+        ok = ok && sums_match(ref);
+        result.rt_cycles = ref_stats.cycles;
+        result.blocks_delivered = ref_stats.blocks_delivered;
+        result.payload_bytes = ref_stats.payload_bytes;
+        result.seconds = ref_stats.seconds;
+    } else {
+        AsyncPlayer dut(plan);
+        const PlayStats stats = dut.play();
+        // The combining accumulation order is fixed by the plan's
+        // slot-ordering edges, so even the floating-point intermediate
+        // states must agree bit for bit with the barrier oracle.
+        ok = ok && stats.clean() &&
+             stats.blocks_delivered == reduction.sends.size() &&
+             identical_memory(plan, ref, dut) && sums_match(dut);
+        result.rt_cycles = stats.cycles;
+        result.blocks_delivered = stats.blocks_delivered;
+        result.payload_bytes = stats.payload_bytes;
+        result.seconds = stats.seconds;
+        result.ref_seconds = ref_stats.seconds;
+        result.steals = stats.steals;
     }
     result.verified = ok;
     return result;

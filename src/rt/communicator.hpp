@@ -3,12 +3,18 @@
 // Where routing::CollectiveComm runs the paper's algorithms on the *event
 // simulator* (simulated seconds), this communicator runs the cycle-exact
 // schedules as *real data movement*: logical cube nodes mapped onto a
-// thread pool, directed links as SPSC ring-buffer channels, one barrier-
-// synchronized send/receive phase pair per routing cycle, and a checksum
-// check on every delivered block. Every operation also executes the same
-// schedule through sim::execute_schedule, so the result carries both the
-// measured wall clock and the cycle-model cross-check: for uniform packets
-// the runtime's cycle count equals the CycleExecutor makespan exactly.
+// thread pool, directed links as sequence-stamped ring-buffer channels,
+// and a checksum check on every delivered block. Two engines execute a
+// compiled plan: the two-barrier-per-cycle Player (the cycle-exact
+// reference oracle) and the dependency-driven AsyncPlayer (the fast path,
+// no global barriers). With Engine::async the barrier engine still runs
+// once per operation as the oracle, and verification additionally demands
+// a byte-identical final memory state across the two. Every operation also
+// executes the same schedule through sim::execute_schedule, so the result
+// carries both the measured wall clock and the cycle-model cross-check:
+// for uniform packets the barrier engine's cycle count equals the
+// CycleExecutor makespan exactly (the async engine reports the same
+// logical depth without ever synchronizing on it).
 //
 // Operations map onto the paper's schedule families via the
 // routing/schedule_export.hpp hooks:
@@ -25,27 +31,47 @@
 #include "trees/spanning_tree.hpp"
 
 #include <cstdint>
+#include <string_view>
 
 namespace hcube::rt {
 
+/// Which execution engine runs the schedule.
+enum class Engine {
+    barrier, ///< cycle-exact two-barrier-per-cycle Player (the oracle)
+    async,   ///< dependency-driven work-stealing AsyncPlayer (no barriers)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Engine e) noexcept {
+    return e == Engine::barrier ? "barrier" : "async";
+}
+
 struct Params {
-    /// Worker threads; 0 picks min(2^n, max(2, hardware_concurrency)).
+    /// Worker threads; 0 picks min(2^n, max(2, hardware_concurrency))
+    /// (rt/threads.hpp).
     std::uint32_t threads = 0;
     /// Elements (doubles) per packet — the internal packet size B_int.
     std::size_t block_elems = 256;
-    /// Ring slots per link channel.
+    /// Ring slots per link channel (barrier engine; the async engine sizes
+    /// its rings from the plan's async_depth).
     std::uint32_t channel_capacity = 2;
     /// Port model the schedules are generated for and validated under.
     sim::PortModel model = sim::PortModel::one_port_full_duplex;
+    /// Engine whose stats the Result reports. Engine::async still runs the
+    /// barrier engine once as the reference oracle and cross-checks the
+    /// final memory states byte for byte.
+    Engine engine = Engine::async;
 };
 
 struct Result {
-    std::uint32_t rt_cycles = 0;    ///< cycles the runtime executed
+    std::uint32_t rt_cycles = 0;    ///< logical cycles of the schedule
     std::uint32_t sim_makespan = 0; ///< CycleExecutor makespan (cross-check)
     std::uint64_t blocks_delivered = 0;
     std::uint64_t payload_bytes = 0; ///< bytes drained from link channels
-    double seconds = 0;              ///< wall clock of the threaded region
-    bool verified = false; ///< per-block checksums + final-state check
+    double seconds = 0;              ///< wall clock of the reported engine
+    double ref_seconds = 0; ///< barrier-oracle wall clock (async engine)
+    std::uint64_t steals = 0; ///< work-stealing count (async engine)
+    bool verified = false; ///< per-block checksums + final-state checks
+    Engine engine = Engine::barrier; ///< engine the stats above came from
     std::uint32_t threads = 1;
 
     [[nodiscard]] double gbytes_per_sec() const noexcept {

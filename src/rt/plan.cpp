@@ -1,10 +1,12 @@
 #include "rt/plan.hpp"
 
 #include "common/check.hpp"
+#include "rt/checksum.hpp"
 
 #include <algorithm>
 #include <bit>
 #include <string>
+#include <utility>
 
 namespace hcube::rt {
 
@@ -22,12 +24,15 @@ fail_send(const char* what, const sim::ScheduledSend& send) {
 } // namespace
 
 Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
-                  std::size_t block_elems, std::uint32_t workers) {
+                  std::size_t block_elems, std::uint32_t workers,
+                  std::uint32_t async_depth) {
     HCUBE_ENSURE(schedule.n >= 1 && schedule.n <= hc::kMaxDimension);
     HCUBE_ENSURE(block_elems >= 1);
+    HCUBE_ENSURE(async_depth >= 1);
     const node_t count = node_t{1} << schedule.n;
     HCUBE_ENSURE(workers >= 1 && workers <= count);
     HCUBE_ENSURE(schedule.initial_holder.size() == schedule.packet_count);
+    HCUBE_ENSURE(schedule.sends.size() < (std::size_t{1} << 31));
 
     Plan plan;
     plan.n = schedule.n;
@@ -35,6 +40,7 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
     plan.block_elems = block_elems;
     plan.mode = mode;
     plan.workers = workers;
+    plan.async_depth = std::bit_ceil(async_depth);
 
     std::vector<sim::ScheduledSend> sends = schedule.sends;
     std::ranges::stable_sort(sends, {}, &sim::ScheduledSend::cycle);
@@ -51,6 +57,14 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
     /// held). Only consulted in move mode; combine slots are all available
     /// from the start (they hold the node's own contribution).
     std::vector<std::uint32_t> slot_acquire;
+    /// Lowered index of the receive that writes each slot, kNoProducer for
+    /// seeds (move mode — a slot has at most one writer there).
+    static constexpr std::uint32_t kNoProducer = ~std::uint32_t{0};
+    std::vector<std::uint32_t> slot_producer;
+    /// Combine mode: receives into / sends from each slot lowered so far,
+    /// in cycle order (slots are written repeatedly there).
+    std::vector<std::vector<std::uint32_t>> slot_recvs;
+    std::vector<std::vector<std::uint32_t>> slot_sends;
     const auto create_slot = [&](node_t node, packet_t packet,
                                  std::uint32_t acquire) {
         const std::uint64_t id = plan.total_slots++;
@@ -58,6 +72,11 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
         plan.slot_packet.push_back(packet);
         plan.slot_node.push_back(node);
         slot_acquire.push_back(acquire);
+        slot_producer.push_back(kNoProducer);
+        if (mode == DataMode::combine) {
+            slot_recvs.emplace_back();
+            slot_sends.emplace_back();
+        }
         return id;
     };
 
@@ -75,6 +94,9 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
     /// link per cycle, the link-capacity rule).
     std::vector<std::uint64_t> channel_last_cycle;
     static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+    /// Per channel: lowered send indices in sequence order (send i and
+    /// recv i share the index, so this doubles as the pop order).
+    std::vector<std::vector<std::uint32_t>> chan_sends;
 
     struct Lowered {
         std::uint32_t cycle;
@@ -84,6 +106,12 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
     std::vector<Lowered> low_recvs;
     low_sends.reserve(sends.size());
     low_recvs.reserve(sends.size());
+
+    // Dependency edges over action ids; recv ids are tagged with kRecvBit
+    // until the final send count is known.
+    static constexpr std::uint32_t kRecvBit = std::uint32_t{1} << 31;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    edges.reserve(sends.size() * 3);
 
     for (const sim::ScheduledSend& send : sends) {
         if (send.from >= count || send.to >= count) [[unlikely]] {
@@ -104,6 +132,7 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
         if (inserted) {
             channel_last_cycle.push_back(kIdle);
             plan.channel_link.emplace_back(send.from, send.to);
+            chan_sends.emplace_back();
         }
         if (channel_last_cycle[channel] == send.cycle) [[unlikely]] {
             fail_send("two packets on one directed link in one cycle", send);
@@ -128,10 +157,64 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
             fail_send("receiver already holds the packet", send);
         }
 
+        // ---- dependency edges for send i / recv i ---------------------
+        const auto i = static_cast<std::uint32_t>(low_sends.size());
+        const auto seq =
+            static_cast<std::uint32_t>(chan_sends[channel].size());
+        if (seq > 0) {
+            // Ring order: pushes and pops on one channel stay serialized
+            // (the SPSC protocol's one-producer / one-consumer guarantee,
+            // recovered by edges once work-stealing removes ownership).
+            const std::uint32_t prev = chan_sends[channel].back();
+            edges.emplace_back(prev, i);
+            edges.emplace_back(prev | kRecvBit, i | kRecvBit);
+        }
+        if (seq >= plan.async_depth) {
+            // Capacity: the seq-th push needs the (seq-depth)-th pop to
+            // have freed its ring slot.
+            edges.emplace_back(
+                chan_sends[channel][seq - plan.async_depth] | kRecvBit, i);
+        }
+        if (mode == DataMode::move) {
+            // Availability: forwarding waits on the receive that produced
+            // the source slot; seeds have no producer.
+            if (slot_producer[src_slot] != kNoProducer) {
+                edges.emplace_back(slot_producer[src_slot] | kRecvBit, i);
+            }
+        } else {
+            // A combining send transmits the partial sum of its own seed
+            // plus every strictly-earlier arrival (the barrier engine's
+            // send-phase-before-receive-phase rule for equal cycles).
+            for (const std::uint32_t r : slot_recvs[src_slot]) {
+                if (low_recvs[r].cycle < send.cycle) {
+                    edges.emplace_back(r | kRecvBit, i);
+                }
+            }
+        }
+        // Data: the receive drains exactly its channel's seq-th push.
+        edges.emplace_back(i, i | kRecvBit);
+        if (mode == DataMode::combine) {
+            // Accumulation into one slot happens in channel-sequence
+            // (lowered) order, and only after every send that reads the
+            // slot's pre-accumulation value has gone out.
+            if (!slot_recvs[dst_slot].empty()) {
+                edges.emplace_back(slot_recvs[dst_slot].back() | kRecvBit,
+                                   i | kRecvBit);
+            }
+            for (const std::uint32_t s2 : slot_sends[dst_slot]) {
+                edges.emplace_back(s2, i | kRecvBit);
+            }
+            slot_recvs[dst_slot].push_back(i);
+            slot_sends[src_slot].push_back(i);
+        } else {
+            slot_producer[dst_slot] = i;
+        }
+
         low_sends.push_back(
-            {send.cycle, {channel, send.from, src_slot, send.packet}});
+            {send.cycle, {channel, send.from, src_slot, send.packet, seq}});
         low_recvs.push_back(
-            {send.cycle, {channel, send.to, dst_slot, send.packet}});
+            {send.cycle, {channel, send.to, dst_slot, send.packet, seq}});
+        chan_sends[channel].push_back(i);
     }
     plan.channel_count = static_cast<std::uint32_t>(channel_of.size());
 
@@ -140,6 +223,37 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
         for (std::uint64_t s = 0; s < plan.total_slots; ++s) {
             plan.seeded_slots[s] = s;
         }
+    }
+
+    // ---- flat lowered-order actions + dependency CSR ------------------
+    const auto S = static_cast<std::uint32_t>(low_sends.size());
+    plan.flat_sends.reserve(S);
+    plan.flat_recvs.reserve(S);
+    for (const Lowered& l : low_sends) {
+        plan.flat_sends.push_back(l.action);
+    }
+    for (const Lowered& l : low_recvs) {
+        plan.flat_recvs.push_back(l.action);
+    }
+
+    HCUBE_ENSURE(edges.size() < ~std::uint32_t{0});
+    const auto decode = [S](std::uint32_t id) {
+        return (id & kRecvBit) != 0 ? S + (id & ~kRecvBit) : id;
+    };
+    plan.dep_count.assign(std::size_t{2} * S, 0);
+    plan.succ_begin.assign(std::size_t{2} * S + 1, 0);
+    for (const auto& [from, to] : edges) {
+        ++plan.dep_count[decode(to)];
+        ++plan.succ_begin[decode(from) + 1];
+    }
+    for (std::size_t a = 1; a <= std::size_t{2} * S; ++a) {
+        plan.succ_begin[a] += plan.succ_begin[a - 1];
+    }
+    plan.succ.resize(edges.size());
+    std::vector<std::uint32_t> cursor(plan.succ_begin.begin(),
+                                      plan.succ_begin.end() - 1);
+    for (const auto& [from, to] : edges) {
+        plan.succ[cursor[decode(from)]++] = decode(to);
     }
 
     // ---- CSR bucketing by (cycle, worker) -----------------------------
@@ -157,16 +271,34 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
             begin[b] += begin[b - 1];
         }
         out.resize(lowered.size());
-        std::vector<std::uint64_t> cursor(begin.begin(), begin.end() - 1);
+        std::vector<std::uint64_t> cursor2(begin.begin(), begin.end() - 1);
         for (const Lowered& l : lowered) {
             const std::size_t b =
                 std::size_t{l.cycle} * workers + plan.owner_of(l.action.node);
-            out[cursor[b]++] = l.action;
+            out[cursor2[b]++] = l.action;
         }
     };
     bucket_sort(low_sends, plan.send_begin, plan.sends);
     bucket_sort(low_recvs, plan.recv_begin, plan.recvs);
     return plan;
+}
+
+void seed_plan_memory(const Plan& plan, std::span<double> memory) {
+    HCUBE_ENSURE(memory.size() ==
+                 static_cast<std::size_t>(plan.total_slots) *
+                     plan.block_elems);
+    std::fill(memory.begin(), memory.end(), 0.0);
+    for (const std::uint64_t slot : plan.seeded_slots) {
+        const std::span<double> block =
+            memory.subspan(static_cast<std::size_t>(slot) * plan.block_elems,
+                           plan.block_elems);
+        if (plan.mode == DataMode::move) {
+            fill_canonical(block, plan.slot_packet[slot]);
+        } else {
+            fill_contribution(block, plan.slot_node[slot],
+                              plan.slot_packet[slot]);
+        }
+    }
 }
 
 } // namespace hcube::rt

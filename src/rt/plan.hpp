@@ -9,6 +9,19 @@
 // CSR-style by (cycle, worker) so each worker thread walks a contiguous
 // range per phase with no allocation or locking on the hot path.
 //
+// For the dataflow AsyncPlayer the compiler additionally stamps every
+// action with its channel sequence number (the k-th push/pop on a channel)
+// and emits an explicit dependency graph over the 2·S actions of the
+// lowered schedule: a send waits on the receive that produced its source
+// slot (or nothing, if seeded), on the previous push of its channel (ring
+// order), and on the pop that frees its ring slot (capacity); a receive
+// waits on its channel's k-th push and on the previous pop of its channel;
+// combine mode adds the slot-ordering edges that serialize elementwise
+// accumulation in channel-sequence order. Every edge points forward in
+// (cycle, send-before-receive, lowered index) order, so a plan that
+// compiles is a DAG — executable without deadlock by any engine that runs
+// ready actions eventually.
+//
 // Two data modes:
 //   move    — a block travels verbatim; a second delivery of the same packet
 //             to the same node is rejected at compile time (the executor's
@@ -22,6 +35,7 @@
 #include "sim/cycle.hpp"
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -38,12 +52,13 @@ enum class DataMode {
 
 /// One lowered runtime action. For a send: copy the node-local block at
 /// `slot` into `channel`. For a receive: drain `channel` into `slot`
-/// (verifying or combining), expecting `packet`.
+/// (verifying or combining), expecting `packet` with sequence stamp `seq`.
 struct Action {
     std::uint32_t channel;
     node_t node;
     std::uint64_t slot; ///< absolute block-slot id (node-local memory)
     packet_t packet;
+    std::uint32_t seq;  ///< the action is its channel's seq-th push / pop
 };
 
 struct Plan {
@@ -82,6 +97,35 @@ struct Plan {
     std::vector<Action> sends; ///< keyed by owner of the sending node
     std::vector<Action> recvs; ///< keyed by owner of the receiving node
 
+    // ---- dataflow dependency graph (AsyncPlayer) ----------------------
+    /// Lowered actions in schedule (cycle-sorted) order; flat_sends[i] and
+    /// flat_recvs[i] are the push and pop halves of scheduled send i.
+    /// Action ids: send i -> i, recv i -> flat_sends.size() + i.
+    std::vector<Action> flat_sends;
+    std::vector<Action> flat_recvs;
+    /// Ring slots per channel the capacity edges were emitted for; an
+    /// asynchronous engine must run with at least this many (a producer may
+    /// run up to async_depth logical cycles ahead of its consumer).
+    std::uint32_t async_depth = 0;
+    /// Per action id: number of incoming dependency edges (0 = initially
+    /// ready), and the CSR successor lists the engine decrements on
+    /// completion.
+    std::vector<std::uint32_t> dep_count;
+    std::vector<std::uint32_t> succ_begin; ///< size 2·S + 1
+    std::vector<std::uint32_t> succ;
+
+    [[nodiscard]] std::uint32_t action_count() const noexcept {
+        return static_cast<std::uint32_t>(dep_count.size());
+    }
+    /// The Action behind an action id (sends first, then recvs).
+    [[nodiscard]] const Action& action(std::uint32_t id) const noexcept {
+        const auto s = static_cast<std::uint32_t>(flat_sends.size());
+        return id < s ? flat_sends[id] : flat_recvs[id - s];
+    }
+    [[nodiscard]] bool is_send_action(std::uint32_t id) const noexcept {
+        return id < flat_sends.size();
+    }
+
     /// Slot of (node, packet), or kNoSlot if the node never holds it.
     static constexpr std::uint64_t kNoSlot = ~std::uint64_t{0};
     [[nodiscard]] std::uint64_t slot_of(node_t node, packet_t packet) const {
@@ -98,9 +142,17 @@ struct Plan {
 /// availability and (in move mode) duplicate-delivery checks while
 /// lowering, and rejects two packets on one directed link in one cycle —
 /// so a plan that compiles is executable without deadlock by construction.
-/// Throws check_error on violation.
+/// `async_depth` is the ring depth the dependency graph's capacity edges
+/// assume (rounded up to a power of two). Throws check_error on violation.
 [[nodiscard]] Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
                                 std::size_t block_elems,
-                                std::uint32_t workers);
+                                std::uint32_t workers,
+                                std::uint32_t async_depth = 8);
+
+/// Seeds `memory` (total_slots x block_elems doubles) with the plan's
+/// initial holdings: canonical packet blocks in move mode, every node's own
+/// contribution in combine mode. Shared by both execution engines so their
+/// initial states are bit-identical.
+void seed_plan_memory(const Plan& plan, std::span<double> memory);
 
 } // namespace hcube::rt

@@ -40,21 +40,7 @@ Player::Player(const Plan& plan, std::uint32_t channel_capacity)
     }
 }
 
-void Player::seed_memory() {
-    std::fill(memory_.begin(), memory_.end(), 0.0);
-    for (const std::uint64_t slot : plan_.seeded_slots) {
-        const std::span<double> block{
-            memory_.data() +
-                static_cast<std::size_t>(slot) * plan_.block_elems,
-            plan_.block_elems};
-        if (plan_.mode == DataMode::move) {
-            fill_canonical(block, plan_.slot_packet[slot]);
-        } else {
-            fill_contribution(block, plan_.slot_node[slot],
-                              plan_.slot_packet[slot]);
-        }
-    }
-}
+void Player::seed_memory() { seed_plan_memory(plan_, memory_); }
 
 std::span<const double> Player::block(node_t node, packet_t packet) const {
     const std::uint64_t slot = plan_.slot_of(node, packet);

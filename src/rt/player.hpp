@@ -35,7 +35,9 @@ struct PlayStats {
     std::uint64_t payload_bytes = 0;   ///< blocks_delivered x block bytes
     std::uint64_t checksum_failures = 0;
     std::uint64_t channel_faults = 0;  ///< full-on-push / empty-on-pop /
-                                       ///< wrong packet at the head
+                                       ///< wrong packet or sequence at head
+    std::uint64_t steals = 0;          ///< actions run off another worker's
+                                       ///< queue (AsyncPlayer only)
     double seconds = 0;                ///< wall clock of the threaded region
 
     [[nodiscard]] bool clean() const noexcept {

@@ -63,6 +63,44 @@ TEST(RtChannel, FifoOrderSurvivesWraparound) {
     }
 }
 
+TEST(RtChannel, SequenceStampsCountPushesPerChannel) {
+    // The k-th push into a channel carries stamp k, surviving wraparound —
+    // the AsyncPlayer's receive-side assertion that it is consuming
+    // exactly the arrival its dependency edges promised.
+    ChannelBank bank(2, 2, 4);
+    const std::vector<double> block(4, 1.0);
+    for (std::uint32_t round = 0; round < 6; ++round) {
+        ASSERT_TRUE(bank.try_push(0, round, block));
+        std::uint32_t packet = 0;
+        std::uint32_t seq = 0;
+        ASSERT_FALSE(bank.front(0, packet, seq).empty());
+        EXPECT_EQ(seq, round);
+        bank.pop_front(0);
+    }
+    // Stamps are per channel, not global.
+    ASSERT_TRUE(bank.try_push(1, 0, block));
+    std::uint32_t packet = 0;
+    std::uint32_t seq = 99;
+    ASSERT_FALSE(bank.front(1, packet, seq).empty());
+    EXPECT_EQ(seq, 0u);
+}
+
+TEST(RtChannel, ResetReturnsEveryRingToEmptyWithFreshStamps) {
+    ChannelBank bank(2, 2, 4);
+    const std::vector<double> block(4, 1.0);
+    ASSERT_TRUE(bank.try_push(0, 0, block));
+    ASSERT_TRUE(bank.try_push(1, 1, block));
+    bank.reset();
+    EXPECT_EQ(bank.in_flight(0), 0u);
+    EXPECT_EQ(bank.in_flight(1), 0u);
+    std::uint32_t packet = 0;
+    std::uint32_t seq = 99;
+    EXPECT_TRUE(bank.front(0, packet, seq).empty());
+    ASSERT_TRUE(bank.try_push(0, 2, block));
+    ASSERT_FALSE(bank.front(0, packet, seq).empty());
+    EXPECT_EQ(seq, 0u); // sequence numbering restarts after reset
+}
+
 TEST(RtChannel, ConcurrentProducerConsumerDeliversEverythingInOrder) {
     // One producer spins pushing 4096 canonical blocks through a 4-slot
     // ring while one consumer spins draining and verifying them. Under

@@ -139,5 +139,91 @@ TEST(RtPlan, BucketsPartitionEverySendByCycleAndOwner) {
     }
 }
 
+TEST(RtPlan, DepGraphChainHasExactEdges) {
+    // Two-hop chain, one worker: action ids are sends {0, 1} then recvs
+    // {2, 3} in lowered (cycle-sorted) order. Expected edges: data
+    // 0 -> 2 and 1 -> 3, availability 2 -> 1 (the forward reads the slot
+    // the first receive produced). The seeded first send depends on
+    // nothing.
+    const Plan plan = compile_plan(two_hop_chain(), DataMode::move, 4, 1);
+    ASSERT_EQ(plan.action_count(), 4u);
+    EXPECT_TRUE(plan.is_send_action(0));
+    EXPECT_TRUE(plan.is_send_action(1));
+    EXPECT_FALSE(plan.is_send_action(2));
+    EXPECT_FALSE(plan.is_send_action(3));
+
+    const std::vector<std::uint32_t> expected_deps = {0, 1, 1, 1};
+    EXPECT_EQ(plan.dep_count, expected_deps);
+
+    const auto successors = [&plan](std::uint32_t id) {
+        return std::vector<std::uint32_t>(
+            plan.succ.begin() + plan.succ_begin[id],
+            plan.succ.begin() + plan.succ_begin[id + 1]);
+    };
+    EXPECT_EQ(successors(0), std::vector<std::uint32_t>{2});
+    EXPECT_EQ(successors(1), std::vector<std::uint32_t>{3});
+    EXPECT_EQ(successors(2), std::vector<std::uint32_t>{1});
+    EXPECT_EQ(successors(3), std::vector<std::uint32_t>{});
+}
+
+TEST(RtPlan, CapacityEdgesThrottleChannelReuseToRingDepth) {
+    // Four sends down one link, ring depth 2: the k-th send must wait for
+    // the (k-2)-th receive (capacity edge) on top of the ring-order edge
+    // from the (k-1)-th send, so the channel can never hold more than two
+    // in-flight blocks no matter how threads interleave.
+    Schedule s;
+    s.n = 1;
+    s.packet_count = 4;
+    s.initial_holder = {0, 0, 0, 0};
+    s.sends = {{0, 0, 1, 0}, {1, 0, 1, 1}, {2, 0, 1, 2}, {3, 0, 1, 3}};
+    const Plan plan =
+        compile_plan(s, DataMode::move, 4, 1, /*async_depth=*/2);
+    EXPECT_EQ(plan.async_depth, 2u);
+    // Sends: seed, +ring, +ring+capacity, +ring+capacity.
+    // Recvs: +data, then +data+ring.
+    const std::vector<std::uint32_t> expected_deps = {0, 1, 2, 2,
+                                                      1, 2, 2, 2};
+    EXPECT_EQ(plan.dep_count, expected_deps);
+}
+
+TEST(RtPlan, EveryDependencyEdgePointsForward) {
+    // The DAG argument from docs/RUNTIME.md, checked mechanically: every
+    // edge's head sorts strictly after its tail in (cycle, sends-before-
+    // recvs) order, so a feasible schedule can never compile into a
+    // cyclic (deadlocking) dependency graph. Compiled at workers=1 so the
+    // (cycle, worker) buckets recover each action's cycle.
+    const auto check = [](const Plan& plan) {
+        const auto sends =
+            static_cast<std::uint32_t>(plan.flat_sends.size());
+        const auto key = [&plan,
+                          sends](std::uint32_t id) -> std::uint64_t {
+            const bool recv = id >= sends;
+            const auto& begin = recv ? plan.recv_begin : plan.send_begin;
+            const std::uint64_t index = recv ? id - sends : id;
+            std::uint32_t cycle = 0;
+            while (begin[cycle + 1] <= index) {
+                ++cycle;
+            }
+            return std::uint64_t{cycle} * 2 + (recv ? 1 : 0);
+        };
+        for (std::uint32_t id = 0; id < plan.action_count(); ++id) {
+            for (std::uint32_t e = plan.succ_begin[id];
+                 e < plan.succ_begin[id + 1]; ++e) {
+                ASSERT_LT(key(id), key(plan.succ[e]))
+                    << "edge " << id << " -> " << plan.succ[e]
+                    << " does not point forward";
+            }
+        }
+    };
+    check(compile_plan(routing::make_msbt_broadcast(
+                           4, 0, 8, sim::PortModel::one_port_full_duplex),
+                       DataMode::move, 2, 1));
+    const sim::Schedule forward = routing::make_tree_broadcast(
+        trees::build_sbt(4, 0), routing::BroadcastDiscipline::port_oriented,
+        3, sim::PortModel::one_port_full_duplex);
+    check(compile_plan(routing::reverse_broadcast_for_reduce(forward, 0),
+                       DataMode::combine, 2, 1));
+}
+
 } // namespace
 } // namespace hcube::rt
