@@ -104,17 +104,17 @@ void AsyncPlayer::execute(std::uint32_t action, PlayStats& stats) {
     ++stats.blocks_delivered;
 }
 
-void AsyncPlayer::finish(std::uint32_t action, std::uint32_t self,
-                         Worker* workers) {
+void AsyncPlayer::finish(std::uint32_t action, Worker* workers) {
     for (std::uint32_t e = plan_.succ_begin[action];
          e < plan_.succ_begin[action + 1]; ++e) {
         const std::uint32_t succ = plan_.succ[e];
         // acq_rel: the final decrement acquires every predecessor's writes
         // (block memory, ring slots) before the successor may run anywhere.
         if (deps_[succ].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-            const std::uint32_t owner =
-                plan_.owner_of(plan_.action(succ).node);
-            Worker& target = workers[owner == self ? self : owner];
+            // A newly ready action always goes to its owner's queue, even
+            // when a thief completed the enabling action — LIFO locality is
+            // the owner's, stealing only rebalances.
+            Worker& target = workers[plan_.owner_of(plan_.action(succ).node)];
             const std::lock_guard lock(target.mutex);
             target.queue.push_back(succ);
         }
@@ -160,7 +160,7 @@ void AsyncPlayer::run_worker(std::uint32_t worker, Worker* workers) {
         }
         misses = 0;
         execute(action, self.stats);
-        finish(action, worker, workers);
+        finish(action, workers);
     }
 }
 

@@ -61,7 +61,7 @@ private:
 
     void run_worker(std::uint32_t worker, Worker* workers);
     void execute(std::uint32_t action, PlayStats& stats);
-    void finish(std::uint32_t action, std::uint32_t self, Worker* workers);
+    void finish(std::uint32_t action, Worker* workers);
 
     const Plan& plan_;
     ChannelBank channels_;

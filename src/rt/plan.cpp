@@ -185,10 +185,23 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
             // A combining send transmits the partial sum of its own seed
             // plus every strictly-earlier arrival (the barrier engine's
             // send-phase-before-receive-phase rule for equal cycles).
-            for (const std::uint32_t r : slot_recvs[src_slot]) {
-                if (low_recvs[r].cycle < send.cycle) {
-                    edges.emplace_back(r | kRecvBit, i);
-                }
+            // Receives into one slot are chained in lowered order (below),
+            // so a single edge from the latest strictly-earlier receive
+            // orders every older arrival transitively. Same-cycle receives
+            // already lowered must instead wait for this send — it reads
+            // the slot's pre-accumulation value — and one edge to the
+            // earliest of them orders the rest through the same chain.
+            const std::vector<std::uint32_t>& arrivals =
+                slot_recvs[src_slot];
+            std::size_t a = arrivals.size();
+            while (a > 0 && low_recvs[arrivals[a - 1]].cycle == send.cycle) {
+                --a;
+            }
+            if (a < arrivals.size()) {
+                edges.emplace_back(i, arrivals[a] | kRecvBit);
+            }
+            if (a > 0) {
+                edges.emplace_back(arrivals[a - 1] | kRecvBit, i);
             }
         }
         // Data: the receive drains exactly its channel's seq-th push.
@@ -196,7 +209,10 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
         if (mode == DataMode::combine) {
             // Accumulation into one slot happens in channel-sequence
             // (lowered) order, and only after every send that reads the
-            // slot's pre-accumulation value has gone out.
+            // slot's pre-accumulation value has gone out. Sends lowered
+            // before the previous receive are ordered through it, so only
+            // those since then need direct edges — drained here, which
+            // keeps total edge emission linear in the schedule size.
             if (!slot_recvs[dst_slot].empty()) {
                 edges.emplace_back(slot_recvs[dst_slot].back() | kRecvBit,
                                    i | kRecvBit);
@@ -204,6 +220,7 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
             for (const std::uint32_t s2 : slot_sends[dst_slot]) {
                 edges.emplace_back(s2, i | kRecvBit);
             }
+            slot_sends[dst_slot].clear();
             slot_recvs[dst_slot].push_back(i);
             slot_sends[src_slot].push_back(i);
         } else {

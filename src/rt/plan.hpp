@@ -17,7 +17,8 @@
 // order), and on the pop that frees its ring slot (capacity); a receive
 // waits on its channel's k-th push and on the previous pop of its channel;
 // combine mode adds the slot-ordering edges that serialize elementwise
-// accumulation in channel-sequence order. Every edge points forward in
+// accumulation in channel-sequence order and run every same-cycle send
+// before the accumulations it must not observe. Every edge points forward in
 // (cycle, send-before-receive, lowered index) order, so a plan that
 // compiles is a DAG — executable without deadlock by any engine that runs
 // ready actions eventually.

@@ -148,6 +148,37 @@ TEST(RtAsyncVsBarrier, ReduceCombinesInChannelSequenceOrder) {
     }
 }
 
+/// Recursive-doubling allreduce: in cycle d every node exchanges its
+/// running partial for packet 0 with its neighbor across dimension d.
+/// Listing nodes in ascending order makes the higher node of each pair
+/// lower its receive before its same-cycle send, so the engines only
+/// agree if the plan's send-side ordering edge pins the send to the
+/// slot's pre-accumulation value (the barrier oracle's sends-first rule).
+Schedule recursive_doubling_allreduce(hc::dim_t n) {
+    Schedule s;
+    s.n = n;
+    s.packet_count = 1;
+    s.initial_holder = {0};
+    const hc::node_t count = hc::node_t{1} << n;
+    for (std::uint32_t d = 0; d < static_cast<std::uint32_t>(n); ++d) {
+        for (hc::node_t v = 0; v < count; ++v) {
+            s.sends.push_back(
+                {d, v, static_cast<hc::node_t>(v ^ (hc::node_t{1} << d)),
+                 0});
+        }
+    }
+    return s;
+}
+
+TEST(RtAsyncVsBarrier, AllreduceSameCycleBidirectionalExchange) {
+    for (hc::dim_t n = 1; n <= 8; ++n) {
+        const std::uint32_t threads = n >= 2 ? 4u : 2u;
+        expect_engines_agree(recursive_doubling_allreduce(n),
+                             DataMode::combine, threads,
+                             "allreduce n=" + std::to_string(n));
+    }
+}
+
 TEST(RtAsyncVsBarrier, AllgatherAndAlltoall) {
     for (hc::dim_t n = 3; n <= 8; ++n) {
         expect_engines_agree(routing::make_allgather_schedule(n),

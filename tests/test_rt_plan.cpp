@@ -186,6 +186,35 @@ TEST(RtPlan, CapacityEdgesThrottleChannelReuseToRingDepth) {
     EXPECT_EQ(plan.dep_count, expected_deps);
 }
 
+TEST(RtPlan, CombineSameCycleExchangeOrdersSendBeforeAccumulation) {
+    // Pairwise exchange (one recursive-doubling allreduce step): node 1
+    // sends its partial to node 0 and node 0 sends its partial to node 1
+    // in the same cycle. Listed 1 -> 0 first, node 0's receive lowers
+    // *before* its send, so only a send-side edge can order the pair: the
+    // send must read slot (0, p)'s pre-accumulation value, matching the
+    // barrier oracle's sends-before-receives rule within a cycle.
+    Schedule s;
+    s.n = 1;
+    s.packet_count = 1;
+    s.initial_holder = {0};
+    s.sends = {{0, 1, 0, 0}, {0, 0, 1, 0}};
+    const Plan plan = compile_plan(s, DataMode::combine, 4, 1);
+    ASSERT_EQ(plan.action_count(), 4u); // sends {0, 1}, recvs {2, 3}
+
+    // Data edges 0 -> 2 and 1 -> 3; ordering edges 1 -> 2 (send before
+    // the accumulation into its source slot) and 0 -> 3 (likewise, caught
+    // on the receive side because there the send lowered first).
+    const std::vector<std::uint32_t> expected_deps = {0, 0, 2, 2};
+    EXPECT_EQ(plan.dep_count, expected_deps);
+    const auto successors = [&plan](std::uint32_t id) {
+        return std::vector<std::uint32_t>(
+            plan.succ.begin() + plan.succ_begin[id],
+            plan.succ.begin() + plan.succ_begin[id + 1]);
+    };
+    EXPECT_EQ(successors(0), (std::vector<std::uint32_t>{2, 3}));
+    EXPECT_EQ(successors(1), (std::vector<std::uint32_t>{2, 3}));
+}
+
 TEST(RtPlan, EveryDependencyEdgePointsForward) {
     // The DAG argument from docs/RUNTIME.md, checked mechanically: every
     // edge's head sorts strictly after its tail in (cycle, sends-before-
@@ -223,6 +252,20 @@ TEST(RtPlan, EveryDependencyEdgePointsForward) {
         3, sim::PortModel::one_port_full_duplex);
     check(compile_plan(routing::reverse_broadcast_for_reduce(forward, 0),
                        DataMode::combine, 2, 1));
+    // Recursive-doubling allreduce: every node both sends and receives the
+    // same slot in every cycle, so the send-before-accumulation edges
+    // (which run send -> receive *within* a cycle) appear everywhere.
+    Schedule allreduce;
+    allreduce.n = 3;
+    allreduce.packet_count = 1;
+    allreduce.initial_holder = {0};
+    for (std::uint32_t d = 0; d < 3; ++d) {
+        for (node_t v = 0; v < 8; ++v) {
+            allreduce.sends.push_back(
+                {d, v, static_cast<node_t>(v ^ (node_t{1} << d)), 0});
+        }
+    }
+    check(compile_plan(allreduce, DataMode::combine, 2, 1));
 }
 
 } // namespace
