@@ -25,7 +25,12 @@
 //
 //   bench_rt --nmin 4 --nmax 8 [--pps 4] [--ppd 2] [--block 32]
 //            [--threads T (0 sweeps 1,2,4,hw)] [--reps 3] [--min-time 0.1]
-//            [--json <path>]
+//            [--json <path>] [--trace-out <path>]
+//
+// --trace-out writes a chrome://tracing (Perfetto-compatible) JSON file:
+// one extra instrumented run per (workload, n, threads, engine)
+// configuration, per-worker begin/end of every send/recv action, one
+// process (pid) per configuration. Keep the sweep narrow when tracing.
 #include "bench_util.hpp"
 
 #include "common/json.hpp"
@@ -40,10 +45,13 @@
 #include "trees/bst.hpp"
 #include "trees/sbt.hpp"
 
+#include "rt/tracing.hpp"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -79,6 +87,9 @@ struct Row {
     std::uint64_t blocks_delivered = 0;
     std::uint64_t payload_bytes = 0;
     std::uint64_t steals = 0;
+    std::uint64_t checksum_failures = 0;
+    std::uint64_t channel_faults = 0;
+    std::uint64_t timeouts = 0;
     double seconds = 0; ///< best-of-reps wall clock of the threaded region
     double gbps = 0;
     double speedup = 0; ///< async rows: barrier seconds / async seconds
@@ -138,6 +149,18 @@ int main(int argc, char** argv) {
     const auto reps = static_cast<int>(options.get_int("reps", 3));
     const double min_time = options.get_double("min-time", 0.1);
     const std::string json_path = options.get_string("json", "");
+    const std::string trace_path = options.get_string("trace-out", "");
+
+    std::unique_ptr<hcube::JsonArrayWriter> trace_json;
+    if (!trace_path.empty()) {
+        trace_json = std::make_unique<hcube::JsonArrayWriter>(trace_path);
+        if (!trace_json->ok()) {
+            std::fprintf(stderr, "cannot open %s for writing\n",
+                         trace_path.c_str());
+            return 1;
+        }
+    }
+    std::uint32_t trace_pid = 0;
 
     hcube::bench::banner(
         "Runtime throughput",
@@ -235,6 +258,9 @@ int main(int argc, char** argv) {
                         row.blocks_delivered = stats.blocks_delivered;
                         row.payload_bytes = stats.payload_bytes;
                         row.steals = stats.steals;
+                        row.checksum_failures += stats.checksum_failures;
+                        row.channel_faults += stats.channel_faults;
+                        row.timeouts += stats.timeouts;
                         row.seconds = std::min(row.seconds, stats.seconds);
                         row.verified =
                             row.verified && stats.clean() &&
@@ -286,6 +312,26 @@ int main(int argc, char** argv) {
                 std::fflush(stdout);
                 rows.push_back(barrier_row);
                 rows.push_back(async_row);
+
+                if (trace_json != nullptr) {
+                    // One instrumented (untimed) run per engine; every
+                    // configuration becomes its own chrome-trace process.
+                    const std::string label =
+                        w.name + " n=" + std::to_string(n) +
+                        " t=" + std::to_string(use_threads);
+                    hcube::rt::TraceRecorder recorder(use_threads);
+                    barrier_player.set_trace(&recorder);
+                    (void)barrier_player.play();
+                    barrier_player.set_trace(nullptr);
+                    recorder.append_chrome_events(*trace_json, trace_pid++,
+                                                  label + " barrier");
+                    recorder.reset();
+                    async_player.set_trace(&recorder);
+                    (void)async_player.play();
+                    async_player.set_trace(nullptr);
+                    recorder.append_chrome_events(*trace_json, trace_pid++,
+                                                  label + " async");
+                }
             }
         }
     }
@@ -355,6 +401,9 @@ int main(int argc, char** argv) {
             }
             json.field("blocks_delivered", r.blocks_delivered);
             json.field("payload_bytes", r.payload_bytes);
+            json.field("checksum_failures", r.checksum_failures);
+            json.field("channel_faults", r.channel_faults);
+            json.field("timeouts", r.timeouts);
             json.field("seconds", r.seconds);
             json.field("gbytes_per_sec", r.gbps);
             if (r.engine == "async") {
@@ -367,6 +416,10 @@ int main(int argc, char** argv) {
         if (json.close()) {
             std::printf("\nwrote %s\n", json_path.c_str());
         }
+    }
+
+    if (trace_json != nullptr && trace_json->close()) {
+        std::printf("wrote %s\n", trace_path.c_str());
     }
 
     bool all_verified = true;

@@ -1,0 +1,78 @@
+#include "ft/fault_model.hpp"
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+#include <algorithm>
+
+namespace hcube::ft {
+
+FaultPlan& FaultPlan::kill_link(node_t from, node_t to,
+                                std::uint32_t at_push) {
+    specs_.push_back({{from, to}, InjectClass::kill_link, at_push,
+                      ~std::uint32_t{0}, 0});
+    return *this;
+}
+
+FaultPlan& FaultPlan::drop(node_t from, node_t to, std::uint32_t at_push,
+                           std::uint32_t pushes) {
+    specs_.push_back(
+        {{from, to}, InjectClass::transient_drop, at_push, pushes, 0});
+    return *this;
+}
+
+FaultPlan& FaultPlan::corrupt(node_t from, node_t to, std::uint32_t at_push,
+                              std::uint32_t pushes, std::uint32_t salt) {
+    specs_.push_back(
+        {{from, to}, InjectClass::corrupt_payload, at_push, pushes, salt});
+    return *this;
+}
+
+FaultPlan& FaultPlan::delay(node_t from, node_t to, std::uint32_t at_push,
+                            std::uint32_t microseconds,
+                            std::uint32_t pushes) {
+    specs_.push_back({{from, to}, InjectClass::delay_delivery, at_push,
+                      pushes, microseconds});
+    return *this;
+}
+
+FaultPlan FaultPlan::random(dim_t n, std::uint64_t seed,
+                            std::uint32_t count) {
+    HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+    const auto dims = static_cast<std::uint64_t>(n);
+    const std::uint64_t links = (std::uint64_t{1} << n) * dims;
+    HCUBE_ENSURE_MSG(count <= links,
+                     "more faults requested than directed links exist");
+    SplitMix64 rng(seed);
+    FaultPlan plan;
+    std::vector<std::uint64_t> chosen;
+    while (plan.specs_.size() < count) {
+        // Directed link id: node * n + dimension.
+        const std::uint64_t id = rng.next_below(links);
+        if (std::find(chosen.begin(), chosen.end(), id) != chosen.end()) {
+            continue;
+        }
+        chosen.push_back(id);
+        const auto from = static_cast<node_t>(id / dims);
+        const auto to =
+            static_cast<node_t>(from ^ (node_t{1} << (id % dims)));
+        const std::uint32_t at_push =
+            static_cast<std::uint32_t>(rng.next_below(4));
+        switch (plan.specs_.size() % 4) {
+        case 0: plan.kill_link(from, to, at_push); break;
+        case 1: plan.drop(from, to, at_push); break;
+        case 2:
+            plan.corrupt(from, to, at_push, 1,
+                         static_cast<std::uint32_t>(rng.next_below(255)) +
+                             1);
+            break;
+        default:
+            plan.delay(from, to, at_push,
+                       static_cast<std::uint32_t>(rng.next_below(50)) + 1);
+            break;
+        }
+    }
+    return plan;
+}
+
+} // namespace hcube::ft

@@ -1,0 +1,132 @@
+#include "ft/recovery.hpp"
+
+#include "common/check.hpp"
+#include "trees/msbt.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+namespace hcube::ft {
+
+dim_t ersbt_using_link(dim_t n, node_t source, DirectedLink dead) {
+    HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+    const node_t count = node_t{1} << n;
+    HCUBE_ENSURE(dead.from < count && dead.to < count);
+    HCUBE_ENSURE_MSG(std::popcount(dead.from ^ dead.to) == 1,
+                     "not a cube link");
+    HCUBE_ENSURE_MSG(dead.to != source,
+                     "links into the source are unused by every ERSBT");
+    for (dim_t j = 0; j < n; ++j) {
+        if (trees::msbt_parent(dead.to, j, source, n) == dead.from) {
+            return j;
+        }
+    }
+    // Unreachable: every directed link not into the source is a tree edge
+    // of exactly one ERSBT (directed-edge disjointness, paper §3.2).
+    detail::check_failed("directed link not covered by any ERSBT", {},
+                         std::source_location::current());
+}
+
+bool schedule_uses_link(const sim::Schedule& schedule, DirectedLink link) {
+    for (const sim::ScheduledSend& send : schedule.sends) {
+        if (send.from == link.from && send.to == link.to) {
+            return true;
+        }
+    }
+    return false;
+}
+
+SurvivorMsbt make_msbt_survivor_broadcast(dim_t n, node_t source,
+                                          packet_t packets_per_subtree,
+                                          std::span<const DirectedLink> dead) {
+    HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+    HCUBE_ENSURE(packets_per_subtree >= 1);
+    const node_t count = node_t{1} << n;
+    HCUBE_ENSURE(source < count);
+
+    SurvivorMsbt result;
+    for (const DirectedLink& link : dead) {
+        const dim_t tree = ersbt_using_link(n, source, link);
+        if (std::find(result.dropped_trees.begin(),
+                      result.dropped_trees.end(),
+                      tree) == result.dropped_trees.end()) {
+            result.dropped_trees.push_back(tree);
+        }
+    }
+    std::sort(result.dropped_trees.begin(), result.dropped_trees.end());
+    const auto dropped = static_cast<dim_t>(result.dropped_trees.size());
+    HCUBE_ENSURE_MSG(dropped < n, "no ERSBT survives the dead links");
+    const auto is_dropped = [&](dim_t j) {
+        return std::binary_search(result.dropped_trees.begin(),
+                                  result.dropped_trees.end(), j);
+    };
+
+    sim::Schedule& schedule = result.schedule;
+    schedule.n = n;
+    schedule.packet_count =
+        static_cast<packet_t>(n) * packets_per_subtree;
+    schedule.initial_holder.assign(schedule.packet_count, source);
+
+    // Survivor streams: each survivor keeps its own packets, then the dead
+    // trees' packets are dealt round-robin across the survivors. Packet ids
+    // stay the fault-free ids j·pps + p, so the delivery contract is
+    // unchanged.
+    const packet_t pps = packets_per_subtree;
+    std::vector<std::vector<packet_t>> streams(
+        static_cast<std::size_t>(n));
+    std::vector<dim_t> survivors;
+    for (dim_t j = 0; j < n; ++j) {
+        if (is_dropped(j)) {
+            continue;
+        }
+        survivors.push_back(j);
+        for (packet_t p = 0; p < pps; ++p) {
+            streams[static_cast<std::size_t>(j)].push_back(
+                static_cast<packet_t>(j) * pps + p);
+        }
+    }
+    std::size_t deal = 0;
+    for (const dim_t d : result.dropped_trees) {
+        for (packet_t p = 0; p < pps; ++p) {
+            const dim_t j = survivors[deal % survivors.size()];
+            streams[static_cast<std::size_t>(j)].push_back(
+                static_cast<packet_t>(d) * pps + p);
+            ++deal;
+        }
+    }
+
+    // Labelling-f timing, per tree: the edge into node i carries its
+    // stream's q-th packet at cycle f(i,j) + q·n. A sub-schedule of the
+    // uniform labelling run with stream length max|stream|, hence
+    // conflict-free and one-port feasible like the fault-free original.
+    for (const dim_t j : survivors) {
+        const std::vector<packet_t>& stream =
+            streams[static_cast<std::size_t>(j)];
+        for (node_t i = 0; i < count; ++i) {
+            if (i == source) {
+                continue;
+            }
+            const node_t parent = trees::msbt_parent(i, j, source, n);
+            const auto label = static_cast<std::uint32_t>(
+                trees::msbt_edge_label(i, j, source, n));
+            for (std::size_t q = 0; q < stream.size(); ++q) {
+                schedule.sends.push_back(
+                    {label + static_cast<std::uint32_t>(q) *
+                                 static_cast<std::uint32_t>(n),
+                     parent, i, stream[q]});
+            }
+        }
+    }
+    return result;
+}
+
+SurvivorMsbt make_msbt_survivor_broadcast(dim_t n, node_t source,
+                                          packet_t packets_per_subtree,
+                                          DirectedLink dead) {
+    return make_msbt_survivor_broadcast(n, source, packets_per_subtree,
+                                        std::span<const DirectedLink>{&dead,
+                                                                      1});
+}
+
+} // namespace hcube::ft

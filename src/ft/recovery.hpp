@@ -1,0 +1,71 @@
+// Replanning collectives around dead directed links (the recover leg of
+// inject → detect → recover).
+//
+// Two routes, matching the paper's two broadcast families:
+//
+//   SBT   — the whole spanning-tree family is fault-aware already:
+//           trees::build_broadcast_tree_avoiding picks a permuted SBT (or
+//           BFS fallback) that avoids the links, and any schedule generator
+//           runs down the replacement tree unchanged.
+//
+//   MSBT  — the n ERSBTs are *directed-edge*-disjoint: the union of their
+//           edges covers every directed link of the cube except the n links
+//           INTO the source (n·(2^n − 1) tree edges vs n·2^n directed
+//           links). A dead directed link (to ≠ source) therefore kills
+//           exactly ONE ERSBT; the others are untouched. Degraded mode
+//           drops every dead tree and round-robins their packet streams
+//           onto the survivors, keeping the labelling-f timing (the edge
+//           into node i of tree j carries its stream's q-th packet at cycle
+//           f(i,j) + q·n). The survivor schedule is a sub-schedule of the
+//           same labelling run with longer streams, so it inherits
+//           conflict-freedom and the one-port discipline; it just pipelines
+//           deeper — the throughput cost of losing edge-disjoint trees.
+#pragma once
+
+#include "ft/fault_model.hpp"
+#include "sim/cycle.hpp"
+
+#include <span>
+#include <vector>
+
+namespace hcube::ft {
+
+using sim::packet_t;
+
+/// The index of the one ERSBT (of the MSBT rooted at `source`) whose tree
+/// edges include the directed link `dead`. Throws check_error if `dead` is
+/// not a cube link or points into the source (those n links are the only
+/// directed links no ERSBT uses).
+[[nodiscard]] dim_t ersbt_using_link(dim_t n, node_t source,
+                                     DirectedLink dead);
+
+/// True if any scheduled send crosses the directed link.
+[[nodiscard]] bool schedule_uses_link(const sim::Schedule& schedule,
+                                      DirectedLink link);
+
+/// A degraded MSBT broadcast schedule plus the identity of the trees it had
+/// to give up.
+struct SurvivorMsbt {
+    sim::Schedule schedule;
+    std::vector<dim_t> dropped_trees; ///< ascending ERSBT indices
+};
+
+/// One-port full-duplex MSBT broadcast of n·packets_per_subtree packets
+/// from `source` that provably never crosses any link in `dead`: each dead
+/// link's ERSBT is dropped and the dead trees' packets are reassigned
+/// round-robin to the survivors (packet ids are unchanged, so the delivery
+/// contract is the fault-free one). Throws check_error if a dead link
+/// points into the source (the fault-free MSBT never uses those links — no
+/// recovery is needed) or if no ERSBT survives.
+[[nodiscard]] SurvivorMsbt
+make_msbt_survivor_broadcast(dim_t n, node_t source,
+                             packet_t packets_per_subtree,
+                             std::span<const DirectedLink> dead);
+
+/// Single-fault convenience overload.
+[[nodiscard]] SurvivorMsbt
+make_msbt_survivor_broadcast(dim_t n, node_t source,
+                             packet_t packets_per_subtree,
+                             DirectedLink dead);
+
+} // namespace hcube::ft

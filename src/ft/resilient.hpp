@@ -1,0 +1,150 @@
+// ft::ResilientComm — self-healing collectives over the threaded runtime:
+// the closed inject → detect → recover loop.
+//
+// Every operation follows one protocol:
+//
+//   1. Oracle: the fault-free schedule is compiled and executed once on the
+//      barrier engine with no faults. Its final memory is the ground truth
+//      the recovered run must reproduce byte for byte, and the cycle
+//      model's delivery matrix defines the contract pairs to compare.
+//      Oracles are cached per operation signature, so a sweep of fault
+//      positions over one collective pays for its oracle once.
+//   2. Attempt: the current schedule is compiled, the fault scenario is
+//      armed on its channels, and the configured engine executes it with
+//      bounded-wait detection. A clean run that delivers every scheduled
+//      block proceeds to verification; a faulted run yields a structured
+//      FaultReport naming the directed link that failed.
+//   3. Heal: the reported link is added to the dead set and the operation
+//      is replanned around every dead link — SBT-family collectives pick a
+//      permuted SBT (or BFS fallback) avoiding the links; the MSBT drops
+//      the ERSBTs crossing them and reassigns their packet streams to the
+//      surviving trees. Re-execution is idempotent: each attempt starts
+//      from freshly seeded memory and rewound channels, and injected
+//      transient faults re-fire on retry — any link that faults twice is
+//      simply declared dead like a persistent failure.
+//   4. Verify: the survivor run's block for every contract (node, packet)
+//      pair is compared byte for byte against the oracle's memory.
+//
+// The loop terminates: every failed attempt permanently grows the dead-link
+// set, and max_attempts bounds the total work even under adversarial fault
+// plans (an unrecoverable topology — e.g. all n links of a node dead —
+// surfaces as trees::build_broadcast_tree_avoiding's check_error).
+#pragma once
+
+#include "ft/fault_model.hpp"
+#include "ft/injector.hpp"
+#include "ft/recovery.hpp"
+#include "rt/communicator.hpp" // rt::Engine
+#include "rt/player.hpp"       // rt::PlayStats
+#include "rt/tracing.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hcube::ft {
+
+struct ResilientParams {
+    /// Worker threads; 0 picks min(2^n, max(2, hardware_concurrency)).
+    std::uint32_t threads = 0;
+    /// Elements (doubles) per packet block.
+    std::size_t block_elems = 64;
+    /// Ring slots per link channel (barrier engine).
+    std::uint32_t channel_capacity = 2;
+    /// Engine that executes the attempts (the oracle always runs on the
+    /// barrier engine, fault-free).
+    rt::Engine engine = rt::Engine::async;
+    /// Detection policy for the attempts. The timeout must be longer than
+    /// any injected delay that should be absorbed rather than healed.
+    DetectConfig detect{.arrival_timeout_us = 2000, .abort_on_fault = true};
+    /// Attempt budget: 1 initial execution + (max_attempts - 1) replans.
+    std::uint32_t max_attempts = 4;
+    /// Seed for the permuted-SBT search when replanning tree collectives.
+    std::uint64_t replan_seed = 42;
+};
+
+/// Everything a caller (or bench harness) wants to know about one
+/// self-healed operation.
+struct RecoveryResult {
+    /// The final run was clean and byte-identical to the fault-free oracle.
+    bool delivered = false;
+    /// At least one replan happened (false == the first attempt was clean;
+    /// an armed fault plan may still have been inert or absorbed).
+    bool recovered = false;
+    std::uint32_t attempts = 0; ///< executions, including the clean one
+    /// Fault history, one report per failed attempt, in order.
+    std::vector<FaultReport> reports;
+    /// Links declared dead, in detection order (drives the replanning).
+    std::vector<DirectedLink> dead_links;
+    /// MSBT only: ERSBTs the degraded schedule dropped (ascending).
+    std::vector<dim_t> dropped_trees;
+    /// The schedule the final attempt executed (the fault-free original if
+    /// no replan happened) — lets callers assert dead links are avoided.
+    sim::Schedule final_schedule;
+    rt::PlayStats stats;          ///< stats of the final (clean) run
+    double oracle_seconds = 0;    ///< fault-free oracle wall clock
+    double recovery_seconds = 0;  ///< failed attempts + replanning
+    double final_seconds = 0;     ///< wall clock of the final clean run
+};
+
+class ResilientComm {
+public:
+    explicit ResilientComm(dim_t n, ResilientParams params = {});
+    ~ResilientComm();
+    ResilientComm(const ResilientComm&) = delete;
+    ResilientComm& operator=(const ResilientComm&) = delete;
+
+    [[nodiscard]] dim_t dimension() const noexcept { return n_; }
+    [[nodiscard]] std::uint32_t threads() const noexcept { return threads_; }
+
+    /// Attaches a trace recorder (>= threads() lanes) so every attempt's
+    /// actions land in one timeline; nullptr detaches.
+    void set_trace(rt::TraceRecorder* trace) noexcept { trace_ = trace; }
+
+    /// Pipelined (paced) broadcast of `packets` blocks from `root` down the
+    /// SBT, healing via permuted-SBT / BFS replacement trees.
+    [[nodiscard]] RecoveryResult broadcast_sbt(node_t root,
+                                               packet_t packets,
+                                               const FaultPlan& faults);
+
+    /// MSBT broadcast of `packets` blocks (divisible by n) from `root`,
+    /// healing via the survivor-subset degraded schedule.
+    [[nodiscard]] RecoveryResult broadcast_msbt(node_t root,
+                                                packet_t packets,
+                                                const FaultPlan& faults);
+
+    /// Scatter of `packets_per_dest` blocks from `root` down the SBT
+    /// (descending order), healing via replacement trees (the scatter
+    /// packet contract is tree-independent).
+    [[nodiscard]] RecoveryResult scatter_sbt(node_t root,
+                                             packet_t packets_per_dest,
+                                             const FaultPlan& faults);
+
+private:
+    using Replanner =
+        std::function<sim::Schedule(std::span<const DirectedLink> dead,
+                                    RecoveryResult& out)>;
+    /// The (node, packet) pairs the op semantically delivers — the pairs
+    /// the byte-for-byte oracle comparison runs over. Deliberately *not*
+    /// derived from the oracle schedule's full holdings: a replacement
+    /// tree routes through different relays, and relay copies are an
+    /// artifact of the route, not part of the collective's contract.
+    using Contract = std::vector<std::pair<node_t, sim::packet_t>>;
+    struct OracleStore; ///< fault-free ground truths, cached per operation
+
+    [[nodiscard]] RecoveryResult
+    run_resilient(const std::string& oracle_key, const sim::Schedule& initial,
+                  Contract contract, const FaultPlan& faults,
+                  const Replanner& replan);
+
+    dim_t n_;
+    ResilientParams params_;
+    std::uint32_t threads_;
+    rt::TraceRecorder* trace_ = nullptr;
+    std::unique_ptr<OracleStore> oracles_;
+};
+
+} // namespace hcube::ft

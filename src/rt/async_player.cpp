@@ -64,28 +64,72 @@ std::span<const double> AsyncPlayer::block(node_t node,
             plan_.block_elems};
 }
 
-void AsyncPlayer::execute(std::uint32_t action, PlayStats& stats) {
+void AsyncPlayer::execute(std::uint32_t action, std::uint32_t worker,
+                          PlayStats& stats) {
     const std::size_t blk = plan_.block_elems;
+    const bool detecting = detect_.enabled();
+    TraceRecorder* const trace = trace_;
     if (plan_.is_send_action(action)) {
         const Action& a = plan_.flat_sends[action];
         const std::span<const double> block{
             memory_.data() + static_cast<std::size_t>(a.slot) * blk, blk};
+        const TraceRecorder::clock::time_point t0 =
+            trace != nullptr ? TraceRecorder::clock::now()
+                             : TraceRecorder::clock::time_point{};
         if (!channels_.try_push(a.channel, a.packet, block)) [[unlikely]] {
             ++stats.channel_faults; // impossible while capacity edges hold
+            if (detecting) {
+                arbiter_.raise(make_fault_report(
+                                   plan_, ft::DetectClass::stream_mismatch,
+                                   a.channel, plan_.flat_cycle[action],
+                                   a.packet),
+                               detect_.abort_on_fault);
+            }
         } else {
             ++stats.blocks_sent;
         }
+        if (trace != nullptr) {
+            trace->record(worker, TraceKind::send, t0,
+                          TraceRecorder::clock::now(), a.channel, a.packet,
+                          plan_.flat_cycle[action]);
+        }
         return;
     }
-    const Action& a =
-        plan_.flat_recvs[action -
-                         static_cast<std::uint32_t>(plan_.flat_sends.size())];
+    const std::uint32_t index =
+        action - static_cast<std::uint32_t>(plan_.flat_sends.size());
+    const Action& a = plan_.flat_recvs[index];
+    const std::uint32_t cycle = plan_.flat_cycle[index];
+    const TraceRecorder::clock::time_point t0 =
+        trace != nullptr ? TraceRecorder::clock::now()
+                         : TraceRecorder::clock::time_point{};
     std::uint32_t packet = 0;
     std::uint32_t seq = 0;
     const std::span<const double> arrived =
-        channels_.front(a.channel, packet, seq);
-    if (arrived.empty() || packet != a.packet || seq != a.seq) [[unlikely]] {
+        detecting ? await_front(channels_, a.channel, packet, seq,
+                                detect_.arrival_timeout_us, arbiter_)
+                  : channels_.front(a.channel, packet, seq);
+    if (arrived.empty()) [[unlikely]] {
+        if (detecting && arbiter_.aborted()) {
+            return; // another action's fault won; this one just drains
+        }
         ++stats.channel_faults;
+        if (detecting) {
+            ++stats.timeouts;
+            arbiter_.raise(
+                make_fault_report(plan_, ft::DetectClass::arrival_timeout,
+                                  a.channel, cycle, a.packet),
+                detect_.abort_on_fault);
+        }
+        return;
+    }
+    if (packet != a.packet || seq != a.seq) [[unlikely]] {
+        ++stats.channel_faults;
+        if (detecting) {
+            arbiter_.raise(
+                make_fault_report(plan_, ft::DetectClass::stream_mismatch,
+                                  a.channel, cycle, a.packet),
+                detect_.abort_on_fault);
+        }
         return;
     }
     double* dst = memory_.data() + static_cast<std::size_t>(a.slot) * blk;
@@ -93,6 +137,12 @@ void AsyncPlayer::execute(std::uint32_t action, PlayStats& stats) {
         if (block_checksum(arrived) != expected_checksum_[a.packet])
             [[unlikely]] {
             ++stats.checksum_failures;
+            if (detecting) {
+                arbiter_.raise(make_fault_report(
+                                   plan_, ft::DetectClass::checksum_mismatch,
+                                   a.channel, cycle, a.packet),
+                               detect_.abort_on_fault);
+            }
         }
         std::memcpy(dst, arrived.data(), blk * sizeof(double));
     } else {
@@ -102,6 +152,11 @@ void AsyncPlayer::execute(std::uint32_t action, PlayStats& stats) {
     }
     channels_.pop_front(a.channel);
     ++stats.blocks_delivered;
+    if (trace != nullptr) {
+        trace->record(worker, TraceKind::recv, t0,
+                      TraceRecorder::clock::now(), a.channel, a.packet,
+                      cycle);
+    }
 }
 
 void AsyncPlayer::finish(std::uint32_t action, Worker* workers) {
@@ -127,7 +182,11 @@ void AsyncPlayer::run_worker(std::uint32_t worker, Worker* workers) {
     const std::uint32_t count = plan_.workers;
     const std::uint64_t total = plan_.action_count();
     std::uint32_t misses = 0;
-    while (completed_.load(std::memory_order_acquire) < total) {
+    // On abort every worker simply exits its loop: unfinished actions stay
+    // unfinished (their dep counters never reach zero), and play() rewinds
+    // channels and counters before the next run.
+    while (completed_.load(std::memory_order_acquire) < total &&
+           !arbiter_.aborted()) {
         std::uint32_t action = kNoAction;
         {
             const std::lock_guard lock(self.mutex);
@@ -159,7 +218,7 @@ void AsyncPlayer::run_worker(std::uint32_t worker, Worker* workers) {
             continue;
         }
         misses = 0;
-        execute(action, self.stats);
+        execute(action, worker, self.stats);
         finish(action, workers);
     }
 }
@@ -167,6 +226,11 @@ void AsyncPlayer::run_worker(std::uint32_t worker, Worker* workers) {
 PlayStats AsyncPlayer::play() {
     seed_plan_memory(plan_, memory_);
     channels_.reset();
+    arbiter_.reset();
+    if (trace_ != nullptr) {
+        HCUBE_ENSURE_MSG(trace_->workers() >= plan_.workers,
+                         "trace recorder has fewer lanes than plan workers");
+    }
     completed_.store(0, std::memory_order_relaxed);
     const std::uint32_t total = plan_.action_count();
     for (std::uint32_t a = 0; a < total; ++a) {
@@ -189,16 +253,18 @@ PlayStats AsyncPlayer::play() {
         // one worker the (cycle, worker) buckets are the per-cycle ranges
         // of the flat lowered arrays, so bucket index i is action id i.
         PlayStats& stats = workers[0].stats;
-        for (std::uint32_t cycle = 0; cycle < plan_.cycles; ++cycle) {
+        for (std::uint32_t cycle = 0;
+             cycle < plan_.cycles && !arbiter_.aborted(); ++cycle) {
             for (std::uint64_t i = plan_.send_begin[cycle];
                  i < plan_.send_begin[cycle + 1]; ++i) {
-                execute(static_cast<std::uint32_t>(i), stats);
+                execute(static_cast<std::uint32_t>(i), 0, stats);
             }
             const auto sends =
                 static_cast<std::uint32_t>(plan_.flat_sends.size());
             for (std::uint64_t i = plan_.recv_begin[cycle];
-                 i < plan_.recv_begin[cycle + 1]; ++i) {
-                execute(sends + static_cast<std::uint32_t>(i), stats);
+                 i < plan_.recv_begin[cycle + 1] && !arbiter_.aborted();
+                 ++i) {
+                execute(sends + static_cast<std::uint32_t>(i), 0, stats);
             }
         }
     } else {
@@ -222,6 +288,7 @@ PlayStats AsyncPlayer::play() {
         stats.blocks_delivered += w.stats.blocks_delivered;
         stats.checksum_failures += w.stats.checksum_failures;
         stats.channel_faults += w.stats.channel_faults;
+        stats.timeouts += w.stats.timeouts;
         stats.steals += w.stats.steals;
     }
     stats.payload_bytes =

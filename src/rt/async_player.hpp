@@ -23,9 +23,12 @@
 // stats, never thrown, mirroring the barrier Player.
 #pragma once
 
+#include "ft/fault_model.hpp"
 #include "rt/channel.hpp"
+#include "rt/detect.hpp"
 #include "rt/plan.hpp"
 #include "rt/player.hpp" // PlayStats
+#include "rt/tracing.hpp"
 
 #include <atomic>
 #include <cstdint>
@@ -44,12 +47,32 @@ public:
     explicit AsyncPlayer(const Plan& plan,
                          std::uint32_t channel_capacity = 0);
 
+    /// Enables bounded-wait fault detection (and, per config, the
+    /// abort-and-drain path). Only valid between runs.
+    void set_detection(const ft::DetectConfig& detect) noexcept {
+        detect_ = detect;
+    }
+    /// Installs a fault-injection hook on the channel bank (nullptr
+    /// clears). Only valid between runs.
+    void set_fault_hook(ft::ChannelFaultHook* hook) noexcept {
+        channels_.set_fault_hook(hook);
+    }
+    /// Attaches a per-worker trace recorder sized for >= plan.workers
+    /// lanes (nullptr detaches). Only valid between runs.
+    void set_trace(TraceRecorder* trace) noexcept { trace_ = trace; }
+
     /// Seeds initial blocks, runs the dependency graph to completion on
     /// plan.workers threads, and returns the aggregated stats (cycles is
     /// the logical schedule depth; no barrier ever synchronizes on it).
     /// Reusable: every call starts from freshly seeded memory and
     /// rewound channels.
     [[nodiscard]] PlayStats play();
+
+    /// The first fault the last play() detected (cls == none on a clean
+    /// run, or while detection is disabled).
+    [[nodiscard]] const ft::FaultReport& fault_report() const noexcept {
+        return arbiter_.report();
+    }
 
     /// Post-run view of the block held by (node, packet); empty span if
     /// the node has no slot for the packet.
@@ -60,7 +83,8 @@ private:
     struct Worker;
 
     void run_worker(std::uint32_t worker, Worker* workers);
-    void execute(std::uint32_t action, PlayStats& stats);
+    void execute(std::uint32_t action, std::uint32_t worker,
+                 PlayStats& stats);
     void finish(std::uint32_t action, Worker* workers);
 
     const Plan& plan_;
@@ -69,6 +93,9 @@ private:
     std::vector<std::uint64_t> expected_checksum_; ///< per packet, move mode
     std::vector<std::atomic<std::uint32_t>> deps_; ///< live dep counters
     std::atomic<std::uint64_t> completed_{0};
+    ft::DetectConfig detect_{};
+    FaultArbiter arbiter_;
+    TraceRecorder* trace_ = nullptr;
 };
 
 } // namespace hcube::rt

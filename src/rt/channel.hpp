@@ -27,6 +27,7 @@
 #pragma once
 
 #include "common/check.hpp"
+#include "ft/fault_model.hpp"
 
 #include <atomic>
 #include <bit>
@@ -62,6 +63,10 @@ public:
     /// Producer side: copies `block` into the ring. False only when the
     /// channel is full (a runtime invariant violation for schedule-driven
     /// traffic, where every cycle's sends are drained the same cycle).
+    /// With a fault hook installed the staged block is offered to the hook
+    /// before publication; a dropped block still reports success — the
+    /// *link* ate it, which is exactly what the producer would observe on
+    /// real failing hardware.
     [[nodiscard]] bool try_push(std::uint32_t channel, std::uint32_t packet,
                                 std::span<const double> block) noexcept {
         const std::uint32_t tail =
@@ -76,6 +81,14 @@ public:
                     block_elems_ * sizeof(double));
         packet_ids_[slot] = packet;
         seqs_[slot] = tail; // the k-th push carries sequence stamp k
+        if (hook_ != nullptr) [[unlikely]] {
+            const ft::PushVerdict verdict = hook_->on_push(
+                channel, tail,
+                {slots_.data() + slot * block_elems_, block_elems_});
+            if (verdict == ft::PushVerdict::drop) {
+                return true; // swallowed by the link; slot is reused
+            }
+        }
         tails_[channel].v.store(tail + 1, std::memory_order_release);
         return true;
     }
@@ -121,6 +134,13 @@ public:
                heads_[channel].v.load(std::memory_order_acquire);
     }
 
+    /// Installs (or clears, with nullptr) the fault-injection hook. Only
+    /// valid while no worker thread is active; the plain pointer is read on
+    /// every push, so the caller's thread creation provides the publication.
+    void set_fault_hook(ft::ChannelFaultHook* hook) noexcept {
+        hook_ = hook;
+    }
+
     /// Rewinds every channel's counters to zero so sequence stamps restart
     /// at 0 on the next run. Only valid while no worker thread is active
     /// (the caller's thread creation/join provides the happens-before).
@@ -149,6 +169,8 @@ private:
     std::vector<std::uint32_t> packet_ids_;
     std::vector<std::uint32_t> seqs_; ///< per slot: its push sequence stamp
     std::vector<double> slots_;
+    ft::ChannelFaultHook* hook_ = nullptr; ///< fault injection, usually off
+
 };
 
 } // namespace hcube::rt

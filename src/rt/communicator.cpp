@@ -35,6 +35,19 @@ bool identical_memory(const Plan& plan, const Player& ref,
     return true;
 }
 
+/// The per-run numbers every operation reports identically, including the
+/// fault counters the ft layer (and bench JSON) watches.
+void copy_play_stats(Result& result, const PlayStats& stats) {
+    result.rt_cycles = stats.cycles;
+    result.blocks_delivered = stats.blocks_delivered;
+    result.payload_bytes = stats.payload_bytes;
+    result.seconds = stats.seconds;
+    result.steals = stats.steals;
+    result.checksum_failures = stats.checksum_failures;
+    result.channel_faults = stats.channel_faults;
+    result.timeouts = stats.timeouts;
+}
+
 } // namespace
 
 Communicator::Communicator(hc::dim_t n, Params params)
@@ -97,22 +110,15 @@ Result Communicator::run_move(const Schedule& schedule) {
 
     if (params_.engine == Engine::barrier) {
         ok = ok && holdings_match(ref);
-        result.rt_cycles = ref_stats.cycles;
-        result.blocks_delivered = ref_stats.blocks_delivered;
-        result.payload_bytes = ref_stats.payload_bytes;
-        result.seconds = ref_stats.seconds;
+        copy_play_stats(result, ref_stats);
     } else {
         AsyncPlayer dut(plan);
         const PlayStats stats = dut.play();
         ok = ok && stats.clean() &&
              stats.blocks_delivered == schedule.sends.size() &&
              identical_memory(plan, ref, dut) && holdings_match(dut);
-        result.rt_cycles = stats.cycles;
-        result.blocks_delivered = stats.blocks_delivered;
-        result.payload_bytes = stats.payload_bytes;
-        result.seconds = stats.seconds;
+        copy_play_stats(result, stats);
         result.ref_seconds = ref_stats.seconds;
-        result.steals = stats.steals;
     }
     result.verified = ok;
     return result;
@@ -208,10 +214,7 @@ Result Communicator::reduce(const trees::SpanningTree& tree,
 
     if (params_.engine == Engine::barrier) {
         ok = ok && sums_match(ref);
-        result.rt_cycles = ref_stats.cycles;
-        result.blocks_delivered = ref_stats.blocks_delivered;
-        result.payload_bytes = ref_stats.payload_bytes;
-        result.seconds = ref_stats.seconds;
+        copy_play_stats(result, ref_stats);
     } else {
         AsyncPlayer dut(plan);
         const PlayStats stats = dut.play();
@@ -221,12 +224,8 @@ Result Communicator::reduce(const trees::SpanningTree& tree,
         ok = ok && stats.clean() &&
              stats.blocks_delivered == reduction.sends.size() &&
              identical_memory(plan, ref, dut) && sums_match(dut);
-        result.rt_cycles = stats.cycles;
-        result.blocks_delivered = stats.blocks_delivered;
-        result.payload_bytes = stats.payload_bytes;
-        result.seconds = stats.seconds;
+        copy_play_stats(result, stats);
         result.ref_seconds = ref_stats.seconds;
-        result.steals = stats.steals;
     }
     result.verified = ok;
     return result;

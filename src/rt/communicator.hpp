@@ -70,6 +70,11 @@ struct Result {
     double seconds = 0;              ///< wall clock of the reported engine
     double ref_seconds = 0; ///< barrier-oracle wall clock (async engine)
     std::uint64_t steals = 0; ///< work-stealing count (async engine)
+    /// Fault counters of the reported engine's run (all zero on a healthy
+    /// machine; nonzero under ft fault injection or real failures).
+    std::uint64_t checksum_failures = 0;
+    std::uint64_t channel_faults = 0;
+    std::uint64_t timeouts = 0;
     bool verified = false; ///< per-block checksums + final-state checks
     Engine engine = Engine::barrier; ///< engine the stats above came from
     std::uint32_t threads = 1;

@@ -246,8 +246,10 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
     const auto S = static_cast<std::uint32_t>(low_sends.size());
     plan.flat_sends.reserve(S);
     plan.flat_recvs.reserve(S);
+    plan.flat_cycle.reserve(S);
     for (const Lowered& l : low_sends) {
         plan.flat_sends.push_back(l.action);
+        plan.flat_cycle.push_back(l.cycle);
     }
     for (const Lowered& l : low_recvs) {
         plan.flat_recvs.push_back(l.action);

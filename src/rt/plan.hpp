@@ -104,6 +104,9 @@ struct Plan {
     /// Action ids: send i -> i, recv i -> flat_sends.size() + i.
     std::vector<Action> flat_sends;
     std::vector<Action> flat_recvs;
+    /// Scheduled cycle of send/recv i (shared by both halves) — consulted
+    /// off the hot path only (fault reports, trace export).
+    std::vector<std::uint32_t> flat_cycle;
     /// Ring slots per channel the capacity edges were emitted for; an
     /// asynchronous engine must run with at least this many (a producer may
     /// run up to async_depth logical cycles ahead of its consumer).

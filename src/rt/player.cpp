@@ -55,50 +55,120 @@ std::span<const double> Player::block(node_t node, packet_t packet) const {
 void Player::run_worker(std::uint32_t worker, PlayStats& stats) {
     const std::size_t blk = plan_.block_elems;
     const std::uint32_t workers = plan_.workers;
+    const bool detecting = detect_.enabled();
+    TraceRecorder* const trace = trace_;
     for (std::uint32_t cycle = 0; cycle < plan_.cycles; ++cycle) {
         const std::size_t bucket = std::size_t{cycle} * workers + worker;
 
-        for (std::uint64_t i = plan_.send_begin[bucket];
-             i < plan_.send_begin[bucket + 1]; ++i) {
-            const Action& a = plan_.sends[i];
-            const std::span<const double> block{
-                memory_.data() + static_cast<std::size_t>(a.slot) * blk,
-                blk};
-            if (!channels_.try_push(a.channel, a.packet, block))
-                [[unlikely]] {
-                ++stats.channel_faults;
-            } else {
-                ++stats.blocks_sent;
+        // Aborted workers skip the payload work of every remaining cycle
+        // but still cross both barriers, so the pool drains in lockstep
+        // without a peer blocking on a phase nobody else entered.
+        if (!detecting || !arbiter_.aborted()) {
+            for (std::uint64_t i = plan_.send_begin[bucket];
+                 i < plan_.send_begin[bucket + 1]; ++i) {
+                const Action& a = plan_.sends[i];
+                const std::span<const double> block{
+                    memory_.data() + static_cast<std::size_t>(a.slot) * blk,
+                    blk};
+                const TraceRecorder::clock::time_point t0 =
+                    trace != nullptr ? TraceRecorder::clock::now()
+                                     : TraceRecorder::clock::time_point{};
+                if (!channels_.try_push(a.channel, a.packet, block))
+                    [[unlikely]] {
+                    ++stats.channel_faults;
+                    if (detecting) {
+                        arbiter_.raise(
+                            make_fault_report(plan_, ft::DetectClass::stream_mismatch,
+                                        a.channel, cycle, a.packet),
+                            detect_.abort_on_fault);
+                    }
+                } else {
+                    ++stats.blocks_sent;
+                }
+                if (trace != nullptr) {
+                    trace->record(worker, TraceKind::send, t0,
+                                  TraceRecorder::clock::now(), a.channel,
+                                  a.packet, cycle);
+                }
             }
         }
         // All of this cycle's blocks are on their links.
         barrier_->arrive_and_wait();
 
-        for (std::uint64_t i = plan_.recv_begin[bucket];
-             i < plan_.recv_begin[bucket + 1]; ++i) {
-            const Action& a = plan_.recvs[i];
-            std::uint32_t packet = 0;
-            const std::span<const double> arrived =
-                channels_.front(a.channel, packet);
-            if (arrived.empty() || packet != a.packet) [[unlikely]] {
-                ++stats.channel_faults;
-                continue;
-            }
-            double* dst =
-                memory_.data() + static_cast<std::size_t>(a.slot) * blk;
-            if (plan_.mode == DataMode::move) {
-                if (block_checksum(arrived) !=
-                    expected_checksum_[a.packet]) [[unlikely]] {
-                    ++stats.checksum_failures;
+        if (!detecting || !arbiter_.aborted()) {
+            for (std::uint64_t i = plan_.recv_begin[bucket];
+                 i < plan_.recv_begin[bucket + 1]; ++i) {
+                const Action& a = plan_.recvs[i];
+                const TraceRecorder::clock::time_point t0 =
+                    trace != nullptr ? TraceRecorder::clock::now()
+                                     : TraceRecorder::clock::time_point{};
+                std::uint32_t packet = 0;
+                std::uint32_t seq = 0;
+                const std::span<const double> arrived =
+                    detecting ? await_front(channels_, a.channel, packet,
+                                            seq, detect_.arrival_timeout_us,
+                                            arbiter_)
+                              : channels_.front(a.channel, packet, seq);
+                if (arrived.empty()) [[unlikely]] {
+                    if (detecting && arbiter_.aborted()) {
+                        break; // another worker's fault; just drain
+                    }
+                    ++stats.channel_faults;
+                    if (detecting) {
+                        ++stats.timeouts;
+                        arbiter_.raise(
+                            make_fault_report(plan_,
+                                        ft::DetectClass::arrival_timeout,
+                                        a.channel, cycle, a.packet),
+                            detect_.abort_on_fault);
+                        if (detect_.abort_on_fault) {
+                            break;
+                        }
+                    }
+                    continue;
                 }
-                std::memcpy(dst, arrived.data(), blk * sizeof(double));
-            } else {
-                for (std::size_t e = 0; e < blk; ++e) {
-                    dst[e] += arrived[e];
+                if (packet != a.packet) [[unlikely]] {
+                    ++stats.channel_faults;
+                    if (detecting) {
+                        arbiter_.raise(
+                            make_fault_report(plan_,
+                                        ft::DetectClass::stream_mismatch,
+                                        a.channel, cycle, a.packet),
+                            detect_.abort_on_fault);
+                        if (detect_.abort_on_fault) {
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                double* dst =
+                    memory_.data() + static_cast<std::size_t>(a.slot) * blk;
+                if (plan_.mode == DataMode::move) {
+                    if (block_checksum(arrived) !=
+                        expected_checksum_[a.packet]) [[unlikely]] {
+                        ++stats.checksum_failures;
+                        if (detecting) {
+                            arbiter_.raise(
+                                make_fault_report(
+                                    plan_, ft::DetectClass::checksum_mismatch,
+                                    a.channel, cycle, a.packet),
+                                detect_.abort_on_fault);
+                        }
+                    }
+                    std::memcpy(dst, arrived.data(), blk * sizeof(double));
+                } else {
+                    for (std::size_t e = 0; e < blk; ++e) {
+                        dst[e] += arrived[e];
+                    }
+                }
+                channels_.pop_front(a.channel);
+                ++stats.blocks_delivered;
+                if (trace != nullptr) {
+                    trace->record(worker, TraceKind::recv, t0,
+                                  TraceRecorder::clock::now(), a.channel,
+                                  a.packet, cycle);
                 }
             }
-            channels_.pop_front(a.channel);
-            ++stats.blocks_delivered;
         }
         // All of this cycle's deliveries have landed; cycle c+1 may forward
         // them.
@@ -108,6 +178,12 @@ void Player::run_worker(std::uint32_t worker, PlayStats& stats) {
 
 PlayStats Player::play() {
     seed_memory();
+    channels_.reset(); // rewind sequence stamps from any aborted prior run
+    arbiter_.reset();
+    if (trace_ != nullptr) {
+        HCUBE_ENSURE_MSG(trace_->workers() >= plan_.workers,
+                         "trace recorder has fewer lanes than plan workers");
+    }
 
     CycleBarrier barrier(plan_.workers);
     barrier_ = &barrier;
@@ -138,6 +214,7 @@ PlayStats Player::play() {
         total.blocks_delivered += w.stats.blocks_delivered;
         total.checksum_failures += w.stats.checksum_failures;
         total.channel_faults += w.stats.channel_faults;
+        total.timeouts += w.stats.timeouts;
     }
     total.payload_bytes =
         total.blocks_delivered * plan_.block_elems * sizeof(double);

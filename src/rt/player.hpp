@@ -14,11 +14,20 @@
 //
 // Violations on worker threads (channel under/overflow, packet mismatch,
 // checksum mismatch) cannot throw across the pool; they are counted in the
-// stats and surfaced by the caller.
+// stats and surfaced by the caller. With detection enabled
+// (ft::DetectConfig, see rt/detect.hpp) the first violation is additionally
+// promoted into a structured ft::FaultReport — which directed link, which
+// logical cycle, which fault class — and the in-flight plan aborts and
+// drains: workers skip the remaining payload work but keep crossing every
+// barrier, so the pool retires without deadlock in a bounded number of
+// barrier hops.
 #pragma once
 
+#include "ft/fault_model.hpp"
 #include "rt/channel.hpp"
+#include "rt/detect.hpp"
 #include "rt/plan.hpp"
+#include "rt/tracing.hpp"
 
 #include <cstdint>
 #include <span>
@@ -36,12 +45,15 @@ struct PlayStats {
     std::uint64_t checksum_failures = 0;
     std::uint64_t channel_faults = 0;  ///< full-on-push / empty-on-pop /
                                        ///< wrong packet or sequence at head
+    std::uint64_t timeouts = 0;        ///< bounded arrival waits that expired
+                                       ///< (detection enabled only)
     std::uint64_t steals = 0;          ///< actions run off another worker's
                                        ///< queue (AsyncPlayer only)
     double seconds = 0;                ///< wall clock of the threaded region
 
     [[nodiscard]] bool clean() const noexcept {
-        return checksum_failures == 0 && channel_faults == 0;
+        return checksum_failures == 0 && channel_faults == 0 &&
+               timeouts == 0;
     }
 };
 
@@ -51,10 +63,30 @@ public:
     /// The plan must outlive the player.
     explicit Player(const Plan& plan, std::uint32_t channel_capacity = 2);
 
+    /// Enables bounded-wait fault detection (and, per config, the
+    /// abort-and-drain path). Only valid between runs.
+    void set_detection(const ft::DetectConfig& detect) noexcept {
+        detect_ = detect;
+    }
+    /// Installs a fault-injection hook on the channel bank (nullptr
+    /// clears). Only valid between runs.
+    void set_fault_hook(ft::ChannelFaultHook* hook) noexcept {
+        channels_.set_fault_hook(hook);
+    }
+    /// Attaches a per-worker trace recorder sized for >= plan.workers
+    /// lanes (nullptr detaches). Only valid between runs.
+    void set_trace(TraceRecorder* trace) noexcept { trace_ = trace; }
+
     /// Seeds initial blocks, runs the full schedule on plan.workers
     /// threads, and returns the aggregated stats. Reusable: every call
-    /// starts from freshly seeded memory.
+    /// starts from freshly seeded memory and rewound channels.
     [[nodiscard]] PlayStats play();
+
+    /// The first fault the last play() detected (cls == none on a clean
+    /// run, or while detection is disabled).
+    [[nodiscard]] const ft::FaultReport& fault_report() const noexcept {
+        return arbiter_.report();
+    }
 
     /// Post-run view of the block held by (node, packet); empty span if the
     /// node has no slot for the packet.
@@ -70,6 +102,9 @@ private:
     ChannelBank channels_;
     std::vector<double> memory_; ///< total_slots x block_elems doubles
     std::vector<std::uint64_t> expected_checksum_; ///< per packet, move mode
+    ft::DetectConfig detect_{};
+    FaultArbiter arbiter_;
+    TraceRecorder* trace_ = nullptr;
 };
 
 } // namespace hcube::rt

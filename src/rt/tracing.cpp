@@ -1,0 +1,47 @@
+#include "rt/tracing.hpp"
+
+namespace hcube::rt {
+
+TraceRecorder::TraceRecorder(std::uint32_t workers)
+    : epoch_(clock::now()), lanes_(workers) {}
+
+void TraceRecorder::reset() {
+    for (Lane& lane : lanes_) {
+        lane.events.clear();
+    }
+    epoch_ = clock::now();
+}
+
+std::size_t TraceRecorder::event_count() const {
+    std::size_t count = 0;
+    for (const Lane& lane : lanes_) {
+        count += lane.events.size();
+    }
+    return count;
+}
+
+void TraceRecorder::append_chrome_events(JsonArrayWriter& json,
+                                         std::uint32_t pid,
+                                         const std::string& category) const {
+    for (std::uint32_t w = 0; w < lanes_.size(); ++w) {
+        for (const TraceEvent& e : lanes_[w].events) {
+            json.begin_row();
+            json.field("name",
+                       std::string(e.kind == TraceKind::send ? "send"
+                                                             : "recv") +
+                           " c" + std::to_string(e.channel) + " p" +
+                           std::to_string(e.packet) + " @" +
+                           std::to_string(e.cycle));
+            json.field("cat", category);
+            json.field("ph", "X");
+            json.field("ts", static_cast<double>(e.t0_ns) * 1e-3);
+            json.field("dur",
+                       static_cast<double>(e.t1_ns - e.t0_ns) * 1e-3);
+            json.field("pid", pid);
+            json.field("tid", w);
+            json.end_row();
+        }
+    }
+}
+
+} // namespace hcube::rt

@@ -122,6 +122,45 @@ TEST(FaultAvoidance, BroadcastStillDeliversOnTheRepairedTree) {
     }
 }
 
+TEST(FaultAvoidance, EverySingleNonSourceFaultStaysInSbtFamily) {
+    // A single faulty link not incident to the source is always avoidable
+    // inside the permuted-SBT family: the tree uses {u, v} only when the
+    // link's dimension is the highest-ranked set bit of v ^ s, and v ^ s
+    // has a second set bit to outrank it — some cyclic rotation does.
+    const dim_t n = 4;
+    const node_t s = 6;
+    for (node_t u = 0; u < (node_t{1} << n); ++u) {
+        for (dim_t d = 0; d < n; ++d) {
+            const node_t v = hc::flip_bit(u, d);
+            if (v < u) {
+                continue; // each undirected link once
+            }
+            const Link bad[] = {make_link(u, v)};
+            const SpanningTree tree =
+                build_broadcast_tree_avoiding(n, s, bad);
+            EXPECT_NO_THROW(validate_tree(tree));
+            EXPECT_TRUE(tree_avoids(tree, bad));
+            if (u != s && v != s) {
+                EXPECT_EQ(tree.height, n)
+                    << "fell out of the SBT family for link " << u << "-"
+                    << v;
+            }
+        }
+    }
+}
+
+TEST(FaultAvoidance, IsolatingANonSourceNodeThrows) {
+    const dim_t n = 3;
+    const node_t victim = 5;
+    // All n of the victim's links dead: no spanning tree can reach it.
+    std::vector<Link> bad;
+    for (dim_t d = 0; d < n; ++d) {
+        bad.push_back(make_link(victim, hc::flip_bit(victim, d)));
+    }
+    EXPECT_THROW((void)build_broadcast_tree_avoiding(n, 0, bad),
+                 check_error);
+}
+
 TEST(FaultAvoidance, DisconnectingTheSourceThrows) {
     const dim_t n = 2;
     // Cut both of node 0's links: nothing can reach it.

@@ -1,0 +1,156 @@
+// rt::TraceRecorder: every executed action of a clean run — one send and
+// one receive per scheduled block — must land on the executing worker's
+// lane with sane timestamps and schedule coordinates, identically under
+// both engines, and export as well-formed chrome://tracing "X" events.
+#include "rt/tracing.hpp"
+
+#include "routing/schedule_export.hpp"
+#include "rt/async_player.hpp"
+#include "rt/plan.hpp"
+#include "rt/player.hpp"
+#include "trees/sbt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace hcube::rt {
+namespace {
+
+using routing::BroadcastDiscipline;
+using sim::PortModel;
+using sim::Schedule;
+
+Schedule small_schedule() {
+    return routing::make_tree_broadcast(
+        trees::build_sbt(3, 0), BroadcastDiscipline::paced, 3,
+        PortModel::one_port_full_duplex);
+}
+
+/// Shared checks: one send + one recv event per scheduled block, ordered
+/// stamps, in-range coordinates, every lane owned by a real worker.
+void expect_complete_trace(const TraceRecorder& recorder, const Plan& plan,
+                           std::uint64_t sends) {
+    EXPECT_EQ(recorder.event_count(), 2 * sends);
+    std::uint64_t send_events = 0;
+    for (std::uint32_t w = 0; w < recorder.workers(); ++w) {
+        for (const TraceEvent& e : recorder.lane(w)) {
+            EXPECT_LE(e.t0_ns, e.t1_ns);
+            EXPECT_LT(e.channel, plan.channel_count);
+            EXPECT_LT(e.packet, plan.packet_count);
+            EXPECT_LT(e.cycle, plan.cycles);
+            send_events += e.kind == TraceKind::send ? 1 : 0;
+        }
+    }
+    EXPECT_EQ(send_events, sends);
+}
+
+TEST(RtTrace, BarrierEngineRecordsEveryAction) {
+    const Schedule schedule = small_schedule();
+    const Plan plan = compile_plan(schedule, DataMode::move, 16, 2);
+    TraceRecorder recorder(plan.workers);
+
+    Player player(plan);
+    player.set_trace(&recorder);
+    const PlayStats stats = player.play();
+    ASSERT_TRUE(stats.clean());
+    expect_complete_trace(recorder, plan, schedule.sends.size());
+}
+
+TEST(RtTrace, AsyncEngineRecordsEveryAction) {
+    const Schedule schedule = small_schedule();
+    const Plan plan = compile_plan(schedule, DataMode::move, 16, 3);
+    TraceRecorder recorder(plan.workers);
+
+    AsyncPlayer player(plan);
+    player.set_trace(&recorder);
+    const PlayStats stats = player.play();
+    ASSERT_TRUE(stats.clean());
+    expect_complete_trace(recorder, plan, schedule.sends.size());
+}
+
+TEST(RtTrace, ResetClearsEventsAndDetachedRunsRecordNothing) {
+    const Schedule schedule = small_schedule();
+    const Plan plan = compile_plan(schedule, DataMode::move, 16, 2);
+    TraceRecorder recorder(plan.workers);
+
+    Player player(plan);
+    player.set_trace(&recorder);
+    ASSERT_TRUE(player.play().clean());
+    EXPECT_GT(recorder.event_count(), 0u);
+
+    recorder.reset();
+    EXPECT_EQ(recorder.event_count(), 0u);
+
+    player.set_trace(nullptr);
+    ASSERT_TRUE(player.play().clean());
+    EXPECT_EQ(recorder.event_count(), 0u);
+}
+
+TEST(RtTrace, SharedEpochMergesTwoEnginesIntoOneTimeline) {
+    const Schedule schedule = small_schedule();
+    const Plan plan = compile_plan(schedule, DataMode::move, 16, 2);
+    TraceRecorder recorder(plan.workers);
+
+    Player barrier(plan);
+    barrier.set_trace(&recorder);
+    ASSERT_TRUE(barrier.play().clean());
+    AsyncPlayer async(plan);
+    async.set_trace(&recorder);
+    ASSERT_TRUE(async.play().clean());
+
+    EXPECT_EQ(recorder.event_count(), 4 * schedule.sends.size());
+}
+
+TEST(RtTrace, ChromeExportEmitsWellFormedCompleteEvents) {
+    const Schedule schedule = small_schedule();
+    const Plan plan = compile_plan(schedule, DataMode::move, 16, 2);
+    TraceRecorder recorder(plan.workers);
+
+    Player player(plan);
+    player.set_trace(&recorder);
+    ASSERT_TRUE(player.play().clean());
+
+    const std::string path =
+        testing::TempDir() + "hcube_trace_test.json";
+    {
+        JsonArrayWriter json(path);
+        ASSERT_TRUE(json.ok());
+        recorder.append_chrome_events(json, 7, "barrier");
+        ASSERT_TRUE(json.close());
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    std::remove(path.c_str());
+
+    // Array shape + the Trace Event Format fields chrome://tracing needs.
+    ASSERT_GE(text.size(), 3u);
+    EXPECT_EQ(text.front(), '[');
+    EXPECT_EQ(text.substr(text.size() - 2), "]\n");
+    const auto count_of = [&](const std::string& needle) {
+        std::size_t count = 0;
+        for (std::size_t pos = text.find(needle);
+             pos != std::string::npos;
+             pos = text.find(needle, pos + needle.size())) {
+            ++count;
+        }
+        return count;
+    };
+    EXPECT_EQ(count_of("\"ph\": \"X\""), recorder.event_count());
+    EXPECT_EQ(count_of("\"pid\": 7"), recorder.event_count());
+    EXPECT_EQ(count_of("\"cat\": \"barrier\""), recorder.event_count());
+    EXPECT_GT(count_of("\"ts\":"), 0u);
+    EXPECT_GT(count_of("\"dur\":"), 0u);
+    EXPECT_EQ(count_of("\"name\": \"send c"),
+              static_cast<std::size_t>(schedule.sends.size()));
+}
+
+} // namespace
+} // namespace hcube::rt
