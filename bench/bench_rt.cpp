@@ -40,6 +40,7 @@
 #include "rt/communicator.hpp"
 #include "rt/plan.hpp"
 #include "rt/player.hpp"
+#include "rt/pool.hpp"
 #include "rt/threads.hpp"
 #include "sim/cycle.hpp"
 #include "trees/bst.hpp"
@@ -232,6 +233,12 @@ int main(int argc, char** argv) {
                     use_threads);
                 hcube::rt::Player barrier_player(plan);
                 hcube::rt::AsyncPlayer async_player(plan);
+                // Both engines replay on one persistent pool, so the rows
+                // measure steady-state execution with zero thread churn.
+                const auto pool =
+                    use_threads > 1
+                        ? std::make_unique<hcube::rt::WorkerPool>(use_threads)
+                        : nullptr;
 
                 Row base;
                 base.workload = w.name;
@@ -253,7 +260,7 @@ int main(int argc, char** argv) {
                     double elapsed = 0.0;
                     int runs = 0;
                     while (runs < reps || elapsed < min_time) {
-                        const auto stats = player.play();
+                        const auto stats = player.play(pool.get());
                         row.rt_cycles = stats.cycles;
                         row.blocks_delivered = stats.blocks_delivered;
                         row.payload_bytes = stats.payload_bytes;
@@ -406,6 +413,7 @@ int main(int argc, char** argv) {
             json.field("timeouts", r.timeouts);
             json.field("seconds", r.seconds);
             json.field("gbytes_per_sec", r.gbps);
+            json.field("pool_reused", true);
             if (r.engine == "async") {
                 json.field("speedup_vs_barrier", r.speedup);
                 json.field("steals", r.steals);

@@ -1,0 +1,350 @@
+// Wall-clock benchmark of the collective service (hcube::svc): steady-state
+// request throughput of a persistent Service — plan cache, resident worker
+// pool, Verify::first oracle policy, request batching — against the
+// one-shot rt::Communicator baseline that re-validates, recompiles, and
+// oracle-checks every operation.
+//
+// The workload cycles a small set of repeated signatures (the steady state
+// a long-running service actually sees): after one warm-up pass per
+// signature the plan cache serves every request, so the measured service
+// path is play() + the byte-compare against the entry's oracle image.
+// Client concurrency is swept (1, 4, 16); at higher concurrency identical
+// queued signatures additionally coalesce into single executions
+// (batching), which is where the throughput multiple comes from.
+//
+// Every request remains byte-verified — a row with "verified": false fails
+// this binary (exit 1) and the CI grep gate. The selector rows record the
+// calibrated cost model picking the SBT in the small-message regime and
+// the MSBT above the measured crossover (Table 3's regimes, live).
+//
+//   bench_svc [--n 5] [--requests 96] [--block 256] [--queue 256]
+//             [--json <path>]
+#include "bench_util.hpp"
+
+#include "common/json.hpp"
+#include "routing/schedule_export.hpp"
+#include "rt/communicator.hpp"
+#include "svc/service.hpp"
+#include "trees/bst.hpp"
+#include "trees/sbt.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using hcube::CliOptions;
+using hcube::hc::dim_t;
+using hcube::hc::node_t;
+using hcube::sim::packet_t;
+using namespace hcube::svc;
+
+double now_seconds() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+double percentile(std::vector<double> values, double p) {
+    if (values.empty()) {
+        return 0.0;
+    }
+    std::sort(values.begin(), values.end());
+    const auto rank = static_cast<std::size_t>(
+        p * static_cast<double>(values.size() - 1));
+    return values[rank];
+}
+
+Signature make_sig(Op op, Family family, dim_t n, node_t root,
+                   packet_t packets, std::uint32_t block) {
+    Signature s;
+    s.op = op;
+    s.family = family;
+    s.n = n;
+    s.root = root;
+    s.packets = packets;
+    s.block_elems = block;
+    return s;
+}
+
+/// The repeated-signature steady-state mix both sides execute.
+std::vector<Signature> workload(dim_t n, std::uint32_t block) {
+    const auto np = static_cast<packet_t>(n);
+    return {
+        make_sig(Op::broadcast, Family::sbt, n, 0, 4, block),
+        make_sig(Op::broadcast, Family::msbt, n, 0, 2 * np, block),
+        make_sig(Op::scatter, Family::bst, n, 0, 2, block),
+        make_sig(Op::reduce, Family::sbt, n, 0, 2, block),
+    };
+}
+
+struct Measured {
+    double ops_per_sec = 0;
+    double p50_ms = 0;
+    double p99_ms = 0;
+    bool verified = true;
+};
+
+/// One-shot baseline: the Communicator re-validates the schedule through
+/// the cycle executor, recompiles the plan, and runs the barrier oracle
+/// next to the async engine on every single request.
+Measured run_baseline(dim_t n, const std::vector<Signature>& mix,
+                      std::uint32_t block, int requests) {
+    hcube::rt::Params params;
+    params.block_elems = block;
+    hcube::rt::Communicator comm(n, params);
+    const auto sbt = hcube::trees::build_sbt(n, 0);
+    const auto bst = hcube::trees::build_bst(n, 0);
+    const auto run_one = [&](const Signature& sig) {
+        switch (sig.op) {
+        case Op::broadcast:
+            return sig.family == Family::msbt
+                       ? comm.broadcast_msbt(sig.root, sig.packets)
+                       : comm.broadcast(
+                             sbt,
+                             hcube::routing::BroadcastDiscipline::
+                                 port_oriented,
+                             sig.packets);
+        case Op::scatter:
+            return comm.scatter(bst,
+                                hcube::routing::ScatterPolicy::cyclic,
+                                sig.packets);
+        case Op::reduce:
+            return comm.reduce(sbt, sig.packets);
+        default: return comm.allgather();
+        }
+    };
+    (void)run_one(mix[0]); // warm the pool and the page cache
+
+    Measured m;
+    std::vector<double> latencies_ms;
+    latencies_ms.reserve(static_cast<std::size_t>(requests));
+    const double begin = now_seconds();
+    for (int i = 0; i < requests; ++i) {
+        const double t0 = now_seconds();
+        const hcube::rt::Result r =
+            run_one(mix[static_cast<std::size_t>(i) % mix.size()]);
+        latencies_ms.push_back((now_seconds() - t0) * 1e3);
+        m.verified = m.verified && r.verified;
+    }
+    const double elapsed = now_seconds() - begin;
+    m.ops_per_sec = elapsed > 0 ? requests / elapsed : 0;
+    m.p50_ms = percentile(latencies_ms, 0.50);
+    m.p99_ms = percentile(latencies_ms, 0.99);
+    return m;
+}
+
+struct ServiceMeasured : Measured {
+    double cache_hit_rate = 0;
+    std::uint64_t batched = 0;
+    std::uint64_t executed = 0;
+};
+
+ServiceMeasured run_service(dim_t n, const std::vector<Signature>& mix,
+                            int requests, int concurrency,
+                            std::size_t queue_depth) {
+    ServiceParams params;
+    params.session.verify = hcube::rt::Verify::first;
+    params.queue_depth = queue_depth;
+    Service service(n, params);
+    for (const Signature& sig : mix) {
+        // Warm-up: the one full oracle-checked execution per signature
+        // (the cache miss). Everything measured below is steady state.
+        if (service.run(sig).status != Status::ok) {
+            std::fprintf(stderr, "warm-up failed: %s\n",
+                         sig.to_string().c_str());
+        }
+    }
+
+    ServiceMeasured m;
+    std::vector<std::vector<double>> latencies(
+        static_cast<std::size_t>(concurrency));
+    std::atomic<bool> all_verified{true};
+    const int per_client = requests / concurrency;
+    const double begin = now_seconds();
+    std::vector<std::thread> clients;
+    for (int c = 0; c < concurrency; ++c) {
+        clients.emplace_back([&, c] {
+            auto& lane = latencies[static_cast<std::size_t>(c)];
+            lane.reserve(static_cast<std::size_t>(per_client));
+            for (int i = 0; i < per_client; ++i) {
+                const Signature& sig =
+                    mix[static_cast<std::size_t>(c + i) % mix.size()];
+                const double t0 = now_seconds();
+                const Response r = service.run(sig);
+                lane.push_back((now_seconds() - t0) * 1e3);
+                if (r.status != Status::ok || !r.stats.verified) {
+                    all_verified.store(false);
+                }
+            }
+        });
+    }
+    for (auto& t : clients) {
+        t.join();
+    }
+    const double elapsed = now_seconds() - begin;
+
+    std::vector<double> all_ms;
+    for (const auto& lane : latencies) {
+        all_ms.insert(all_ms.end(), lane.begin(), lane.end());
+    }
+    const double completed = static_cast<double>(all_ms.size());
+    m.ops_per_sec = elapsed > 0 ? completed / elapsed : 0;
+    m.p50_ms = percentile(all_ms, 0.50);
+    m.p99_ms = percentile(all_ms, 0.99);
+    m.verified = all_verified.load();
+    // Requests served without compiling a plan: everything except the
+    // cache misses (one per distinct signature, during warm-up). Batched
+    // riders never touch the cache at all, so this is computed over
+    // completed requests rather than raw cache lookups.
+    const hcube::CacheStats cache = service.session().cache_stats();
+    const double served = completed + static_cast<double>(mix.size());
+    m.cache_hit_rate =
+        served > 0
+            ? (served - static_cast<double>(cache.misses)) / served
+            : 0;
+    const Service::Counters counters = service.counters();
+    m.batched = counters.batched;
+    m.executed = counters.executed;
+    return m;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const CliOptions options(argc, argv);
+    const auto n = static_cast<dim_t>(options.get_int("n", 5));
+    const int requests = static_cast<int>(options.get_int("requests", 96));
+    const auto block =
+        static_cast<std::uint32_t>(options.get_int("block", 256));
+    const auto queue_depth =
+        static_cast<std::size_t>(options.get_int("queue", 256));
+    const std::string json_path = options.get_string("json", "");
+
+    hcube::bench::banner(
+        "hcube::svc service throughput",
+        "persistent service (plan cache + pool + batching) vs one-shot "
+        "rt::Communicator");
+
+    const std::vector<Signature> mix = workload(n, block);
+    std::printf("n=%d  requests=%d  block=%u doubles  mix=%zu signatures\n\n",
+                n, requests, block, mix.size());
+
+    std::unique_ptr<hcube::JsonArrayWriter> json;
+    if (!json_path.empty()) {
+        json = std::make_unique<hcube::JsonArrayWriter>(json_path);
+    }
+
+    bool verified = true;
+
+    const Measured baseline = run_baseline(n, mix, block, requests);
+    verified = verified && baseline.verified;
+    std::printf("%-22s %11s %9s %9s %9s %8s %9s\n", "mode", "ops/s",
+                "p50 ms", "p99 ms", "speedup", "hit%", "verified");
+    std::printf("%-22s %11.1f %9.3f %9.3f %9s %8s %9s\n",
+                "communicator(1-shot)", baseline.ops_per_sec,
+                baseline.p50_ms, baseline.p99_ms, "1.00", "-",
+                baseline.verified ? "yes" : "NO");
+    if (json) {
+        json->begin_row();
+        json->field("mode", "communicator_one_shot");
+        json->field("n", n);
+        json->field("concurrency", 1);
+        json->field("requests", requests);
+        json->field("ops_per_sec", baseline.ops_per_sec);
+        json->field("p50_ms", baseline.p50_ms);
+        json->field("p99_ms", baseline.p99_ms);
+        json->field("speedup_vs_baseline", 1.0);
+        json->field("verified", baseline.verified);
+        json->end_row();
+    }
+
+    for (const int concurrency : {1, 4, 16}) {
+        const ServiceMeasured svc =
+            run_service(n, mix, requests, concurrency, queue_depth);
+        verified = verified && svc.verified;
+        const double speedup = baseline.ops_per_sec > 0
+                                   ? svc.ops_per_sec / baseline.ops_per_sec
+                                   : 0;
+        char mode[32];
+        std::snprintf(mode, sizeof mode, "service(c=%d)", concurrency);
+        std::printf("%-22s %11.1f %9.3f %9.3f %9.2f %8.1f %9s\n", mode,
+                    svc.ops_per_sec, svc.p50_ms, svc.p99_ms, speedup,
+                    svc.cache_hit_rate * 100,
+                    svc.verified ? "yes" : "NO");
+        if (json) {
+            json->begin_row();
+            json->field("mode", "service");
+            json->field("n", n);
+            json->field("concurrency", concurrency);
+            json->field("requests", requests);
+            json->field("ops_per_sec", svc.ops_per_sec);
+            json->field("p50_ms", svc.p50_ms);
+            json->field("p99_ms", svc.p99_ms);
+            json->field("speedup_vs_baseline", speedup);
+            json->field("cache_hit_rate", svc.cache_hit_rate);
+            json->field("batched", svc.batched);
+            json->field("executed", svc.executed);
+            json->field("verified", svc.verified);
+            json->end_row();
+        }
+    }
+
+    // Selector regimes under the session's calibrated machine constants:
+    // the SBT below the measured crossover, the MSBT above it (Table 3).
+    Session session(n, SessionParams{});
+    const auto& selector = session.selector();
+    const auto model = hcube::sim::PortModel::one_port_full_duplex;
+    const std::uint64_t crossover = selector.broadcast_crossover(n, model);
+    std::printf("\ncalibrated: tau=%.3g s  tc=%.3g s/elem  "
+                "broadcast crossover=%llu elems\n",
+                selector.comm_params().tau, selector.comm_params().tc,
+                static_cast<unsigned long long>(crossover));
+    const std::uint64_t small_m = std::max<std::uint64_t>(1, crossover / 4);
+    const std::uint64_t large_m = crossover * 4;
+    for (const std::uint64_t elems : {small_m, large_m}) {
+        const Selection sel =
+            selector.select(Op::broadcast, n, elems, model);
+        std::printf("  broadcast of %10llu elems -> %-4s  B_int=%u  "
+                    "packets=%u  T=%.3g s (alt %.3g s)\n",
+                    static_cast<unsigned long long>(elems),
+                    std::string(to_string(sel.family)).c_str(),
+                    sel.block_elems, sel.packets, sel.predicted_seconds,
+                    sel.rejected_seconds);
+        if (json) {
+            json->begin_row();
+            json->field("mode", "selector");
+            json->field("n", n);
+            json->field("message_elems", elems);
+            json->field("regime",
+                        elems < crossover ? "small" : "large");
+            json->field("family", std::string(to_string(sel.family)));
+            json->field("block_elems", sel.block_elems);
+            json->field("packets", sel.packets);
+            json->field("predicted_seconds", sel.predicted_seconds);
+            json->field("rejected_seconds", sel.rejected_seconds);
+            json->field("crossover_elems", crossover);
+            json->field("tau", selector.comm_params().tau);
+            json->field("tc", selector.comm_params().tc);
+            json->field("verified", true);
+            json->end_row();
+        }
+    }
+
+    if (json && !json->close()) {
+        std::fprintf(stderr, "failed writing %s\n", json_path.c_str());
+        return 1;
+    }
+    if (!verified) {
+        std::fprintf(stderr, "VERIFICATION FAILED\n");
+        return 1;
+    }
+    std::printf("\nall requests byte-verified\n");
+    return 0;
+}

@@ -1,0 +1,153 @@
+// Reader-friendly LRU cache shared by the TCBT memo and the service-layer
+// plan cache.
+//
+// The concurrency idiom is the one the TCBT cache established: lookups take
+// a shared lock and copy the value out under it (so a concurrent insert can
+// never invalidate the returned object), expensive factories run with *no*
+// lock held, and insertion takes the exclusive lock only for the final
+// emplace — a raced duplicate build is discarded and the winner's value
+// returned, which is safe whenever the factory is deterministic (both
+// callers built identical values) or the value is a handle whose copies are
+// interchangeable.
+//
+// Recency is tracked with a relaxed atomic stamp per entry, updated under
+// the *shared* lock: hits never serialize against each other, at the cost
+// of eviction being approximate under contention (two hits racing the
+// clock may swap their order — irrelevant for a cache, which only promises
+// to keep hot entries resident). Eviction scans for the minimum stamp;
+// capacities are small (dozens), so the scan is cheaper than maintaining
+// an intrusive list under the exclusive lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <utility>
+
+namespace hcube {
+
+/// Hit/miss/eviction counters, shared across all LruCache instantiations
+/// (so consumers can expose them without naming a key/value pair).
+struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+};
+
+template <class Key, class Value>
+class LruCache {
+public:
+    using Stats = CacheStats;
+
+    /// `capacity` resident entries; 0 means unbounded (a pure memo).
+    explicit LruCache(std::size_t capacity = 0) noexcept
+        : capacity_(capacity) {}
+
+    LruCache(const LruCache&) = delete;
+    LruCache& operator=(const LruCache&) = delete;
+
+    /// Copy of the cached value, stamping its recency; nullopt on a miss.
+    [[nodiscard]] std::optional<Value> get(const Key& key) {
+        const std::shared_lock lock(mutex_);
+        const auto it = map_.find(key);
+        if (it == map_.end()) {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            return std::nullopt;
+        }
+        touch(it->second);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second.value;
+    }
+
+    /// The cached value for `key`, building it with `factory()` on a miss.
+    /// The factory runs without any lock held; if two threads race the same
+    /// miss, one build is discarded and both return the cached winner.
+    template <class Factory>
+    [[nodiscard]] Value get_or_create(const Key& key, Factory&& factory) {
+        if (std::optional<Value> hit = get(key)) {
+            return std::move(*hit);
+        }
+        Value built = factory();
+        const std::unique_lock lock(mutex_);
+        const auto [it, inserted] = map_.try_emplace(
+            key, std::move(built), clock_.fetch_add(1) + 1);
+        if (inserted && capacity_ != 0) {
+            evict_over_capacity(key);
+        }
+        return it->second.value;
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        const std::shared_lock lock(mutex_);
+        return map_.size();
+    }
+
+    [[nodiscard]] Stats stats() const noexcept {
+        return {hits_.load(std::memory_order_relaxed),
+                misses_.load(std::memory_order_relaxed),
+                evictions_.load(std::memory_order_relaxed)};
+    }
+
+    /// True if `key` is currently resident (no recency stamp, no counters).
+    [[nodiscard]] bool contains(const Key& key) const {
+        const std::shared_lock lock(mutex_);
+        return map_.find(key) != map_.end();
+    }
+
+    void clear() {
+        const std::unique_lock lock(mutex_);
+        map_.clear();
+    }
+
+private:
+    struct Entry {
+        Entry(Value v, std::uint64_t stamp)
+            : value(std::move(v)), last_used(stamp) {}
+        Value value;
+        std::atomic<std::uint64_t> last_used;
+    };
+
+    void touch(Entry& entry) {
+        entry.last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) +
+                                  1,
+                              std::memory_order_relaxed);
+    }
+
+    /// Must hold the exclusive lock. Never evicts `keep` (the entry the
+    /// caller is about to return a reference to).
+    void evict_over_capacity(const Key& keep) {
+        while (map_.size() > capacity_) {
+            auto victim = map_.end();
+            std::uint64_t oldest = ~std::uint64_t{0};
+            for (auto it = map_.begin(); it != map_.end(); ++it) {
+                if (it->first == keep) {
+                    continue;
+                }
+                const std::uint64_t used =
+                    it->second.last_used.load(std::memory_order_relaxed);
+                if (used < oldest) {
+                    oldest = used;
+                    victim = it;
+                }
+            }
+            if (victim == map_.end()) {
+                return; // capacity 1 holding only `keep`
+            }
+            map_.erase(victim);
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    mutable std::shared_mutex mutex_;
+    std::map<Key, Entry> map_;
+    std::size_t capacity_;
+    std::atomic<std::uint64_t> clock_{0};
+    mutable std::atomic<std::uint64_t> hits_{0};
+    mutable std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+};
+
+} // namespace hcube

@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "rt/checksum.hpp"
+#include "rt/pool.hpp"
 
 #include <bit>
 #include <chrono>
@@ -223,7 +224,7 @@ void AsyncPlayer::run_worker(std::uint32_t worker, Worker* workers) {
     }
 }
 
-PlayStats AsyncPlayer::play() {
+PlayStats AsyncPlayer::play(WorkerPool* pool) {
     seed_plan_memory(plan_, memory_);
     channels_.reset();
     arbiter_.reset();
@@ -267,14 +268,20 @@ PlayStats AsyncPlayer::play() {
                 execute(sends + static_cast<std::uint32_t>(i), 0, stats);
             }
         }
+    } else if (pool != nullptr) {
+        HCUBE_ENSURE_MSG(pool->size() >= plan_.workers,
+                         "worker pool narrower than the plan");
+        pool->run(plan_.workers, [this, &workers](std::uint32_t w) {
+            run_worker(w, workers.data());
+        });
     } else {
-        std::vector<std::thread> pool;
-        pool.reserve(plan_.workers);
+        std::vector<std::thread> threads;
+        threads.reserve(plan_.workers);
         for (std::uint32_t w = 0; w < plan_.workers; ++w) {
-            pool.emplace_back(
+            threads.emplace_back(
                 [this, w, &workers] { run_worker(w, workers.data()); });
         }
-        for (std::thread& t : pool) {
+        for (std::thread& t : threads) {
             t.join();
         }
     }

@@ -37,6 +37,8 @@
 
 namespace hcube::rt {
 
+class WorkerPool;
+
 class AsyncPlayer {
 public:
     /// Allocates node-local block memory and a channel bank of
@@ -65,8 +67,11 @@ public:
     /// plan.workers threads, and returns the aggregated stats (cycles is
     /// the logical schedule depth; no barrier ever synchronizes on it).
     /// Reusable: every call starts from freshly seeded memory and
-    /// rewound channels.
-    [[nodiscard]] PlayStats play();
+    /// rewound channels. With a non-null `pool` (of at least plan.workers
+    /// threads) the run is dispatched onto the resident pool threads
+    /// instead of creating and joining a thread per worker.
+    [[nodiscard]] PlayStats play() { return play(nullptr); }
+    [[nodiscard]] PlayStats play(WorkerPool* pool);
 
     /// The first fault the last play() detected (cls == none on a clean
     /// run, or while detection is disabled).

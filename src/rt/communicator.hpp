@@ -31,7 +31,9 @@
 #include "trees/spanning_tree.hpp"
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
+#include <unordered_set>
 
 namespace hcube::rt {
 
@@ -43,6 +45,25 @@ enum class Engine {
 
 [[nodiscard]] constexpr std::string_view to_string(Engine e) noexcept {
     return e == Engine::barrier ? "barrier" : "async";
+}
+
+/// When the async engine's barrier-oracle cross-check runs (see
+/// docs/RUNTIME.md § Verification policy). Irrelevant under
+/// Engine::barrier, where the measured engine *is* the oracle.
+enum class Verify {
+    always, ///< oracle re-executes every operation (the safest default)
+    first,  ///< oracle runs once per distinct schedule fingerprint; later
+            ///< repeats rely on per-block checksums + the holdings check
+    never,  ///< oracle never runs; checksums + holdings only
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Verify v) noexcept {
+    switch (v) {
+    case Verify::always: return "always";
+    case Verify::first: return "first";
+    case Verify::never: return "never";
+    }
+    return "?";
 }
 
 struct Params {
@@ -58,8 +79,11 @@ struct Params {
     sim::PortModel model = sim::PortModel::one_port_full_duplex;
     /// Engine whose stats the Result reports. Engine::async still runs the
     /// barrier engine once as the reference oracle and cross-checks the
-    /// final memory states byte for byte.
+    /// final memory states byte for byte — unless `verify` relaxes it.
     Engine engine = Engine::async;
+    /// Barrier-oracle policy for the async engine. Tests default to
+    /// `always`; the service layer's cached steady state uses `first`.
+    Verify verify = Verify::always;
 };
 
 struct Result {
@@ -76,6 +100,13 @@ struct Result {
     std::uint64_t channel_faults = 0;
     std::uint64_t timeouts = 0;
     bool verified = false; ///< per-block checksums + final-state checks
+    /// The barrier oracle executed and cross-checked this operation (false
+    /// when Verify::first already covered the fingerprint or Verify::never
+    /// suppressed it; meaningless under Engine::barrier, where it is true).
+    bool oracle_checked = false;
+    /// The run executed on a persistent worker pool (or the single-worker
+    /// serial path) — no thread was created or joined for this operation.
+    bool pool_reused = false;
     Engine engine = Engine::barrier; ///< engine the stats above came from
     std::uint32_t threads = 1;
 
@@ -86,9 +117,14 @@ struct Result {
     }
 };
 
+class WorkerPool;
+
 class Communicator {
 public:
     explicit Communicator(hc::dim_t n, Params params = {});
+    ~Communicator();
+    Communicator(const Communicator&) = delete;
+    Communicator& operator=(const Communicator&) = delete;
 
     [[nodiscard]] hc::dim_t dimension() const noexcept { return n_; }
     [[nodiscard]] std::uint32_t threads() const noexcept { return threads_; }
@@ -128,9 +164,20 @@ private:
     /// holdings block by block.
     Result run_move(const sim::Schedule& schedule);
 
+    /// True when the barrier oracle must run for this schedule under the
+    /// configured Verify policy (records the fingerprint under ::first).
+    [[nodiscard]] bool oracle_due(const sim::Schedule& schedule);
+
     hc::dim_t n_;
     Params params_;
     std::uint32_t threads_;
+    /// Resident threads every operation replays on (constructed once, in
+    /// the constructor); null when one worker suffices, whose serial path
+    /// never creates a thread either.
+    std::unique_ptr<WorkerPool> pool_;
+    /// Schedule fingerprints whose oracle cross-check already passed
+    /// (Verify::first bookkeeping).
+    std::unordered_set<std::uint64_t> oracle_seen_;
 };
 
 } // namespace hcube::rt

@@ -320,4 +320,22 @@ void seed_plan_memory(const Plan& plan, std::span<double> memory) {
     }
 }
 
+std::uint64_t schedule_fingerprint(const sim::Schedule& schedule) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    mix(static_cast<std::uint64_t>(schedule.n));
+    mix(schedule.packet_count);
+    for (const node_t holder : schedule.initial_holder) {
+        mix(holder);
+    }
+    for (const sim::ScheduledSend& s : schedule.sends) {
+        mix((std::uint64_t{s.cycle} << 32) | s.packet);
+        mix((std::uint64_t{s.from} << 32) | s.to);
+    }
+    return h;
+}
+
 } // namespace hcube::rt

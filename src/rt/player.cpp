@@ -3,6 +3,7 @@
 #include "common/check.hpp"
 #include "rt/barrier.hpp"
 #include "rt/checksum.hpp"
+#include "rt/pool.hpp"
 
 #include <algorithm>
 #include <chrono>
@@ -176,7 +177,7 @@ void Player::run_worker(std::uint32_t worker, PlayStats& stats) {
     }
 }
 
-PlayStats Player::play() {
+PlayStats Player::play(WorkerPool* pool) {
     seed_memory();
     channels_.reset(); // rewind sequence stamps from any aborted prior run
     arbiter_.reset();
@@ -192,14 +193,20 @@ PlayStats Player::play() {
     const auto start = std::chrono::steady_clock::now();
     if (plan_.workers == 1) {
         run_worker(0, per_worker[0].stats);
+    } else if (pool != nullptr) {
+        HCUBE_ENSURE_MSG(pool->size() >= plan_.workers,
+                         "worker pool narrower than the plan");
+        pool->run(plan_.workers, [this, &per_worker](std::uint32_t w) {
+            run_worker(w, per_worker[w].stats);
+        });
     } else {
-        std::vector<std::thread> pool;
-        pool.reserve(plan_.workers);
+        std::vector<std::thread> threads;
+        threads.reserve(plan_.workers);
         for (std::uint32_t w = 0; w < plan_.workers; ++w) {
-            pool.emplace_back(
+            threads.emplace_back(
                 [this, w, &per_worker] { run_worker(w, per_worker[w].stats); });
         }
-        for (std::thread& t : pool) {
+        for (std::thread& t : threads) {
             t.join();
         }
     }

@@ -36,6 +36,7 @@
 namespace hcube::rt {
 
 class CycleBarrier;
+class WorkerPool;
 
 struct PlayStats {
     std::uint32_t cycles = 0;          ///< barrier-synchronized cycles run
@@ -80,7 +81,12 @@ public:
     /// Seeds initial blocks, runs the full schedule on plan.workers
     /// threads, and returns the aggregated stats. Reusable: every call
     /// starts from freshly seeded memory and rewound channels.
-    [[nodiscard]] PlayStats play();
+    /// With a non-null `pool` (of at least plan.workers threads) the run is
+    /// dispatched onto the resident pool threads instead of creating and
+    /// joining a thread per worker — the re-entrant steady-state entry
+    /// point the service layer uses.
+    [[nodiscard]] PlayStats play() { return play(nullptr); }
+    [[nodiscard]] PlayStats play(WorkerPool* pool);
 
     /// The first fault the last play() detected (cls == none on a clean
     /// run, or while detection is disabled).

@@ -1,0 +1,72 @@
+#include "rt/pool.hpp"
+
+#include "common/check.hpp"
+
+namespace hcube::rt {
+
+WorkerPool::WorkerPool(std::uint32_t threads) {
+    HCUBE_ENSURE(threads >= 1);
+    threads_.reserve(threads);
+    for (std::uint32_t i = 0; i < threads; ++i) {
+        threads_.emplace_back([this, i] { thread_main(i); });
+    }
+}
+
+WorkerPool::~WorkerPool() {
+    {
+        const std::lock_guard lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) {
+        t.join();
+    }
+}
+
+std::uint64_t WorkerPool::jobs_run() const {
+    const std::lock_guard lock(mutex_);
+    return jobs_;
+}
+
+void WorkerPool::run(std::uint32_t workers, const Job& job) {
+    HCUBE_ENSURE(workers >= 1 && workers <= size());
+    const std::lock_guard admit(admission_);
+    {
+        const std::lock_guard lock(mutex_);
+        job_ = &job;
+        active_workers_ = workers;
+        remaining_ = workers;
+        ++generation_;
+        ++jobs_;
+    }
+    work_cv_.notify_all();
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    job_ = nullptr;
+}
+
+void WorkerPool::thread_main(std::uint32_t index) {
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::unique_lock lock(mutex_);
+        work_cv_.wait(lock,
+                      [this, seen] { return stop_ || generation_ != seen; });
+        if (stop_) {
+            return;
+        }
+        seen = generation_;
+        if (index >= active_workers_) {
+            continue; // narrower job than the pool; sit this one out
+        }
+        const Job* job = job_;
+        lock.unlock();
+        (*job)(index);
+        lock.lock();
+        if (--remaining_ == 0) {
+            lock.unlock();
+            done_cv_.notify_all();
+        }
+    }
+}
+
+} // namespace hcube::rt

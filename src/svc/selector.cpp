@@ -1,0 +1,150 @@
+#include "svc/selector.hpp"
+
+#include "common/check.hpp"
+#include "model/personalized_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hcube::svc {
+
+namespace {
+
+/// Clamps a model-optimal (real-valued) packet size to an executable
+/// integer block size in [1, M].
+std::uint32_t clamp_block(double bopt, std::uint64_t message_elems) {
+    const double rounded = std::max(1.0, std::round(bopt));
+    const double capped =
+        std::min(rounded, static_cast<double>(message_elems));
+    return static_cast<std::uint32_t>(capped);
+}
+
+packet_t packets_for(std::uint64_t message_elems, std::uint32_t block) {
+    return static_cast<packet_t>((message_elems + block - 1) / block);
+}
+
+} // namespace
+
+Selection AlgorithmSelector::select(Op op, dim_t n,
+                                    std::uint64_t message_elems,
+                                    sim::PortModel model) const {
+    HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+    HCUBE_ENSURE(message_elems >= 1);
+    const double M = static_cast<double>(message_elems);
+
+    Selection sel;
+    switch (op) {
+    case Op::broadcast: {
+        // Evaluate both families at their own model-optimal packet size
+        // (clamped to the physical range [1, M]: B_opt formulas are
+        // real-valued and can exceed the message) and keep the cheaper one
+        // (Table 3 with calibrated τ, t_c).
+        const double sbt_b = std::clamp(
+            model::broadcast_bopt(model::Algorithm::sbt, model, M, n,
+                                  params_),
+            1.0, M);
+        const double sbt_t = model::broadcast_time(model::Algorithm::sbt,
+                                                   model, M, sbt_b, n,
+                                                   params_);
+        const double msbt_b = std::clamp(
+            model::broadcast_bopt(model::Algorithm::msbt, model, M, n,
+                                  params_),
+            1.0, M);
+        const double msbt_t = model::broadcast_time(model::Algorithm::msbt,
+                                                    model, M, msbt_b, n,
+                                                    params_);
+        if (msbt_t < sbt_t) {
+            sel.family = Family::msbt;
+            sel.block_elems = clamp_block(msbt_b, message_elems);
+            // The MSBT splits the message across its n rotated trees, so
+            // the packet count must be a multiple of n.
+            const auto np = static_cast<packet_t>(n);
+            packet_t p = packets_for(message_elems, sel.block_elems);
+            p = ((p + np - 1) / np) * np;
+            sel.packets = p;
+            sel.block_elems = static_cast<std::uint32_t>(
+                std::max<std::uint64_t>(1, (message_elems + p - 1) / p));
+            sel.predicted_seconds = msbt_t;
+            sel.rejected_seconds = sbt_t;
+        } else {
+            sel.family = Family::sbt;
+            sel.block_elems = clamp_block(sbt_b, message_elems);
+            sel.packets = packets_for(message_elems, sel.block_elems);
+            sel.predicted_seconds = sbt_t;
+            sel.rejected_seconds = msbt_t;
+        }
+        return sel;
+    }
+    case Op::scatter:
+    case Op::gather: {
+        // One-port SBT and BST personalized communication cost the same
+        // number of steps (Table 6 rows coincide for B <= M); the BST is
+        // preferred for its balanced subtree depth, matching the paper's
+        // §4.2.2 recommendation. message_elems is per destination; a single
+        // maximal packet per destination is optimal one-port.
+        sel.family = Family::bst;
+        sel.packets = 1;
+        sel.block_elems = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(message_elems, UINT32_MAX));
+        const bool all_ports = model == sim::PortModel::all_port;
+        sel.predicted_seconds = model::personalized_tmin(
+            model::Algorithm::bst, all_ports, M, n, params_);
+        sel.rejected_seconds = model::personalized_tmin(
+            model::Algorithm::sbt, all_ports, M, n, params_);
+        return sel;
+    }
+    case Op::reduce:
+        // Reduce is the time-reversed SBT broadcast; its step count is the
+        // forward port-oriented broadcast's (B = M, single packet).
+        sel.family = Family::sbt;
+        sel.packets = 1;
+        sel.block_elems = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(message_elems, UINT32_MAX));
+        sel.predicted_seconds = model::broadcast_time(
+            model::Algorithm::sbt, model, M, M, n, params_);
+        sel.rejected_seconds = sel.predicted_seconds;
+        return sel;
+    case Op::allgather:
+    case Op::alltoall:
+        // Single generated family each (recursive doubling / dimension
+        // order); nothing to choose, the message size fixes the block.
+        sel.family = Family::sbt;
+        sel.packets = 1;
+        sel.block_elems = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(message_elems, UINT32_MAX));
+        sel.predicted_seconds = 0.0;
+        sel.rejected_seconds = 0.0;
+        return sel;
+    }
+    HCUBE_ENSURE_MSG(false, "unreachable op");
+    __builtin_unreachable();
+}
+
+std::uint64_t AlgorithmSelector::broadcast_crossover(
+    dim_t n, sim::PortModel model) const {
+    // broadcast_time(MSBT) - broadcast_time(SBT) is monotone decreasing in
+    // M under the one-port models (the SBT pays n full-message transfers,
+    // the MSBT pipelines), so the smallest M where the selector flips to
+    // the MSBT is well-defined and bisection applies.
+    std::uint64_t lo = 1;
+    std::uint64_t hi = 1;
+    const std::uint64_t cap = std::uint64_t{1} << 40;
+    while (hi < cap &&
+           select(Op::broadcast, n, hi, model).family != Family::msbt) {
+        hi *= 2;
+    }
+    if (select(Op::broadcast, n, hi, model).family != Family::msbt) {
+        return cap; // never crosses below the cap (degenerate constants)
+    }
+    while (lo + 1 < hi) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        if (select(Op::broadcast, n, mid, model).family == Family::msbt) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    return hi;
+}
+
+} // namespace hcube::svc

@@ -1,0 +1,145 @@
+#include "svc/service.hpp"
+
+#include "common/check.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace hcube::svc {
+
+Service::Service(dim_t n, ServiceParams params)
+    : session_(n, params.session), params_(params),
+      dispatcher_([this] { dispatch_loop(); }) {
+    HCUBE_ENSURE(params_.queue_depth >= 1);
+}
+
+Service::~Service() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        paused_ = false; // a paused service still drains on shutdown
+    }
+    admit_cv_.notify_all();
+    dispatch_cv_.notify_all();
+    dispatcher_.join();
+}
+
+std::future<Response> Service::submit(const Signature& sig) {
+    Pending pending;
+    pending.sig = sig;
+    std::future<Response> future = pending.promise.get_future();
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    HCUBE_ENSURE_MSG(!stopping_, "submit() on a stopping service");
+    if (queue_.size() >= params_.queue_depth) {
+        if (params_.admission == Admission::reject) {
+            counters_.rejected += 1;
+            lock.unlock();
+            Response response;
+            response.status = Status::rejected;
+            pending.promise.set_value(std::move(response));
+            return future;
+        }
+        admit_cv_.wait(lock, [this] {
+            return stopping_ || queue_.size() < params_.queue_depth;
+        });
+        HCUBE_ENSURE_MSG(!stopping_, "submit() raced service shutdown");
+    }
+    counters_.submitted += 1;
+    queue_.push_back(std::move(pending));
+    lock.unlock();
+    dispatch_cv_.notify_one();
+    return future;
+}
+
+void Service::drain() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock,
+                  [this] { return queue_.empty() && !busy_ && !paused_; });
+}
+
+void Service::pause() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = true;
+}
+
+void Service::resume() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        paused_ = false;
+    }
+    dispatch_cv_.notify_all();
+    idle_cv_.notify_all(); // a drain() waiter may now satisfy its predicate
+}
+
+Service::Counters Service::counters() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+void Service::dispatch_loop() {
+    for (;;) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        dispatch_cv_.wait(lock, [this] {
+            return stopping_ || (!paused_ && !queue_.empty());
+        });
+        if (queue_.empty()) {
+            if (stopping_) {
+                idle_cv_.notify_all();
+                return;
+            }
+            continue;
+        }
+        // FIFO head picks the signature; batching coalesces every queued
+        // request with the same signature into this execution.
+        Pending head = std::move(queue_.front());
+        queue_.pop_front();
+        std::vector<Pending> riders;
+        if (params_.batching) {
+            for (auto it = queue_.begin(); it != queue_.end();) {
+                if (it->sig == head.sig) {
+                    riders.push_back(std::move(*it));
+                    it = queue_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+        busy_ = true;
+        counters_.batched += riders.size();
+        lock.unlock();
+        admit_cv_.notify_all(); // slots freed
+
+        Response response;
+        try {
+            response.stats = session_.execute(head.sig);
+            response.status = Status::ok;
+        } catch (const std::exception& ex) {
+            response.status = Status::failed;
+            response.error = ex.what();
+        }
+
+        lock.lock();
+        counters_.executed += 1;
+        if (response.status == Status::failed) {
+            counters_.failed += 1 + riders.size();
+        }
+        busy_ = false;
+        const bool idle = queue_.empty();
+        lock.unlock();
+
+        head.promise.set_value(response);
+        for (Pending& rider : riders) {
+            Response ride = response;
+            ride.batched = true;
+            ride.stats.cache_hit = true; // rode on the executed plan
+            rider.promise.set_value(std::move(ride));
+        }
+        if (idle) {
+            idle_cv_.notify_all();
+        }
+    }
+}
+
+} // namespace hcube::svc

@@ -1,0 +1,142 @@
+// svc::Service — the concurrent front door of the collective service: a
+// bounded admission queue feeding one dispatcher thread that executes
+// requests on a persistent svc::Session.
+//
+// Clients submit() a Signature from any thread and receive a
+// std::future<Response>. Admission is bounded: when the queue holds
+// `queue_depth` pending requests, submit() either blocks until a slot
+// frees (Admission::block, the default) or completes the future
+// immediately with Status::rejected (Admission::reject) — the two
+// backpressure policies a long-running service needs.
+//
+// Dispatch is FIFO by arrival of the *head* request; requests elsewhere in
+// the queue whose signature equals the head's are coalesced into the same
+// execution (batching): the schedule runs once on the session and every
+// coalesced future receives the same verified Response with
+// `batched = true` on the riders. Coalescing is sound because a collective
+// is idempotent over the canonical payloads — equal signatures produce
+// byte-identical verified final states, which is precisely what the plan
+// cache already guarantees (docs/SERVICE.md § Batching).
+#pragma once
+
+#include "svc/session.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace hcube::svc {
+
+/// What submit() does when the admission queue is full.
+enum class Admission : std::uint8_t {
+    block,  ///< caller blocks until a slot frees (backpressure by waiting)
+    reject, ///< future completes immediately with Status::rejected
+};
+
+enum class Status : std::uint8_t {
+    ok,       ///< executed (see Response::verified for the integrity bit)
+    rejected, ///< bounced by admission control; never executed
+    failed,   ///< schedule generation/validation threw (Response::error)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Status s) noexcept {
+    switch (s) {
+    case Status::ok: return "ok";
+    case Status::rejected: return "rejected";
+    case Status::failed: return "failed";
+    }
+    return "?";
+}
+
+struct Response {
+    Status status = Status::ok;
+    /// Execution report (meaningful when status == ok).
+    ExecStats stats;
+    /// This request rode along on another request's execution (equal
+    /// signatures coalesced into one run).
+    bool batched = false;
+    /// check_error text when status == failed.
+    std::string error;
+};
+
+struct ServiceParams {
+    SessionParams session;
+    /// Pending requests admitted before backpressure engages.
+    std::size_t queue_depth = 64;
+    Admission admission = Admission::block;
+    /// Coalesce queued requests with identical signatures into one
+    /// execution.
+    bool batching = true;
+};
+
+class Service {
+  public:
+    explicit Service(dim_t n, ServiceParams params = {});
+    /// Drains every admitted request, then stops the dispatcher.
+    ~Service();
+    Service(const Service&) = delete;
+    Service& operator=(const Service&) = delete;
+
+    /// Thread-safe. Enqueues the request (applying the admission policy)
+    /// and returns the future its Response will arrive on.
+    [[nodiscard]] std::future<Response> submit(const Signature& sig);
+
+    /// submit() + wait: the synchronous convenience wrapper.
+    [[nodiscard]] Response run(const Signature& sig) {
+        return submit(sig).get();
+    }
+
+    /// Blocks until the queue is empty and the dispatcher is idle.
+    void drain();
+
+    /// Gates the dispatcher (tests use this to fill the queue
+    /// deterministically before any request executes). Admission control
+    /// keeps applying while paused.
+    void pause();
+    void resume();
+
+    struct Counters {
+        std::uint64_t submitted = 0; ///< admitted into the queue
+        std::uint64_t executed = 0;  ///< schedule executions run
+        std::uint64_t batched = 0;   ///< requests that rode along
+        std::uint64_t rejected = 0;  ///< bounced by admission control
+        std::uint64_t failed = 0;    ///< completed with Status::failed
+    };
+    [[nodiscard]] Counters counters() const;
+
+    /// The persistent execution context (selector, plan cache, pool).
+    [[nodiscard]] Session& session() noexcept { return session_; }
+    [[nodiscard]] const Session& session() const noexcept {
+        return session_;
+    }
+
+  private:
+    struct Pending {
+        Signature sig;
+        std::promise<Response> promise;
+    };
+
+    void dispatch_loop();
+
+    Session session_;
+    ServiceParams params_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable admit_cv_;    ///< queue has room / stopping
+    std::condition_variable dispatch_cv_; ///< work available / unpaused
+    std::condition_variable idle_cv_;     ///< queue empty and idle
+    std::deque<Pending> queue_;
+    bool paused_ = false;
+    bool stopping_ = false;
+    bool busy_ = false; ///< dispatcher is executing a batch
+    Counters counters_;
+
+    std::thread dispatcher_; ///< last member: starts after state is ready
+};
+
+} // namespace hcube::svc

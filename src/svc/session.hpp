@@ -1,0 +1,116 @@
+// svc::Session — the persistent execution context of the collective
+// service: one resident worker pool, one compiled-plan cache, one set of
+// calibrated machine constants, shared across every operation submitted for
+// the session's lifetime.
+//
+// Where rt::Communicator recompiles the schedule and reallocates player
+// memory on every call (its pool already persists — PR 5's satellite), the
+// Session also caches the *compiled plan and its players*: a cache hit
+// replays the resident AsyncPlayer (or barrier Player) on the resident
+// pool, touching no allocator and no schedule generator. Verification in
+// the cached steady state compares the final memory image byte for byte
+// against the oracle image snapshotted on the entry's first (fully
+// oracle-checked) execution — every repeat run remains byte-verified
+// without re-running the barrier oracle (docs/SERVICE.md § Verification in
+// steady state).
+#pragma once
+
+#include "common/lru_cache.hpp"
+#include "model/broadcast_model.hpp"
+#include "rt/communicator.hpp" // Engine, Verify
+#include "svc/selector.hpp"
+#include "svc/signature.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+namespace hcube::rt {
+class WorkerPool;
+}
+
+namespace hcube::svc {
+
+struct SessionParams {
+    /// Worker threads; 0 picks min(2^n, max(2, hardware_concurrency)).
+    std::uint32_t threads = 0;
+    /// Compiled plans (and their players) kept resident; 0 = unbounded.
+    std::size_t plan_cache_capacity = 32;
+    /// Engine whose stats ExecStats reports.
+    rt::Engine engine = rt::Engine::async;
+    /// Oracle policy. `first` (the service default) fully oracle-checks
+    /// each signature's first execution and byte-compares repeats against
+    /// the snapshotted oracle image; `always` re-runs the oracle every
+    /// time; `never` skips it entirely (checksums + holdings only).
+    rt::Verify verify = rt::Verify::first;
+    /// Ring slots per link channel for the barrier engine.
+    std::uint32_t channel_capacity = 2;
+    /// Port model schedules are generated for and validated under.
+    sim::PortModel model = sim::PortModel::one_port_full_duplex;
+    /// Machine constants for the AlgorithmSelector. Unset → calibrated at
+    /// construction from two serial micro-probes (model::fit_params), with
+    /// model::ipsc_params() as the fallback when the probes are below
+    /// timer resolution.
+    std::optional<model::CommParams> comm;
+};
+
+/// Per-execution report (the service's analogue of rt::Result).
+struct ExecStats {
+    bool verified = false;      ///< all checks for this run passed
+    bool oracle_checked = false;///< barrier oracle ran on this execution
+    bool cache_hit = false;     ///< plan + players came from the cache
+    std::uint32_t rt_cycles = 0;
+    std::uint32_t sim_makespan = 0;
+    std::uint64_t blocks_delivered = 0;
+    std::uint64_t payload_bytes = 0;
+    double seconds = 0; ///< wall clock of the reported engine's play()
+};
+
+class Session {
+  public:
+    explicit Session(dim_t n, SessionParams params = {});
+    ~Session();
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    [[nodiscard]] dim_t dimension() const noexcept { return n_; }
+    [[nodiscard]] std::uint32_t threads() const noexcept { return threads_; }
+
+    /// Validates `sig`, fetches or compiles its plan entry, executes it on
+    /// the resident pool, and verifies per the session's Verify policy.
+    /// Thread-safe; concurrent executions of the same signature serialize
+    /// on the entry, distinct signatures only contend on the pool.
+    [[nodiscard]] ExecStats execute(const Signature& sig);
+
+    /// Cost-model selection with the session's calibrated constants.
+    [[nodiscard]] const AlgorithmSelector& selector() const noexcept {
+        return selector_;
+    }
+
+    /// Convenience: selector() applied to a message of `message_elems`
+    /// elements, returning a ready-to-execute signature.
+    [[nodiscard]] Signature plan_signature(Op op, node_t root,
+                                           std::uint64_t message_elems) const;
+
+    [[nodiscard]] hcube::CacheStats cache_stats() const noexcept;
+    [[nodiscard]] std::size_t cached_plans() const;
+    /// Jobs dispatched onto the resident pool (0 when single-threaded).
+    [[nodiscard]] std::uint64_t pool_jobs() const;
+
+  private:
+    struct PlanEntry;
+
+    [[nodiscard]] std::shared_ptr<PlanEntry>
+    entry_for(const Signature& sig, bool& cache_hit);
+    [[nodiscard]] model::CommParams calibrate() const;
+
+    dim_t n_;
+    SessionParams params_;
+    std::uint32_t threads_;
+    std::unique_ptr<rt::WorkerPool> pool_;
+    AlgorithmSelector selector_;
+    LruCache<Signature, std::shared_ptr<PlanEntry>> cache_;
+};
+
+} // namespace hcube::svc

@@ -1,0 +1,91 @@
+#include "svc/signature.hpp"
+
+#include "common/check.hpp"
+#include "routing/schedule_export.hpp"
+#include "trees/bst.hpp"
+#include "trees/sbt.hpp"
+
+namespace hcube::svc {
+
+std::string Signature::to_string() const {
+    std::string out{svc::to_string(op)};
+    out += '/';
+    out += svc::to_string(family);
+    out += " n=" + std::to_string(n);
+    out += " root=" + std::to_string(root);
+    out += " packets=" + std::to_string(packets);
+    out += " B=" + std::to_string(block_elems);
+    return out;
+}
+
+GeneratedSchedule make_schedule(const Signature& sig) {
+    HCUBE_ENSURE(sig.n >= 1 && sig.n <= hc::kMaxDimension);
+    HCUBE_ENSURE(sig.root < (node_t{1} << sig.n));
+    HCUBE_ENSURE(sig.packets >= 1);
+    HCUBE_ENSURE(sig.block_elems >= 1);
+
+    GeneratedSchedule out;
+    switch (sig.op) {
+    case Op::broadcast:
+        if (sig.family == Family::msbt) {
+            HCUBE_ENSURE_MSG(sig.packets %
+                                     static_cast<packet_t>(sig.n) ==
+                                 0,
+                             "MSBT broadcast needs packets divisible by n");
+            out.exec = routing::make_msbt_broadcast(sig.n, sig.root,
+                                                    sig.packets, sig.model);
+        } else {
+            HCUBE_ENSURE_MSG(sig.family == Family::sbt,
+                             "broadcast routes over the SBT or the MSBT");
+            out.exec = routing::make_tree_broadcast(
+                trees::build_sbt(sig.n, sig.root),
+                routing::BroadcastDiscipline::port_oriented, sig.packets,
+                sig.model);
+        }
+        break;
+    case Op::scatter:
+    case Op::gather: {
+        HCUBE_ENSURE_MSG(sig.family == Family::sbt ||
+                             sig.family == Family::bst,
+                         "scatter/gather route over the SBT or the BST");
+        const trees::SpanningTree tree =
+            sig.family == Family::bst ? trees::build_bst(sig.n, sig.root)
+                                      : trees::build_sbt(sig.n, sig.root);
+        const routing::ScatterPolicy policy =
+            sig.family == Family::bst ? routing::ScatterPolicy::cyclic
+                                      : routing::ScatterPolicy::descending;
+        out.exec = sig.op == Op::scatter
+                       ? routing::make_tree_scatter(tree, policy, sig.packets,
+                                                    sig.model)
+                       : routing::make_tree_gather(tree, policy, sig.packets,
+                                                   sig.model);
+        break;
+    }
+    case Op::reduce: {
+        HCUBE_ENSURE_MSG(sig.family == Family::sbt,
+                         "reduce routes over the time-reversed SBT broadcast");
+        out.feasibility = routing::make_tree_broadcast(
+            trees::build_sbt(sig.n, sig.root),
+            routing::BroadcastDiscipline::port_oriented, sig.packets,
+            sig.model);
+        out.exec = routing::reverse_broadcast_for_reduce(out.feasibility,
+                                                         sig.root);
+        out.mode = rt::DataMode::combine;
+        return out;
+    }
+    case Op::allgather:
+        HCUBE_ENSURE_MSG(sig.model == sim::PortModel::one_port_full_duplex,
+                         "allgather is generated one-port full-duplex");
+        out.exec = routing::make_allgather_schedule(sig.n);
+        break;
+    case Op::alltoall:
+        HCUBE_ENSURE_MSG(sig.model == sim::PortModel::one_port_full_duplex,
+                         "alltoall is generated one-port full-duplex");
+        out.exec = routing::make_alltoall_schedule(sig.n, sig.packets);
+        break;
+    }
+    out.feasibility = out.exec;
+    return out;
+}
+
+} // namespace hcube::svc

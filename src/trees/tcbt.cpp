@@ -1,14 +1,12 @@
 #include "trees/tcbt.hpp"
 
 #include "common/check.hpp"
+#include "common/lru_cache.hpp"
 #include "common/prng.hpp"
 #include "hc/bits.hpp"
 
 #include <algorithm>
-#include <map>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <tuple>
 #include <vector>
 
@@ -221,47 +219,37 @@ SpanningTree build_tcbt(dim_t n, node_t s, std::uint64_t seed) {
     HCUBE_ENSURE(s < (node_t{1} << n));
 
     // The search is deterministic but takes seconds at n = 8; memoize.
-    // Reader/writer locking keeps concurrent executor drivers (which mostly
-    // hit the cache) from serializing on lookups; the copy-out happens under
-    // the lock so a concurrent insert can never invalidate the map node.
+    // LruCache provides the reader/writer idiom (shared-lock lookups,
+    // factory outside any lock, copy-out under the lock); capacity 0 keeps
+    // this a pure memo, and determinism of the search makes a raced
+    // duplicate build harmless — both copies are identical.
     using Key = std::tuple<dim_t, node_t, std::uint64_t>;
-    static std::shared_mutex cache_mutex;
-    static std::map<Key, SpanningTree> cache;
-    {
-        const std::shared_lock<std::shared_mutex> lock(cache_mutex);
-        if (auto it = cache.find({n, s, seed}); it != cache.end()) {
-            return it->second;
-        }
-    }
+    static LruCache<Key, SpanningTree> cache(0);
+    return cache.get_or_create(Key{n, s, seed}, [n, s, seed] {
+        const Shape shape = make_drcb_shape(n);
+        constexpr int kMaxRestarts = 200;
 
-    const Shape shape = make_drcb_shape(n);
-    constexpr int kMaxRestarts = 200;
-
-    for (int restart = 0; restart < kMaxRestarts; ++restart) {
-        SplitMix64 rng(seed + static_cast<std::uint64_t>(restart) *
-                                  std::uint64_t{0x9e3779b97f4a7c15});
-        LevelMatcher matcher(shape, n, s, rng);
-        const auto img = matcher.run();
-        if (!img) {
-            continue;
-        }
-        std::vector<std::vector<node_t>> kids(node_t{1} << n);
-        for (std::size_t v = 0; v < shape.parent.size(); ++v) {
-            for (const int c : shape.children[v]) {
-                kids[(*img)[v]].push_back((*img)[static_cast<std::size_t>(c)]);
+        for (int restart = 0; restart < kMaxRestarts; ++restart) {
+            SplitMix64 rng(seed + static_cast<std::uint64_t>(restart) *
+                                      std::uint64_t{0x9e3779b97f4a7c15});
+            LevelMatcher matcher(shape, n, s, rng);
+            const auto img = matcher.run();
+            if (!img) {
+                continue;
             }
+            std::vector<std::vector<node_t>> kids(node_t{1} << n);
+            for (std::size_t v = 0; v < shape.parent.size(); ++v) {
+                for (const int c : shape.children[v]) {
+                    kids[(*img)[v]].push_back(
+                        (*img)[static_cast<std::size_t>(c)]);
+                }
+            }
+            return materialize_tree(n, s,
+                                    [&kids](node_t i) { return kids[i]; });
         }
-        SpanningTree tree = materialize_tree(
-            n, s, [&kids](node_t i) { return kids[i]; });
-        // emplace is a no-op if a concurrent caller inserted first; either
-        // way the returned tree is the cached one (the search is
-        // deterministic, so both copies are identical).
-        const std::unique_lock<std::shared_mutex> lock(cache_mutex);
-        return cache.emplace(Key{n, s, seed}, std::move(tree))
-            .first->second;
-    }
-    HCUBE_ENSURE_MSG(false, "TCBT embedding search budget exhausted");
-    __builtin_unreachable();
+        HCUBE_ENSURE_MSG(false, "TCBT embedding search budget exhausted");
+        __builtin_unreachable();
+    });
 }
 
 } // namespace hcube::trees

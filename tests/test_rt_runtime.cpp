@@ -7,15 +7,18 @@
 
 #include "common/check.hpp"
 #include "model/broadcast_model.hpp"
+#include "rt/async_player.hpp"
 #include "rt/checksum.hpp"
 #include "rt/plan.hpp"
 #include "rt/player.hpp"
+#include "rt/pool.hpp"
 #include "routing/schedule_export.hpp"
 #include "sim/cycle.hpp"
 #include "trees/bst.hpp"
 #include "trees/sbt.hpp"
 #include "trees/tcbt.hpp"
 
+#include <atomic>
 #include <gtest/gtest.h>
 
 namespace hcube::rt {
@@ -180,6 +183,87 @@ TEST(RtRuntime, CleanRunReportsZeroFaultsInEveryCounter) {
     const auto delivered = player.block(1, 0);
     ASSERT_EQ(delivered.size(), 8u);
     EXPECT_EQ(block_checksum(delivered), canonical_checksum(0, 8));
+}
+
+TEST(RtPool, RunsJobsOnResidentThreads) {
+    WorkerPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<std::uint32_t> mask{0};
+    pool.run(4, [&](std::uint32_t w) {
+        mask.fetch_or(std::uint32_t{1} << w);
+    });
+    EXPECT_EQ(mask.load(), 0b1111u);
+    // A narrower run only activates the first `workers` threads.
+    mask.store(0);
+    pool.run(2, [&](std::uint32_t w) {
+        mask.fetch_or(std::uint32_t{1} << w);
+    });
+    EXPECT_EQ(mask.load(), 0b11u);
+    EXPECT_EQ(pool.jobs_run(), 2u);
+}
+
+TEST(RtPool, PlayOnPoolMatchesSpawnedThreads) {
+    const sim::Schedule schedule = routing::make_msbt_broadcast(
+        3, 0, 6, PortModel::one_port_full_duplex);
+    const Plan plan = compile_plan(schedule, DataMode::move, 16, 2);
+    WorkerPool pool(2);
+    Player player(plan);
+    const PlayStats pooled = player.play(&pool);
+    const PlayStats spawned = player.play();
+    EXPECT_TRUE(pooled.clean());
+    EXPECT_EQ(pooled.blocks_delivered, spawned.blocks_delivered);
+    EXPECT_EQ(pooled.cycles, spawned.cycles);
+    AsyncPlayer dut(plan);
+    const PlayStats async_pooled = dut.play(&pool);
+    EXPECT_TRUE(async_pooled.clean());
+    EXPECT_EQ(async_pooled.blocks_delivered, pooled.blocks_delivered);
+    EXPECT_EQ(pool.jobs_run(), 2u);
+}
+
+TEST(RtVerify, CommunicatorReportsPoolReuse) {
+    for (const std::uint32_t threads : {1u, 3u}) {
+        Communicator comm(3, small_params(threads));
+        const auto tree = trees::build_sbt(3, 0);
+        const Result r =
+            comm.broadcast(tree, BroadcastDiscipline::port_oriented, 2);
+        EXPECT_TRUE(r.verified);
+        EXPECT_TRUE(r.pool_reused) << "threads=" << threads;
+        EXPECT_TRUE(r.oracle_checked); // Verify::always is the default
+    }
+}
+
+TEST(RtVerify, FirstPolicyChecksEachScheduleOnce) {
+    Params p = small_params(2);
+    p.verify = Verify::first;
+    Communicator comm(3, p);
+    const auto tree = trees::build_sbt(3, 0);
+    const Result first =
+        comm.broadcast(tree, BroadcastDiscipline::port_oriented, 2);
+    EXPECT_TRUE(first.verified);
+    EXPECT_TRUE(first.oracle_checked);
+    const Result repeat =
+        comm.broadcast(tree, BroadcastDiscipline::port_oriented, 2);
+    EXPECT_TRUE(repeat.verified);
+    EXPECT_FALSE(repeat.oracle_checked);
+    // A different schedule (other packet count) gets its own first check.
+    const Result other =
+        comm.broadcast(tree, BroadcastDiscipline::port_oriented, 3);
+    EXPECT_TRUE(other.verified);
+    EXPECT_TRUE(other.oracle_checked);
+}
+
+TEST(RtVerify, NeverPolicySkipsOracleButStillVerifies) {
+    Params p = small_params(2);
+    p.verify = Verify::never;
+    Communicator comm(3, p);
+    const auto tree = trees::build_sbt(3, 0);
+    const Result move =
+        comm.broadcast(tree, BroadcastDiscipline::port_oriented, 2);
+    EXPECT_TRUE(move.verified);
+    EXPECT_FALSE(move.oracle_checked);
+    const Result combine = comm.reduce(tree, 2);
+    EXPECT_TRUE(combine.verified);
+    EXPECT_FALSE(combine.oracle_checked);
 }
 
 } // namespace
