@@ -23,9 +23,16 @@
 // near-equal time — the live form of the paper's B_opt trade-off
 // (docs/RUNTIME.md).
 //
-//   bench_rt --nmin 4 --nmax 8 [--pps 4] [--ppd 2] [--block 32]
+//   bench_rt --nmin 4 --nmax 8 [--pps 4] [--ppd 2] [--block 32,1024]
 //            [--threads T (0 sweeps 1,2,4,hw)] [--reps 3] [--min-time 0.1]
 //            [--json <path>] [--trace-out <path>]
+//
+// --block takes a comma-separated list of block sizes (doubles); the
+// default "32,1024" covers both regimes in one run. Each JSON row also
+// reports bytes_copied (payload memcpys the engine performed — 0 on the
+// zero-copy delivery path), checksum_gbs (the standalone digest throughput
+// of the dispatched checksum kernel at that block size), and mode (how the
+// engine actually executed: barrier, serial, or stealing).
 //
 // --trace-out writes a chrome://tracing (Perfetto-compatible) JSON file:
 // one extra instrumented run per (workload, n, threads, engine)
@@ -37,10 +44,12 @@
 #include "model/broadcast_model.hpp"
 #include "routing/schedule_export.hpp"
 #include "rt/async_player.hpp"
+#include "rt/checksum.hpp"
 #include "rt/communicator.hpp"
 #include "rt/plan.hpp"
 #include "rt/player.hpp"
 #include "rt/pool.hpp"
+#include "rt/simd.hpp"
 #include "rt/threads.hpp"
 #include "sim/cycle.hpp"
 #include "trees/bst.hpp"
@@ -49,7 +58,9 @@
 #include "rt/tracing.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <memory>
@@ -87,15 +98,75 @@ struct Row {
     double model_steps = 0;
     std::uint64_t blocks_delivered = 0;
     std::uint64_t payload_bytes = 0;
+    std::uint64_t bytes_copied = 0; ///< 0 on the zero-copy delivery path
     std::uint64_t steals = 0;
     std::uint64_t checksum_failures = 0;
     std::uint64_t channel_faults = 0;
     std::uint64_t timeouts = 0;
     double seconds = 0; ///< best-of-reps wall clock of the threaded region
     double gbps = 0;
+    double checksum_gbs = 0; ///< standalone digest kernel throughput
     double speedup = 0; ///< async rows: barrier seconds / async seconds
+    std::string mode; ///< barrier | serial | stealing (last rep's choice)
     bool verified = false;
 };
+
+/// Parses "--block 32,1024,4096" into a deduplicated size list.
+std::vector<std::size_t> parse_block_list(const std::string& spec) {
+    std::vector<std::size_t> out;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::string item = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        if (!item.empty()) {
+            const auto value =
+                static_cast<std::size_t>(std::strtoull(item.c_str(),
+                                                       nullptr, 10));
+            if (value > 0 &&
+                std::ranges::find(out, value) == out.end()) {
+                out.push_back(value);
+            }
+        }
+        if (comma == std::string::npos) {
+            break;
+        }
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/// Standalone throughput of the dispatched checksum kernel at one block
+/// size: GB digested per second over a cache-resident canonical block.
+double checksum_throughput(std::size_t block_elems) {
+    using clock = std::chrono::steady_clock;
+    std::vector<double> block(block_elems);
+    hcube::rt::fill_canonical(block, 0);
+    std::uint64_t sink = 0;
+    // Warm the dispatch target and the cache lines before timing.
+    for (int k = 0; k < 16; ++k) {
+        sink ^= hcube::rt::simd::checksum(block.data(), block_elems);
+    }
+    std::uint64_t iters = 0;
+    const auto t0 = clock::now();
+    double elapsed = 0;
+    do {
+        for (int k = 0; k < 64; ++k) {
+            sink ^= hcube::rt::simd::checksum(block.data(), block_elems);
+        }
+        iters += 64;
+        elapsed = std::chrono::duration<double>(clock::now() - t0).count();
+    } while (elapsed < 0.02);
+    // The digest chain keeps the optimizer honest without a volatile store
+    // in the timed loop.
+    if (sink == 0xDEADBEEF) {
+        std::printf("#");
+    }
+    return static_cast<double>(iters) *
+           static_cast<double>(block_elems * sizeof(double)) / elapsed *
+           1e-9;
+}
 
 /// The worker counts to sweep: {1, 2, 4, auto} clamped/deduplicated via
 /// the shared pick_worker_threads policy, or just the explicit request.
@@ -143,8 +214,12 @@ int main(int argc, char** argv) {
     const auto nmax = static_cast<dim_t>(options.get_int("nmax", 8));
     const auto pps = static_cast<packet_t>(options.get_int("pps", 4));
     const auto ppd = static_cast<packet_t>(options.get_int("ppd", 2));
-    const auto block =
-        static_cast<std::size_t>(options.get_int("block", 32));
+    const std::vector<std::size_t> blocks =
+        parse_block_list(options.get_string("block", "32,1024"));
+    if (blocks.empty()) {
+        std::fprintf(stderr, "--block needs a comma-separated size list\n");
+        return 1;
+    }
     const auto threads =
         static_cast<std::uint32_t>(options.get_int("threads", 0));
     const auto reps = static_cast<int>(options.get_int("reps", 3));
@@ -166,11 +241,26 @@ int main(int argc, char** argv) {
     hcube::bench::banner(
         "Runtime throughput",
         "barrier vs dataflow engines: GB/s and wall-clock speedups");
-    std::printf("  threads=%s block=%zu doubles  (timed region: play() "
-                "only, best of >= %d reps)\n\n",
+    std::string block_list;
+    for (const std::size_t b : blocks) {
+        block_list += (block_list.empty() ? "" : ",") + std::to_string(b);
+    }
+    std::printf("  threads=%s blocks=%s doubles  checksum dispatch=%s "
+                "(timed region: play() only, best of >= %d reps)\n\n",
                 threads == 0 ? "1,2,4,auto"
                              : std::to_string(threads).c_str(),
-                block, reps);
+                block_list.c_str(), hcube::rt::simd::dispatch_name(), reps);
+
+    // The digest kernel's standalone throughput per block size — attached
+    // to every row of that size so the JSON carries the checksum cost
+    // alongside the end-to-end delivery numbers it is buried in.
+    std::vector<double> checksum_gbs(blocks.size());
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        checksum_gbs[i] = checksum_throughput(blocks[i]);
+        std::printf("  checksum(%zu doubles): %.2f GB/s\n", blocks[i],
+                    checksum_gbs[i]);
+    }
+    std::printf("\n");
 
     // Broadcast pair uses the same total packet count P = n * pps for both
     // algorithms (the MSBT needs P divisible by n), so byte-for-byte the
@@ -215,9 +305,10 @@ int main(int argc, char** argv) {
          [](dim_t, packet_t) { return 0.0; }},
     };
 
-    std::printf("%-12s %3s %4s %-8s %8s %7s %7s %10s %9s %9s %8s %5s\n",
-                "workload", "n", "thr", "engine", "packets", "cycles",
-                "model", "blocks", "ms", "GB/s", "speedup", "ok");
+    std::printf("%-12s %3s %5s %4s %-8s %8s %7s %10s %9s %9s %-8s %8s "
+                "%5s\n",
+                "workload", "n", "blk", "thr", "engine", "packets",
+                "cycles", "blocks", "ms", "GB/s", "mode", "speedup", "ok");
 
     std::vector<Row> rows;
     for (const Workload& w : workloads) {
@@ -226,6 +317,8 @@ int main(int argc, char** argv) {
             const auto sim_stats = hcube::sim::execute_schedule(
                 schedule, PortModel::one_port_full_duplex);
 
+            for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+            const std::size_t block = blocks[bi];
             for (const std::uint32_t use_threads :
                  thread_counts(n, threads)) {
                 const hcube::rt::Plan plan = hcube::rt::compile_plan(
@@ -250,6 +343,7 @@ int main(int argc, char** argv) {
                 base.packets = schedule.packet_count;
                 base.sim_makespan = sim_stats.makespan;
                 base.model_steps = w.model_steps(n, schedule.packet_count);
+                base.checksum_gbs = checksum_gbs[bi];
 
                 // One rep loop per engine, identical policy: best-of wall
                 // clock over >= reps runs or min_time, whichever is later.
@@ -264,6 +358,8 @@ int main(int argc, char** argv) {
                         row.rt_cycles = stats.cycles;
                         row.blocks_delivered = stats.blocks_delivered;
                         row.payload_bytes = stats.payload_bytes;
+                        row.bytes_copied = stats.bytes_copied;
+                        row.mode = hcube::rt::to_string(stats.mode);
                         row.steals = stats.steals;
                         row.checksum_failures += stats.checksum_failures;
                         row.channel_faults += stats.channel_faults;
@@ -301,14 +397,15 @@ int main(int argc, char** argv) {
                     barrier_row.seconds / async_row.seconds;
 
                 for (const Row* row : {&barrier_row, &async_row}) {
-                    std::printf("%-12s %3d %4u %-8s %8u %7u %7.0f %10llu "
-                                "%9.3f %9.3f ",
-                                row->workload.c_str(), n, row->threads,
-                                row->engine.c_str(), row->packets,
-                                row->rt_cycles, row->model_steps,
+                    std::printf("%-12s %3d %5zu %4u %-8s %8u %7u %10llu "
+                                "%9.3f %9.3f %-8s ",
+                                row->workload.c_str(), n, block,
+                                row->threads, row->engine.c_str(),
+                                row->packets, row->rt_cycles,
                                 static_cast<unsigned long long>(
                                     row->blocks_delivered),
-                                row->seconds * 1e3, row->gbps);
+                                row->seconds * 1e3, row->gbps,
+                                row->mode.c_str());
                     if (row->speedup > 0) {
                         std::printf("%7.2fx ", row->speedup);
                     } else {
@@ -340,6 +437,7 @@ int main(int argc, char** argv) {
                                                   label + " async");
                 }
             }
+            }
         }
     }
 
@@ -349,11 +447,13 @@ int main(int argc, char** argv) {
     // the per-cycle synchronization cost, which is exactly what the
     // barrier engine pays and the async engine retires. The async rows'
     // own speedup column quantifies that retirement per workload.
-    const auto find = [&rows](const std::string& name,
-                              dim_t n) -> const Row* {
+    const std::size_t headline_block = blocks.front();
+    const auto find = [&rows, headline_block](const std::string& name,
+                                              dim_t n) -> const Row* {
         const Row* best = nullptr;
         for (const Row& r : rows) {
             if (r.workload == name && r.n == n && r.engine == "barrier" &&
+                r.block_elems == headline_block &&
                 (best == nullptr || r.threads > best->threads)) {
                 best = &r;
             }
@@ -408,6 +508,9 @@ int main(int argc, char** argv) {
             }
             json.field("blocks_delivered", r.blocks_delivered);
             json.field("payload_bytes", r.payload_bytes);
+            json.field("bytes_copied", r.bytes_copied);
+            json.field("checksum_gbs", r.checksum_gbs);
+            json.field("mode", r.mode);
             json.field("checksum_failures", r.checksum_failures);
             json.field("channel_faults", r.channel_faults);
             json.field("timeouts", r.timeouts);

@@ -2,11 +2,11 @@
 
 #include "common/check.hpp"
 #include "rt/checksum.hpp"
+#include "rt/delivery.hpp"
 #include "rt/pool.hpp"
 
-#include <bit>
+#include <algorithm>
 #include <chrono>
-#include <cstring>
 #include <deque>
 #include <mutex>
 #include <thread>
@@ -16,6 +16,16 @@ namespace hcube::rt {
 namespace {
 
 constexpr std::uint32_t kNoAction = ~std::uint32_t{0};
+
+/// Below this many actions per worker the queue/steal machinery costs more
+/// than it buys; such plans take the serial fast path unconditionally.
+constexpr std::uint32_t kSerialActionsPerWorker = 32;
+
+void cpu_relax() noexcept {
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+}
 
 } // namespace
 
@@ -33,7 +43,8 @@ AsyncPlayer::AsyncPlayer(const Plan& plan, std::uint32_t channel_capacity)
     : plan_(plan),
       channels_(plan.channel_count,
                 channel_capacity == 0 ? plan.async_depth : channel_capacity,
-                plan.block_elems),
+                plan.block_elems, plan.mode == DataMode::combine),
+      views_(static_cast<std::size_t>(plan.total_slots), nullptr),
       deps_(plan.dep_count.size()) {
     HCUBE_ENSURE_MSG(channels_.capacity() >= plan.async_depth,
                      "channel ring shallower than the depth the plan's "
@@ -43,13 +54,37 @@ AsyncPlayer::AsyncPlayer(const Plan& plan, std::uint32_t channel_capacity)
     HCUBE_ENSURE_MSG(bytes <= (std::uint64_t{1} << 34),
                      "runtime payload exceeds 16 GiB; shrink the schedule "
                      "or the block size");
-    memory_.assign(static_cast<std::size_t>(plan.total_slots) *
-                       plan.block_elems,
-                   0.0);
     if (plan.mode == DataMode::move) {
         expected_checksum_.resize(plan.packet_count);
         for (packet_t p = 0; p < plan.packet_count; ++p) {
             expected_checksum_[p] = canonical_checksum(p, plan.block_elems);
+        }
+    } else {
+        memory_.assign(static_cast<std::size_t>(plan.total_slots) *
+                           plan.block_elems,
+                       0.0);
+    }
+}
+
+void AsyncPlayer::prepare_views() {
+    copy_through_ =
+        plan_.mode == DataMode::combine || channels_.inline_active();
+    const std::size_t blk = plan_.block_elems;
+    if (copy_through_) {
+        if (memory_.empty() && plan_.total_slots > 0) {
+            memory_.assign(static_cast<std::size_t>(plan_.total_slots) * blk,
+                           0.0);
+        }
+        seed_plan_memory(plan_, memory_);
+        for (std::uint64_t s = 0; s < plan_.total_slots; ++s) {
+            views_[static_cast<std::size_t>(s)] =
+                memory_.data() + static_cast<std::size_t>(s) * blk;
+        }
+    } else {
+        std::ranges::fill(views_, nullptr);
+        for (const std::uint64_t slot : plan_.seeded_slots) {
+            views_[static_cast<std::size_t>(slot)] =
+                plan_.arena_block(plan_.slot_packet[slot]);
         }
     }
 }
@@ -60,104 +95,32 @@ std::span<const double> AsyncPlayer::block(node_t node,
     if (slot == Plan::kNoSlot) {
         return {};
     }
-    return {memory_.data() +
-                static_cast<std::size_t>(slot) * plan_.block_elems,
-            plan_.block_elems};
+    const double* view = views_[static_cast<std::size_t>(slot)];
+    if (view == nullptr) {
+        return {};
+    }
+    return {view, plan_.block_elems};
 }
 
-void AsyncPlayer::execute(std::uint32_t action, std::uint32_t worker,
-                          PlayStats& stats) {
-    const std::size_t blk = plan_.block_elems;
-    const bool detecting = detect_.enabled();
-    TraceRecorder* const trace = trace_;
+void AsyncPlayer::execute(const RunContext& ctx, std::uint32_t action,
+                          std::uint32_t worker, PlayStats& stats) {
+    // Hot fields come from the plan's SoA action arrays — four sequential
+    // u32 streams instead of a strided 24-byte struct walk.
     if (plan_.is_send_action(action)) {
-        const Action& a = plan_.flat_sends[action];
-        const std::span<const double> block{
-            memory_.data() + static_cast<std::size_t>(a.slot) * blk, blk};
-        const TraceRecorder::clock::time_point t0 =
-            trace != nullptr ? TraceRecorder::clock::now()
-                             : TraceRecorder::clock::time_point{};
-        if (!channels_.try_push(a.channel, a.packet, block)) [[unlikely]] {
-            ++stats.channel_faults; // impossible while capacity edges hold
-            if (detecting) {
-                arbiter_.raise(make_fault_report(
-                                   plan_, ft::DetectClass::stream_mismatch,
-                                   a.channel, plan_.flat_cycle[action],
-                                   a.packet),
-                               detect_.abort_on_fault);
-            }
-        } else {
-            ++stats.blocks_sent;
-        }
-        if (trace != nullptr) {
-            trace->record(worker, TraceKind::send, t0,
-                          TraceRecorder::clock::now(), a.channel, a.packet,
-                          plan_.flat_cycle[action]);
-        }
+        send_block(ctx,
+                   {plan_.act_channel[action], plan_.act_slot[action],
+                    plan_.act_packet[action], plan_.act_seq[action],
+                    plan_.flat_cycle[action]},
+                   worker, stats);
         return;
     }
     const std::uint32_t index =
         action - static_cast<std::uint32_t>(plan_.flat_sends.size());
-    const Action& a = plan_.flat_recvs[index];
-    const std::uint32_t cycle = plan_.flat_cycle[index];
-    const TraceRecorder::clock::time_point t0 =
-        trace != nullptr ? TraceRecorder::clock::now()
-                         : TraceRecorder::clock::time_point{};
-    std::uint32_t packet = 0;
-    std::uint32_t seq = 0;
-    const std::span<const double> arrived =
-        detecting ? await_front(channels_, a.channel, packet, seq,
-                                detect_.arrival_timeout_us, arbiter_)
-                  : channels_.front(a.channel, packet, seq);
-    if (arrived.empty()) [[unlikely]] {
-        if (detecting && arbiter_.aborted()) {
-            return; // another action's fault won; this one just drains
-        }
-        ++stats.channel_faults;
-        if (detecting) {
-            ++stats.timeouts;
-            arbiter_.raise(
-                make_fault_report(plan_, ft::DetectClass::arrival_timeout,
-                                  a.channel, cycle, a.packet),
-                detect_.abort_on_fault);
-        }
-        return;
-    }
-    if (packet != a.packet || seq != a.seq) [[unlikely]] {
-        ++stats.channel_faults;
-        if (detecting) {
-            arbiter_.raise(
-                make_fault_report(plan_, ft::DetectClass::stream_mismatch,
-                                  a.channel, cycle, a.packet),
-                detect_.abort_on_fault);
-        }
-        return;
-    }
-    double* dst = memory_.data() + static_cast<std::size_t>(a.slot) * blk;
-    if (plan_.mode == DataMode::move) {
-        if (block_checksum(arrived) != expected_checksum_[a.packet])
-            [[unlikely]] {
-            ++stats.checksum_failures;
-            if (detecting) {
-                arbiter_.raise(make_fault_report(
-                                   plan_, ft::DetectClass::checksum_mismatch,
-                                   a.channel, cycle, a.packet),
-                               detect_.abort_on_fault);
-            }
-        }
-        std::memcpy(dst, arrived.data(), blk * sizeof(double));
-    } else {
-        for (std::size_t e = 0; e < blk; ++e) {
-            dst[e] += arrived[e];
-        }
-    }
-    channels_.pop_front(a.channel);
-    ++stats.blocks_delivered;
-    if (trace != nullptr) {
-        trace->record(worker, TraceKind::recv, t0,
-                      TraceRecorder::clock::now(), a.channel, a.packet,
-                      cycle);
-    }
+    (void)deliver_block(ctx,
+                        {plan_.act_channel[action], plan_.act_slot[action],
+                         plan_.act_packet[action], plan_.act_seq[action],
+                         plan_.flat_cycle[index]},
+                        /*check_seq=*/true, worker, stats);
 }
 
 void AsyncPlayer::finish(std::uint32_t action, Worker* workers) {
@@ -182,6 +145,12 @@ void AsyncPlayer::run_worker(std::uint32_t worker, Worker* workers) {
     Worker& self = workers[worker];
     const std::uint32_t count = plan_.workers;
     const std::uint64_t total = plan_.action_count();
+    const RunContext ctx{plan_,          channels_,
+                         views_.data(),  memory_.data(),
+                         expected_checksum_.data(),
+                         detect_,        arbiter_,
+                         trace_,         detect_.enabled(),
+                         copy_through_};
     std::uint32_t misses = 0;
     // On abort every worker simply exits its loop: unfinished actions stay
     // unfinished (their dep counters never reach zero), and play() rewinds
@@ -210,8 +179,14 @@ void AsyncPlayer::run_worker(std::uint32_t worker, Worker* workers) {
         }
         if (action == kNoAction) {
             // Out of work but the run is not over: someone else holds the
-            // frontier. Yield (oversubscribed hosts) and eventually nap.
-            if (++misses < 1024) {
+            // frontier. Back off in stages — spin briefly (the frontier
+            // usually reappears within nanoseconds), then yield
+            // (oversubscribed hosts), and eventually nap so a starved tail
+            // doesn't hammer every victim lock.
+            ++misses;
+            if (misses < 64) {
+                cpu_relax();
+            } else if (misses < 1024) {
                 std::this_thread::yield();
             } else {
                 std::this_thread::sleep_for(std::chrono::microseconds(50));
@@ -219,55 +194,119 @@ void AsyncPlayer::run_worker(std::uint32_t worker, Worker* workers) {
             continue;
         }
         misses = 0;
-        execute(action, worker, self.stats);
+        execute(ctx, action, worker, self.stats);
         finish(action, workers);
     }
 }
 
+void AsyncPlayer::run_serial(PlayStats& stats) {
+    // (cycle, sends-before-recvs, lowered index) is a topological order of
+    // the dependency graph and exactly the barrier oracle's execution
+    // order, so this walk is byte-identical to it — including combine-mode
+    // accumulation order — with no queues, no atomics, no barriers.
+    const RunContext ctx{plan_,          channels_,
+                         views_.data(),  memory_.data(),
+                         expected_checksum_.data(),
+                         detect_,        arbiter_,
+                         trace_,         detect_.enabled(),
+                         copy_through_};
+    // Zero-copy move traffic with no tracer and no detector needs no ring
+    // at all when there is only one executing thread: the rings exist to
+    // hand descriptors across threads, and here the hop *is* the view
+    // assignment. The integrity check gets stronger, not weaker — instead
+    // of comparing the descriptor's digest word (published from the same
+    // table it is checked against), the forwarded view must be the
+    // packet's canonical arena block, pointer-identical.
+    if (!copy_through_ && trace_ == nullptr && !ctx.detecting) {
+        for (std::uint32_t cycle = 0; cycle < plan_.cycles; ++cycle) {
+            const std::uint32_t lo = plan_.flat_cycle_begin[cycle];
+            const std::uint32_t hi = plan_.flat_cycle_begin[cycle + 1];
+            for (std::uint32_t i = lo; i < hi; ++i) {
+                // Store-and-forward (proven at compile) means no send in
+                // this cycle reads a slot this cycle delivers, so the
+                // send/recv halves of hop i can be retired together.
+                const double* const view =
+                    views_[static_cast<std::size_t>(plan_.flat_sends[i].slot)];
+                const Action& r = plan_.flat_recvs[i];
+                if (view != plan_.arena_block(r.packet)) [[unlikely]] {
+                    ++stats.checksum_failures;
+                }
+                views_[static_cast<std::size_t>(r.slot)] = view;
+            }
+            stats.blocks_sent += hi - lo;
+            stats.blocks_delivered += hi - lo;
+        }
+        return;
+    }
+    // This walk is sequential, so it reads the AoS flat_sends/flat_recvs
+    // (one contiguous stream each, like the barrier engine's bucket walk)
+    // rather than the SoA act_* arrays the dataflow path uses for its
+    // random access by action id.
+    for (std::uint32_t cycle = 0; cycle < plan_.cycles; ++cycle) {
+        if (ctx.detecting && arbiter_.aborted()) {
+            break;
+        }
+        const std::uint32_t lo = plan_.flat_cycle_begin[cycle];
+        const std::uint32_t hi = plan_.flat_cycle_begin[cycle + 1];
+        for (std::uint32_t i = lo; i < hi; ++i) {
+            const Action& a = plan_.flat_sends[i];
+            send_block(ctx,
+                       {a.channel, static_cast<std::uint32_t>(a.slot),
+                        a.packet, a.seq, cycle},
+                       0, stats);
+        }
+        for (std::uint32_t i = lo; i < hi; ++i) {
+            const Action& a = plan_.flat_recvs[i];
+            const DeliverOutcome out =
+                deliver_block(ctx,
+                              {a.channel, static_cast<std::uint32_t>(a.slot),
+                               a.packet, a.seq, cycle},
+                              /*check_seq=*/true, 0, stats);
+            if (out == DeliverOutcome::drained ||
+                (out == DeliverOutcome::skipped && arbiter_.aborted())) {
+                break;
+            }
+        }
+    }
+}
+
 PlayStats AsyncPlayer::play(WorkerPool* pool) {
-    seed_plan_memory(plan_, memory_);
+    prepare_views();
     channels_.reset();
     arbiter_.reset();
     if (trace_ != nullptr) {
         HCUBE_ENSURE_MSG(trace_->workers() >= plan_.workers,
                          "trace recorder has fewer lanes than plan workers");
     }
-    completed_.store(0, std::memory_order_relaxed);
-    const std::uint32_t total = plan_.action_count();
-    for (std::uint32_t a = 0; a < total; ++a) {
-        deps_[a].store(plan_.dep_count[a], std::memory_order_relaxed);
-    }
 
-    std::vector<Worker> workers(plan_.workers);
-    for (std::uint32_t a = 0; a < total; ++a) {
-        if (plan_.dep_count[a] == 0) {
-            workers[plan_.owner_of(plan_.action(a).node)].queue.push_back(a);
+    const std::uint32_t total = plan_.action_count();
+    // Mode selection: tiny plans always run serial; otherwise follow the
+    // tuner (probe stealing first, fall back per measurement).
+    const bool forced_serial =
+        plan_.workers == 1 ||
+        std::uint64_t{total} <
+            std::uint64_t{kSerialActionsPerWorker} * plan_.workers;
+    const bool serial =
+        forced_serial ||
+        tune_ == Tune::probe_serial || tune_ == Tune::locked_serial;
+
+    std::vector<Worker> workers(serial ? 1 : plan_.workers);
+    if (!serial) {
+        completed_.store(0, std::memory_order_relaxed);
+        for (std::uint32_t a = 0; a < total; ++a) {
+            deps_[a].store(plan_.dep_count[a], std::memory_order_relaxed);
+        }
+        for (std::uint32_t a = 0; a < total; ++a) {
+            if (plan_.dep_count[a] == 0) {
+                workers[plan_.owner_of(plan_.action(a).node)]
+                    .queue.push_back(a);
+            }
         }
     }
 
     const auto start = std::chrono::steady_clock::now();
-    if (plan_.workers == 1) {
-        // Serial fast path: (cycle, sends-before-recvs) is a topological
-        // order of the dependency graph, so a single worker can walk the
-        // actions in lowered order — same semantics and same per-slot
-        // accumulation order, none of the queue/atomic bookkeeping. With
-        // one worker the (cycle, worker) buckets are the per-cycle ranges
-        // of the flat lowered arrays, so bucket index i is action id i.
-        PlayStats& stats = workers[0].stats;
-        for (std::uint32_t cycle = 0;
-             cycle < plan_.cycles && !arbiter_.aborted(); ++cycle) {
-            for (std::uint64_t i = plan_.send_begin[cycle];
-                 i < plan_.send_begin[cycle + 1]; ++i) {
-                execute(static_cast<std::uint32_t>(i), 0, stats);
-            }
-            const auto sends =
-                static_cast<std::uint32_t>(plan_.flat_sends.size());
-            for (std::uint64_t i = plan_.recv_begin[cycle];
-                 i < plan_.recv_begin[cycle + 1] && !arbiter_.aborted();
-                 ++i) {
-                execute(sends + static_cast<std::uint32_t>(i), 0, stats);
-            }
-        }
+    if (serial) {
+        run_serial(workers[0].stats);
     } else if (pool != nullptr) {
         HCUBE_ENSURE_MSG(pool->size() >= plan_.workers,
                          "worker pool narrower than the plan");
@@ -289,10 +328,12 @@ PlayStats AsyncPlayer::play(WorkerPool* pool) {
 
     PlayStats stats;
     stats.cycles = plan_.cycles; // logical schedule depth, never barriered
+    stats.mode = serial ? ExecMode::serial : ExecMode::stealing;
     stats.seconds = std::chrono::duration<double>(stop - start).count();
     for (const Worker& w : workers) {
         stats.blocks_sent += w.stats.blocks_sent;
         stats.blocks_delivered += w.stats.blocks_delivered;
+        stats.bytes_copied += w.stats.bytes_copied;
         stats.checksum_failures += w.stats.checksum_failures;
         stats.channel_faults += w.stats.channel_faults;
         stats.timeouts += w.stats.timeouts;
@@ -300,6 +341,23 @@ PlayStats AsyncPlayer::play(WorkerPool* pool) {
     }
     stats.payload_bytes =
         stats.blocks_delivered * plan_.block_elems * sizeof(double);
+
+    // Advance the tuner on clean, tuner-driven runs only (forced-serial
+    // runs and faulted runs say nothing about the stealing/serial choice).
+    if (!forced_serial && stats.clean() && !arbiter_.aborted()) {
+        if (tune_ == Tune::probe_parallel) {
+            if (stats.steals * 2 <= total) {
+                tune_ = Tune::locked_parallel;
+            } else {
+                probe_parallel_seconds_ = stats.seconds;
+                tune_ = Tune::probe_serial;
+            }
+        } else if (tune_ == Tune::probe_serial) {
+            tune_ = stats.seconds <= probe_parallel_seconds_
+                        ? Tune::locked_serial
+                        : Tune::locked_parallel;
+        }
+    }
     return stats;
 }
 

@@ -21,6 +21,15 @@
 // every action is enqueued exactly once and some queue is always non-empty
 // while work remains. Violations on worker threads are counted in the
 // stats, never thrown, mirroring the barrier Player.
+//
+// Not every plan is worth stealing for. (cycle, sends-before-recvs,
+// lowered index) is a topological order of the dependency graph, so a
+// single thread walking the flat arrays in that order executes the plan
+// with zero queue/atomic bookkeeping — the *serial fast path*. Plans too
+// small to amortize parallelism take it unconditionally; for the rest an
+// adaptive probe (see Tune below) locks in whichever of stealing/serial
+// measured faster on this player's plan. PlayStats::mode reports the
+// choice per run.
 #pragma once
 
 #include "ft/fault_model.hpp"
@@ -38,6 +47,7 @@
 namespace hcube::rt {
 
 class WorkerPool;
+struct RunContext; // rt/delivery.hpp
 
 class AsyncPlayer {
 public:
@@ -87,17 +97,40 @@ public:
 private:
     struct Worker;
 
+    /// Adaptive engine-mode tuner. Work-stealing pays off only when a plan
+    /// has enough parallel slack; on steal-thrashed shapes (MSBT broadcast:
+    /// long per-channel chains, tiny frontier) the serial fast path wins
+    /// outright. The first eligible run probes stealing; if steals dominate
+    /// the action count, the next run probes serial and the faster of the
+    /// two is locked in for the player's lifetime.
+    enum class Tune {
+        probe_parallel,
+        probe_serial,
+        locked_parallel,
+        locked_serial,
+    };
+
+    void prepare_views();
+    void run_serial(PlayStats& stats);
     void run_worker(std::uint32_t worker, Worker* workers);
-    void execute(std::uint32_t action, std::uint32_t worker,
-                 PlayStats& stats);
+    void execute(const RunContext& ctx, std::uint32_t action,
+                 std::uint32_t worker, PlayStats& stats);
     void finish(std::uint32_t action, Worker* workers);
 
     const Plan& plan_;
     ChannelBank channels_;
-    std::vector<double> memory_; ///< total_slots x block_elems doubles
+    /// Per slot: the block the (node, packet) currently holds — arena
+    /// views on the zero-copy path, memory_ under copy-through.
+    std::vector<const double*> views_;
+    /// Copy-through slot storage; eager for combine plans, lazy for move
+    /// plans (first fault-hooked run), never touched on pure zero-copy.
+    std::vector<double> memory_;
     std::vector<std::uint64_t> expected_checksum_; ///< per packet, move mode
     std::vector<std::atomic<std::uint32_t>> deps_; ///< live dep counters
     std::atomic<std::uint64_t> completed_{0};
+    bool copy_through_ = false; ///< decided per run in prepare_views()
+    Tune tune_ = Tune::probe_parallel;
+    double probe_parallel_seconds_ = 0; ///< the stealing probe's wall clock
     ft::DetectConfig detect_{};
     FaultArbiter arbiter_;
     TraceRecorder* trace_ = nullptr;

@@ -6,10 +6,19 @@
 // elementwise sums over as many as 2^26 contributions stay exactly
 // representable in a double, which lets the combining (reduce) path be
 // checked for bit-exact equality rather than within a tolerance.
+//
+// The digest itself is the lane-parallel xxHash64-class checksum in
+// rt/simd.hpp (runtime-dispatched AVX2 with a bit-identical scalar
+// fallback), hashing the doubles' bit patterns. All payloads the runtime
+// generates are small non-negative integers, so every value has exactly one
+// representation and bit-pattern hashing is as canonical as value hashing.
 #pragma once
+
+#include "rt/simd.hpp"
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 namespace hcube::rt {
 
@@ -58,29 +67,23 @@ inline void fill_contribution(std::span<double> block, std::uint32_t node,
     }
 }
 
-/// FNV-1a over the elements' integer values (all payloads are small exact
-/// integers, so hashing the value rather than the bit pattern keeps the
-/// checksum independent of signed-zero / representation concerns).
+/// 64-bit digest of a block's contents (dispatched SIMD kernel).
 [[nodiscard]] inline std::uint64_t
 block_checksum(std::span<const double> block) noexcept {
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (const double v : block) {
-        h ^= static_cast<std::uint64_t>(v);
-        h *= 0x100000001b3ull;
-    }
-    return h;
+    return simd::checksum(block.data(), block.size());
 }
 
-/// Checksum the canonical block for `packet` would have, without
-/// materializing it.
+/// Checksum the canonical block for `packet` would have. Materializes the
+/// block into thread-local scratch so the digest comes from the exact same
+/// kernel as block_checksum — one algorithm definition, no drift.
 [[nodiscard]] inline std::uint64_t
-canonical_checksum(std::uint32_t packet, std::size_t block_elems) noexcept {
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (std::size_t i = 0; i < block_elems; ++i) {
-        h ^= static_cast<std::uint64_t>(canonical_element(packet, i));
-        h *= 0x100000001b3ull;
+canonical_checksum(std::uint32_t packet, std::size_t block_elems) {
+    thread_local std::vector<double> scratch;
+    if (scratch.size() < block_elems) {
+        scratch.resize(block_elems);
     }
-    return h;
+    fill_canonical({scratch.data(), block_elems}, packet);
+    return simd::checksum(scratch.data(), block_elems);
 }
 
 } // namespace hcube::rt

@@ -43,8 +43,10 @@ void copy_play_stats(Result& result, const PlayStats& stats) {
     result.rt_cycles = stats.cycles;
     result.blocks_delivered = stats.blocks_delivered;
     result.payload_bytes = stats.payload_bytes;
+    result.bytes_copied = stats.bytes_copied;
     result.seconds = stats.seconds;
     result.steals = stats.steals;
+    result.exec_mode = stats.mode;
     result.checksum_failures = stats.checksum_failures;
     result.channel_faults = stats.channel_faults;
     result.timeouts = stats.timeouts;

@@ -27,6 +27,7 @@
 #pragma once
 
 #include "routing/schedule_export.hpp"
+#include "rt/player.hpp" // PlayStats, ExecMode
 #include "sim/port_model.hpp"
 #include "trees/spanning_tree.hpp"
 
@@ -91,6 +92,8 @@ struct Result {
     std::uint32_t sim_makespan = 0; ///< CycleExecutor makespan (cross-check)
     std::uint64_t blocks_delivered = 0;
     std::uint64_t payload_bytes = 0; ///< bytes drained from link channels
+    std::uint64_t bytes_copied = 0;  ///< payload bytes memcpy'd by the
+                                     ///< reported engine (0 = pure zero-copy)
     double seconds = 0;              ///< wall clock of the reported engine
     double ref_seconds = 0; ///< barrier-oracle wall clock (async engine)
     std::uint64_t steals = 0; ///< work-stealing count (async engine)
@@ -108,6 +111,10 @@ struct Result {
     /// serial path) — no thread was created or joined for this operation.
     bool pool_reused = false;
     Engine engine = Engine::barrier; ///< engine the stats above came from
+    /// How the reported engine's run actually executed: barrier phases,
+    /// the AsyncPlayer's serial fast path, or its work-stealing mode (the
+    /// adaptive tuner's per-run choice).
+    ExecMode exec_mode = ExecMode::barrier;
     std::uint32_t threads = 1;
 
     [[nodiscard]] double gbytes_per_sec() const noexcept {

@@ -86,24 +86,22 @@ private:
     ft::FaultReport report_{};
 };
 
-/// Polls `channels.front(channel)` until a block appears, the arbiter
-/// aborts, or `timeout_us` elapses. Returns the front view (empty on
-/// timeout/abort). The caller re-checks packet/seq itself.
-[[nodiscard]] inline std::span<const double>
+/// Polls `channels.front(channel)` until a descriptor appears, the arbiter
+/// aborts, or `timeout_us` elapses. Returns false on timeout/abort. The
+/// caller re-checks packet/seq itself.
+[[nodiscard]] inline bool
 await_front(const ChannelBank& channels, std::uint32_t channel,
-            std::uint32_t& packet, std::uint32_t& seq,
-            std::uint32_t timeout_us, const FaultArbiter& arbiter) {
+            ChannelBank::Desc& d, std::uint32_t timeout_us,
+            const FaultArbiter& arbiter) {
     using clock = std::chrono::steady_clock;
     const clock::time_point deadline =
         clock::now() + std::chrono::microseconds(timeout_us);
     for (;;) {
-        const std::span<const double> block =
-            channels.front(channel, packet, seq);
-        if (!block.empty()) {
-            return block;
+        if (channels.front(channel, d)) {
+            return true;
         }
         if (arbiter.aborted() || clock::now() >= deadline) {
-            return {};
+            return false;
         }
         std::this_thread::yield();
     }

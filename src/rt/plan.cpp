@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <bit>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
 namespace hcube::rt {
@@ -65,10 +66,18 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
     /// in cycle order (slots are written repeatedly there).
     std::vector<std::vector<std::uint32_t>> slot_recvs;
     std::vector<std::vector<std::uint32_t>> slot_sends;
+    /// Compile-time slot index; flattened into the plan's sorted
+    /// slot_lookup table once the slot set is final.
+    std::unordered_map<std::uint64_t, std::uint64_t> slot_index;
+    const auto find_slot = [&](node_t node, packet_t packet) {
+        const auto it =
+            slot_index.find((std::uint64_t{packet} << 32) | node);
+        return it == slot_index.end() ? Plan::kNoSlot : it->second;
+    };
     const auto create_slot = [&](node_t node, packet_t packet,
                                  std::uint32_t acquire) {
         const std::uint64_t id = plan.total_slots++;
-        plan.slot_index_.emplace((std::uint64_t{packet} << 32) | node, id);
+        slot_index.emplace((std::uint64_t{packet} << 32) | node, id);
         plan.slot_packet.push_back(packet);
         plan.slot_node.push_back(node);
         slot_acquire.push_back(acquire);
@@ -89,7 +98,17 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
     }
 
     // ---- channel numbering + lowering ---------------------------------
-    std::unordered_map<std::uint64_t, std::uint32_t> channel_of;
+    // Channels are numbered in first-use order. For cubes up to n = 16 a
+    // dense (node, dimension) table replaces the hash map — the validated
+    // sends below guarantee from ^ to is a single bit, so a directed link
+    // is exactly (from, countr_zero(from ^ to)).
+    const auto dims = static_cast<std::size_t>(schedule.n);
+    const bool dense_links = schedule.n <= 16;
+    std::vector<std::uint32_t> link_table; ///< channel + 1; 0 = unseen
+    if (dense_links) {
+        link_table.assign(std::size_t{count} * dims, 0);
+    }
+    std::unordered_map<std::uint64_t, std::uint32_t> link_map;
     /// Last cycle each channel carried a block (one packet per directed
     /// link per cycle, the link-capacity rule).
     std::vector<std::uint64_t> channel_last_cycle;
@@ -124,11 +143,29 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
             fail_send("unknown packet", send);
         }
 
-        const std::uint64_t link_key =
-            (std::uint64_t{send.from} << 32) | send.to;
-        const auto [it, inserted] = channel_of.emplace(
-            link_key, static_cast<std::uint32_t>(channel_of.size()));
-        const std::uint32_t channel = it->second;
+        std::uint32_t channel;
+        bool inserted;
+        if (dense_links) {
+            const auto dim = static_cast<std::size_t>(
+                std::countr_zero(send.from ^ send.to));
+            std::uint32_t& entry =
+                link_table[std::size_t{send.from} * dims + dim];
+            inserted = entry == 0;
+            if (inserted) {
+                entry = static_cast<std::uint32_t>(
+                            plan.channel_link.size()) +
+                        1;
+            }
+            channel = entry - 1;
+        } else {
+            const std::uint64_t link_key =
+                (std::uint64_t{send.from} << 32) | send.to;
+            const auto [it, fresh] = link_map.emplace(
+                link_key,
+                static_cast<std::uint32_t>(plan.channel_link.size()));
+            inserted = fresh;
+            channel = it->second;
+        }
         if (inserted) {
             channel_last_cycle.push_back(kIdle);
             plan.channel_link.emplace_back(send.from, send.to);
@@ -139,7 +176,7 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
         }
         channel_last_cycle[channel] = send.cycle;
 
-        std::uint64_t src_slot = plan.slot_of(send.from, send.packet);
+        std::uint64_t src_slot = find_slot(send.from, send.packet);
         if (src_slot == Plan::kNoSlot) {
             if (mode == DataMode::move) [[unlikely]] {
                 fail_send("sender never holds the packet", send);
@@ -150,7 +187,7 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
             fail_send("sender does not hold the packet yet", send);
         }
 
-        std::uint64_t dst_slot = plan.slot_of(send.to, send.packet);
+        std::uint64_t dst_slot = find_slot(send.to, send.packet);
         if (dst_slot == Plan::kNoSlot) {
             dst_slot = create_slot(send.to, send.packet, send.cycle + 1);
         } else if (mode == DataMode::move) [[unlikely]] {
@@ -233,12 +270,42 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
             {send.cycle, {channel, send.to, dst_slot, send.packet, seq}});
         chan_sends[channel].push_back(i);
     }
-    plan.channel_count = static_cast<std::uint32_t>(channel_of.size());
+    plan.channel_count = static_cast<std::uint32_t>(plan.channel_link.size());
+    HCUBE_ENSURE(plan.total_slots <= ~std::uint32_t{0});
 
     if (mode == DataMode::combine) {
         plan.seeded_slots.resize(plan.total_slots);
         for (std::uint64_t s = 0; s < plan.total_slots; ++s) {
             plan.seeded_slots[s] = s;
+        }
+    }
+
+    // ---- read-only lookup tables --------------------------------------
+    plan.slot_lookup.assign(slot_index.begin(), slot_index.end());
+    std::ranges::sort(plan.slot_lookup, {},
+                      &std::pair<std::uint64_t, std::uint64_t>::first);
+
+    plan.node_out_ports.assign(count, 0);
+    plan.node_in_ports.assign(count, 0);
+    for (const auto& [from, to] : plan.channel_link) {
+        const auto dim = static_cast<std::uint32_t>(
+            std::countr_zero(from ^ to));
+        plan.node_out_ports[from] |= std::uint32_t{1} << dim;
+        plan.node_in_ports[to] |= std::uint32_t{1} << dim;
+    }
+
+    // ---- immutable block arena (move mode) ----------------------------
+    if (mode == DataMode::move) {
+        plan.arena_stride = (block_elems + 7) & ~std::size_t{7};
+        plan.arena.resize(
+            std::size_t{schedule.packet_count} * plan.arena_stride + 7);
+        const auto raw = reinterpret_cast<std::uintptr_t>(plan.arena.data());
+        double* base =
+            reinterpret_cast<double*>(raw + ((0u - raw) & 63u));
+        for (packet_t p = 0; p < schedule.packet_count; ++p) {
+            fill_canonical(
+                {base + std::size_t{p} * plan.arena_stride, block_elems},
+                p);
         }
     }
 
@@ -253,6 +320,29 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
     }
     for (const Lowered& l : low_recvs) {
         plan.flat_recvs.push_back(l.action);
+    }
+
+    // Cycle CSR over lowered indices (lowered order is cycle-sorted).
+    plan.flat_cycle_begin.assign(std::size_t{plan.cycles} + 1, 0);
+    for (const std::uint32_t c : plan.flat_cycle) {
+        ++plan.flat_cycle_begin[std::size_t{c} + 1];
+    }
+    for (std::size_t c = 1; c <= plan.cycles; ++c) {
+        plan.flat_cycle_begin[c] += plan.flat_cycle_begin[c - 1];
+    }
+
+    // SoA mirror of the lowered actions, indexed by action id.
+    plan.act_channel.resize(std::size_t{2} * S);
+    plan.act_slot.resize(std::size_t{2} * S);
+    plan.act_packet.resize(std::size_t{2} * S);
+    plan.act_seq.resize(std::size_t{2} * S);
+    for (std::uint32_t id = 0; id < 2 * S; ++id) {
+        const Action& a =
+            id < S ? plan.flat_sends[id] : plan.flat_recvs[id - S];
+        plan.act_channel[id] = a.channel;
+        plan.act_slot[id] = static_cast<std::uint32_t>(a.slot);
+        plan.act_packet[id] = a.packet;
+        plan.act_seq[id] = a.seq;
     }
 
     HCUBE_ENSURE(edges.size() < ~std::uint32_t{0});

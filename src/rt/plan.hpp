@@ -35,9 +35,9 @@
 #include "hc/types.hpp"
 #include "sim/cycle.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 namespace hcube::rt {
@@ -85,10 +85,35 @@ struct Plan {
     /// own contribution).
     std::vector<std::uint64_t> seeded_slots;
 
+    // ---- immutable block arena (move mode) ----------------------------
+    /// One canonical block per packet, written once at compile time and
+    /// immutable thereafter: the backing store every zero-copy descriptor
+    /// in a move-mode run points into. Blocks are padded to `arena_stride`
+    /// elements so consecutive blocks never share a cache line. Empty in
+    /// combine mode (slots there are mutable accumulators, not views).
+    std::vector<double> arena;
+    std::size_t arena_stride = 0; ///< block_elems rounded up to 8 doubles
+
+    /// 64-byte-aligned start of packet 0's block (the vector is over-
+    /// allocated by up to 7 doubles of alignment slack).
+    [[nodiscard]] const double* arena_base() const noexcept {
+        const auto p = reinterpret_cast<std::uintptr_t>(arena.data());
+        return reinterpret_cast<const double*>(p + ((0u - p) & 63u));
+    }
+    /// The canonical arena block for `packet` (move mode only).
+    [[nodiscard]] const double* arena_block(packet_t packet) const noexcept {
+        return arena_base() + std::size_t{packet} * arena_stride;
+    }
+
     // ---- channels ------------------------------------------------------
     std::uint32_t channel_count = 0;
     /// Per channel: (from, to) endpoints, for diagnostics.
     std::vector<std::pair<node_t, node_t>> channel_link;
+    /// Per node: the cube dimensions it sends across / receives on, one bit
+    /// per dimension (n <= 26 fits any node's route set in one word — the
+    /// raikv CubeRoute idiom). Diagnostics and topology-aware partitioning.
+    std::vector<std::uint32_t> node_out_ports;
+    std::vector<std::uint32_t> node_in_ports;
 
     // ---- per-(cycle, worker) action buckets ---------------------------
     /// CSR offsets of size cycles*workers + 1 into `sends` / `recvs`;
@@ -107,6 +132,20 @@ struct Plan {
     /// Scheduled cycle of send/recv i (shared by both halves) — consulted
     /// off the hot path only (fault reports, trace export).
     std::vector<std::uint32_t> flat_cycle;
+    /// CSR offsets of size cycles + 1 over the lowered indices: sends (and
+    /// recvs) of cycle c are flat indices [flat_cycle_begin[c],
+    /// flat_cycle_begin[c+1]). This is the serial fast path's entire
+    /// schedule walk — no buckets, no barriers.
+    std::vector<std::uint32_t> flat_cycle_begin;
+    /// Hot-path SoA mirror of the lowered actions, indexed by action id
+    /// (send i -> i, recv i -> S + i): four parallel u32 streams instead of
+    /// one 24-byte struct stream, so the engines' inner loops touch the
+    /// minimum number of cache lines. `node` stays AoS-only — it is read on
+    /// cold paths (traces, fault reports, queue seeding) via action().
+    std::vector<std::uint32_t> act_channel;
+    std::vector<std::uint32_t> act_slot;
+    std::vector<packet_t> act_packet;
+    std::vector<std::uint32_t> act_seq;
     /// Ring slots per channel the capacity edges were emitted for; an
     /// asynchronous engine must run with at least this many (a producer may
     /// run up to async_depth logical cycles ahead of its consumer).
@@ -131,15 +170,20 @@ struct Plan {
     }
 
     /// Slot of (node, packet), or kNoSlot if the node never holds it.
+    /// Binary search over a sorted (key, slot) table — compact, cache
+    /// friendly, and read-only after compilation.
     static constexpr std::uint64_t kNoSlot = ~std::uint64_t{0};
     [[nodiscard]] std::uint64_t slot_of(node_t node, packet_t packet) const {
-        const auto it =
-            slot_index_.find((std::uint64_t{packet} << 32) | node);
-        return it == slot_index_.end() ? kNoSlot : it->second;
+        const std::uint64_t key = (std::uint64_t{packet} << 32) | node;
+        const auto it = std::ranges::lower_bound(
+            slot_lookup, key, {},
+            &std::pair<std::uint64_t, std::uint64_t>::first);
+        return it == slot_lookup.end() || it->first != key ? kNoSlot
+                                                           : it->second;
     }
 
-    /// Used by the compiler only.
-    std::unordered_map<std::uint64_t, std::uint64_t> slot_index_;
+    /// Sorted (packet<<32|node, slot) pairs; built once by the compiler.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> slot_lookup;
 };
 
 /// Lowers `schedule` for `workers` threads. Performs the store-and-forward

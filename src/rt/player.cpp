@@ -3,11 +3,11 @@
 #include "common/check.hpp"
 #include "rt/barrier.hpp"
 #include "rt/checksum.hpp"
+#include "rt/delivery.hpp"
 #include "rt/pool.hpp"
 
 #include <algorithm>
 #include <chrono>
-#include <cstring>
 #include <thread>
 
 namespace hcube::rt {
@@ -24,40 +24,71 @@ struct alignas(64) WorkerStats {
 
 Player::Player(const Plan& plan, std::uint32_t channel_capacity)
     : plan_(plan),
-      channels_(plan.channel_count, channel_capacity, plan.block_elems) {
+      channels_(plan.channel_count, channel_capacity, plan.block_elems,
+                plan.mode == DataMode::combine),
+      views_(static_cast<std::size_t>(plan.total_slots), nullptr) {
     const std::uint64_t bytes =
         plan.total_slots * plan.block_elems * sizeof(double);
     HCUBE_ENSURE_MSG(bytes <= (std::uint64_t{1} << 34),
                      "runtime payload exceeds 16 GiB; shrink the schedule "
                      "or the block size");
-    memory_.assign(static_cast<std::size_t>(plan.total_slots) *
-                       plan.block_elems,
-                   0.0);
     if (plan.mode == DataMode::move) {
         expected_checksum_.resize(plan.packet_count);
         for (packet_t p = 0; p < plan.packet_count; ++p) {
             expected_checksum_[p] = canonical_checksum(p, plan.block_elems);
         }
+    } else {
+        memory_.assign(static_cast<std::size_t>(plan.total_slots) *
+                           plan.block_elems,
+                       0.0);
     }
 }
 
-void Player::seed_memory() { seed_plan_memory(plan_, memory_); }
+void Player::prepare_views() {
+    copy_through_ =
+        plan_.mode == DataMode::combine || channels_.inline_active();
+    const std::size_t blk = plan_.block_elems;
+    if (copy_through_) {
+        if (memory_.empty() && plan_.total_slots > 0) {
+            memory_.assign(static_cast<std::size_t>(plan_.total_slots) * blk,
+                           0.0);
+        }
+        seed_plan_memory(plan_, memory_);
+        for (std::uint64_t s = 0; s < plan_.total_slots; ++s) {
+            views_[static_cast<std::size_t>(s)] =
+                memory_.data() + static_cast<std::size_t>(s) * blk;
+        }
+    } else {
+        // Zero-copy: undelivered slots hold nothing; seeds view their
+        // packet's immutable arena block, and deliveries adopt in-flight
+        // views as they land.
+        std::ranges::fill(views_, nullptr);
+        for (const std::uint64_t slot : plan_.seeded_slots) {
+            views_[static_cast<std::size_t>(slot)] =
+                plan_.arena_block(plan_.slot_packet[slot]);
+        }
+    }
+}
 
 std::span<const double> Player::block(node_t node, packet_t packet) const {
     const std::uint64_t slot = plan_.slot_of(node, packet);
     if (slot == Plan::kNoSlot) {
         return {};
     }
-    return {memory_.data() + static_cast<std::size_t>(slot) *
-                                 plan_.block_elems,
-            plan_.block_elems};
+    const double* view = views_[static_cast<std::size_t>(slot)];
+    if (view == nullptr) {
+        return {};
+    }
+    return {view, plan_.block_elems};
 }
 
 void Player::run_worker(std::uint32_t worker, PlayStats& stats) {
-    const std::size_t blk = plan_.block_elems;
     const std::uint32_t workers = plan_.workers;
     const bool detecting = detect_.enabled();
-    TraceRecorder* const trace = trace_;
+    const RunContext ctx{plan_,    channels_, views_.data(),
+                         memory_.data(),      expected_checksum_.data(),
+                         detect_,  arbiter_,  trace_,
+                         detecting, copy_through_};
     for (std::uint32_t cycle = 0; cycle < plan_.cycles; ++cycle) {
         const std::size_t bucket = std::size_t{cycle} * workers + worker;
 
@@ -68,29 +99,10 @@ void Player::run_worker(std::uint32_t worker, PlayStats& stats) {
             for (std::uint64_t i = plan_.send_begin[bucket];
                  i < plan_.send_begin[bucket + 1]; ++i) {
                 const Action& a = plan_.sends[i];
-                const std::span<const double> block{
-                    memory_.data() + static_cast<std::size_t>(a.slot) * blk,
-                    blk};
-                const TraceRecorder::clock::time_point t0 =
-                    trace != nullptr ? TraceRecorder::clock::now()
-                                     : TraceRecorder::clock::time_point{};
-                if (!channels_.try_push(a.channel, a.packet, block))
-                    [[unlikely]] {
-                    ++stats.channel_faults;
-                    if (detecting) {
-                        arbiter_.raise(
-                            make_fault_report(plan_, ft::DetectClass::stream_mismatch,
-                                        a.channel, cycle, a.packet),
-                            detect_.abort_on_fault);
-                    }
-                } else {
-                    ++stats.blocks_sent;
-                }
-                if (trace != nullptr) {
-                    trace->record(worker, TraceKind::send, t0,
-                                  TraceRecorder::clock::now(), a.channel,
-                                  a.packet, cycle);
-                }
+                send_block(ctx,
+                           {a.channel, static_cast<std::uint32_t>(a.slot),
+                            a.packet, a.seq, cycle},
+                           worker, stats);
             }
         }
         // All of this cycle's blocks are on their links.
@@ -100,74 +112,14 @@ void Player::run_worker(std::uint32_t worker, PlayStats& stats) {
             for (std::uint64_t i = plan_.recv_begin[bucket];
                  i < plan_.recv_begin[bucket + 1]; ++i) {
                 const Action& a = plan_.recvs[i];
-                const TraceRecorder::clock::time_point t0 =
-                    trace != nullptr ? TraceRecorder::clock::now()
-                                     : TraceRecorder::clock::time_point{};
-                std::uint32_t packet = 0;
-                std::uint32_t seq = 0;
-                const std::span<const double> arrived =
-                    detecting ? await_front(channels_, a.channel, packet,
-                                            seq, detect_.arrival_timeout_us,
-                                            arbiter_)
-                              : channels_.front(a.channel, packet, seq);
-                if (arrived.empty()) [[unlikely]] {
-                    if (detecting && arbiter_.aborted()) {
-                        break; // another worker's fault; just drain
-                    }
-                    ++stats.channel_faults;
-                    if (detecting) {
-                        ++stats.timeouts;
-                        arbiter_.raise(
-                            make_fault_report(plan_,
-                                        ft::DetectClass::arrival_timeout,
-                                        a.channel, cycle, a.packet),
-                            detect_.abort_on_fault);
-                        if (detect_.abort_on_fault) {
-                            break;
-                        }
-                    }
-                    continue;
-                }
-                if (packet != a.packet) [[unlikely]] {
-                    ++stats.channel_faults;
-                    if (detecting) {
-                        arbiter_.raise(
-                            make_fault_report(plan_,
-                                        ft::DetectClass::stream_mismatch,
-                                        a.channel, cycle, a.packet),
-                            detect_.abort_on_fault);
-                        if (detect_.abort_on_fault) {
-                            break;
-                        }
-                    }
-                    continue;
-                }
-                double* dst =
-                    memory_.data() + static_cast<std::size_t>(a.slot) * blk;
-                if (plan_.mode == DataMode::move) {
-                    if (block_checksum(arrived) !=
-                        expected_checksum_[a.packet]) [[unlikely]] {
-                        ++stats.checksum_failures;
-                        if (detecting) {
-                            arbiter_.raise(
-                                make_fault_report(
-                                    plan_, ft::DetectClass::checksum_mismatch,
-                                    a.channel, cycle, a.packet),
-                                detect_.abort_on_fault);
-                        }
-                    }
-                    std::memcpy(dst, arrived.data(), blk * sizeof(double));
-                } else {
-                    for (std::size_t e = 0; e < blk; ++e) {
-                        dst[e] += arrived[e];
-                    }
-                }
-                channels_.pop_front(a.channel);
-                ++stats.blocks_delivered;
-                if (trace != nullptr) {
-                    trace->record(worker, TraceKind::recv, t0,
-                                  TraceRecorder::clock::now(), a.channel,
-                                  a.packet, cycle);
+                const DeliverOutcome out = deliver_block(
+                    ctx,
+                    {a.channel, static_cast<std::uint32_t>(a.slot), a.packet,
+                     a.seq, cycle},
+                    /*check_seq=*/false, worker, stats);
+                if (out == DeliverOutcome::drained ||
+                    (out == DeliverOutcome::skipped && arbiter_.aborted())) {
+                    break;
                 }
             }
         }
@@ -178,7 +130,7 @@ void Player::run_worker(std::uint32_t worker, PlayStats& stats) {
 }
 
 PlayStats Player::play(WorkerPool* pool) {
-    seed_memory();
+    prepare_views();
     channels_.reset(); // rewind sequence stamps from any aborted prior run
     arbiter_.reset();
     if (trace_ != nullptr) {
@@ -215,10 +167,12 @@ PlayStats Player::play(WorkerPool* pool) {
 
     PlayStats total;
     total.cycles = plan_.cycles;
+    total.mode = ExecMode::barrier;
     total.seconds = std::chrono::duration<double>(stop - start).count();
     for (const WorkerStats& w : per_worker) {
         total.blocks_sent += w.stats.blocks_sent;
         total.blocks_delivered += w.stats.blocks_delivered;
+        total.bytes_copied += w.stats.bytes_copied;
         total.checksum_failures += w.stats.checksum_failures;
         total.channel_faults += w.stats.channel_faults;
         total.timeouts += w.stats.timeouts;

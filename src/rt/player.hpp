@@ -38,11 +38,32 @@ namespace hcube::rt {
 class CycleBarrier;
 class WorkerPool;
 
+/// How a play() actually executed: the barrier engine's lockstep phases,
+/// the dataflow engine's single-thread serial walk, or its work-stealing
+/// multi-worker mode (the AsyncPlayer picks between the latter two
+/// adaptively; see async_player.hpp).
+enum class ExecMode {
+    barrier,
+    serial,
+    stealing,
+};
+
+[[nodiscard]] constexpr const char* to_string(ExecMode mode) noexcept {
+    switch (mode) {
+    case ExecMode::barrier: return "barrier";
+    case ExecMode::serial: return "serial";
+    case ExecMode::stealing: return "stealing";
+    }
+    return "?";
+}
+
 struct PlayStats {
     std::uint32_t cycles = 0;          ///< barrier-synchronized cycles run
     std::uint64_t blocks_sent = 0;     ///< blocks pushed into channels
     std::uint64_t blocks_delivered = 0;///< blocks drained, verified/combined
     std::uint64_t payload_bytes = 0;   ///< blocks_delivered x block bytes
+    std::uint64_t bytes_copied = 0;    ///< payload bytes actually memcpy'd
+                                       ///< (0 on the zero-copy path)
     std::uint64_t checksum_failures = 0;
     std::uint64_t channel_faults = 0;  ///< full-on-push / empty-on-pop /
                                        ///< wrong packet or sequence at head
@@ -51,6 +72,7 @@ struct PlayStats {
     std::uint64_t steals = 0;          ///< actions run off another worker's
                                        ///< queue (AsyncPlayer only)
     double seconds = 0;                ///< wall clock of the threaded region
+    ExecMode mode = ExecMode::barrier; ///< how this run executed
 
     [[nodiscard]] bool clean() const noexcept {
         return checksum_failures == 0 && channel_faults == 0 &&
@@ -101,13 +123,22 @@ public:
 
 private:
     void run_worker(std::uint32_t worker, PlayStats& stats);
-    void seed_memory();
+    void prepare_views();
 
     const Plan& plan_;
     CycleBarrier* barrier_ = nullptr; ///< non-null only inside play()
     ChannelBank channels_;
-    std::vector<double> memory_; ///< total_slots x block_elems doubles
+    /// Per slot: the block the (node, packet) currently holds. On the
+    /// zero-copy path these point into the plan's immutable arena; under
+    /// copy-through they point into memory_.
+    std::vector<const double*> views_;
+    /// Copy-through slot storage (total_slots x block_elems doubles).
+    /// Allocated eagerly for combine plans, lazily for move plans on the
+    /// first copy-through run (fault hook installed) — a pure zero-copy
+    /// player never materializes it.
+    std::vector<double> memory_;
     std::vector<std::uint64_t> expected_checksum_; ///< per packet, move mode
+    bool copy_through_ = false; ///< decided per run in prepare_views()
     ft::DetectConfig detect_{};
     FaultArbiter arbiter_;
     TraceRecorder* trace_ = nullptr;

@@ -2,13 +2,69 @@
 
 #include "common/check.hpp"
 
+#include <cstdlib>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
+
 namespace hcube::rt {
 
-WorkerPool::WorkerPool(std::uint32_t threads) {
+namespace {
+
+/// Pins the calling thread to the `index`-th core of the process's allowed
+/// CPU set (round-robin, skewed by pid so concurrent test processes spread
+/// instead of piling onto core 0). Keeping a resident worker on one core
+/// preserves its cache-hot plan metadata and arena lines across plays.
+/// Best-effort: failure is ignored, and HCUBE_NO_PIN=1 disables it (shared
+/// CI boxes, oversubscribed hosts).
+void pin_to_core([[maybe_unused]] std::uint32_t index) {
+#if defined(__linux__)
+    if (std::getenv("HCUBE_NO_PIN") != nullptr) {
+        return;
+    }
+    cpu_set_t allowed;
+    CPU_ZERO(&allowed);
+    if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) {
+        return;
+    }
+    const int avail = CPU_COUNT(&allowed);
+    if (avail <= 1) {
+        return;
+    }
+    const std::uint32_t pick =
+        (index + static_cast<std::uint32_t>(getpid())) %
+        static_cast<std::uint32_t>(avail);
+    std::uint32_t seen = 0;
+    for (unsigned cpu = 0; cpu < static_cast<unsigned>(CPU_SETSIZE); ++cpu) {
+        if (!CPU_ISSET(cpu, &allowed)) {
+            continue;
+        }
+        if (seen++ == pick) {
+            cpu_set_t one;
+            CPU_ZERO(&one);
+            CPU_SET(cpu, &one);
+            (void)pthread_setaffinity_np(pthread_self(), sizeof(one), &one);
+            return;
+        }
+    }
+#endif
+}
+
+} // namespace
+
+WorkerPool::WorkerPool(std::uint32_t threads, bool pin) {
     HCUBE_ENSURE(threads >= 1);
     threads_.reserve(threads);
     for (std::uint32_t i = 0; i < threads; ++i) {
-        threads_.emplace_back([this, i] { thread_main(i); });
+        threads_.emplace_back([this, i, pin] {
+            if (pin) {
+                pin_to_core(i);
+            }
+            thread_main(i);
+        });
     }
 }
 

@@ -35,8 +35,12 @@ public:
     /// worker index in [0, workers).
     using Job = std::function<void(std::uint32_t)>;
 
-    /// Starts `threads` resident worker threads (at least 1).
-    explicit WorkerPool(std::uint32_t threads);
+    /// Starts `threads` resident worker threads (at least 1). With `pin`
+    /// (the default) each thread is pinned round-robin onto the process's
+    /// allowed CPU set so a resident worker keeps its cache-hot state on
+    /// one core across plays; best-effort, Linux-only, and disabled by the
+    /// HCUBE_NO_PIN=1 environment variable.
+    explicit WorkerPool(std::uint32_t threads, bool pin = true);
     ~WorkerPool();
     WorkerPool(const WorkerPool&) = delete;
     WorkerPool& operator=(const WorkerPool&) = delete;

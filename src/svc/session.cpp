@@ -281,6 +281,8 @@ ExecStats Session::execute(const Signature& sig) {
         out.rt_cycles = stats.cycles;
         out.blocks_delivered = stats.blocks_delivered;
         out.payload_bytes = stats.payload_bytes;
+        out.bytes_copied = stats.bytes_copied;
+        out.exec_mode = stats.mode;
         out.seconds = stats.seconds;
         if (ok && full_check && !entry->image_valid) {
             entry->oracle_image = snapshot_memory(plan, *entry->barrier);
@@ -302,6 +304,8 @@ ExecStats Session::execute(const Signature& sig) {
         out.rt_cycles = stats.cycles;
         out.blocks_delivered = stats.blocks_delivered;
         out.payload_bytes = stats.payload_bytes;
+        out.bytes_copied = stats.bytes_copied;
+        out.exec_mode = stats.mode;
         out.seconds = stats.seconds;
         if (ok && full_check && !entry->image_valid) {
             entry->oracle_image = snapshot_memory(plan, *entry->async);

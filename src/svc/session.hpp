@@ -64,6 +64,12 @@ struct ExecStats {
     std::uint32_t sim_makespan = 0;
     std::uint64_t blocks_delivered = 0;
     std::uint64_t payload_bytes = 0;
+    /// Payload bytes the reported engine memcpy'd (0 on the zero-copy
+    /// delivery path; nonzero under copy-through — combine plans or
+    /// fault-hooked runs).
+    std::uint64_t bytes_copied = 0;
+    /// How the reported engine executed (barrier / serial / stealing).
+    rt::ExecMode exec_mode = rt::ExecMode::barrier;
     double seconds = 0; ///< wall clock of the reported engine's play()
 };
 
