@@ -108,6 +108,7 @@ struct Row {
     double checksum_gbs = 0; ///< standalone digest kernel throughput
     double speedup = 0; ///< async rows: barrier seconds / async seconds
     std::string mode; ///< barrier | serial | stealing (last rep's choice)
+    std::string transport = "ring"; ///< medium the blocks moved over
     bool verified = false;
 };
 
@@ -360,6 +361,7 @@ int main(int argc, char** argv) {
                         row.payload_bytes = stats.payload_bytes;
                         row.bytes_copied = stats.bytes_copied;
                         row.mode = hcube::rt::to_string(stats.mode);
+                        row.transport = hcube::ft::to_string(stats.transport);
                         row.steals = stats.steals;
                         row.checksum_failures += stats.checksum_failures;
                         row.channel_faults += stats.channel_faults;
@@ -511,6 +513,7 @@ int main(int argc, char** argv) {
             json.field("bytes_copied", r.bytes_copied);
             json.field("checksum_gbs", r.checksum_gbs);
             json.field("mode", r.mode);
+            json.field("transport", r.transport);
             json.field("checksum_failures", r.checksum_failures);
             json.field("channel_faults", r.channel_faults);
             json.field("timeouts", r.timeouts);

@@ -89,6 +89,7 @@ struct Measured {
     double p50_ms = 0;
     double p99_ms = 0;
     bool verified = true;
+    std::string transport = "ring"; ///< medium the measured runs used
 };
 
 /// One-shot baseline: the Communicator re-validates the schedule through
@@ -132,6 +133,7 @@ Measured run_baseline(dim_t n, const std::vector<Signature>& mix,
             run_one(mix[static_cast<std::size_t>(i) % mix.size()]);
         latencies_ms.push_back((now_seconds() - t0) * 1e3);
         m.verified = m.verified && r.verified;
+        m.transport = hcube::ft::to_string(r.transport);
     }
     const double elapsed = now_seconds() - begin;
     m.ops_per_sec = elapsed > 0 ? requests / elapsed : 0;
@@ -153,16 +155,20 @@ ServiceMeasured run_service(dim_t n, const std::vector<Signature>& mix,
     params.session.verify = hcube::rt::Verify::first;
     params.queue_depth = queue_depth;
     Service service(n, params);
+    std::string transport = "ring";
     for (const Signature& sig : mix) {
         // Warm-up: the one full oracle-checked execution per signature
         // (the cache miss). Everything measured below is steady state.
-        if (service.run(sig).status != Status::ok) {
+        const Response warm = service.run(sig);
+        if (warm.status != Status::ok) {
             std::fprintf(stderr, "warm-up failed: %s\n",
                          sig.to_string().c_str());
         }
+        transport = hcube::ft::to_string(warm.stats.transport);
     }
 
     ServiceMeasured m;
+    m.transport = transport;
     std::vector<std::vector<double>> latencies(
         static_cast<std::size_t>(concurrency));
     std::atomic<bool> all_verified{true};
@@ -261,6 +267,7 @@ int main(int argc, char** argv) {
         json->field("p50_ms", baseline.p50_ms);
         json->field("p99_ms", baseline.p99_ms);
         json->field("speedup_vs_baseline", 1.0);
+        json->field("transport", baseline.transport);
         json->field("verified", baseline.verified);
         json->end_row();
     }
@@ -291,6 +298,7 @@ int main(int argc, char** argv) {
             json->field("cache_hit_rate", svc.cache_hit_rate);
             json->field("batched", svc.batched);
             json->field("executed", svc.executed);
+            json->field("transport", svc.transport);
             json->field("verified", svc.verified);
             json->end_row();
         }

@@ -1,0 +1,172 @@
+// Explicit little-endian byte codecs and the bounds-checked reader/writer
+// the wire framing is built on (net/frame.hpp, net/protocol.hpp).
+//
+// Every multi-byte field that crosses a socket goes through these helpers,
+// so the wire format is identical regardless of host byte order or
+// alignment rules — a frame encoded on any peer decodes on any other.
+// Doubles travel as the little-endian bytes of their IEEE-754 bit pattern
+// (std::bit_cast), which round-trips every value including NaN payloads.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hcube {
+
+inline void store_le16(std::uint8_t* p, std::uint16_t v) noexcept {
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+inline void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+inline void store_le64(std::uint8_t* p, std::uint64_t v) noexcept {
+    store_le32(p, static_cast<std::uint32_t>(v));
+    store_le32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+[[nodiscard]] inline std::uint16_t load_le16(const std::uint8_t* p) noexcept {
+    return static_cast<std::uint16_t>(std::uint16_t{p[0]} |
+                                      (std::uint16_t{p[1]} << 8));
+}
+
+[[nodiscard]] inline std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+    return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+           (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+[[nodiscard]] inline std::uint64_t load_le64(const std::uint8_t* p) noexcept {
+    return std::uint64_t{load_le32(p)} |
+           (std::uint64_t{load_le32(p + 4)} << 32);
+}
+
+/// Appends fields to a byte vector in wire (little-endian) order.
+class ByteWriter {
+public:
+    explicit ByteWriter(std::vector<std::uint8_t>& out) noexcept
+        : out_(out) {}
+
+    void u8(std::uint8_t v) { out_.push_back(v); }
+    void u16(std::uint16_t v) {
+        std::uint8_t b[2];
+        store_le16(b, v);
+        out_.insert(out_.end(), b, b + 2);
+    }
+    void u32(std::uint32_t v) {
+        std::uint8_t b[4];
+        store_le32(b, v);
+        out_.insert(out_.end(), b, b + 4);
+    }
+    void u64(std::uint64_t v) {
+        std::uint8_t b[8];
+        store_le64(b, v);
+        out_.insert(out_.end(), b, b + 8);
+    }
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+    void bytes(std::span<const std::uint8_t> s) {
+        out_.insert(out_.end(), s.begin(), s.end());
+    }
+    /// Length-prefixed (u32) byte string.
+    void str(std::string_view s) {
+        u32(static_cast<std::uint32_t>(s.size()));
+        const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+        out_.insert(out_.end(), p, p + s.size());
+    }
+    /// Doubles as consecutive little-endian IEEE-754 words.
+    void blocks(std::span<const double> b) {
+        const std::size_t at = out_.size();
+        out_.resize(at + b.size() * sizeof(double));
+        std::uint8_t* p = out_.data() + at;
+        for (const double v : b) {
+            store_le64(p, std::bit_cast<std::uint64_t>(v));
+            p += sizeof(double);
+        }
+    }
+
+private:
+    std::vector<std::uint8_t>& out_;
+};
+
+/// Consumes fields from a byte span in wire order. A read past the end
+/// latches `ok() == false` and yields zeros; decoders check ok() once at
+/// the end instead of after every field (torn frames decode to a clean
+/// failure, never UB).
+class ByteReader {
+public:
+    explicit ByteReader(std::span<const std::uint8_t> in) noexcept
+        : in_(in) {}
+
+    [[nodiscard]] std::uint8_t u8() {
+        const std::uint8_t* p = take(1);
+        return p != nullptr ? *p : 0;
+    }
+    [[nodiscard]] std::uint16_t u16() {
+        const std::uint8_t* p = take(2);
+        return p != nullptr ? load_le16(p) : 0;
+    }
+    [[nodiscard]] std::uint32_t u32() {
+        const std::uint8_t* p = take(4);
+        return p != nullptr ? load_le32(p) : 0;
+    }
+    [[nodiscard]] std::uint64_t u64() {
+        const std::uint8_t* p = take(8);
+        return p != nullptr ? load_le64(p) : 0;
+    }
+    [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+    [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t n) {
+        const std::uint8_t* p = take(n);
+        return p != nullptr ? std::span<const std::uint8_t>{p, n}
+                            : std::span<const std::uint8_t>{};
+    }
+    [[nodiscard]] std::string str() {
+        const std::uint32_t n = u32();
+        const std::uint8_t* p = take(n);
+        return p != nullptr
+                   ? std::string(reinterpret_cast<const char*>(p), n)
+                   : std::string{};
+    }
+    /// Decodes `count` doubles into `out` (which must hold >= count).
+    void blocks(double* out, std::size_t count) {
+        const std::uint8_t* p = take(count * sizeof(double));
+        if (p == nullptr) {
+            return;
+        }
+        for (std::size_t i = 0; i < count; ++i) {
+            out[i] = std::bit_cast<double>(load_le64(p + i * sizeof(double)));
+        }
+    }
+
+    [[nodiscard]] bool ok() const noexcept { return ok_; }
+    [[nodiscard]] std::size_t remaining() const noexcept {
+        return in_.size() - pos_;
+    }
+    /// ok() and the input fully consumed — the strict decoder postcondition.
+    [[nodiscard]] bool done() const noexcept { return ok_ && remaining() == 0; }
+
+private:
+    [[nodiscard]] const std::uint8_t* take(std::size_t n) noexcept {
+        if (!ok_ || in_.size() - pos_ < n) {
+            ok_ = false;
+            return nullptr;
+        }
+        const std::uint8_t* p = in_.data() + pos_;
+        pos_ += n;
+        return p;
+    }
+
+    std::span<const std::uint8_t> in_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace hcube

@@ -178,6 +178,26 @@ struct FaultReport {
     }
 };
 
+/// The physical medium a plan's blocks travel over. `ring` is the
+/// in-process SPSC descriptor ring bank (nodes are threads); `uds` and
+/// `tcp` are the hcube::net socket transports (nodes are processes on one
+/// host / across hosts). Detection bounds, retry pacing, and the bench
+/// JSON's `transport` column are all keyed on this.
+enum class TransportClass : std::uint8_t {
+    ring,
+    uds,
+    tcp,
+};
+
+[[nodiscard]] constexpr const char* to_string(TransportClass t) noexcept {
+    switch (t) {
+    case TransportClass::ring: return "ring";
+    case TransportClass::uds: return "uds";
+    case TransportClass::tcp: return "tcp";
+    }
+    return "?";
+}
+
 /// Detection policy for an execution engine. Disabled by default (timeout
 /// 0): pops keep the legacy behavior of counting a channel fault and
 /// moving on, so existing fault-free workloads are untouched.
@@ -195,6 +215,29 @@ struct DetectConfig {
 
     [[nodiscard]] bool enabled() const noexcept {
         return arrival_timeout_us > 0;
+    }
+
+    /// Default arrival bound per transport. The ring value is the
+    /// thread-tuned bound ft::ResilientComm always used; socket transports
+    /// wait orders of magnitude longer because an expected block's arrival
+    /// is asynchronous (an I/O thread publishes it after a wire crossing,
+    /// possibly after ack-timeout retransmits) — the happens-before
+    /// invariant that let the ring bound be tight does not hold there.
+    [[nodiscard]] static constexpr std::uint32_t
+    default_arrival_timeout_us(TransportClass t) noexcept {
+        switch (t) {
+        case TransportClass::ring: return 2'000;
+        case TransportClass::uds: return 500'000;
+        case TransportClass::tcp: return 2'000'000;
+        }
+        return 2'000;
+    }
+
+    /// A detection policy scaled for `t`, with abort-and-drain on.
+    [[nodiscard]] static constexpr DetectConfig
+    for_transport(TransportClass t) noexcept {
+        return {.arrival_timeout_us = default_arrival_timeout_us(t),
+                .abort_on_fault = true};
     }
 };
 

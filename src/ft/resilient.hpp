@@ -58,8 +58,10 @@ struct ResilientParams {
     /// barrier engine, fault-free).
     rt::Engine engine = rt::Engine::async;
     /// Detection policy for the attempts. The timeout must be longer than
-    /// any injected delay that should be absorbed rather than healed.
-    DetectConfig detect{.arrival_timeout_us = 2000, .abort_on_fault = true};
+    /// any injected delay that should be absorbed rather than healed; the
+    /// default is the thread-transport bound (the attempts run on the
+    /// in-process ring bank).
+    DetectConfig detect = DetectConfig::for_transport(TransportClass::ring);
     /// Attempt budget: 1 initial execution + (max_attempts - 1) replans.
     std::uint32_t max_attempts = 4;
     /// Seed for the permuted-SBT search when replanning tree collectives.

@@ -1,0 +1,97 @@
+#include "net/frame.hpp"
+
+#include "common/endian.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace hcube::net {
+
+namespace {
+
+/// One write attempt: MSG_NOSIGNAL send() for sockets, plain write() for
+/// anything else (pipes in the unit tests). ENOTSOCK is how we find out.
+ssize_t write_some(int fd, const std::uint8_t* p, std::size_t len) noexcept {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+        return ::write(fd, p, len);
+    }
+    return n;
+}
+
+} // namespace
+
+IoStatus io_write_all(int fd, const void* data, std::size_t len) noexcept {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    std::size_t done = 0;
+    while (done < len) {
+        const ssize_t n = write_some(fd, p + done, len - done);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return IoStatus::failed;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return IoStatus::ok;
+}
+
+IoStatus io_read_exact(int fd, void* data, std::size_t len) noexcept {
+    auto* p = static_cast<std::uint8_t*>(data);
+    std::size_t done = 0;
+    while (done < len) {
+        const ssize_t n = ::read(fd, p + done, len - done);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return IoStatus::failed;
+        }
+        if (n == 0) {
+            // EOF: clean only when nothing of this read was consumed yet.
+            return done == 0 ? IoStatus::closed : IoStatus::failed;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return IoStatus::ok;
+}
+
+IoStatus write_frame(int fd, std::span<const std::uint8_t> payload) {
+    if (payload.size() > kMaxFramePayload) {
+        return IoStatus::failed;
+    }
+    // One contiguous buffer: prefix + payload leave in a single stream
+    // position, so per-fd serialization is the only interleaving concern.
+    std::vector<std::uint8_t> buf(sizeof(std::uint32_t) + payload.size());
+    store_le32(buf.data(), static_cast<std::uint32_t>(payload.size()));
+    if (!payload.empty()) {
+        std::memcpy(buf.data() + sizeof(std::uint32_t), payload.data(),
+                    payload.size());
+    }
+    return io_write_all(fd, buf.data(), buf.size());
+}
+
+IoStatus read_frame(int fd, std::vector<std::uint8_t>& out,
+                    std::uint32_t max_payload) {
+    std::uint8_t prefix[sizeof(std::uint32_t)];
+    const IoStatus head = io_read_exact(fd, prefix, sizeof(prefix));
+    if (head != IoStatus::ok) {
+        return head;
+    }
+    const std::uint32_t len = load_le32(prefix);
+    if (len > max_payload) {
+        return IoStatus::failed;
+    }
+    out.resize(len);
+    if (len == 0) {
+        return IoStatus::ok;
+    }
+    const IoStatus body = io_read_exact(fd, out.data(), len);
+    // EOF between prefix and body is always a torn frame.
+    return body == IoStatus::ok ? IoStatus::ok : IoStatus::failed;
+}
+
+} // namespace hcube::net

@@ -1,0 +1,61 @@
+// Length-prefixed framing over byte-stream sockets — the lowest layer of
+// the net transport (docs/NETWORK.md § Framing).
+//
+// A frame is a u32 little-endian payload length followed by that many
+// payload bytes. The reader and writer absorb the two realities of POSIX
+// stream I/O that every protocol on top must never see: short reads/writes
+// (loop until the count is satisfied) and EINTR (retry the call). EOF at a
+// frame boundary reports `closed` (the peer finished cleanly); EOF inside
+// a frame, or any other errno, reports `failed`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hcube::net {
+
+enum class IoStatus : std::uint8_t {
+    ok,
+    closed, ///< clean EOF at a frame boundary
+    failed, ///< errno-level failure or EOF mid-frame
+};
+
+[[nodiscard]] constexpr const char* to_string(IoStatus s) noexcept {
+    switch (s) {
+    case IoStatus::ok: return "ok";
+    case IoStatus::closed: return "closed";
+    case IoStatus::failed: return "failed";
+    }
+    return "?";
+}
+
+/// Hard upper bound on a frame payload (64 MiB): a corrupt or hostile
+/// length prefix must not become an allocation bomb.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 26;
+
+/// Writes exactly `len` bytes, looping over short writes and retrying
+/// EINTR. Uses send(MSG_NOSIGNAL) on sockets so a vanished peer surfaces
+/// as IoStatus::failed instead of SIGPIPE; falls back to write() for
+/// non-socket fds (the unit tests drive pipes through the same path).
+[[nodiscard]] IoStatus io_write_all(int fd, const void* data,
+                                    std::size_t len) noexcept;
+
+/// Reads exactly `len` bytes, looping over short reads and retrying
+/// EINTR. `closed` only when EOF lands before the first byte.
+[[nodiscard]] IoStatus io_read_exact(int fd, void* data,
+                                     std::size_t len) noexcept;
+
+/// Writes the u32 length prefix and the payload as one buffered write —
+/// a frame is never interleaved with another writer's bytes as long as
+/// callers serialize per fd (the reliability layer holds a per-link lock).
+[[nodiscard]] IoStatus write_frame(int fd,
+                                   std::span<const std::uint8_t> payload);
+
+/// Reads one frame into `out` (resized to the payload length). Rejects
+/// prefixes above `max_payload` as `failed` without reading the body.
+[[nodiscard]] IoStatus read_frame(int fd, std::vector<std::uint8_t>& out,
+                                  std::uint32_t max_payload = kMaxFramePayload);
+
+} // namespace hcube::net

@@ -1,0 +1,453 @@
+#include "net/peer.hpp"
+
+#include "common/check.hpp"
+#include "common/endian.hpp"
+#include "net/frame.hpp"
+#include "rt/simd.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace hcube::net {
+
+namespace {
+
+using clock_t_ = std::chrono::steady_clock;
+
+void tune_socket(int fd) noexcept {
+    // TCP_NODELAY matters for the ack path (tiny frames must not wait out
+    // Nagle); harmlessly refused on Unix-domain sockets.
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+[[nodiscard]] int remaining_ms(clock_t_::time_point deadline) noexcept {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - clock_t_::now());
+    return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+} // namespace
+
+std::string Endpoint::to_string() const {
+    if (kind == ft::TransportClass::uds) {
+        return "uds:" + path;
+    }
+    return "tcp:" + host + ":" + std::to_string(port);
+}
+
+int listen_endpoint(const Endpoint& ep) {
+    if (ep.kind == ft::TransportClass::uds) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        HCUBE_ENSURE_MSG(ep.path.size() < sizeof(addr.sun_path),
+                         "unix socket path too long: " + ep.path);
+        std::memcpy(addr.sun_path, ep.path.c_str(), ep.path.size() + 1);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        HCUBE_ENSURE_MSG(fd >= 0, "socket(AF_UNIX) failed");
+        ::unlink(ep.path.c_str()); // stale path from a dead prior run
+        if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(fd, 64) != 0) {
+            ::close(fd);
+            HCUBE_ENSURE_MSG(false, "bind/listen failed on " + ep.to_string());
+        }
+        return fd;
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    HCUBE_ENSURE_MSG(fd >= 0, "socket(AF_INET) failed");
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(ep.port);
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    if (!ep.host.empty() &&
+        ::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        HCUBE_ENSURE_MSG(false, "bad listen address: " + ep.host);
+    }
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+        ::close(fd);
+        HCUBE_ENSURE_MSG(false, "bind/listen failed on " + ep.to_string());
+    }
+    return fd;
+}
+
+int accept_peer(int listen_fd, int timeout_ms) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    for (;;) {
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc < 0 && errno == EINTR) {
+            continue;
+        }
+        if (rc <= 0) {
+            return -1;
+        }
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0 && (errno == EINTR || errno == ECONNABORTED)) {
+            continue;
+        }
+        if (fd >= 0) {
+            tune_socket(fd);
+        }
+        return fd;
+    }
+}
+
+int connect_endpoint(const Endpoint& ep, int timeout_ms) {
+    const clock_t_::time_point deadline =
+        clock_t_::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        int fd = -1;
+        bool connected = false;
+        if (ep.kind == ft::TransportClass::uds) {
+            sockaddr_un addr{};
+            addr.sun_family = AF_UNIX;
+            HCUBE_ENSURE_MSG(ep.path.size() < sizeof(addr.sun_path),
+                             "unix socket path too long: " + ep.path);
+            std::memcpy(addr.sun_path, ep.path.c_str(), ep.path.size() + 1);
+            fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+            HCUBE_ENSURE_MSG(fd >= 0, "socket(AF_UNIX) failed");
+            connected = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                                  sizeof(addr)) == 0;
+        } else {
+            sockaddr_in addr{};
+            addr.sin_family = AF_INET;
+            addr.sin_port = htons(ep.port);
+            HCUBE_ENSURE_MSG(
+                ::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) == 1,
+                "bad connect address: " + ep.host);
+            fd = ::socket(AF_INET, SOCK_STREAM, 0);
+            HCUBE_ENSURE_MSG(fd >= 0, "socket(AF_INET) failed");
+            connected = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                                  sizeof(addr)) == 0;
+        }
+        if (connected) {
+            tune_socket(fd);
+            return fd;
+        }
+        ::close(fd);
+        // The peer's listener may simply not exist yet (launch stagger).
+        HCUBE_ENSURE_MSG(clock_t_::now() < deadline,
+                         "connect timeout to " + ep.to_string());
+        ::poll(nullptr, 0, 2); // short sleep, EINTR-tolerant
+    }
+}
+
+std::uint16_t local_port(int fd) {
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    HCUBE_ENSURE(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr),
+                               &len) == 0 &&
+                 addr.sin_family == AF_INET);
+    return ntohs(addr.sin_port);
+}
+
+// ---- PeerBus ----------------------------------------------------------
+
+PeerBus::PeerBus(const rt::Plan& plan, std::uint32_t rank,
+                 std::uint32_t procs, Params params)
+    : plan_(plan), rank_(rank), procs_(procs), params_(std::move(params)),
+      faults_(plan, params_.faults), links_(procs),
+      recv_(plan.channel_count), recent_(params_.recent_capacity) {
+    HCUBE_ENSURE(rank_ < procs_);
+    HCUBE_ENSURE_MSG(::pipe(wake_pipe_) == 0, "pipe() failed");
+}
+
+PeerBus::~PeerBus() {
+    stop();
+    for (auto& link : links_) {
+        if (link != nullptr) {
+            ::close(link->fd());
+        }
+    }
+    ::close(wake_pipe_[0]);
+    ::close(wake_pipe_[1]);
+}
+
+void PeerBus::connect_mesh(int listen_fd,
+                           const std::vector<Endpoint>& peers) {
+    HCUBE_ENSURE(peers.size() == procs_);
+    HCUBE_ENSURE_MSG(ingress_ != nullptr,
+                     "set_ingress() before connect_mesh()");
+    const clock_t_::time_point deadline =
+        clock_t_::now() +
+        std::chrono::milliseconds(params_.handshake_timeout_ms);
+    std::vector<std::uint8_t> hello;
+    encode_hello(hello, {rank_, params_.plan_fp});
+    WireFaults* const faults = faults_.armed() ? &faults_ : nullptr;
+
+    const auto adopt = [&](std::uint32_t peer, int fd) {
+        HCUBE_ENSURE_MSG(links_[peer] == nullptr,
+                         "duplicate mesh connection from rank " +
+                             std::to_string(peer));
+        links_[peer] = std::make_unique<ReliableLink>(fd, params_.reliable,
+                                                      faults);
+    };
+
+    // Active side: connect to every lower rank, introduce ourselves, and
+    // check the echoed identity + fingerprint.
+    std::vector<std::uint8_t> buf;
+    for (std::uint32_t q = 0; q < rank_; ++q) {
+        const int fd = connect_endpoint(peers[q], remaining_ms(deadline));
+        HCUBE_ENSURE_MSG(write_frame(fd, hello) == IoStatus::ok &&
+                             read_frame(fd, buf) == IoStatus::ok,
+                         "mesh handshake I/O failed with rank " +
+                             std::to_string(q));
+        HelloMsg peer_hello;
+        HCUBE_ENSURE_MSG(decode_hello(buf, peer_hello) &&
+                             peer_hello.rank == q &&
+                             peer_hello.plan_fp == params_.plan_fp,
+                         "mesh handshake mismatch with rank " +
+                             std::to_string(q));
+        adopt(q, fd);
+    }
+    // Passive side: accept every higher rank, identified by its HELLO.
+    for (std::uint32_t remaining = procs_ - rank_ - 1; remaining > 0;
+         --remaining) {
+        const int fd = accept_peer(listen_fd, remaining_ms(deadline));
+        HCUBE_ENSURE_MSG(fd >= 0, "mesh accept timeout at rank " +
+                                      std::to_string(rank_));
+        HelloMsg peer_hello;
+        if (read_frame(fd, buf) != IoStatus::ok ||
+            !decode_hello(buf, peer_hello) || peer_hello.rank <= rank_ ||
+            peer_hello.rank >= procs_ ||
+            peer_hello.plan_fp != params_.plan_fp) {
+            ::close(fd);
+            HCUBE_ENSURE_MSG(false, "mesh handshake mismatch on accept");
+        }
+        HCUBE_ENSURE_MSG(write_frame(fd, hello) == IoStatus::ok,
+                         "mesh handshake echo failed");
+        adopt(peer_hello.rank, fd);
+    }
+}
+
+void PeerBus::start() {
+    HCUBE_ENSURE(!running_.load());
+    running_.store(true);
+    io_ = std::thread([this] { io_loop(); });
+}
+
+void PeerBus::stop() {
+    if (!running_.exchange(false)) {
+        if (io_.joinable()) {
+            io_.join();
+        }
+        return;
+    }
+    const std::uint8_t byte = 1;
+    (void)!::write(wake_pipe_[1], &byte, 1);
+    if (io_.joinable()) {
+        io_.join();
+    }
+}
+
+bool PeerBus::send_data(std::uint32_t dest, std::uint32_t channel,
+                        std::uint32_t seq, std::uint32_t packet,
+                        std::uint64_t checksum,
+                        std::span<const double> block) {
+    if (dest >= procs_ || links_[dest] == nullptr) {
+        return false;
+    }
+    return links_[dest]->send_data(params_.plan_fp, channel, seq, packet,
+                                   checksum, block);
+}
+
+void PeerBus::io_loop() {
+    std::vector<pollfd> fds;
+    std::vector<std::uint32_t> owner; // fds[i] belongs to links_[owner[i]]
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    owner.push_back(~std::uint32_t{0});
+    for (std::uint32_t q = 0; q < procs_; ++q) {
+        if (links_[q] != nullptr) {
+            fds.push_back({links_[q]->fd(), POLLIN, 0});
+            owner.push_back(q);
+        }
+    }
+    std::vector<std::uint8_t> frame;
+    while (running_.load(std::memory_order_acquire)) {
+        const int rc = ::poll(fds.data(), fds.size(), 1);
+        if (rc < 0 && errno != EINTR) {
+            break;
+        }
+        if (fds[0].revents != 0) {
+            std::uint8_t drain[16];
+            (void)!::read(wake_pipe_[0], drain, sizeof(drain));
+        }
+        for (std::size_t i = 1; i < fds.size(); ++i) {
+            if (fds[i].fd < 0 ||
+                (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+                continue;
+            }
+            const std::uint32_t peer = owner[i];
+            if (read_frame(fds[i].fd, frame) == IoStatus::ok) {
+                handle_frame(peer, frame);
+            } else {
+                // A vanished peer mid-run is a link failure; drop the fd
+                // from the poll set so it cannot spin.
+                links_[peer]->fail();
+                fds[i].fd = -1;
+            }
+        }
+        const auto now = ReliableLink::clock::now();
+        for (auto& link : links_) {
+            if (link != nullptr) {
+                link->tick(now);
+            }
+        }
+        drain_overflow();
+    }
+}
+
+void PeerBus::handle_frame(std::uint32_t peer,
+                           std::span<const std::uint8_t> frame) {
+    const std::optional<MsgType> type = frame_type(frame);
+    if (!type.has_value()) {
+        return;
+    }
+    ReliableLink& link = *links_[peer];
+    if (*type == MsgType::ack) {
+        AckMsg ack;
+        if (decode_ack(frame, ack)) {
+            link.on_ack(ack);
+        }
+        return;
+    }
+    if (*type != MsgType::data) {
+        return; // unknown plane on a data link: ignore
+    }
+    DataView view;
+    const std::size_t blk = plan_.block_elems;
+    if (!decode_data(frame, view) || view.plan_fp != params_.plan_fp ||
+        view.channel >= plan_.channel_count ||
+        view.payload.size() != blk * sizeof(double)) {
+        link.count_received(1, 0, 1, 0); // unusable frame; no ack
+        return;
+    }
+    // Decode and re-digest the arrived bytes: the end-to-end check that
+    // catches wire corruption before the frame can be acknowledged (a
+    // corrupt frame is silently dropped so the sender's retry replaces it).
+    Stashed s;
+    s.packet = view.packet;
+    s.block.resize(blk);
+    ByteReader r(view.payload);
+    r.blocks(s.block.data(), blk);
+    s.checksum = rt::simd::checksum(s.block.data(), blk);
+    if (s.checksum != view.checksum) {
+        link.count_received(1, 0, 1, 0);
+        return;
+    }
+    if (!recent_.insert(RecentSet::key(view.channel, view.seq))) {
+        // Duplicate (injected, or a retransmit racing its own ack): the
+        // first copy was delivered, so re-ack and suppress.
+        link.count_received(1, 1, 0, 0);
+        link.enqueue_ack(view.channel, view.seq);
+        return;
+    }
+    link.enqueue_ack(view.channel, view.seq);
+    RecvChan& rc = recv_[view.channel];
+    if (view.seq == rc.next_seq) {
+        link.count_received(1, 0, 0, 0);
+        publish_or_queue(view.channel, std::move(s));
+        ++rc.next_seq;
+        // The gap may have closed for stashed successors.
+        for (auto it = rc.stash.find(rc.next_seq); it != rc.stash.end();
+             it = rc.stash.find(rc.next_seq)) {
+            publish_or_queue(view.channel, std::move(it->second));
+            rc.stash.erase(it);
+            ++rc.next_seq;
+        }
+    } else if (view.seq > rc.next_seq) {
+        link.count_received(1, 0, 0, 1);
+        rc.stash.emplace(view.seq, std::move(s));
+    } else {
+        // Below next_seq but past the recent-set horizon: already
+        // delivered long ago; the ack above is all the sender needs.
+        link.count_received(1, 1, 0, 0);
+    }
+}
+
+void PeerBus::publish_or_queue(std::uint32_t channel, Stashed&& s) {
+    RecvChan& rc = recv_[channel];
+    if (rc.overflow.empty() &&
+        ingress_(channel, s.packet, s.block, s.checksum)) {
+        return;
+    }
+    // Ring momentarily full (or earlier blocks already queued): preserve
+    // order and retry on the next io tick.
+    rc.overflow.push_back(std::move(s));
+}
+
+void PeerBus::drain_overflow() {
+    for (std::uint32_t c = 0; c < recv_.size(); ++c) {
+        RecvChan& rc = recv_[c];
+        while (!rc.overflow.empty()) {
+            Stashed& s = rc.overflow.front();
+            if (!ingress_(c, s.packet, s.block, s.checksum)) {
+                break;
+            }
+            rc.overflow.pop_front();
+        }
+    }
+}
+
+bool PeerBus::flush(std::chrono::milliseconds timeout) {
+    const clock_t_::time_point deadline = clock_t_::now() + timeout;
+    for (;;) {
+        bool drained = true;
+        bool dead = false;
+        for (auto& link : links_) {
+            if (link == nullptr) {
+                continue;
+            }
+            if (link->failed()) {
+                dead = true;
+            } else if (!link->drained()) {
+                drained = false;
+            }
+        }
+        if (drained || dead) {
+            return drained && !dead;
+        }
+        if (clock_t_::now() >= deadline) {
+            for (auto& link : links_) {
+                if (link != nullptr && !link->failed() && !link->drained()) {
+                    link->count_flush_timeout();
+                }
+            }
+            return false;
+        }
+        ::poll(nullptr, 0, 1);
+    }
+}
+
+bool PeerBus::healthy() const {
+    for (const auto& link : links_) {
+        if (link != nullptr && link->failed()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+WireCounters PeerBus::counters() const {
+    WireCounters total;
+    for (const auto& link : links_) {
+        if (link != nullptr) {
+            total += link->counters();
+        }
+    }
+    return total;
+}
+
+} // namespace hcube::net

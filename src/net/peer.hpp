@@ -1,0 +1,158 @@
+// Socket endpoints and the per-process peer mesh of the net transport.
+//
+// A PeerBus owns one reliable link (net/reliable.hpp) per peer rank, a
+// single io thread multiplexing every link with poll(2), and the
+// receive-side half of the reliability protocol: payload digest
+// verification, duplicate suppression, per-channel in-order restoration
+// (out-of-order frames stash until the gap closes), and publication into
+// the process's SocketChannelBank through an ingress callback — with a
+// per-channel overflow queue that retries when the inner ring is full, so
+// wire pressure never deadlocks against ring capacity.
+//
+// Mesh establishment is rank-ordered to stay deadlock-free: rank r
+// actively connects to every q < r (sending HELLO with its rank and plan
+// fingerprint) and accepts from every q > r (identifying the peer by its
+// HELLO). A fingerprint mismatch aborts the handshake — two processes
+// disagreeing on the compiled plan must never exchange blocks.
+#pragma once
+
+#include "ft/fault_model.hpp"
+#include "net/reliable.hpp"
+#include "rt/plan.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hcube::net {
+
+/// Where a peer listens: a Unix-domain socket path or a TCP host:port.
+struct Endpoint {
+    ft::TransportClass kind = ft::TransportClass::uds;
+    std::string path;        ///< uds
+    std::string host;        ///< tcp
+    std::uint16_t port = 0;  ///< tcp
+
+    [[nodiscard]] static Endpoint unix_path(std::string p) {
+        Endpoint e;
+        e.kind = ft::TransportClass::uds;
+        e.path = std::move(p);
+        return e;
+    }
+    [[nodiscard]] static Endpoint tcp(std::string host, std::uint16_t port) {
+        Endpoint e;
+        e.kind = ft::TransportClass::tcp;
+        e.host = std::move(host);
+        e.port = port;
+        return e;
+    }
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Binds and listens on `ep` (unlinking a stale uds path first). TCP port
+/// 0 binds ephemerally — read the outcome with local_port(). Throws
+/// check_error on failure.
+[[nodiscard]] int listen_endpoint(const Endpoint& ep);
+
+/// Accepts one connection, waiting at most `timeout_ms`; -1 on timeout.
+[[nodiscard]] int accept_peer(int listen_fd, int timeout_ms);
+
+/// Connects to `ep`, retrying (the peer may not have bound yet) until
+/// `timeout_ms` expires. Throws check_error on timeout.
+[[nodiscard]] int connect_endpoint(const Endpoint& ep, int timeout_ms);
+
+/// The locally bound TCP port of a listening fd (ephemeral-bind readback).
+[[nodiscard]] std::uint16_t local_port(int fd);
+
+class PeerBus {
+public:
+    struct Params {
+        ReliableConfig reliable;
+        WireFaults::Config faults;
+        std::uint64_t plan_fp = 0;
+        /// {channel, seq} keys remembered for duplicate suppression; must
+        /// exceed the retransmit horizon, not the run length.
+        std::size_t recent_capacity = 4096;
+        /// Handshake patience (mesh connect/accept), milliseconds.
+        int handshake_timeout_ms = 10'000;
+    };
+
+    /// Publishes one verified in-order block into the process-local bank;
+    /// false means the ring is momentarily full (the bus retries).
+    using IngressFn = std::function<bool(
+        std::uint32_t channel, std::uint32_t packet,
+        std::span<const double> block, std::uint64_t checksum)>;
+
+    PeerBus(const rt::Plan& plan, std::uint32_t rank, std::uint32_t procs,
+            Params params);
+    ~PeerBus();
+    PeerBus(const PeerBus&) = delete;
+    PeerBus& operator=(const PeerBus&) = delete;
+
+    /// Must be set before connect_mesh()/start().
+    void set_ingress(IngressFn fn) { ingress_ = std::move(fn); }
+
+    /// Establishes the full rank-ordered mesh. `listen_fd` must already be
+    /// bound and listening on this rank's endpoint (the launcher pre-binds
+    /// it so no peer can connect before the listener exists). Throws
+    /// check_error on timeout or fingerprint mismatch.
+    void connect_mesh(int listen_fd, const std::vector<Endpoint>& peers);
+
+    void start();
+    void stop();
+
+    /// Reliable in-order send toward `dest`'s channel ring. Blocks on the
+    /// link's window; false once the link has failed.
+    [[nodiscard]] bool send_data(std::uint32_t dest, std::uint32_t channel,
+                                 std::uint32_t seq, std::uint32_t packet,
+                                 std::uint64_t checksum,
+                                 std::span<const double> block);
+
+    /// Waits until every link's pending frames are acked (the teardown
+    /// gate: a peer may still need our retransmits). False on timeout.
+    bool flush(std::chrono::milliseconds timeout);
+
+    [[nodiscard]] bool healthy() const;
+    [[nodiscard]] WireCounters counters() const;
+
+private:
+    struct Stashed {
+        std::uint32_t packet;
+        std::uint64_t checksum;
+        std::vector<double> block;
+    };
+    struct RecvChan {
+        std::uint32_t next_seq = 0;
+        std::map<std::uint32_t, Stashed> stash; ///< out-of-order arrivals
+        std::deque<Stashed> overflow; ///< in-order, waiting for ring room
+    };
+
+    void io_loop();
+    void handle_frame(std::uint32_t peer,
+                      std::span<const std::uint8_t> frame);
+    void publish_or_queue(std::uint32_t channel, Stashed&& s);
+    void drain_overflow();
+
+    const rt::Plan& plan_;
+    const std::uint32_t rank_;
+    const std::uint32_t procs_;
+    Params params_;
+    WireFaults faults_;
+    IngressFn ingress_;
+
+    std::vector<std::unique_ptr<ReliableLink>> links_; ///< by peer rank
+    std::vector<RecvChan> recv_;                       ///< by channel
+    RecentSet recent_;
+    int wake_pipe_[2] = {-1, -1};
+    std::thread io_;
+    std::atomic<bool> running_{false};
+};
+
+} // namespace hcube::net

@@ -1,0 +1,273 @@
+#include "net/reliable.hpp"
+
+#include "common/check.hpp"
+#include "net/frame.hpp"
+
+#include <algorithm>
+
+namespace hcube::net {
+
+// ---- WireFaults -------------------------------------------------------
+
+WireFaults::WireFaults(const rt::Plan& plan, const Config& cfg)
+    : duplicate_percent_(std::min<std::uint32_t>(cfg.duplicate_percent, 100)),
+      prng_(cfg.seed) {
+    // Map link-addressed specs onto compiled channel ids, exactly like the
+    // in-process ft::FaultInjector does.
+    for (const ft::FaultSpec& spec : cfg.plan.specs()) {
+        for (std::uint32_t c = 0; c < plan.channel_count; ++c) {
+            if (plan.channel_link[c].first != spec.link.from ||
+                plan.channel_link[c].second != spec.link.to) {
+                continue;
+            }
+            Window w;
+            w.at = spec.at_push;
+            w.salt = std::max<std::uint32_t>(spec.param, 1);
+            switch (spec.cls) {
+            case ft::InjectClass::kill_link:
+                w.cls = 2;
+                w.count = ~std::uint32_t{0};
+                break;
+            case ft::InjectClass::transient_drop:
+                w.cls = 0;
+                w.count = spec.pushes;
+                break;
+            case ft::InjectClass::corrupt_payload:
+                w.cls = 1;
+                w.count = spec.pushes;
+                break;
+            case ft::InjectClass::delay_delivery:
+                // Real sockets supply latency; the bounded arrival wait
+                // (scaled per transport class) is the knob that absorbs it.
+                continue;
+            }
+            by_channel_[c].push_back(w);
+        }
+    }
+}
+
+WireFaults::Verdict
+WireFaults::on_first_send(std::uint32_t channel,
+                          std::span<std::uint8_t> payload) {
+    const std::lock_guard<std::mutex> lock(m_);
+    const std::uint32_t k = sent_[channel]++;
+    if (const auto it = by_channel_.find(channel); it != by_channel_.end()) {
+        for (const Window& w : it->second) {
+            if (k < w.at || (w.count != ~std::uint32_t{0} &&
+                             k >= w.at + w.count)) {
+                continue;
+            }
+            if (w.cls == 2) {
+                return Verdict::kill;
+            }
+            if (w.cls == 0) {
+                return Verdict::drop;
+            }
+            if (!payload.empty()) {
+                payload[w.salt % payload.size()] ^= 0xa5;
+            }
+            return Verdict::corrupt;
+        }
+    }
+    if (duplicate_percent_ > 0 &&
+        prng_.next_below(100) < duplicate_percent_) {
+        return Verdict::duplicate;
+    }
+    return Verdict::deliver;
+}
+
+// ---- ReliableLink -----------------------------------------------------
+
+ReliableLink::ReliableLink(int fd, const ReliableConfig& cfg,
+                           WireFaults* faults)
+    : fd_(fd), cfg_(cfg), faults_(faults), prng_(cfg.jitter_seed) {
+    HCUBE_ENSURE(cfg.window >= 1 && cfg.max_attempts >= 1);
+}
+
+std::chrono::microseconds ReliableLink::backoff(std::uint32_t attempt) {
+    // base << (attempt-1), capped, plus uniform jitter of the same
+    // magnitude: bounded (< 2 * cap) and randomized (desynchronizes the
+    // retry bursts of independent links).
+    const std::uint32_t shift = std::min(attempt - 1, 16u);
+    const std::uint64_t exp =
+        std::min<std::uint64_t>(std::uint64_t{cfg_.backoff_base_us} << shift,
+                                cfg_.backoff_cap_us);
+    return std::chrono::microseconds(exp + prng_.next_below(exp));
+}
+
+void ReliableLink::flush_locked() {
+    std::vector<std::uint8_t> frame;
+    while (out_.pop(frame)) {
+        if (write_frame(fd_, frame) != IoStatus::ok) {
+            failed_ = true;
+            ++counters_.link_failures;
+            window_cv_.notify_all();
+            return;
+        }
+    }
+}
+
+void ReliableLink::transmit_first_locked(Pending& p) {
+    ++counters_.data_sent;
+    if (faults_ == nullptr || !faults_->armed()) {
+        out_.push_data(p.frame);
+        flush_locked();
+        return;
+    }
+    // Verdicts apply to a copy; `p.frame` stays the clean encoding every
+    // retransmit falls back to.
+    std::vector<std::uint8_t> wire = p.frame;
+    const std::span<std::uint8_t> payload{wire.data() + kDataHeaderBytes,
+                                          wire.size() - kDataHeaderBytes};
+    switch (faults_->on_first_send(p.channel, payload)) {
+    case WireFaults::Verdict::kill:
+        ++counters_.injected_drop;
+        p.blackholed = true; // retransmits blackhole too: dead link
+        return;
+    case WireFaults::Verdict::drop:
+        ++counters_.injected_drop;
+        return; // the ack deadline will retransmit the clean frame
+    case WireFaults::Verdict::corrupt:
+        ++counters_.injected_corrupt;
+        out_.push_data(std::move(wire));
+        break;
+    case WireFaults::Verdict::duplicate:
+        ++counters_.injected_dup;
+        out_.push_data(wire);
+        out_.push_data(std::move(wire));
+        break;
+    case WireFaults::Verdict::deliver:
+        out_.push_data(std::move(wire));
+        break;
+    }
+    flush_locked();
+}
+
+bool ReliableLink::send_data(std::uint64_t plan_fp, std::uint32_t channel,
+                            std::uint32_t seq, std::uint32_t packet,
+                            std::uint64_t checksum,
+                            std::span<const double> block) {
+    std::unique_lock<std::mutex> lock(m_);
+    window_cv_.wait(lock, [&] {
+        return failed_ || in_flight_[channel] < cfg_.window;
+    });
+    if (failed_) {
+        return false;
+    }
+    ++in_flight_[channel];
+    Pending p;
+    p.channel = channel;
+    p.seq = seq;
+    p.attempts = 1;
+    p.blackholed = false;
+    p.deadline = clock::now() + backoff(1);
+    encode_data(p.frame, plan_fp, channel, seq, packet, checksum, block);
+    pending_.push_back(std::move(p));
+    transmit_first_locked(pending_.back());
+    return !failed_;
+}
+
+void ReliableLink::enqueue_ack(std::uint32_t channel, std::uint32_t seq) {
+    const std::lock_guard<std::mutex> lock(m_);
+    if (failed_) {
+        return;
+    }
+    std::vector<std::uint8_t> frame;
+    encode_ack(frame, {channel, seq});
+    out_.push_ack(std::move(frame));
+    ++counters_.acks_sent;
+    flush_locked();
+}
+
+void ReliableLink::on_ack(const AckMsg& ack) {
+    const std::lock_guard<std::mutex> lock(m_);
+    ++counters_.acks_received;
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (it->channel == ack.channel && it->seq == ack.seq) {
+            pending_.erase(it);
+            auto fl = in_flight_.find(ack.channel);
+            if (fl != in_flight_.end() && fl->second > 0) {
+                --fl->second;
+            }
+            window_cv_.notify_all();
+            return;
+        }
+    }
+    // Unknown {channel, seq}: the ack of a retransmit whose original
+    // already completed — benign, ignore.
+}
+
+void ReliableLink::tick(clock::time_point now) {
+    const std::lock_guard<std::mutex> lock(m_);
+    if (failed_) {
+        return;
+    }
+    for (Pending& p : pending_) {
+        if (p.deadline > now) {
+            continue;
+        }
+        if (p.attempts >= cfg_.max_attempts) {
+            failed_ = true;
+            ++counters_.link_failures;
+            window_cv_.notify_all();
+            return;
+        }
+        ++p.attempts;
+        p.deadline = now + backoff(p.attempts);
+        ++counters_.retransmits;
+        if (!p.blackholed) {
+            out_.push_data(p.frame); // always the clean encoding
+        }
+    }
+    flush_locked();
+}
+
+ReliableLink::clock::time_point ReliableLink::next_deadline() {
+    const std::lock_guard<std::mutex> lock(m_);
+    clock::time_point earliest = clock::time_point::max();
+    for (const Pending& p : pending_) {
+        earliest = std::min(earliest, p.deadline);
+    }
+    return earliest;
+}
+
+void ReliableLink::fail() noexcept {
+    const std::lock_guard<std::mutex> lock(m_);
+    if (!failed_) {
+        failed_ = true;
+        ++counters_.link_failures;
+    }
+    window_cv_.notify_all();
+}
+
+bool ReliableLink::failed() const noexcept {
+    const std::lock_guard<std::mutex> lock(m_);
+    return failed_;
+}
+
+bool ReliableLink::drained() {
+    const std::lock_guard<std::mutex> lock(m_);
+    return pending_.empty() && out_.empty();
+}
+
+WireCounters ReliableLink::counters() {
+    const std::lock_guard<std::mutex> lock(m_);
+    return counters_;
+}
+
+void ReliableLink::count_received(std::uint64_t data, std::uint64_t dup,
+                                  std::uint64_t corrupt,
+                                  std::uint64_t stashed) {
+    const std::lock_guard<std::mutex> lock(m_);
+    counters_.data_received += data;
+    counters_.dup_suppressed += dup;
+    counters_.corrupt_dropped += corrupt;
+    counters_.stashed += stashed;
+}
+
+void ReliableLink::count_flush_timeout() {
+    const std::lock_guard<std::mutex> lock(m_);
+    ++counters_.flush_timeouts;
+}
+
+} // namespace hcube::net

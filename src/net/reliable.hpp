@@ -1,0 +1,249 @@
+// The per-link reliability sublayer of the net transport: ack/retransmit
+// with bounded randomized backoff, duplicate suppression, and ack-priority
+// send queueing (docs/NETWORK.md § Reliability).
+//
+// The wire below this layer is a connected byte stream, so the sublayer is
+// not defending against the kernel — TCP and Unix sockets do not lose
+// frames. It exists because the *transport contract* of the runtime
+// demands it anyway: the torture tests inject drop/corrupt/duplicate
+// faults at this exact seam (ft::FaultPlan mapped onto first
+// transmissions), and a real multi-host deployment interposes links that
+// can genuinely fail. The state machine per DATA frame:
+//
+//   send: record {channel, seq, clean frame} as pending, apply the wire
+//     fault verdict to a copy, transmit, arm an ack deadline of
+//     base * 2^(attempt-1) + jitter (jitter uniform in [0, that), so the
+//     total is bounded by 2x the exponential term, capped).
+//   ack arrives: drop the pending entry, release the channel's window.
+//   deadline passes: retransmit the CLEAN frame (faults only ever apply
+//     to first transmissions — retry convergence is unconditional),
+//     re-arm with the next backoff step; after max_attempts the link is
+//     declared failed and every blocked sender is released with an error.
+//
+// Acks always leave before queued data (OutQueue) — under load the
+// peer's window opens as early as possible, the meshtastic priority rule.
+#pragma once
+
+#include "common/prng.hpp"
+#include "ft/fault_model.hpp"
+#include "net/protocol.hpp"
+#include "rt/plan.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace hcube::net {
+
+struct ReliableConfig {
+    /// Max unacked DATA frames in flight per channel; senders block when
+    /// the window is full (backpressure toward the schedule's own pacing).
+    std::uint32_t window = 64;
+    /// First transmission + retries before the link is declared failed.
+    std::uint32_t max_attempts = 6;
+    /// Ack-timeout backoff: base << (attempt-1) plus uniform jitter of the
+    /// same magnitude, capped. Bounded and randomized per the meshtastic
+    /// retransmission idiom.
+    std::uint32_t backoff_base_us = 2'000;
+    std::uint32_t backoff_cap_us = 256'000;
+    std::uint64_t jitter_seed = 0x9e37'79b9'7f4a'7c15ULL;
+};
+
+/// Wire-level fault injection, mapped from an ft::FaultPlan onto the
+/// plan's directed channels exactly like the in-process injector — but
+/// applied to a frame's FIRST transmission only, so the ack/retransmit
+/// loop provably converges (kill_link maps to drop-forever and is the one
+/// class that exhausts the retry budget by design). delay_delivery is
+/// ignored here: real sockets already add latency, and the bounded
+/// arrival wait absorbs it.
+class WireFaults {
+public:
+    /// Every `duplicate_percent` of first transmissions is sent twice —
+    /// the dedup torture knob, orthogonal to the FaultPlan classes.
+    struct Config {
+        ft::FaultPlan plan;
+        std::uint32_t duplicate_percent = 0;
+        std::uint64_t seed = 1;
+    };
+
+    /// `drop`/`corrupt`/`duplicate` perturb the first transmission only
+    /// (retransmits go clean — convergence). `kill` is permanent: the
+    /// frame AND all its retransmits are blackholed, so the sender's retry
+    /// budget exhausts and the link is declared failed — the wire analogue
+    /// of ft::InjectClass::kill_link.
+    enum class Verdict : std::uint8_t {
+        deliver,
+        drop,
+        corrupt,
+        duplicate,
+        kill,
+    };
+
+    WireFaults() = default;
+    WireFaults(const rt::Plan& plan, const Config& cfg);
+
+    [[nodiscard]] bool armed() const noexcept {
+        return !by_channel_.empty() || duplicate_percent_ > 0;
+    }
+
+    /// Verdict for the `k`-th first-transmission on `channel` (k counted
+    /// internally). For `corrupt` the frame's payload region is perturbed
+    /// in place before transmission. Internally synchronized: one instance
+    /// is shared by every link of a bus.
+    [[nodiscard]] Verdict on_first_send(std::uint32_t channel,
+                                        std::span<std::uint8_t> payload);
+
+private:
+    std::mutex m_;
+    struct Window {
+        std::uint8_t cls = 0; ///< 0 drop, 1 corrupt, 2 kill
+        std::uint32_t at = 0;
+        std::uint32_t count = 0; ///< ~0 = forever
+        std::uint32_t salt = 1;
+    };
+    std::unordered_map<std::uint32_t, std::vector<Window>> by_channel_;
+    std::unordered_map<std::uint32_t, std::uint32_t> sent_;
+    std::uint32_t duplicate_percent_ = 0;
+    SplitMix64 prng_{1};
+};
+
+/// Two-class priority queue of encoded frames: acks drain before data.
+class OutQueue {
+public:
+    void push_ack(std::vector<std::uint8_t> frame) {
+        acks_.push_back(std::move(frame));
+    }
+    void push_data(std::vector<std::uint8_t> frame) {
+        data_.push_back(std::move(frame));
+    }
+    [[nodiscard]] bool pop(std::vector<std::uint8_t>& frame) {
+        auto& q = !acks_.empty() ? acks_ : data_;
+        if (q.empty()) {
+            return false;
+        }
+        frame = std::move(q.front());
+        q.pop_front();
+        return true;
+    }
+    [[nodiscard]] bool empty() const noexcept {
+        return acks_.empty() && data_.empty();
+    }
+
+private:
+    std::deque<std::vector<std::uint8_t>> acks_;
+    std::deque<std::vector<std::uint8_t>> data_;
+};
+
+/// Bounded membership set over {channel, seq} keys — "have I delivered
+/// this frame already?". FIFO eviction once `capacity` keys are held;
+/// capacity just has to exceed the retransmit horizon, not the run.
+class RecentSet {
+public:
+    explicit RecentSet(std::size_t capacity) : capacity_(capacity) {}
+
+    /// True if the key was new (inserted); false if already present.
+    bool insert(std::uint64_t key) {
+        if (seen_.contains(key)) {
+            return false;
+        }
+        seen_.insert(key);
+        order_.push_back(key);
+        while (order_.size() > capacity_) {
+            seen_.erase(order_.front());
+            order_.pop_front();
+        }
+        return true;
+    }
+
+    [[nodiscard]] static std::uint64_t key(std::uint32_t channel,
+                                           std::uint32_t seq) noexcept {
+        return (std::uint64_t{channel} << 32) | seq;
+    }
+
+private:
+    std::size_t capacity_;
+    std::unordered_set<std::uint64_t> seen_;
+    std::deque<std::uint64_t> order_;
+};
+
+/// One reliable peer connection. Thread contract: any compute thread may
+/// call send_data() (it blocks on the window); the io thread calls
+/// on_ack()/enqueue_ack()/tick(); fail() may come from either side.
+class ReliableLink {
+public:
+    using clock = std::chrono::steady_clock;
+
+    ReliableLink(int fd, const ReliableConfig& cfg, WireFaults* faults);
+
+    /// Encodes, registers the pending entry, applies the wire-fault
+    /// verdict, transmits. Blocks while the channel's window is full.
+    /// False once the link is failed (retry budget or socket error).
+    [[nodiscard]] bool send_data(std::uint64_t plan_fp, std::uint32_t channel,
+                                 std::uint32_t seq, std::uint32_t packet,
+                                 std::uint64_t checksum,
+                                 std::span<const double> block);
+
+    /// Queues (ack priority) and flushes an ACK for {channel, seq}.
+    void enqueue_ack(std::uint32_t channel, std::uint32_t seq);
+
+    /// Peer acknowledged {channel, seq}: retire the pending entry.
+    void on_ack(const AckMsg& ack);
+
+    /// Retransmit every pending frame whose deadline passed; declares the
+    /// link failed once a frame exhausts max_attempts.
+    void tick(clock::time_point now);
+
+    /// Earliest pending deadline, or clock::time_point::max() — the io
+    /// thread's poll horizon.
+    [[nodiscard]] clock::time_point next_deadline();
+
+    /// Marks the link failed and releases every window-blocked sender.
+    void fail() noexcept;
+
+    [[nodiscard]] bool failed() const noexcept;
+    /// True when every sent frame has been acked (teardown gate).
+    [[nodiscard]] bool drained();
+    [[nodiscard]] int fd() const noexcept { return fd_; }
+    [[nodiscard]] WireCounters counters();
+
+    /// Receive-side bookkeeping the bus tallies into this link's counters.
+    void count_received(std::uint64_t data, std::uint64_t dup,
+                        std::uint64_t corrupt, std::uint64_t stashed);
+    void count_flush_timeout();
+
+private:
+    struct Pending {
+        std::uint32_t channel;
+        std::uint32_t seq;
+        std::uint32_t attempts;
+        bool blackholed; ///< kill verdict: retransmits never hit the wire
+        clock::time_point deadline;
+        std::vector<std::uint8_t> frame; ///< clean encoding (retransmits)
+    };
+
+    [[nodiscard]] std::chrono::microseconds backoff(std::uint32_t attempt);
+    void flush_locked();
+    void transmit_first_locked(Pending& p);
+
+    const int fd_;
+    const ReliableConfig cfg_;
+    WireFaults* const faults_; ///< shared across links; self-synchronized
+
+    mutable std::mutex m_;
+    std::condition_variable window_cv_;
+    std::list<Pending> pending_;
+    std::unordered_map<std::uint32_t, std::uint32_t> in_flight_;
+    OutQueue out_;
+    SplitMix64 prng_;
+    WireCounters counters_;
+    bool failed_ = false;
+};
+
+} // namespace hcube::net

@@ -47,7 +47,8 @@
 namespace hcube::rt {
 
 class WorkerPool;
-struct RunContext; // rt/delivery.hpp
+template <class Bank> struct RunContextT; // rt/delivery.hpp
+using RunContext = RunContextT<ChannelBank>;
 
 class AsyncPlayer {
 public:

@@ -124,6 +124,21 @@ public:
                          /*force_stage=*/true);
     }
 
+    /// Producer side, wire-ingress variant: always stages a copy (the
+    /// caller's buffer is transient — e.g. a decoded network frame) and
+    /// stamps the descriptor with the *carried* checksum rather than a
+    /// recomputed one, preserving the end-to-end digest a remote producer
+    /// attached. Used by the net transport's I/O thread, which is the
+    /// single producer for every wire-ingress channel.
+    [[nodiscard]] bool push_received(std::uint32_t channel,
+                                     std::uint32_t packet,
+                                     std::span<const double> block,
+                                     std::uint64_t checksum) noexcept {
+        ensure_inline_storage();
+        return push_impl(channel, packet, block, checksum,
+                         /*force_stage=*/true);
+    }
+
     /// Consumer side: fills `d` with the oldest undelivered descriptor.
     /// False if the channel is empty. The view stays valid until pop_front
     /// (and, in zero-copy mode, as long as the producer's backing block —

@@ -47,6 +47,7 @@ void copy_play_stats(Result& result, const PlayStats& stats) {
     result.seconds = stats.seconds;
     result.steals = stats.steals;
     result.exec_mode = stats.mode;
+    result.transport = stats.transport;
     result.checksum_failures = stats.checksum_failures;
     result.channel_faults = stats.channel_faults;
     result.timeouts = stats.timeouts;

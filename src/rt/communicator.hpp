@@ -115,6 +115,10 @@ struct Result {
     /// the AsyncPlayer's serial fast path, or its work-stealing mode (the
     /// adaptive tuner's per-run choice).
     ExecMode exec_mode = ExecMode::barrier;
+    /// Medium the reported engine moved blocks over ("ring" for the
+    /// in-process bank; "uds"/"tcp" when a net-backend result is folded
+    /// into the same schema).
+    ft::TransportClass transport = ft::TransportClass::ring;
     std::uint32_t threads = 1;
 
     [[nodiscard]] double gbytes_per_sec() const noexcept {

@@ -31,6 +31,7 @@
 #include "rt/player.hpp" // PlayStats
 #include "rt/simd.hpp"
 #include "rt/tracing.hpp"
+#include "rt/transport.hpp"
 
 #include <cstring>
 
@@ -38,9 +39,13 @@ namespace hcube::rt {
 
 /// Everything about the run in flight that both halves of a hop need.
 /// Built once per play(); aggregates only references and raw pointers.
-struct RunContext {
+/// Generic over the channel backend (rt/transport.hpp): the in-process
+/// engines instantiate it with ChannelBank, the net runtime with
+/// net::SocketChannelBank — same delivery protocol, different wires.
+template <class Bank> // constrained at the use sites (send/deliver below)
+struct RunContextT {
     const Plan& plan;
-    ChannelBank& channels;
+    Bank& channels;
     const double** views; ///< per slot: current block view (size total_slots)
     double* memory;       ///< copy-through slot storage; null in zero-copy
     const std::uint64_t* expected_checksum; ///< per packet; move mode only
@@ -50,6 +55,9 @@ struct RunContext {
     bool detecting;
     bool copy_through;
 };
+
+/// The in-process engines' context (the original, pre-extraction name).
+using RunContext = RunContextT<ChannelBank>;
 
 /// The hot fields of one lowered action, engine-agnostic: the barrier
 /// Player builds it from its (cycle, worker) buckets, the AsyncPlayer from
@@ -83,7 +91,8 @@ enum class DeliverOutcome {
 /// stages the payload (and offers it to the fault hook); in zero-copy the
 /// descriptor borrows the view directly — for move-mode traffic that view
 /// is an immutable arena block, so it outlives any in-flight window.
-HCUBE_DELIVERY_INLINE void send_block(const RunContext& ctx,
+template <Transport Bank>
+HCUBE_DELIVERY_INLINE void send_block(const RunContextT<Bank>& ctx,
                                       const ActionRef& a,
                                       std::uint32_t worker,
                                       PlayStats& stats) {
@@ -125,9 +134,10 @@ HCUBE_DELIVERY_INLINE void send_block(const RunContext& ctx,
 /// `check_seq` is the dataflow engines' stricter assertion that the head
 /// is exactly the k-th push their dependency edge waited for; the barrier
 /// engine passes false (its phases make the weaker packet check exact).
+template <Transport Bank>
 HCUBE_DELIVERY_INLINE DeliverOutcome
-deliver_block(const RunContext& ctx, const ActionRef& a, bool check_seq,
-              std::uint32_t worker, PlayStats& stats) {
+deliver_block(const RunContextT<Bank>& ctx, const ActionRef& a,
+              bool check_seq, std::uint32_t worker, PlayStats& stats) {
     const std::size_t blk = ctx.plan.block_elems;
     const TraceRecorder::clock::time_point t0 =
         ctx.trace != nullptr ? TraceRecorder::clock::now()

@@ -88,9 +88,12 @@ private:
 
 /// Polls `channels.front(channel)` until a descriptor appears, the arbiter
 /// aborts, or `timeout_us` elapses. Returns false on timeout/abort. The
-/// caller re-checks packet/seq itself.
+/// caller re-checks packet/seq itself. Generic over the channel backend
+/// (rt/transport.hpp): on the socket transport this is the wait that gives
+/// a wire crossing — and its ack-timeout retransmits — room to land.
+template <class Bank>
 [[nodiscard]] inline bool
-await_front(const ChannelBank& channels, std::uint32_t channel,
+await_front(const Bank& channels, std::uint32_t channel,
             ChannelBank::Desc& d, std::uint32_t timeout_us,
             const FaultArbiter& arbiter) {
     using clock = std::chrono::steady_clock;

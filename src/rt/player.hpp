@@ -73,6 +73,9 @@ struct PlayStats {
                                        ///< queue (AsyncPlayer only)
     double seconds = 0;                ///< wall clock of the threaded region
     ExecMode mode = ExecMode::barrier; ///< how this run executed
+    /// Medium the blocks moved over: the in-process ring bank, or the net
+    /// backend's Unix-domain / TCP sockets (set by the net runtime).
+    ft::TransportClass transport = ft::TransportClass::ring;
 
     [[nodiscard]] bool clean() const noexcept {
         return checksum_failures == 0 && channel_faults == 0 &&

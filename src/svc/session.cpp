@@ -283,6 +283,7 @@ ExecStats Session::execute(const Signature& sig) {
         out.payload_bytes = stats.payload_bytes;
         out.bytes_copied = stats.bytes_copied;
         out.exec_mode = stats.mode;
+        out.transport = stats.transport;
         out.seconds = stats.seconds;
         if (ok && full_check && !entry->image_valid) {
             entry->oracle_image = snapshot_memory(plan, *entry->barrier);
@@ -306,6 +307,7 @@ ExecStats Session::execute(const Signature& sig) {
         out.payload_bytes = stats.payload_bytes;
         out.bytes_copied = stats.bytes_copied;
         out.exec_mode = stats.mode;
+        out.transport = stats.transport;
         out.seconds = stats.seconds;
         if (ok && full_check && !entry->image_valid) {
             entry->oracle_image = snapshot_memory(plan, *entry->async);

@@ -70,6 +70,9 @@ struct ExecStats {
     std::uint64_t bytes_copied = 0;
     /// How the reported engine executed (barrier / serial / stealing).
     rt::ExecMode exec_mode = rt::ExecMode::barrier;
+    /// Medium the blocks moved over (always ring for an in-process
+    /// session; netd reports its serving endpoint's transport instead).
+    ft::TransportClass transport = ft::TransportClass::ring;
     double seconds = 0; ///< wall clock of the reported engine's play()
 };
 
