@@ -33,6 +33,7 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -221,6 +222,194 @@ ServiceMeasured run_service(dim_t n, const std::vector<Signature>& mix,
     return m;
 }
 
+// ------------------------------------------------- plan footprint sweep --
+
+/// Deterministic mixed-dimension signature population for the residency
+/// sweep: `count` distinct signatures over n = 3..10, weighted toward the
+/// small cubes a long-running service mostly sees (an entry's resident
+/// bytes are dominated by its channel rings, which scale with 2^n), while
+/// every dimension up to the 10-cube stays represented. Small cubes cover
+/// every valid (op, family) pair and vary root, packet count, and block
+/// size; the big cubes stick to single-packet tree collectives at the
+/// smallest block so the whole population fits one 64 MiB budget.
+std::vector<Signature> sweep_population(std::size_t count) {
+    // Per-dimension share of the population, /1200.
+    static constexpr struct {
+        dim_t n;
+        std::size_t share;
+    } kQuota[] = {{3, 440}, {4, 350}, {5, 250}, {6, 100},
+                  {7, 30},  {8, 12},  {9, 8},   {10, 6}};
+    std::set<Signature> unique;
+    std::vector<Signature> sigs;
+    for (const auto& [n, share] : kQuota) {
+        const std::size_t want = std::max<std::size_t>(
+            1, sigs.size() + share * count / 1200 > count
+                   ? count - sigs.size()
+                   : share * count / 1200);
+        const auto nodes = node_t{1} << n;
+        std::size_t made = 0;
+        for (std::size_t j = 0; made < want && j < want * 16; ++j) {
+            // Mixed-radix decode of j into (op, root, packets, block):
+            // every tuple is distinct until the space is exhausted, so the
+            // quota is met without correlated-modulus collisions.
+            const std::size_t cases = n >= 7 ? 3 : 8;
+            const auto op_case = static_cast<int>(j % cases);
+            std::size_t t = j / cases;
+            const auto root = static_cast<node_t>(t % nodes);
+            t /= nodes;
+            const auto pk =
+                static_cast<packet_t>(n >= 7 ? 1 : 1 + t % 3);
+            t /= 3;
+            const auto block = static_cast<std::uint32_t>(
+                n >= 7 ? 8 : 8 * (1 + t % 4));
+            Signature sig;
+            switch (op_case) {
+            case 0:
+                sig = make_sig(Op::broadcast, Family::sbt, n, root, pk,
+                               block);
+                break;
+            case 1:
+                sig = make_sig(Op::scatter, Family::bst, n, root, pk,
+                               block);
+                break;
+            case 2:
+                sig = make_sig(Op::gather, Family::sbt, n, root, pk,
+                               block);
+                break;
+            case 3:
+                sig = make_sig(Op::scatter, Family::sbt, n, root, pk,
+                               block);
+                break;
+            case 4:
+                sig = make_sig(Op::gather, Family::bst, n, root, pk,
+                               block);
+                break;
+            case 5:
+                sig = make_sig(Op::reduce, Family::sbt, n, root, pk,
+                               block);
+                break;
+            case 6:
+                sig = make_sig(Op::broadcast, Family::msbt, n, root,
+                               static_cast<packet_t>(n), block);
+                break;
+            default:
+                sig = n <= 5 ? make_sig(root % 2 == 0 ? Op::allgather
+                                                      : Op::alltoall,
+                                        Family::sbt, n, 0, 1, block)
+                             : make_sig(Op::broadcast, Family::sbt, n,
+                                        root, static_cast<packet_t>(4),
+                                        block);
+                break;
+            }
+            if (unique.insert(sig).second) {
+                sigs.push_back(sig);
+                ++made;
+            }
+        }
+        if (sigs.size() >= count) {
+            break;
+        }
+    }
+    return sigs;
+}
+
+struct SweepMeasured {
+    std::size_t signatures = 0;
+    std::size_t resident_plans = 0;
+    std::uint64_t resident_bytes = 0;
+    double bytes_per_plan = 0;
+    double compile_ms = 0;
+    double hit_rate = 0;
+    std::uint64_t evictions = 0;
+    bool verified = true;
+};
+
+/// Thousand-signature residency: every signature executed once cold, then
+/// `passes - 1` more rounds over the whole population under one fixed byte
+/// budget. The acceptance bar is >= 1000 plans resident in <= 64 MiB at
+/// >= 90% cache hit rate, every request byte-verified.
+SweepMeasured run_footprint_sweep(const std::vector<Signature>& sigs,
+                                  std::uint64_t budget_bytes, int passes) {
+    SessionParams params;
+    params.threads = 4;
+    params.plan_cache_bytes = budget_bytes;
+    Session session(10, params);
+    SweepMeasured m;
+    m.signatures = sigs.size();
+    for (int pass = 0; pass < passes; ++pass) {
+        for (const Signature& sig : sigs) {
+            const ExecStats stats = session.execute(sig);
+            m.verified = m.verified && stats.verified;
+        }
+    }
+    const hcube::CacheStats cache = session.cache_stats();
+    const double lookups =
+        static_cast<double>(cache.hits + cache.misses);
+    m.hit_rate =
+        lookups > 0 ? static_cast<double>(cache.hits) / lookups : 0;
+    m.evictions = cache.evictions;
+    m.resident_plans = session.cached_plans();
+    m.resident_bytes = session.cache_resident_bytes();
+    m.bytes_per_plan =
+        m.resident_plans > 0 ? static_cast<double>(m.resident_bytes) /
+                                   static_cast<double>(m.resident_plans)
+                             : 0;
+    // Compile cost, measured directly on a sample of the population
+    // (schedule generation + rt::compile_plan, no execution).
+    double compile_seconds = 0;
+    std::size_t compiled = 0;
+    for (std::size_t i = 0; i < sigs.size(); i += 59) {
+        const GeneratedSchedule gen = make_schedule(sigs[i]);
+        const double t0 = now_seconds();
+        const hcube::rt::Plan plan = hcube::rt::compile_plan(
+            gen.exec, gen.mode, sigs[i].block_elems, 4);
+        compile_seconds += now_seconds() - t0;
+        ++compiled;
+        (void)plan;
+    }
+    m.compile_ms = compiled > 0
+                       ? compile_seconds * 1e3 /
+                             static_cast<double>(compiled)
+                       : 0;
+    return m;
+}
+
+struct ShrinkMeasured {
+    std::uint64_t compact_bytes = 0;
+    std::uint64_t pre_pr_bytes = 0;
+    double ratio = 0;
+};
+
+/// The ISSUE acceptance number: entry resident bytes of the cached
+/// sbt_broadcast n=8 plan under the compact encoding, against the pre-PR
+/// layout reconstructed analytically — the wide (reference) encoding's
+/// entry plus the full per-entry oracle image the cache used to snapshot
+/// for move-mode plans (total_slots x block doubles; it now keeps an
+/// 8-byte arena fingerprint instead).
+ShrinkMeasured measure_sbt8_shrink(std::uint32_t block) {
+    const Signature sig =
+        make_sig(Op::broadcast, Family::sbt, 8, 0, 4, block);
+    SessionParams compact_params;
+    compact_params.threads = 4;
+    SessionParams wide_params = compact_params;
+    wide_params.plan_layout = hcube::rt::PlanLayout::wide;
+    Session compact_session(8, compact_params);
+    Session wide_session(8, wide_params);
+    ShrinkMeasured m;
+    m.compact_bytes = compact_session.execute(sig).plan_resident_bytes;
+    const std::uint64_t wide_entry =
+        wide_session.execute(sig).plan_resident_bytes;
+    // Every node holds every packet after a broadcast.
+    const std::uint64_t image_bytes =
+        (std::uint64_t{1} << 8) * sig.packets * sig.block_elems * 8;
+    m.pre_pr_bytes = wide_entry + image_bytes;
+    m.ratio = m.compact_bytes > 0
+                  ? static_cast<double>(m.pre_pr_bytes) /
+                        static_cast<double>(m.compact_bytes)
+                  : 0;
+    return m;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -302,6 +491,72 @@ int main(int argc, char** argv) {
             json->field("verified", svc.verified);
             json->end_row();
         }
+    }
+
+    // Plan residency: thousand-signature footprint sweep under one fixed
+    // byte budget, and the sbt_broadcast n=8 shrink vs the pre-PR layout.
+    const auto sweep_sigs = static_cast<std::size_t>(
+        options.get_int("sweep-sigs", 1200));
+    const int sweep_passes =
+        static_cast<int>(options.get_int("sweep-passes", 11));
+    const std::uint64_t sweep_budget = 64ull << 20;
+    const std::vector<Signature> population = sweep_population(sweep_sigs);
+    const SweepMeasured sweep =
+        run_footprint_sweep(population, sweep_budget, sweep_passes);
+    const bool sweep_ok =
+        sweep.verified && sweep.hit_rate >= 0.90 &&
+        sweep.resident_bytes <= sweep_budget &&
+        (population.size() < 1000 || sweep.resident_plans >= 1000);
+    verified = verified && sweep_ok;
+    std::printf("\nplan footprint sweep: %zu signatures (n=3..10), "
+                "budget %llu MiB, %d passes\n"
+                "  resident %zu plans, %.1f KiB/plan, compile %.3f ms, "
+                "hit %.1f%%, evictions %llu -> %s\n",
+                sweep.signatures,
+                static_cast<unsigned long long>(sweep_budget >> 20),
+                sweep_passes, sweep.resident_plans,
+                sweep.bytes_per_plan / 1024.0, sweep.compile_ms,
+                sweep.hit_rate * 100,
+                static_cast<unsigned long long>(sweep.evictions),
+                sweep_ok ? "ok" : "FAILED");
+    if (json) {
+        json->begin_row();
+        json->field("mode", "plan_footprint_sweep");
+        json->field("signatures",
+                    static_cast<std::uint64_t>(sweep.signatures));
+        json->field("resident_plans",
+                    static_cast<std::uint64_t>(sweep.resident_plans));
+        json->field("resident_bytes", sweep.resident_bytes);
+        json->field("budget_bytes", sweep_budget);
+        json->field("bytes_per_plan", sweep.bytes_per_plan);
+        json->field("compile_ms", sweep.compile_ms);
+        json->field("cache_hit_rate", sweep.hit_rate);
+        json->field("evictions", sweep.evictions);
+        json->field("passes", sweep_passes);
+        json->field("verified", sweep_ok);
+        json->end_row();
+    }
+
+    const ShrinkMeasured shrink = measure_sbt8_shrink(block);
+    const bool shrink_ok = shrink.ratio >= 4.0;
+    verified = verified && shrink_ok;
+    std::printf("sbt_broadcast n=8 entry: %llu bytes compact vs %llu "
+                "pre-PR (wide + oracle image) -> %.1fx %s\n",
+                static_cast<unsigned long long>(shrink.compact_bytes),
+                static_cast<unsigned long long>(shrink.pre_pr_bytes),
+                shrink.ratio, shrink_ok ? "(>= 4x ok)" : "(< 4x FAILED)");
+    if (json) {
+        json->begin_row();
+        json->field("mode", "plan_compaction");
+        json->field("family", "sbt_broadcast");
+        json->field("n", 8);
+        json->field("block_elems", block);
+        json->field("bytes_per_plan",
+                    static_cast<double>(shrink.compact_bytes));
+        json->field("pre_pr_bytes", shrink.pre_pr_bytes);
+        json->field("shrink_ratio", shrink.ratio);
+        json->field("verified", shrink_ok);
+        json->end_row();
     }
 
     // Selector regimes under the session's calibrated machine constants:

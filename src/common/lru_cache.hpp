@@ -1,5 +1,5 @@
-// Reader-friendly LRU cache shared by the TCBT memo and the service-layer
-// plan cache.
+// Reader-friendly, cost-budgeted LRU cache shared by the TCBT memo and the
+// service-layer plan cache.
 //
 // The concurrency idiom is the one the TCBT cache established: lookups take
 // a shared lock and copy the value out under it (so a concurrent insert can
@@ -10,13 +10,21 @@
 // callers built identical values) or the value is a handle whose copies are
 // interchangeable.
 //
-// Recency is tracked with a relaxed atomic stamp per entry, updated under
-// the *shared* lock: hits never serialize against each other, at the cost
-// of eviction being approximate under contention (two hits racing the
-// clock may swap their order — irrelevant for a cache, which only promises
-// to keep hot entries resident). Eviction scans for the minimum stamp;
-// capacities are small (dozens), so the scan is cheaper than maintaining
-// an intrusive list under the exclusive lock.
+// Residency is governed by a *cost budget*, not an entry count: every entry
+// carries a caller-assigned cost (default 1, which makes the budget an
+// entry capacity — the memo semantics), insertion and update_cost evict
+// least-recently-used entries until the total fits, and 0 means unbounded.
+// The service layer charges each compiled plan its exact resident bytes, so
+// one budget holds thousands of small-cube plans or a handful of huge ones.
+//
+// Recency is an intrusive doubly-linked list threaded through the map
+// entries (std::map nodes are address-stable), guarded by a leaf spinlock-
+// grade mutex taken *inside* the shared lock: a hit does one O(1) splice
+// instead of stamping a clock, and eviction pops the list tail in O(1)
+// instead of scanning the map for the minimum stamp. Hits serialize
+// briefly on the list mutex — the price of exact LRU order and O(1)
+// eviction; the splice is a handful of pointer writes, far cheaper than
+// the map lookup preceding it. Lock order: map mutex, then list mutex.
 #pragma once
 
 #include <atomic>
@@ -42,14 +50,18 @@ class LruCache {
 public:
     using Stats = CacheStats;
 
-    /// `capacity` resident entries; 0 means unbounded (a pure memo).
-    explicit LruCache(std::size_t capacity = 0) noexcept
-        : capacity_(capacity) {}
+    /// `budget` is the total cost the cache may keep resident; 0 means
+    /// unbounded (a pure memo). With the default unit entry cost the
+    /// budget is an entry capacity. The budget is a best-effort bound: the
+    /// entry being inserted or touched is never evicted, so a single entry
+    /// costlier than the whole budget stays resident alone.
+    explicit LruCache(std::uint64_t budget = 0) noexcept : budget_(budget) {}
 
     LruCache(const LruCache&) = delete;
     LruCache& operator=(const LruCache&) = delete;
 
-    /// Copy of the cached value, stamping its recency; nullopt on a miss.
+    /// Copy of the cached value, promoting it to most recent; nullopt on a
+    /// miss.
     [[nodiscard]] std::optional<Value> get(const Key& key) {
         const std::shared_lock lock(mutex_);
         const auto it = map_.find(key);
@@ -57,27 +69,69 @@ public:
             misses_.fetch_add(1, std::memory_order_relaxed);
             return std::nullopt;
         }
-        touch(it->second);
+        {
+            const std::lock_guard list_lock(list_mutex_);
+            move_to_mru(&it->second);
+        }
         hits_.fetch_add(1, std::memory_order_relaxed);
         return it->second.value;
     }
 
-    /// The cached value for `key`, building it with `factory()` on a miss.
-    /// The factory runs without any lock held; if two threads race the same
-    /// miss, one build is discarded and both return the cached winner.
+    /// The cached value for `key`, building it with `factory()` on a miss
+    /// at the default unit cost. The factory runs without any lock held; if
+    /// two threads race the same miss, one build is discarded and both
+    /// return the cached winner.
     template <class Factory>
     [[nodiscard]] Value get_or_create(const Key& key, Factory&& factory) {
+        return get_or_create(key, std::forward<Factory>(factory),
+                             [](const Value&) { return std::uint64_t{1}; });
+    }
+
+    /// As above, charging the freshly built value `cost_fn(value)` against
+    /// the budget (also evaluated without any lock held).
+    template <class Factory, class CostFn>
+    [[nodiscard]] Value get_or_create(const Key& key, Factory&& factory,
+                                      CostFn&& cost_fn) {
         if (std::optional<Value> hit = get(key)) {
             return std::move(*hit);
         }
         Value built = factory();
+        const std::uint64_t cost = cost_fn(static_cast<const Value&>(built));
         const std::unique_lock lock(mutex_);
-        const auto [it, inserted] = map_.try_emplace(
-            key, std::move(built), clock_.fetch_add(1) + 1);
-        if (inserted && capacity_ != 0) {
-            evict_over_capacity(key);
+        const auto [it, inserted] = map_.try_emplace(key, std::move(built));
+        Entry& entry = it->second;
+        if (inserted) {
+            entry.key = &it->first;
+            entry.cost = cost;
+            total_cost_ += cost;
+            {
+                const std::lock_guard list_lock(list_mutex_);
+                push_mru(&entry);
+            }
+            if (budget_ != 0) {
+                evict_over_budget(&entry);
+            }
+        } else {
+            const std::lock_guard list_lock(list_mutex_);
+            move_to_mru(&entry);
         }
         return it->second.value;
+    }
+
+    /// Re-prices a resident entry (e.g. after lazily materializing per-
+    /// entry state), evicting colder entries if the total no longer fits.
+    /// The re-priced entry itself is never evicted. No-op on a miss.
+    void update_cost(const Key& key, std::uint64_t cost) {
+        const std::unique_lock lock(mutex_);
+        const auto it = map_.find(key);
+        if (it == map_.end()) {
+            return;
+        }
+        total_cost_ += cost - it->second.cost;
+        it->second.cost = cost;
+        if (budget_ != 0) {
+            evict_over_budget(&it->second);
+        }
     }
 
     [[nodiscard]] std::size_t size() const {
@@ -85,13 +139,21 @@ public:
         return map_.size();
     }
 
+    /// Sum of resident entry costs (exact bytes, for the plan cache).
+    [[nodiscard]] std::uint64_t total_cost() const {
+        const std::shared_lock lock(mutex_);
+        return total_cost_;
+    }
+
+    [[nodiscard]] std::uint64_t budget() const noexcept { return budget_; }
+
     [[nodiscard]] Stats stats() const noexcept {
         return {hits_.load(std::memory_order_relaxed),
                 misses_.load(std::memory_order_relaxed),
                 evictions_.load(std::memory_order_relaxed)};
     }
 
-    /// True if `key` is currently resident (no recency stamp, no counters).
+    /// True if `key` is currently resident (no recency update, no counters).
     [[nodiscard]] bool contains(const Key& key) const {
         const std::shared_lock lock(mutex_);
         return map_.find(key) != map_.end();
@@ -100,51 +162,71 @@ public:
     void clear() {
         const std::unique_lock lock(mutex_);
         map_.clear();
+        lru_ = nullptr;
+        mru_ = nullptr;
+        total_cost_ = 0;
     }
 
 private:
     struct Entry {
-        Entry(Value v, std::uint64_t stamp)
-            : value(std::move(v)), last_used(stamp) {}
+        explicit Entry(Value v) : value(std::move(v)) {}
         Value value;
-        std::atomic<std::uint64_t> last_used;
+        std::uint64_t cost = 1;
+        const Key* key = nullptr; ///< back-pointer for O(1) erase-by-node
+        Entry* prev = nullptr;    ///< toward LRU
+        Entry* next = nullptr;    ///< toward MRU
     };
 
-    void touch(Entry& entry) {
-        entry.last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) +
-                                  1,
-                              std::memory_order_relaxed);
+    // ---- intrusive recency list (lru_ = coldest, mru_ = hottest) ------
+    // Callers hold list_mutex_, or the exclusive map lock (which excludes
+    // every shared-lock splicer).
+    void unlink(Entry* e) noexcept {
+        (e->prev != nullptr ? e->prev->next : lru_) = e->next;
+        (e->next != nullptr ? e->next->prev : mru_) = e->prev;
+        e->prev = nullptr;
+        e->next = nullptr;
+    }
+    void push_mru(Entry* e) noexcept {
+        e->prev = mru_;
+        e->next = nullptr;
+        (mru_ != nullptr ? mru_->next : lru_) = e;
+        mru_ = e;
+    }
+    void move_to_mru(Entry* e) noexcept {
+        if (e == mru_) {
+            return;
+        }
+        unlink(e);
+        push_mru(e);
     }
 
-    /// Must hold the exclusive lock. Never evicts `keep` (the entry the
+    /// Must hold the exclusive lock. Pops list-tail victims until the
+    /// total cost fits the budget, never evicting `keep` (the entry the
     /// caller is about to return a reference to).
-    void evict_over_capacity(const Key& keep) {
-        while (map_.size() > capacity_) {
-            auto victim = map_.end();
-            std::uint64_t oldest = ~std::uint64_t{0};
-            for (auto it = map_.begin(); it != map_.end(); ++it) {
-                if (it->first == keep) {
-                    continue;
-                }
-                const std::uint64_t used =
-                    it->second.last_used.load(std::memory_order_relaxed);
-                if (used < oldest) {
-                    oldest = used;
-                    victim = it;
-                }
+    void evict_over_budget(const Entry* keep) {
+        while (total_cost_ > budget_) {
+            Entry* victim = lru_;
+            if (victim == keep) {
+                victim = victim->next;
             }
-            if (victim == map_.end()) {
-                return; // capacity 1 holding only `keep`
+            if (victim == nullptr) {
+                return; // nothing evictable but `keep`
             }
-            map_.erase(victim);
+            total_cost_ -= victim->cost;
+            const Key* key = victim->key;
+            unlink(victim);
+            map_.erase(*key); // destroys *victim
             evictions_.fetch_add(1, std::memory_order_relaxed);
         }
     }
 
     mutable std::shared_mutex mutex_;
+    mutable std::mutex list_mutex_; ///< leaf lock; taken inside mutex_
     std::map<Key, Entry> map_;
-    std::size_t capacity_;
-    std::atomic<std::uint64_t> clock_{0};
+    std::uint64_t budget_;
+    std::uint64_t total_cost_ = 0;
+    Entry* lru_ = nullptr;
+    Entry* mru_ = nullptr;
     mutable std::atomic<std::uint64_t> hits_{0};
     mutable std::atomic<std::uint64_t> misses_{0};
     std::atomic<std::uint64_t> evictions_{0};

@@ -15,8 +15,8 @@ void FaultInjector::arm(const rt::Plan& plan) {
     for (const FaultSpec& spec : plan_.specs()) {
         bool matched = false;
         for (std::uint32_t c = 0; c < plan.channel_count; ++c) {
-            if (plan.channel_link[c].first == spec.link.from &&
-                plan.channel_link[c].second == spec.link.to) {
+            if (plan.channel_from(c) == spec.link.from &&
+                plan.channel_to(c) == spec.link.to) {
                 armed_[c].push_back(spec);
                 matched = true;
                 break; // channel ids are unique per directed link

@@ -56,24 +56,20 @@ NetPlayStats NetPlayer::play() {
             break; // no barriers to keep crossing: just stop
         }
         const std::size_t bucket = std::size_t{cycle} * workers + rank_;
-        for (std::uint64_t i = plan_.send_begin[bucket];
+        for (std::size_t i = plan_.send_begin[bucket];
              i < plan_.send_begin[bucket + 1]; ++i) {
-            const rt::Action& a = plan_.sends[i];
-            rt::send_block(ctx,
-                           {a.channel, static_cast<std::uint32_t>(a.slot),
-                            a.packet, a.seq, cycle},
+            const rt::ActionFields a = plan_.bucket_send(i);
+            rt::send_block(ctx, {a.channel, a.slot, a.packet, a.seq, cycle},
                            rank_, stats);
         }
-        for (std::uint64_t i = plan_.recv_begin[bucket];
+        for (std::size_t i = plan_.recv_begin[bucket];
              i < plan_.recv_begin[bucket + 1]; ++i) {
-            const rt::Action& a = plan_.recvs[i];
+            const rt::ActionFields a = plan_.bucket_recv(i);
             // check_seq: in-order reliable delivery restores the exact
             // push order, so the ring's sequence stamps must equal the
             // plan's — a stricter check than the barrier engine needs.
             const rt::DeliverOutcome out = rt::deliver_block(
-                ctx,
-                {a.channel, static_cast<std::uint32_t>(a.slot), a.packet,
-                 a.seq, cycle},
+                ctx, {a.channel, a.slot, a.packet, a.seq, cycle},
                 /*check_seq=*/true, rank_, stats);
             if (out == rt::DeliverOutcome::drained ||
                 (out == rt::DeliverOutcome::skipped &&

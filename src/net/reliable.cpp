@@ -16,8 +16,8 @@ WireFaults::WireFaults(const rt::Plan& plan, const Config& cfg)
     // in-process ft::FaultInjector does.
     for (const ft::FaultSpec& spec : cfg.plan.specs()) {
         for (std::uint32_t c = 0; c < plan.channel_count; ++c) {
-            if (plan.channel_link[c].first != spec.link.from ||
-                plan.channel_link[c].second != spec.link.to) {
+            if (plan.channel_from(c) != spec.link.from ||
+                plan.channel_to(c) != spec.link.to) {
                 continue;
             }
             Window w;

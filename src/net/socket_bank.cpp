@@ -32,8 +32,8 @@ SocketChannelBank::SocketChannelBank(const rt::Plan& plan,
     HCUBE_ENSURE_MSG(rank < plan.workers,
                      "rank outside the plan's worker range");
     for (std::uint32_t c = 0; c < plan.channel_count; ++c) {
-        const std::uint32_t from = plan.owner_of(plan.channel_link[c].first);
-        const std::uint32_t to = plan.owner_of(plan.channel_link[c].second);
+        const std::uint32_t from = plan.owner_of(plan.channel_from(c));
+        const std::uint32_t to = plan.owner_of(plan.channel_to(c));
         dest_[c] = to;
         Route r = Route::foreign;
         if (from == rank && to == rank) {

@@ -102,24 +102,34 @@ std::span<const double> AsyncPlayer::block(node_t node,
     return {view, plan_.block_elems};
 }
 
+std::uint64_t AsyncPlayer::resident_bytes() const noexcept {
+    return channels_.resident_bytes() +
+           std::uint64_t{views_.capacity()} * sizeof(const double*) +
+           std::uint64_t{memory_.capacity()} * sizeof(double) +
+           std::uint64_t{expected_checksum_.capacity()} *
+               sizeof(std::uint64_t) +
+           std::uint64_t{deps_.size()} *
+               sizeof(std::atomic<std::uint32_t>);
+}
+
 void AsyncPlayer::execute(const RunContext& ctx, std::uint32_t action,
                           std::uint32_t worker, PlayStats& stats) {
-    // Hot fields come from the plan's SoA action arrays — four sequential
-    // u32 streams instead of a strided 24-byte struct walk.
+    // Hot fields come from the plan's SoA action streams — four sequential
+    // u32 arrays indexed by the interleaved id, so the two halves of one
+    // hop read adjacent memory. The schedule cycle is diagnostics-only
+    // (fault reports, traces) and recovered lazily: the compact layout
+    // keeps no per-hop cycle stamp.
+    const ActionFields f = plan_.fields(action);
+    const std::uint32_t cycle =
+        ctx.detecting || ctx.trace != nullptr
+            ? plan_.cycle_of_lowered(Plan::lowered_of(action))
+            : 0;
     if (plan_.is_send_action(action)) {
-        send_block(ctx,
-                   {plan_.act_channel[action], plan_.act_slot[action],
-                    plan_.act_packet[action], plan_.act_seq[action],
-                    plan_.flat_cycle[action]},
-                   worker, stats);
+        send_block(ctx, {f.channel, f.slot, f.packet, f.seq, cycle}, worker,
+                   stats);
         return;
     }
-    const std::uint32_t index =
-        action - static_cast<std::uint32_t>(plan_.flat_sends.size());
-    (void)deliver_block(ctx,
-                        {plan_.act_channel[action], plan_.act_slot[action],
-                         plan_.act_packet[action], plan_.act_seq[action],
-                         plan_.flat_cycle[index]},
+    (void)deliver_block(ctx, {f.channel, f.slot, f.packet, f.seq, cycle},
                         /*check_seq=*/true, worker, stats);
 }
 
@@ -133,7 +143,7 @@ void AsyncPlayer::finish(std::uint32_t action, Worker* workers) {
             // A newly ready action always goes to its owner's queue, even
             // when a thief completed the enabling action — LIFO locality is
             // the owner's, stealing only rebalances.
-            Worker& target = workers[plan_.owner_of(plan_.action(succ).node)];
+            Worker& target = workers[plan_.owner_of(plan_.action_node(succ))];
             const std::lock_guard lock(target.mutex);
             target.queue.push_back(succ);
         }
@@ -225,23 +235,21 @@ void AsyncPlayer::run_serial(PlayStats& stats) {
                 // Store-and-forward (proven at compile) means no send in
                 // this cycle reads a slot this cycle delivers, so the
                 // send/recv halves of hop i can be retired together.
-                const double* const view =
-                    views_[static_cast<std::size_t>(plan_.flat_sends[i].slot)];
-                const Action& r = plan_.flat_recvs[i];
+                const double* const view = views_[plan_.lowered_send(i).slot];
+                const ActionFields r = plan_.lowered_recv(i);
                 if (view != plan_.arena_block(r.packet)) [[unlikely]] {
                     ++stats.checksum_failures;
                 }
-                views_[static_cast<std::size_t>(r.slot)] = view;
+                views_[r.slot] = view;
             }
             stats.blocks_sent += hi - lo;
             stats.blocks_delivered += hi - lo;
         }
         return;
     }
-    // This walk is sequential, so it reads the AoS flat_sends/flat_recvs
-    // (one contiguous stream each, like the barrier engine's bucket walk)
-    // rather than the SoA act_* arrays the dataflow path uses for its
-    // random access by action id.
+    // This walk is sequential in hop order, so the layout-agnostic lowered
+    // accessors stream it contiguously in either encoding (interleaved SoA
+    // entries 2l / 2l+1 on compact, the flat AoS mirrors on wide).
     for (std::uint32_t cycle = 0; cycle < plan_.cycles; ++cycle) {
         if (ctx.detecting && arbiter_.aborted()) {
             break;
@@ -249,18 +257,14 @@ void AsyncPlayer::run_serial(PlayStats& stats) {
         const std::uint32_t lo = plan_.flat_cycle_begin[cycle];
         const std::uint32_t hi = plan_.flat_cycle_begin[cycle + 1];
         for (std::uint32_t i = lo; i < hi; ++i) {
-            const Action& a = plan_.flat_sends[i];
-            send_block(ctx,
-                       {a.channel, static_cast<std::uint32_t>(a.slot),
-                        a.packet, a.seq, cycle},
-                       0, stats);
+            const ActionFields a = plan_.lowered_send(i);
+            send_block(ctx, {a.channel, a.slot, a.packet, a.seq, cycle}, 0,
+                       stats);
         }
         for (std::uint32_t i = lo; i < hi; ++i) {
-            const Action& a = plan_.flat_recvs[i];
+            const ActionFields a = plan_.lowered_recv(i);
             const DeliverOutcome out =
-                deliver_block(ctx,
-                              {a.channel, static_cast<std::uint32_t>(a.slot),
-                               a.packet, a.seq, cycle},
+                deliver_block(ctx, {a.channel, a.slot, a.packet, a.seq, cycle},
                               /*check_seq=*/true, 0, stats);
             if (out == DeliverOutcome::drained ||
                 (out == DeliverOutcome::skipped && arbiter_.aborted())) {
@@ -298,7 +302,7 @@ PlayStats AsyncPlayer::play(WorkerPool* pool) {
         }
         for (std::uint32_t a = 0; a < total; ++a) {
             if (plan_.dep_count[a] == 0) {
-                workers[plan_.owner_of(plan_.action(a).node)]
+                workers[plan_.owner_of(plan_.action_node(a))]
                     .queue.push_back(a);
             }
         }

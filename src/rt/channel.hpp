@@ -208,6 +208,18 @@ public:
         }
     }
 
+    /// Exact heap bytes the bank keeps allocated: counters, descriptor
+    /// arrays, and (when materialized) the staged-payload backing.
+    [[nodiscard]] std::uint64_t resident_bytes() const noexcept {
+        return std::uint64_t{heads_.capacity() + tails_.capacity()} *
+                   sizeof(PaddedCounter) +
+               std::uint64_t{views_.capacity()} * sizeof(const double*) +
+               std::uint64_t{packet_ids_.capacity()} * sizeof(std::uint32_t) +
+               std::uint64_t{seqs_.capacity()} * sizeof(std::uint32_t) +
+               std::uint64_t{checksums_.capacity()} * sizeof(std::uint64_t) +
+               std::uint64_t{payload_.capacity()} * sizeof(double);
+    }
+
     /// Rewinds every channel's counters to zero so sequence stamps restart
     /// at 0 on the next run. Only valid while no worker thread is active
     /// (the caller's thread creation/join provides the happens-before).

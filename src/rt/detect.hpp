@@ -37,8 +37,8 @@ make_fault_report(const Plan& plan, ft::DetectClass cls,
                   packet_t packet) {
     ft::FaultReport report;
     report.cls = cls;
-    report.from = plan.channel_link[channel].first;
-    report.to = plan.channel_link[channel].second;
+    report.from = plan.channel_from(channel);
+    report.to = plan.channel_to(channel);
     report.channel = channel;
     report.cycle = cycle;
     report.packet = packet;

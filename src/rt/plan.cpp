@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -22,11 +23,60 @@ fail_send(const char* what, const sim::ScheduledSend& send) {
                       std::to_string(send.packet) + ")");
 }
 
+/// Resolves the requested layout against the compact envelope. The 32-bit
+/// action fields are validated for n <= kCompactMaxDimension (slot and
+/// lowered-index counts stay well inside u32 there); an explicit compact
+/// request outside that envelope is a compile_plan-time error, automatic
+/// falls back to wide. HCUBE_PLAN_COMPACT=0 is the no-rebuild escape hatch
+/// (consulted per compile so a test can flip it).
+PlanLayout resolve_layout(PlanLayout requested, dim_t n) {
+    if (requested == PlanLayout::compact) {
+        HCUBE_ENSURE_MSG(n <= kCompactMaxDimension,
+                         "compact plan layout requires n <= 20");
+        return requested;
+    }
+    if (requested == PlanLayout::wide) {
+        return requested;
+    }
+    const char* env = std::getenv("HCUBE_PLAN_COMPACT");
+    if (env != nullptr && env[0] == '0' && env[1] == '\0') {
+        return PlanLayout::wide;
+    }
+    return n <= kCompactMaxDimension ? PlanLayout::compact
+                                     : PlanLayout::wide;
+}
+
+template <typename T>
+std::uint64_t vec_bytes(const std::vector<T>& v) noexcept {
+    return std::uint64_t{v.capacity()} * sizeof(T);
+}
+
 } // namespace
+
+PlanFootprint Plan::footprint() const noexcept {
+    PlanFootprint f;
+    f.actions = vec_bytes(act_channel) + vec_bytes(act_slot) +
+                vec_bytes(act_packet) + vec_bytes(act_seq) +
+                vec_bytes(flat_sends) + vec_bytes(flat_recvs) +
+                vec_bytes(flat_cycle);
+    f.dep_graph =
+        vec_bytes(dep_count) + vec_bytes(succ_begin) + vec_bytes(succ);
+    f.buckets = vec_bytes(send_begin) + vec_bytes(recv_begin) +
+                vec_bytes(send_order) + vec_bytes(recv_order) +
+                vec_bytes(sends) + vec_bytes(recvs) +
+                vec_bytes(flat_cycle_begin);
+    f.slots = vec_bytes(slot_packet) + vec_bytes(slot_node) +
+              vec_bytes(seeded_slots) + vec_bytes(slot_keys) +
+              vec_bytes(slot_vals);
+    f.channels = vec_bytes(channel_ep) + vec_bytes(node_out_ports) +
+                 vec_bytes(node_in_ports);
+    f.arena = vec_bytes(arena);
+    return f;
+}
 
 Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
                   std::size_t block_elems, std::uint32_t workers,
-                  std::uint32_t async_depth) {
+                  std::uint32_t async_depth, PlanLayout layout) {
     HCUBE_ENSURE(schedule.n >= 1 && schedule.n <= hc::kMaxDimension);
     HCUBE_ENSURE(block_elems >= 1);
     HCUBE_ENSURE(async_depth >= 1);
@@ -40,8 +90,10 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
     plan.packet_count = schedule.packet_count;
     plan.block_elems = block_elems;
     plan.mode = mode;
+    plan.layout = resolve_layout(layout, schedule.n);
     plan.workers = workers;
     plan.async_depth = std::bit_ceil(async_depth);
+    const bool wide = !plan.compact();
 
     std::vector<sim::ScheduledSend> sends = schedule.sends;
     std::ranges::stable_sort(sends, {}, &sim::ScheduledSend::cycle);
@@ -67,7 +119,7 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
     std::vector<std::vector<std::uint32_t>> slot_recvs;
     std::vector<std::vector<std::uint32_t>> slot_sends;
     /// Compile-time slot index; flattened into the plan's sorted
-    /// slot_lookup table once the slot set is final.
+    /// slot_keys / slot_vals tables once the slot set is final.
     std::unordered_map<std::uint64_t, std::uint64_t> slot_index;
     const auto find_slot = [&](node_t node, packet_t packet) {
         const auto it =
@@ -93,7 +145,8 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
         for (packet_t p = 0; p < schedule.packet_count; ++p) {
             const node_t holder = schedule.initial_holder[p];
             HCUBE_ENSURE(holder < count);
-            plan.seeded_slots.push_back(create_slot(holder, p, 0));
+            plan.seeded_slots.push_back(
+                static_cast<std::uint32_t>(create_slot(holder, p, 0)));
         }
     }
 
@@ -101,7 +154,8 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
     // Channels are numbered in first-use order. For cubes up to n = 16 a
     // dense (node, dimension) table replaces the hash map — the validated
     // sends below guarantee from ^ to is a single bit, so a directed link
-    // is exactly (from, countr_zero(from ^ to)).
+    // is exactly (from, countr_zero(from ^ to)): the packed channel_ep
+    // word the plan keeps.
     const auto dims = static_cast<std::size_t>(schedule.n);
     const bool dense_links = schedule.n <= 16;
     std::vector<std::uint32_t> link_table; ///< channel + 1; 0 = unseen
@@ -113,9 +167,15 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
     /// link per cycle, the link-capacity rule).
     std::vector<std::uint64_t> channel_last_cycle;
     static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
-    /// Per channel: lowered send indices in sequence order (send i and
-    /// recv i share the index, so this doubles as the pop order).
+    /// Per channel: lowered send indices in sequence order (send l and
+    /// recv l share the index, so this doubles as the pop order).
     std::vector<std::vector<std::uint32_t>> chan_sends;
+
+    // Port bitmaps are built as links are numbered — they are primary
+    // lowering data (cross-checked against the channel table below), not a
+    // diagnostics afterthought.
+    plan.node_out_ports.assign(count, 0);
+    plan.node_in_ports.assign(count, 0);
 
     struct Lowered {
         std::uint32_t cycle;
@@ -126,8 +186,8 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
     low_sends.reserve(sends.size());
     low_recvs.reserve(sends.size());
 
-    // Dependency edges over action ids; recv ids are tagged with kRecvBit
-    // until the final send count is known.
+    // Dependency edges over lowered indices; recv endpoints are tagged
+    // with kRecvBit and decoded to interleaved action ids at CSR build.
     static constexpr std::uint32_t kRecvBit = std::uint32_t{1} << 31;
     std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
     edges.reserve(sends.size() * 3);
@@ -142,19 +202,18 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
         if (send.packet >= schedule.packet_count) [[unlikely]] {
             fail_send("unknown packet", send);
         }
+        const auto dim = static_cast<std::uint32_t>(
+            std::countr_zero(send.from ^ send.to));
 
         std::uint32_t channel;
         bool inserted;
         if (dense_links) {
-            const auto dim = static_cast<std::size_t>(
-                std::countr_zero(send.from ^ send.to));
             std::uint32_t& entry =
                 link_table[std::size_t{send.from} * dims + dim];
             inserted = entry == 0;
             if (inserted) {
-                entry = static_cast<std::uint32_t>(
-                            plan.channel_link.size()) +
-                        1;
+                entry =
+                    static_cast<std::uint32_t>(plan.channel_ep.size()) + 1;
             }
             channel = entry - 1;
         } else {
@@ -162,13 +221,16 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
                 (std::uint64_t{send.from} << 32) | send.to;
             const auto [it, fresh] = link_map.emplace(
                 link_key,
-                static_cast<std::uint32_t>(plan.channel_link.size()));
+                static_cast<std::uint32_t>(plan.channel_ep.size()));
             inserted = fresh;
             channel = it->second;
         }
         if (inserted) {
             channel_last_cycle.push_back(kIdle);
-            plan.channel_link.emplace_back(send.from, send.to);
+            plan.channel_ep.push_back(
+                (send.from << Plan::kChannelDimBits) | dim);
+            plan.node_out_ports[send.from] |= std::uint32_t{1} << dim;
+            plan.node_in_ports[send.to] |= std::uint32_t{1} << dim;
             chan_sends.emplace_back();
         }
         if (channel_last_cycle[channel] == send.cycle) [[unlikely]] {
@@ -194,8 +256,8 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
             fail_send("receiver already holds the packet", send);
         }
 
-        // ---- dependency edges for send i / recv i ---------------------
-        const auto i = static_cast<std::uint32_t>(low_sends.size());
+        // ---- dependency edges for hop l (send 2l / recv 2l+1) ---------
+        const auto l = static_cast<std::uint32_t>(low_sends.size());
         const auto seq =
             static_cast<std::uint32_t>(chan_sends[channel].size());
         if (seq > 0) {
@@ -203,20 +265,20 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
             // (the SPSC protocol's one-producer / one-consumer guarantee,
             // recovered by edges once work-stealing removes ownership).
             const std::uint32_t prev = chan_sends[channel].back();
-            edges.emplace_back(prev, i);
-            edges.emplace_back(prev | kRecvBit, i | kRecvBit);
+            edges.emplace_back(prev, l);
+            edges.emplace_back(prev | kRecvBit, l | kRecvBit);
         }
         if (seq >= plan.async_depth) {
             // Capacity: the seq-th push needs the (seq-depth)-th pop to
             // have freed its ring slot.
             edges.emplace_back(
-                chan_sends[channel][seq - plan.async_depth] | kRecvBit, i);
+                chan_sends[channel][seq - plan.async_depth] | kRecvBit, l);
         }
         if (mode == DataMode::move) {
             // Availability: forwarding waits on the receive that produced
             // the source slot; seeds have no producer.
             if (slot_producer[src_slot] != kNoProducer) {
-                edges.emplace_back(slot_producer[src_slot] | kRecvBit, i);
+                edges.emplace_back(slot_producer[src_slot] | kRecvBit, l);
             }
         } else {
             // A combining send transmits the partial sum of its own seed
@@ -235,14 +297,14 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
                 --a;
             }
             if (a < arrivals.size()) {
-                edges.emplace_back(i, arrivals[a] | kRecvBit);
+                edges.emplace_back(l, arrivals[a] | kRecvBit);
             }
             if (a > 0) {
-                edges.emplace_back(arrivals[a - 1] | kRecvBit, i);
+                edges.emplace_back(arrivals[a - 1] | kRecvBit, l);
             }
         }
         // Data: the receive drains exactly its channel's seq-th push.
-        edges.emplace_back(i, i | kRecvBit);
+        edges.emplace_back(l, l | kRecvBit);
         if (mode == DataMode::combine) {
             // Accumulation into one slot happens in channel-sequence
             // (lowered) order, and only after every send that reads the
@@ -252,46 +314,59 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
             // keeps total edge emission linear in the schedule size.
             if (!slot_recvs[dst_slot].empty()) {
                 edges.emplace_back(slot_recvs[dst_slot].back() | kRecvBit,
-                                   i | kRecvBit);
+                                   l | kRecvBit);
             }
             for (const std::uint32_t s2 : slot_sends[dst_slot]) {
-                edges.emplace_back(s2, i | kRecvBit);
+                edges.emplace_back(s2, l | kRecvBit);
             }
             slot_sends[dst_slot].clear();
-            slot_recvs[dst_slot].push_back(i);
-            slot_sends[src_slot].push_back(i);
+            slot_recvs[dst_slot].push_back(l);
+            slot_sends[src_slot].push_back(l);
         } else {
-            slot_producer[dst_slot] = i;
+            slot_producer[dst_slot] = l;
         }
 
         low_sends.push_back(
             {send.cycle, {channel, send.from, src_slot, send.packet, seq}});
         low_recvs.push_back(
             {send.cycle, {channel, send.to, dst_slot, send.packet, seq}});
-        chan_sends[channel].push_back(i);
+        chan_sends[channel].push_back(l);
     }
-    plan.channel_count = static_cast<std::uint32_t>(plan.channel_link.size());
+    plan.channel_count = static_cast<std::uint32_t>(plan.channel_ep.size());
     HCUBE_ENSURE(plan.total_slots <= ~std::uint32_t{0});
+
+    // Partition cross-check: every channel is a distinct (origin, port)
+    // pair, so the port bitmaps must account for each channel exactly once
+    // at both endpoints — this is what certifies the packed channel_ep
+    // words (and the owner_of bucketing keyed off them) lost nothing.
+    std::uint64_t out_links = 0;
+    std::uint64_t in_links = 0;
+    for (node_t v = 0; v < count; ++v) {
+        out_links += static_cast<std::uint32_t>(
+            std::popcount(plan.node_out_ports[v]));
+        in_links += static_cast<std::uint32_t>(
+            std::popcount(plan.node_in_ports[v]));
+    }
+    HCUBE_ENSURE(out_links == plan.channel_count);
+    HCUBE_ENSURE(in_links == plan.channel_count);
 
     if (mode == DataMode::combine) {
         plan.seeded_slots.resize(plan.total_slots);
         for (std::uint64_t s = 0; s < plan.total_slots; ++s) {
-            plan.seeded_slots[s] = s;
+            plan.seeded_slots[s] = static_cast<std::uint32_t>(s);
         }
     }
 
     // ---- read-only lookup tables --------------------------------------
-    plan.slot_lookup.assign(slot_index.begin(), slot_index.end());
-    std::ranges::sort(plan.slot_lookup, {},
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> lookup(
+        slot_index.begin(), slot_index.end());
+    std::ranges::sort(lookup, {},
                       &std::pair<std::uint64_t, std::uint64_t>::first);
-
-    plan.node_out_ports.assign(count, 0);
-    plan.node_in_ports.assign(count, 0);
-    for (const auto& [from, to] : plan.channel_link) {
-        const auto dim = static_cast<std::uint32_t>(
-            std::countr_zero(from ^ to));
-        plan.node_out_ports[from] |= std::uint32_t{1} << dim;
-        plan.node_in_ports[to] |= std::uint32_t{1} << dim;
+    plan.slot_keys.reserve(lookup.size());
+    plan.slot_vals.reserve(lookup.size());
+    for (const auto& [key, slot] : lookup) {
+        plan.slot_keys.push_back(key);
+        plan.slot_vals.push_back(static_cast<std::uint32_t>(slot));
     }
 
     // ---- immutable block arena (move mode) ----------------------------
@@ -309,45 +384,57 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
         }
     }
 
-    // ---- flat lowered-order actions + dependency CSR ------------------
+    // ---- lowered actions: SoA streams + dependency CSR ----------------
     const auto S = static_cast<std::uint32_t>(low_sends.size());
-    plan.flat_sends.reserve(S);
-    plan.flat_recvs.reserve(S);
-    plan.flat_cycle.reserve(S);
-    for (const Lowered& l : low_sends) {
-        plan.flat_sends.push_back(l.action);
-        plan.flat_cycle.push_back(l.cycle);
-    }
-    for (const Lowered& l : low_recvs) {
-        plan.flat_recvs.push_back(l.action);
-    }
 
     // Cycle CSR over lowered indices (lowered order is cycle-sorted).
     plan.flat_cycle_begin.assign(std::size_t{plan.cycles} + 1, 0);
-    for (const std::uint32_t c : plan.flat_cycle) {
-        ++plan.flat_cycle_begin[std::size_t{c} + 1];
+    for (const Lowered& l : low_sends) {
+        ++plan.flat_cycle_begin[std::size_t{l.cycle} + 1];
     }
     for (std::size_t c = 1; c <= plan.cycles; ++c) {
         plan.flat_cycle_begin[c] += plan.flat_cycle_begin[c - 1];
     }
 
-    // SoA mirror of the lowered actions, indexed by action id.
+    // SoA streams indexed by interleaved action id: hop l's send is id 2l,
+    // its receive 2l+1, so the dependency counters and successor lists
+    // below are laid out in execution order.
     plan.act_channel.resize(std::size_t{2} * S);
     plan.act_slot.resize(std::size_t{2} * S);
     plan.act_packet.resize(std::size_t{2} * S);
     plan.act_seq.resize(std::size_t{2} * S);
-    for (std::uint32_t id = 0; id < 2 * S; ++id) {
-        const Action& a =
-            id < S ? plan.flat_sends[id] : plan.flat_recvs[id - S];
-        plan.act_channel[id] = a.channel;
-        plan.act_slot[id] = static_cast<std::uint32_t>(a.slot);
-        plan.act_packet[id] = a.packet;
-        plan.act_seq[id] = a.seq;
+    for (std::uint32_t l = 0; l < S; ++l) {
+        const Action& snd = low_sends[l].action;
+        const Action& rcv = low_recvs[l].action;
+        const std::size_t sid = std::size_t{2} * l;
+        plan.act_channel[sid] = snd.channel;
+        plan.act_slot[sid] = static_cast<std::uint32_t>(snd.slot);
+        plan.act_packet[sid] = snd.packet;
+        plan.act_seq[sid] = snd.seq;
+        plan.act_channel[sid + 1] = rcv.channel;
+        plan.act_slot[sid + 1] = static_cast<std::uint32_t>(rcv.slot);
+        plan.act_packet[sid + 1] = rcv.packet;
+        plan.act_seq[sid + 1] = rcv.seq;
+    }
+
+    if (wide) {
+        // Reference layout keeps the AoS mirrors and per-hop cycle stamps.
+        plan.flat_sends.reserve(S);
+        plan.flat_recvs.reserve(S);
+        plan.flat_cycle.reserve(S);
+        for (const Lowered& l : low_sends) {
+            plan.flat_sends.push_back(l.action);
+            plan.flat_cycle.push_back(l.cycle);
+        }
+        for (const Lowered& l : low_recvs) {
+            plan.flat_recvs.push_back(l.action);
+        }
     }
 
     HCUBE_ENSURE(edges.size() < ~std::uint32_t{0});
-    const auto decode = [S](std::uint32_t id) {
-        return (id & kRecvBit) != 0 ? S + (id & ~kRecvBit) : id;
+    const auto decode = [](std::uint32_t id) {
+        return (id & kRecvBit) != 0 ? ((id & ~kRecvBit) << 1) | 1u
+                                    : id << 1;
     };
     plan.dep_count.assign(std::size_t{2} * S, 0);
     plan.succ_begin.assign(std::size_t{2} * S + 1, 0);
@@ -367,28 +454,55 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
 
     // ---- CSR bucketing by (cycle, worker) -----------------------------
     const std::size_t buckets = std::size_t{plan.cycles} * workers;
-    const auto bucket_sort = [&](const std::vector<Lowered>& lowered,
-                                 std::vector<std::uint64_t>& begin,
-                                 std::vector<Action>& out) {
+    const auto bucket_of = [&](const Lowered& l) {
+        return std::size_t{l.cycle} * workers + plan.owner_of(l.action.node);
+    };
+    const auto bucket_fill = [&](const std::vector<Lowered>& lowered,
+                                 std::vector<std::uint32_t>& begin,
+                                 auto&& emit) {
         begin.assign(buckets + 1, 0);
         for (const Lowered& l : lowered) {
-            const std::size_t b =
-                std::size_t{l.cycle} * workers + plan.owner_of(l.action.node);
-            ++begin[b + 1];
+            ++begin[bucket_of(l) + 1];
         }
         for (std::size_t b = 1; b <= buckets; ++b) {
             begin[b] += begin[b - 1];
         }
-        out.resize(lowered.size());
-        std::vector<std::uint64_t> cursor2(begin.begin(), begin.end() - 1);
-        for (const Lowered& l : lowered) {
-            const std::size_t b =
-                std::size_t{l.cycle} * workers + plan.owner_of(l.action.node);
-            out[cursor2[b]++] = l.action;
+        std::vector<std::uint32_t> cursor2(begin.begin(), begin.end() - 1);
+        for (std::uint32_t idx = 0; idx < S; ++idx) {
+            emit(cursor2[bucket_of(lowered[idx])]++, idx,
+                 lowered[idx].action);
         }
     };
-    bucket_sort(low_sends, plan.send_begin, plan.sends);
-    bucket_sort(low_recvs, plan.recv_begin, plan.recvs);
+    if (wide) {
+        plan.sends.resize(S);
+        plan.recvs.resize(S);
+        bucket_fill(low_sends, plan.send_begin,
+                    [&](std::uint32_t pos, std::uint32_t, const Action& a) {
+                        plan.sends[pos] = a;
+                    });
+        bucket_fill(low_recvs, plan.recv_begin,
+                    [&](std::uint32_t pos, std::uint32_t, const Action& a) {
+                        plan.recvs[pos] = a;
+                    });
+    } else {
+        plan.send_order.resize(S);
+        plan.recv_order.resize(S);
+        bucket_fill(low_sends, plan.send_begin,
+                    [&](std::uint32_t pos, std::uint32_t idx, const Action&) {
+                        plan.send_order[pos] = idx;
+                    });
+        bucket_fill(low_recvs, plan.recv_begin,
+                    [&](std::uint32_t pos, std::uint32_t idx, const Action&) {
+                        plan.recv_order[pos] = idx;
+                    });
+    }
+
+    // Trim push_back growth slack so footprint() reports what the plan
+    // actually needs, not what the growth policy left behind.
+    plan.slot_packet.shrink_to_fit();
+    plan.slot_node.shrink_to_fit();
+    plan.seeded_slots.shrink_to_fit();
+    plan.channel_ep.shrink_to_fit();
     return plan;
 }
 

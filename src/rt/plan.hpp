@@ -23,6 +23,27 @@
 // compiles is a DAG — executable without deadlock by any engine that runs
 // ready actions eventually.
 //
+// Plan encoding (two layouts, selected at compile_plan time):
+//
+//   compact (default) — the residency layout the svc plan cache budgets:
+//     four parallel u32 SoA streams (channel/slot/packet/seq) indexed by
+//     action id, with send and receive of hop l interleaved as ids 2l and
+//     2l+1 so the dependency CSR and its counters are laid out in execution
+//     order; per-(cycle, worker) buckets store u32 lowered-hop indices into
+//     those streams instead of action structs; channel endpoints pack to
+//     one u32 (node·2^5 | dimension — the CubeRoute idiom: a directed cube
+//     link is its origin plus a port number); per-hop cycle stamps are
+//     dropped (the cycle CSR recovers them on the cold diagnostics paths).
+//     Field widths are validated for n <= kCompactMaxDimension at
+//     compile_plan time.
+//
+//   wide — the pre-compaction reference layout: the same SoA streams plus
+//     AoS Action mirrors (flat and bucketed) and per-hop cycle stamps, with
+//     the engines reading the AoS arrays exactly where they historically
+//     did. Selected by PlanLayout::wide or the HCUBE_PLAN_COMPACT=0
+//     environment escape hatch, so a field-width regression is diagnosable
+//     without a rebuild.
+//
 // Two data modes:
 //   move    — a block travels verbatim; a second delivery of the same packet
 //             to the same node is rejected at compile time (the executor's
@@ -38,6 +59,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace hcube::rt {
@@ -51,9 +73,26 @@ enum class DataMode {
     combine,
 };
 
-/// One lowered runtime action. For a send: copy the node-local block at
-/// `slot` into `channel`. For a receive: drain `channel` into `slot`
-/// (verifying or combining), expecting `packet` with sequence stamp `seq`.
+/// Which of the two plan encodings compile_plan emits. `automatic` picks
+/// compact unless the HCUBE_PLAN_COMPACT=0 escape hatch or a dimension
+/// beyond the compact layout's validated envelope selects wide.
+enum class PlanLayout : std::uint8_t {
+    automatic,
+    compact,
+    wide,
+};
+
+/// Largest cube dimension the compact layout's 32-bit fields are validated
+/// for (the bench envelope). Larger cubes compile to the wide layout under
+/// PlanLayout::automatic and are rejected under an explicit
+/// PlanLayout::compact.
+inline constexpr dim_t kCompactMaxDimension = 20;
+
+/// One lowered runtime action in the wide (reference) AoS encoding, also
+/// the value type of the diagnostics accessor Plan::action(). For a send:
+/// copy the node-local block at `slot` into `channel`. For a receive: drain
+/// `channel` into `slot` (verifying or combining), expecting `packet` with
+/// sequence stamp `seq`.
 struct Action {
     std::uint32_t channel;
     node_t node;
@@ -62,13 +101,45 @@ struct Action {
     std::uint32_t seq;  ///< the action is its channel's seq-th push / pop
 };
 
+/// The four hot fields of one lowered action — delivery's ActionRef minus
+/// the diagnostics-only cycle — as the layout-agnostic accessors hand them
+/// to the engines.
+struct ActionFields {
+    std::uint32_t channel;
+    std::uint32_t slot;
+    std::uint32_t packet;
+    std::uint32_t seq;
+};
+
+/// Exact heap footprint of one compiled plan, itemized by concern. Every
+/// count is in bytes and accounts vector capacity (compile_plan trims the
+/// growth slack), so the total is what the plan actually pins resident —
+/// the quantity the byte-budgeted svc plan cache charges per entry.
+struct PlanFootprint {
+    std::uint64_t actions = 0;   ///< SoA streams + wide flat AoS mirrors
+    std::uint64_t dep_graph = 0; ///< dep counters + successor CSR
+    std::uint64_t buckets = 0;   ///< bucket orders/mirrors + cycle CSR
+    std::uint64_t slots = 0;     ///< slot tables, lookup keys, seed list
+    std::uint64_t channels = 0;  ///< packed endpoints + port bitmaps
+    std::uint64_t arena = 0;     ///< immutable canonical blocks
+
+    [[nodiscard]] std::uint64_t total() const noexcept {
+        return actions + dep_graph + buckets + slots + channels + arena;
+    }
+};
+
 struct Plan {
     dim_t n = 0;
     std::uint32_t cycles = 0; ///< 1 + largest scheduled cycle, 0 if no sends
     packet_t packet_count = 0;
     std::size_t block_elems = 0;
     DataMode mode = DataMode::move;
+    PlanLayout layout = PlanLayout::compact; ///< resolved, never automatic
     std::uint32_t workers = 1;
+
+    [[nodiscard]] bool compact() const noexcept {
+        return layout == PlanLayout::compact;
+    }
 
     /// Worker that owns `node` (contiguous balanced ranges).
     [[nodiscard]] std::uint32_t owner_of(node_t node) const noexcept {
@@ -83,7 +154,7 @@ struct Plan {
     /// Slots the player seeds before cycle 0: in move mode the initial
     /// holders' canonical blocks, in combine mode every slot (each node's
     /// own contribution).
-    std::vector<std::uint64_t> seeded_slots;
+    std::vector<std::uint32_t> seeded_slots;
 
     // ---- immutable block arena (move mode) ----------------------------
     /// One canonical block per packet, written once at compile time and
@@ -107,45 +178,72 @@ struct Plan {
 
     // ---- channels ------------------------------------------------------
     std::uint32_t channel_count = 0;
-    /// Per channel: (from, to) endpoints, for diagnostics.
-    std::vector<std::pair<node_t, node_t>> channel_link;
+    /// Per channel: the directed cube link packed into one word,
+    /// (from << kChannelDimBits) | dimension. The receiving endpoint is
+    /// recovered by flipping the dimension bit — whole route tables in a
+    /// few bytes per link instead of a pair of node ids.
+    std::vector<std::uint32_t> channel_ep;
+    static constexpr std::uint32_t kChannelDimBits = 5;
+    [[nodiscard]] node_t channel_from(std::uint32_t c) const noexcept {
+        return channel_ep[c] >> kChannelDimBits;
+    }
+    [[nodiscard]] dim_t channel_dim(std::uint32_t c) const noexcept {
+        return static_cast<dim_t>(channel_ep[c] &
+                                  ((1u << kChannelDimBits) - 1));
+    }
+    [[nodiscard]] node_t channel_to(std::uint32_t c) const noexcept {
+        return channel_from(c) ^ (node_t{1} << channel_dim(c));
+    }
+    [[nodiscard]] std::pair<node_t, node_t>
+    channel_endpoints(std::uint32_t c) const noexcept {
+        return {channel_from(c), channel_to(c)};
+    }
+
     /// Per node: the cube dimensions it sends across / receives on, one bit
     /// per dimension (n <= 26 fits any node's route set in one word — the
-    /// raikv CubeRoute idiom). Diagnostics and topology-aware partitioning.
+    /// raikv CubeRoute idiom). Built during lowering and used to cross-
+    /// check the (cycle, worker) bucket partition at compile time; the
+    /// footprint and fault reports read them too.
     std::vector<std::uint32_t> node_out_ports;
     std::vector<std::uint32_t> node_in_ports;
 
     // ---- per-(cycle, worker) action buckets ---------------------------
-    /// CSR offsets of size cycles*workers + 1 into `sends` / `recvs`;
-    /// bucket index = cycle * workers + worker.
-    std::vector<std::uint64_t> send_begin;
-    std::vector<std::uint64_t> recv_begin;
+    /// CSR offsets of size cycles*workers + 1 into the bucketed orders
+    /// (compact) or the bucketed AoS mirrors (wide); bucket index =
+    /// cycle * workers + worker. Offsets fit u32: S < 2^31 by construction.
+    std::vector<std::uint32_t> send_begin;
+    std::vector<std::uint32_t> recv_begin;
+    /// Compact layout: lowered hop indices bucketed by (cycle, owner of the
+    /// sending / receiving node) — the engines chase them into the SoA
+    /// streams. Empty in the wide layout.
+    std::vector<std::uint32_t> send_order;
+    std::vector<std::uint32_t> recv_order;
+    /// Wide layout only: bucketed AoS mirrors (the reference encoding).
     std::vector<Action> sends; ///< keyed by owner of the sending node
     std::vector<Action> recvs; ///< keyed by owner of the receiving node
 
-    // ---- dataflow dependency graph (AsyncPlayer) ----------------------
-    /// Lowered actions in schedule (cycle-sorted) order; flat_sends[i] and
-    /// flat_recvs[i] are the push and pop halves of scheduled send i.
-    /// Action ids: send i -> i, recv i -> flat_sends.size() + i.
-    std::vector<Action> flat_sends;
-    std::vector<Action> flat_recvs;
-    /// Scheduled cycle of send/recv i (shared by both halves) — consulted
-    /// off the hot path only (fault reports, trace export).
-    std::vector<std::uint32_t> flat_cycle;
-    /// CSR offsets of size cycles + 1 over the lowered indices: sends (and
-    /// recvs) of cycle c are flat indices [flat_cycle_begin[c],
-    /// flat_cycle_begin[c+1]). This is the serial fast path's entire
-    /// schedule walk — no buckets, no barriers.
-    std::vector<std::uint32_t> flat_cycle_begin;
-    /// Hot-path SoA mirror of the lowered actions, indexed by action id
-    /// (send i -> i, recv i -> S + i): four parallel u32 streams instead of
-    /// one 24-byte struct stream, so the engines' inner loops touch the
-    /// minimum number of cache lines. `node` stays AoS-only — it is read on
-    /// cold paths (traces, fault reports, queue seeding) via action().
+    // ---- lowered actions + dataflow dependency graph ------------------
+    /// Action ids interleave the two halves of each lowered hop in
+    /// execution order: the send of hop l is id 2l, its receive 2l+1 (hops
+    /// are cycle-sorted). The SoA streams, the dependency counters, and
+    /// the successor CSR are all indexed by this id, so the dataflow
+    /// engine's dep walk touches adjacent memory for actions that retire
+    /// together.
     std::vector<std::uint32_t> act_channel;
     std::vector<std::uint32_t> act_slot;
     std::vector<packet_t> act_packet;
     std::vector<std::uint32_t> act_seq;
+    /// Wide layout only: AoS mirrors of the lowered hops in hop order
+    /// (flat_sends[l] / flat_recvs[l] are the push and pop halves of hop
+    /// l), plus the per-hop cycle stamp the compact layout drops.
+    std::vector<Action> flat_sends;
+    std::vector<Action> flat_recvs;
+    std::vector<std::uint32_t> flat_cycle;
+    /// CSR offsets of size cycles + 1 over the lowered hop indices: hops of
+    /// cycle c are [flat_cycle_begin[c], flat_cycle_begin[c+1]). This is
+    /// the serial fast path's entire schedule walk — no buckets, no
+    /// barriers — and the compact layout's cycle recovery for diagnostics.
+    std::vector<std::uint32_t> flat_cycle_begin;
     /// Ring slots per channel the capacity edges were emitted for; an
     /// asynchronous engine must run with at least this many (a producer may
     /// run up to async_depth logical cycles ahead of its consumer).
@@ -160,30 +258,111 @@ struct Plan {
     [[nodiscard]] std::uint32_t action_count() const noexcept {
         return static_cast<std::uint32_t>(dep_count.size());
     }
-    /// The Action behind an action id (sends first, then recvs).
-    [[nodiscard]] const Action& action(std::uint32_t id) const noexcept {
-        const auto s = static_cast<std::uint32_t>(flat_sends.size());
-        return id < s ? flat_sends[id] : flat_recvs[id - s];
+    [[nodiscard]] std::uint32_t lowered_count() const noexcept {
+        return action_count() / 2;
     }
     [[nodiscard]] bool is_send_action(std::uint32_t id) const noexcept {
-        return id < flat_sends.size();
+        return (id & 1u) == 0;
+    }
+    /// Lowered hop behind an action id (both halves map to the same hop).
+    [[nodiscard]] static std::uint32_t
+    lowered_of(std::uint32_t id) noexcept {
+        return id >> 1;
+    }
+
+    /// Hot fields of an action id, straight from the SoA streams (present
+    /// in both layouts).
+    [[nodiscard]] ActionFields fields(std::uint32_t id) const noexcept {
+        return {act_channel[id], act_slot[id], act_packet[id], act_seq[id]};
+    }
+    /// Node an action runs on: the owner of its slot (a send reads the
+    /// sender's slot, a receive writes the receiver's).
+    [[nodiscard]] node_t action_node(std::uint32_t id) const noexcept {
+        return slot_node[act_slot[id]];
+    }
+    /// The full Action behind an action id, for diagnostics and tests
+    /// (layout-agnostic; materialized from the SoA streams).
+    [[nodiscard]] Action action(std::uint32_t id) const noexcept {
+        const ActionFields f = fields(id);
+        return {f.channel, slot_node[f.slot], f.slot, f.packet, f.seq};
+    }
+
+    /// Bucketed accessors the (cycle, worker) engines walk: position `pos`
+    /// is an offset from send_begin / recv_begin. The wide layout reads its
+    /// AoS mirrors here (the reference execution path); compact chases the
+    /// bucketed hop index into the SoA streams.
+    [[nodiscard]] ActionFields bucket_send(std::size_t pos) const noexcept {
+        if (compact()) {
+            return fields(send_order[pos] << 1);
+        }
+        const Action& a = sends[pos];
+        return {a.channel, static_cast<std::uint32_t>(a.slot), a.packet,
+                a.seq};
+    }
+    [[nodiscard]] ActionFields bucket_recv(std::size_t pos) const noexcept {
+        if (compact()) {
+            return fields((recv_order[pos] << 1) | 1u);
+        }
+        const Action& a = recvs[pos];
+        return {a.channel, static_cast<std::uint32_t>(a.slot), a.packet,
+                a.seq};
+    }
+
+    /// Hop-ordered accessors for the serial fast path (hop l's send and
+    /// receive halves). Wide reads the flat AoS mirrors, compact the
+    /// adjacent SoA entries 2l and 2l+1.
+    [[nodiscard]] ActionFields lowered_send(std::uint32_t l) const noexcept {
+        if (compact()) {
+            return fields(l << 1);
+        }
+        const Action& a = flat_sends[l];
+        return {a.channel, static_cast<std::uint32_t>(a.slot), a.packet,
+                a.seq};
+    }
+    [[nodiscard]] ActionFields lowered_recv(std::uint32_t l) const noexcept {
+        if (compact()) {
+            return fields((l << 1) | 1u);
+        }
+        const Action& a = flat_recvs[l];
+        return {a.channel, static_cast<std::uint32_t>(a.slot), a.packet,
+                a.seq};
+    }
+
+    /// Scheduled cycle of lowered hop `l` — diagnostics only (fault
+    /// reports, trace export). The wide layout stores it per hop; compact
+    /// recovers it from the cycle CSR with a binary search.
+    [[nodiscard]] std::uint32_t
+    cycle_of_lowered(std::uint32_t l) const noexcept {
+        if (!flat_cycle.empty()) {
+            return flat_cycle[l];
+        }
+        const auto it = std::ranges::upper_bound(flat_cycle_begin, l);
+        return static_cast<std::uint32_t>(it - flat_cycle_begin.begin() - 1);
     }
 
     /// Slot of (node, packet), or kNoSlot if the node never holds it.
-    /// Binary search over a sorted (key, slot) table — compact, cache
-    /// friendly, and read-only after compilation.
+    /// Binary search over a sorted key array with a parallel u32 slot
+    /// array — compact, cache friendly, read-only after compilation.
     static constexpr std::uint64_t kNoSlot = ~std::uint64_t{0};
     [[nodiscard]] std::uint64_t slot_of(node_t node, packet_t packet) const {
         const std::uint64_t key = (std::uint64_t{packet} << 32) | node;
-        const auto it = std::ranges::lower_bound(
-            slot_lookup, key, {},
-            &std::pair<std::uint64_t, std::uint64_t>::first);
-        return it == slot_lookup.end() || it->first != key ? kNoSlot
-                                                           : it->second;
+        const auto it = std::ranges::lower_bound(slot_keys, key);
+        return it == slot_keys.end() || *it != key
+                   ? kNoSlot
+                   : slot_vals[static_cast<std::size_t>(
+                         it - slot_keys.begin())];
     }
 
-    /// Sorted (packet<<32|node, slot) pairs; built once by the compiler.
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> slot_lookup;
+    /// Sorted (packet<<32|node) keys and their slots; built once by the
+    /// compiler.
+    std::vector<std::uint64_t> slot_keys;
+    std::vector<std::uint32_t> slot_vals;
+
+    /// Exact heap bytes this plan keeps resident, itemized / in total.
+    [[nodiscard]] PlanFootprint footprint() const noexcept;
+    [[nodiscard]] std::uint64_t resident_bytes() const noexcept {
+        return footprint().total();
+    }
 };
 
 /// Lowers `schedule` for `workers` threads. Performs the store-and-forward
@@ -191,11 +370,15 @@ struct Plan {
 /// lowering, and rejects two packets on one directed link in one cycle —
 /// so a plan that compiles is executable without deadlock by construction.
 /// `async_depth` is the ring depth the dependency graph's capacity edges
-/// assume (rounded up to a power of two). Throws check_error on violation.
+/// assume (rounded up to a power of two). `layout` selects the encoding;
+/// automatic resolves to compact inside the validated envelope (n <=
+/// kCompactMaxDimension) unless HCUBE_PLAN_COMPACT=0 forces wide. Throws
+/// check_error on violation.
 [[nodiscard]] Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
                                 std::size_t block_elems,
                                 std::uint32_t workers,
-                                std::uint32_t async_depth = 8);
+                                std::uint32_t async_depth = 8,
+                                PlanLayout layout = PlanLayout::automatic);
 
 /// Seeds `memory` (total_slots x block_elems doubles) with the plan's
 /// initial holdings: canonical packet blocks in move mode, every node's own

@@ -82,6 +82,14 @@ std::span<const double> Player::block(node_t node, packet_t packet) const {
     return {view, plan_.block_elems};
 }
 
+std::uint64_t Player::resident_bytes() const noexcept {
+    return channels_.resident_bytes() +
+           std::uint64_t{views_.capacity()} * sizeof(const double*) +
+           std::uint64_t{memory_.capacity()} * sizeof(double) +
+           std::uint64_t{expected_checksum_.capacity()} *
+               sizeof(std::uint64_t);
+}
+
 void Player::run_worker(std::uint32_t worker, PlayStats& stats) {
     const std::uint32_t workers = plan_.workers;
     const bool detecting = detect_.enabled();
@@ -96,12 +104,10 @@ void Player::run_worker(std::uint32_t worker, PlayStats& stats) {
         // but still cross both barriers, so the pool drains in lockstep
         // without a peer blocking on a phase nobody else entered.
         if (!detecting || !arbiter_.aborted()) {
-            for (std::uint64_t i = plan_.send_begin[bucket];
+            for (std::size_t i = plan_.send_begin[bucket];
                  i < plan_.send_begin[bucket + 1]; ++i) {
-                const Action& a = plan_.sends[i];
-                send_block(ctx,
-                           {a.channel, static_cast<std::uint32_t>(a.slot),
-                            a.packet, a.seq, cycle},
+                const ActionFields a = plan_.bucket_send(i);
+                send_block(ctx, {a.channel, a.slot, a.packet, a.seq, cycle},
                            worker, stats);
             }
         }
@@ -109,13 +115,11 @@ void Player::run_worker(std::uint32_t worker, PlayStats& stats) {
         barrier_->arrive_and_wait();
 
         if (!detecting || !arbiter_.aborted()) {
-            for (std::uint64_t i = plan_.recv_begin[bucket];
+            for (std::size_t i = plan_.recv_begin[bucket];
                  i < plan_.recv_begin[bucket + 1]; ++i) {
-                const Action& a = plan_.recvs[i];
+                const ActionFields a = plan_.bucket_recv(i);
                 const DeliverOutcome out = deliver_block(
-                    ctx,
-                    {a.channel, static_cast<std::uint32_t>(a.slot), a.packet,
-                     a.seq, cycle},
+                    ctx, {a.channel, a.slot, a.packet, a.seq, cycle},
                     /*check_seq=*/false, worker, stats);
                 if (out == DeliverOutcome::drained ||
                     (out == DeliverOutcome::skipped && arbiter_.aborted())) {

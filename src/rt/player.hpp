@@ -124,6 +124,12 @@ public:
     [[nodiscard]] std::span<const double> block(node_t node,
                                                packet_t packet) const;
 
+    /// Exact heap bytes this engine keeps resident between runs (channel
+    /// rings, slot views, copy-through storage, checksum table) — what a
+    /// byte-budgeted cache charges for keeping the player warm. The plan
+    /// itself is accounted separately by Plan::resident_bytes().
+    [[nodiscard]] std::uint64_t resident_bytes() const noexcept;
+
 private:
     void run_worker(std::uint32_t worker, PlayStats& stats);
     void prepare_views();

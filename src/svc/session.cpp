@@ -54,6 +54,46 @@ bool matches_image(const rt::Plan& plan, const P& player,
     return true;
 }
 
+/// Move-mode steady-state check: every slot's final block must be the
+/// canonical arena block of its packet. The expected image is *derived*
+/// from the plan's immutable arena rather than stored per entry — on the
+/// zero-copy path the view is pointer-identical to the arena block (no
+/// byte compare at all), and copy-through finals memcmp against it.
+template <class P>
+bool matches_arena(const rt::Plan& plan, const P& player) {
+    for (std::uint64_t s = 0; s < plan.total_slots; ++s) {
+        const std::span<const double> b =
+            player.block(plan.slot_node[s], plan.slot_packet[s]);
+        if (b.size() != plan.block_elems) {
+            return false;
+        }
+        const double* canon = plan.arena_block(plan.slot_packet[s]);
+        if (b.data() != canon &&
+            std::memcmp(b.data(), canon,
+                        plan.block_elems * sizeof(double)) != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/// FNV-1a over the slot-ordered canonical block digests — the identity of
+/// the derived move-mode oracle image. Stored on the first verified pass
+/// and recomputed on every steady-state run, so a perturbed slot table or
+/// arena is caught even though no second image copy exists.
+std::uint64_t arena_fingerprint(const rt::Plan& plan) {
+    std::vector<std::uint64_t> digest(plan.packet_count);
+    for (packet_t p = 0; p < plan.packet_count; ++p) {
+        digest[p] = rt::canonical_checksum(p, plan.block_elems);
+    }
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::uint64_t s = 0; s < plan.total_slots; ++s) {
+        h ^= digest[plan.slot_packet[s]];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
 /// Byte-identical final state across the barrier oracle and the async
 /// engine (the Communicator's cross-check, replayed per cache entry).
 bool identical_memory(const rt::Plan& plan, const rt::Player& ref,
@@ -138,20 +178,42 @@ struct Session::PlanEntry {
     /// when Verify::first no longer needs it.
     std::unique_ptr<rt::Player> barrier;
     std::unique_ptr<rt::AsyncPlayer> async; ///< executor, Engine::async
+    /// Oracle image of the first verified run — combine mode only. Move
+    /// mode stores no image (it would duplicate the plan's immutable
+    /// arena); steady runs re-derive it and check oracle_fingerprint.
     std::vector<double> oracle_image;
-    bool image_valid = false;
+    std::uint64_t oracle_fingerprint = 0; ///< move mode, arena-derived
+    bool image_valid = false; ///< first verified pass has happened
     /// Serializes executions of this entry (the players hold mutable run
     /// state); distinct entries only contend on the worker pool.
     std::mutex exec_mutex;
+
+    /// Exact bytes this entry keeps resident — the cost the byte-budgeted
+    /// plan cache charges it. Itemized: the compiled plan (actions, dep
+    /// graph, buckets, slots, channels, arena), each resident player's run
+    /// state, and the combine-mode oracle image.
+    [[nodiscard]] std::uint64_t resident_bytes() const {
+        std::uint64_t bytes = plan->resident_bytes();
+        if (async != nullptr) {
+            bytes += async->resident_bytes();
+        }
+        if (barrier != nullptr) {
+            bytes += barrier->resident_bytes();
+        }
+        bytes += std::uint64_t{oracle_image.capacity()} * sizeof(double);
+        return bytes;
+    }
 };
 
 Session::Session(dim_t n, SessionParams params)
     : n_(n), params_(params),
       threads_(rt::pick_worker_threads(n, params.threads)),
+      byte_budget_(params.plan_cache_bytes != 0),
       pool_(threads_ > 1 ? std::make_unique<rt::WorkerPool>(threads_)
                          : nullptr),
       selector_(params_.comm ? *params_.comm : calibrate()),
-      cache_(params_.plan_cache_capacity) {
+      cache_(byte_budget_ ? params_.plan_cache_bytes
+                          : params_.plan_cache_capacity) {
     HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
 }
 
@@ -205,7 +267,7 @@ Signature Session::plan_signature(Op op, node_t root,
 std::shared_ptr<Session::PlanEntry>
 Session::entry_for(const Signature& sig, bool& cache_hit) {
     bool built = false;
-    auto entry = cache_.get_or_create(sig, [&] {
+    const auto factory = [&] {
         built = true;
         auto e = std::make_shared<PlanEntry>();
         e->gen = make_schedule(sig);
@@ -213,8 +275,13 @@ Session::entry_for(const Signature& sig, bool& cache_hit) {
         // model and pins the makespan + delivery matrix (for reduce:
         // of the forward broadcast, which time-reversal preserves).
         e->sim_stats = sim::execute_schedule(e->gen.feasibility, sig.model);
-        e->plan = std::make_unique<rt::Plan>(rt::compile_plan(
-            e->gen.exec, e->gen.mode, sig.block_elems, threads_));
+        // A sub-cube signature never spreads over more workers than it has
+        // nodes (the plan compiler's partition requires workers <= 2^n).
+        const std::uint32_t workers =
+            std::min(threads_, node_t{1} << sig.n);
+        e->plan = std::make_unique<rt::Plan>(
+            rt::compile_plan(e->gen.exec, e->gen.mode, sig.block_elems,
+                             workers, 8, params_.plan_layout));
         if (params_.engine == rt::Engine::async) {
             e->async = std::make_unique<rt::AsyncPlayer>(*e->plan);
         }
@@ -225,14 +292,22 @@ Session::entry_for(const Signature& sig, bool& cache_hit) {
                                              params_.channel_capacity);
         }
         return e;
-    });
+    };
+    auto entry =
+        byte_budget_
+            ? cache_.get_or_create(
+                  sig, factory,
+                  [](const std::shared_ptr<PlanEntry>& e) {
+                      return e->resident_bytes();
+                  })
+            : cache_.get_or_create(sig, factory);
     cache_hit = !built;
     return entry;
 }
 
 ExecStats Session::execute(const Signature& sig) {
-    HCUBE_ENSURE_MSG(sig.n == n_,
-                     "signature dimension differs from the session's cube");
+    HCUBE_ENSURE_MSG(sig.n >= 1 && sig.n <= n_,
+                     "signature dimension exceeds the session's cube");
     ExecStats out;
     const std::shared_ptr<PlanEntry> entry = entry_for(sig, out.cache_hit);
     const std::lock_guard<std::mutex> lock(entry->exec_mutex);
@@ -255,18 +330,30 @@ ExecStats Session::execute(const Signature& sig) {
         bool ok = stats.clean() &&
                   stats.blocks_delivered == exec.sends.size();
         if (!full_check && entry->image_valid) {
-            // Steady state: byte-compare against the oracle image taken on
-            // the entry's first verified execution.
-            return ok && matches_image(plan, player, entry->oracle_image);
+            // Steady state: combine entries byte-compare against the
+            // oracle image of the first verified execution; move entries
+            // re-derive the expected image from the plan's immutable
+            // arena (pointer-identity on the zero-copy path) and check
+            // its stored fingerprint — no second image copy exists.
+            if (combining) {
+                return ok &&
+                       matches_image(plan, player, entry->oracle_image);
+            }
+            return ok &&
+                   entry->oracle_fingerprint == arena_fingerprint(plan) &&
+                   matches_arena(plan, player);
         }
         // Full check (or Verify::never, which has no image): recompute the
-        // content checks from first principles.
+        // content checks from first principles. Structural checks run
+        // against the schedule's own cube (exec.n), which may be a
+        // sub-cube of the session's.
         if (combining) {
             ok = ok && sums_match(player, exec.initial_holder[0],
-                                  exec.packet_count, n_, plan.block_elems);
+                                  exec.packet_count, exec.n,
+                                  plan.block_elems);
         } else {
-            ok = ok && holdings_match(player, exec, entry->sim_stats, n_,
-                                      plan.block_elems);
+            ok = ok && holdings_match(player, exec, entry->sim_stats,
+                                      exec.n, plan.block_elems);
         }
         return ok;
     };
@@ -286,7 +373,11 @@ ExecStats Session::execute(const Signature& sig) {
         out.transport = stats.transport;
         out.seconds = stats.seconds;
         if (ok && full_check && !entry->image_valid) {
-            entry->oracle_image = snapshot_memory(plan, *entry->barrier);
+            if (combining) {
+                entry->oracle_image = snapshot_memory(plan, *entry->barrier);
+            } else {
+                entry->oracle_fingerprint = arena_fingerprint(plan);
+            }
             entry->image_valid = true;
         }
     } else {
@@ -310,7 +401,11 @@ ExecStats Session::execute(const Signature& sig) {
         out.transport = stats.transport;
         out.seconds = stats.seconds;
         if (ok && full_check && !entry->image_valid) {
-            entry->oracle_image = snapshot_memory(plan, *entry->async);
+            if (combining) {
+                entry->oracle_image = snapshot_memory(plan, *entry->async);
+            } else {
+                entry->oracle_fingerprint = arena_fingerprint(plan);
+            }
             entry->image_valid = true;
             if (params_.verify == rt::Verify::first) {
                 // Steady state never re-runs the oracle; free its memory.
@@ -319,6 +414,13 @@ ExecStats Session::execute(const Signature& sig) {
         }
     }
     out.verified = ok;
+    out.plan_resident_bytes = entry->resident_bytes();
+    // The first verified pass changes what the entry keeps resident (the
+    // oracle player is dropped, the combine image materializes); re-price
+    // it so the byte budget stays exact.
+    if (byte_budget_ && full_check) {
+        cache_.update_cost(sig, out.plan_resident_bytes);
+    }
     return out;
 }
 
@@ -327,6 +429,10 @@ hcube::CacheStats Session::cache_stats() const noexcept {
 }
 
 std::size_t Session::cached_plans() const { return cache_.size(); }
+
+std::uint64_t Session::cache_resident_bytes() const {
+    return cache_.total_cost();
+}
 
 std::uint64_t Session::pool_jobs() const {
     return pool_ ? pool_->jobs_run() : 0;

@@ -8,16 +8,19 @@
 // Session also caches the *compiled plan and its players*: a cache hit
 // replays the resident AsyncPlayer (or barrier Player) on the resident
 // pool, touching no allocator and no schedule generator. Verification in
-// the cached steady state compares the final memory image byte for byte
-// against the oracle image snapshotted on the entry's first (fully
-// oracle-checked) execution — every repeat run remains byte-verified
-// without re-running the barrier oracle (docs/SERVICE.md § Verification in
-// steady state).
+// the cached steady state stays byte-exact without re-running the barrier
+// oracle: combine-mode entries byte-compare against the oracle image
+// snapshotted on the entry's first (fully oracle-checked) execution, and
+// move-mode entries re-derive the expected final state from the plan's
+// immutable block arena (storing only a fingerprint of it — the image
+// would be a second full copy of arena bytes) (docs/SERVICE.md
+// § Verification in steady state).
 #pragma once
 
 #include "common/lru_cache.hpp"
 #include "model/broadcast_model.hpp"
 #include "rt/communicator.hpp" // Engine, Verify
+#include "rt/plan.hpp"         // PlanLayout
 #include "svc/selector.hpp"
 #include "svc/signature.hpp"
 
@@ -36,7 +39,19 @@ struct SessionParams {
     /// Worker threads; 0 picks min(2^n, max(2, hardware_concurrency)).
     std::uint32_t threads = 0;
     /// Compiled plans (and their players) kept resident; 0 = unbounded.
+    /// Entry-count mode, used only while plan_cache_bytes is 0.
     std::size_t plan_cache_capacity = 32;
+    /// Byte budget for the plan cache. When nonzero the cache charges each
+    /// entry its exact resident bytes (plan + players + oracle image; see
+    /// Plan::resident_bytes) and evicts least-recently-used entries until
+    /// the total fits — thousands of small-cube signatures coexist with a
+    /// few large ones under one bound. 0 (the default) preserves the
+    /// entry-count behavior of plan_cache_capacity.
+    std::uint64_t plan_cache_bytes = 0;
+    /// Plan encoding (rt::PlanLayout). The automatic default compiles the
+    /// compact residency layout inside its validated envelope; wide is the
+    /// pre-compaction reference encoding.
+    rt::PlanLayout plan_layout = rt::PlanLayout::automatic;
     /// Engine whose stats ExecStats reports.
     rt::Engine engine = rt::Engine::async;
     /// Oracle policy. `first` (the service default) fully oracle-checks
@@ -73,6 +88,10 @@ struct ExecStats {
     /// Medium the blocks moved over (always ring for an in-process
     /// session; netd reports its serving endpoint's transport instead).
     ft::TransportClass transport = ft::TransportClass::ring;
+    /// Exact bytes this signature's cache entry keeps resident after the
+    /// run (compiled plan + players + oracle image) — the cost the
+    /// byte-budgeted cache charges it.
+    std::uint64_t plan_resident_bytes = 0;
     double seconds = 0; ///< wall clock of the reported engine's play()
 };
 
@@ -88,8 +107,11 @@ class Session {
 
     /// Validates `sig`, fetches or compiles its plan entry, executes it on
     /// the resident pool, and verifies per the session's Verify policy.
-    /// Thread-safe; concurrent executions of the same signature serialize
-    /// on the entry, distinct signatures only contend on the pool.
+    /// Accepts any sub-cube dimension 1 <= sig.n <= n (plans for smaller
+    /// cubes clamp their worker count to 2^sig.n), so one session can
+    /// serve a mixed-dimension signature population. Thread-safe;
+    /// concurrent executions of the same signature serialize on the entry,
+    /// distinct signatures only contend on the pool.
     [[nodiscard]] ExecStats execute(const Signature& sig);
 
     /// Cost-model selection with the session's calibrated constants.
@@ -104,6 +126,10 @@ class Session {
 
     [[nodiscard]] hcube::CacheStats cache_stats() const noexcept;
     [[nodiscard]] std::size_t cached_plans() const;
+    /// Total cost currently charged to the plan cache: exact resident
+    /// bytes under a plan_cache_bytes budget, resident entry count in
+    /// entry-count mode.
+    [[nodiscard]] std::uint64_t cache_resident_bytes() const;
     /// Jobs dispatched onto the resident pool (0 when single-threaded).
     [[nodiscard]] std::uint64_t pool_jobs() const;
 
@@ -117,6 +143,7 @@ class Session {
     dim_t n_;
     SessionParams params_;
     std::uint32_t threads_;
+    bool byte_budget_; ///< plan_cache_bytes != 0: cost-aware eviction
     std::unique_ptr<rt::WorkerPool> pool_;
     AlgorithmSelector selector_;
     LruCache<Signature, std::shared_ptr<PlanEntry>> cache_;

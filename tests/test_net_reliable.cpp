@@ -99,7 +99,7 @@ TEST(NetReliable, RecentSetKeySeparatesChannels) {
 TEST(NetReliable, WireFaultsMapLinkSpecsToChannels) {
     const rt::Plan plan = small_plan();
     ASSERT_GT(plan.channel_count, 0u);
-    const auto [from, to] = plan.channel_link[0];
+    const auto [from, to] = plan.channel_endpoints(0);
 
     ft::FaultPlan fp;
     fp.drop(from, to, /*at_push=*/0, /*pushes=*/1);
@@ -114,7 +114,7 @@ TEST(NetReliable, WireFaultsMapLinkSpecsToChannels) {
 
 TEST(NetReliable, WireFaultsCorruptPerturbsPayload) {
     const rt::Plan plan = small_plan();
-    const auto [from, to] = plan.channel_link[0];
+    const auto [from, to] = plan.channel_endpoints(0);
     ft::FaultPlan fp;
     fp.corrupt(from, to, 0, 1, /*salt=*/3);
     WireFaults faults(plan, {fp, 0, 1});
@@ -128,7 +128,7 @@ TEST(NetReliable, WireFaultsCorruptPerturbsPayload) {
 
 TEST(NetReliable, WireFaultsKillIsForever) {
     const rt::Plan plan = small_plan();
-    const auto [from, to] = plan.channel_link[0];
+    const auto [from, to] = plan.channel_endpoints(0);
     ft::FaultPlan fp;
     fp.kill_link(from, to, /*at_push=*/1);
     WireFaults faults(plan, {fp, 0, 1});
@@ -274,7 +274,7 @@ TEST(NetReliable, WindowBlocksUntilAcked) {
 
 TEST(NetReliable, KillVerdictBlackholesRetransmits) {
     const rt::Plan plan = small_plan();
-    const auto [from, to] = plan.channel_link[0];
+    const auto [from, to] = plan.channel_endpoints(0);
     ft::FaultPlan fp;
     fp.kill_link(from, to);
     WireFaults faults(plan, {fp, 0, 1});

@@ -170,7 +170,7 @@ bool find_cross_link(const svc::Signature& sig, std::uint32_t procs,
     const rt::Plan plan =
         rt::compile_plan(gen.exec, gen.mode, sig.block_elems, procs);
     for (std::uint32_t c = 0; c < plan.channel_count; ++c) {
-        const auto [f, t] = plan.channel_link[c];
+        const auto [f, t] = plan.channel_endpoints(c);
         if (plan.owner_of(f) != plan.owner_of(t)) {
             from = f;
             to = t;

@@ -90,6 +90,87 @@ TEST(SvcLruCache, UnboundedNeverEvicts) {
     EXPECT_EQ(cache.stats().evictions, 0u);
 }
 
+TEST(SvcLruCache, CapacityOneKeepsOnlyTheNewestEntry) {
+    LruCache<int, int> cache(1);
+    EXPECT_EQ(cache.get_or_create(1, [] { return 10; }), 10);
+    EXPECT_EQ(cache.get_or_create(2, [] { return 20; }), 20);
+    EXPECT_FALSE(cache.contains(1));
+    EXPECT_TRUE(cache.contains(2));
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    // A hit on the sole resident entry must not evict it.
+    EXPECT_EQ(cache.get(2).value_or(-1), 20);
+    EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(SvcLruCache, NeverEvictsTheEntryBeingInserted) {
+    // One entry costlier than the whole budget: it is the `keep` entry of
+    // its own insertion, so it stays resident alone (best-effort budget)
+    // and evicts everything colder.
+    LruCache<int, int> cache(10);
+    (void)cache.get_or_create(1, [] { return 1; },
+                              [](const int&) { return std::uint64_t{4}; });
+    (void)cache.get_or_create(2, [] { return 2; },
+                              [](const int&) { return std::uint64_t{4}; });
+    const int big = cache.get_or_create(
+        3, [] { return 3; }, [](const int&) { return std::uint64_t{99}; });
+    EXPECT_EQ(big, 3);
+    EXPECT_TRUE(cache.contains(3));
+    EXPECT_FALSE(cache.contains(1));
+    EXPECT_FALSE(cache.contains(2));
+    EXPECT_EQ(cache.total_cost(), 99u);
+    EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(SvcLruCache, ByteBudgetEvictsByCostNotCount) {
+    // Budget 100: four cost-30 entries fit three at a time — inserting the
+    // fourth evicts exactly one (the coldest), not down to a count.
+    LruCache<int, int> cache(100);
+    const auto cost = [](const int&) { return std::uint64_t{30}; };
+    for (int k = 0; k < 4; ++k) {
+        (void)cache.get_or_create(k, [k] { return k; }, cost);
+    }
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.total_cost(), 90u);
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_TRUE(cache.contains(3));
+    EXPECT_EQ(cache.budget(), 100u);
+}
+
+TEST(SvcLruCache, UpdateCostRepricesAndEvictsColderEntries) {
+    LruCache<int, int> cache(100);
+    const auto cost = [](const int&) { return std::uint64_t{20}; };
+    for (int k = 0; k < 4; ++k) {
+        (void)cache.get_or_create(k, [k] { return k; }, cost);
+    }
+    EXPECT_EQ(cache.total_cost(), 80u);
+    // Re-pricing the hottest entry to 70 pushes the total to 130: the two
+    // coldest entries go, the re-priced entry itself is protected.
+    cache.update_cost(3, 70);
+    EXPECT_TRUE(cache.contains(3));
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(1));
+    EXPECT_TRUE(cache.contains(2));
+    EXPECT_EQ(cache.total_cost(), 90u);
+    cache.update_cost(42, 1); // unknown key: no-op
+    EXPECT_EQ(cache.total_cost(), 90u);
+}
+
+TEST(SvcLruCache, ClearResetsResidencyAndCost) {
+    LruCache<int, int> cache(8);
+    (void)cache.get_or_create(1, [] { return 1; });
+    (void)cache.get_or_create(2, [] { return 2; });
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.total_cost(), 0u);
+    // The recency list is empty too: fresh inserts and evictions work.
+    for (int k = 0; k < 12; ++k) {
+        (void)cache.get_or_create(k, [k] { return k; });
+    }
+    EXPECT_EQ(cache.size(), 8u);
+}
+
 TEST(SvcLruCache, ConcurrentGetOrCreateConverges) {
     LruCache<int, int> cache(8);
     std::atomic<int> builds{0};
@@ -315,6 +396,105 @@ TEST(SvcSession, RejectsWrongDimension) {
     EXPECT_THROW((void)session.execute(
                      sig_of(Op::broadcast, Family::sbt, 4, 0, 2, 16)),
                  check_error);
+    EXPECT_THROW((void)session.execute(
+                     sig_of(Op::broadcast, Family::sbt, 0, 0, 2, 16)),
+                 check_error);
+}
+
+TEST(SvcSession, ServesMixedSubCubeDimensions) {
+    // One session, one byte budget, signatures from 1-cube to 4-cube: the
+    // residency story the byte-budgeted cache exists for.
+    Session session(4, fast_session(4));
+    for (dim_t n = 1; n <= 4; ++n) {
+        const ExecStats stats = session.execute(
+            sig_of(Op::broadcast, Family::sbt, n, 0, 2, 16));
+        EXPECT_TRUE(stats.verified) << "n=" << int{n};
+        EXPECT_GT(stats.plan_resident_bytes, 0u) << "n=" << int{n};
+    }
+    EXPECT_EQ(session.cached_plans(), 4u);
+}
+
+TEST(SvcSession, ReportsExactResidentBytes) {
+    Session session(3, fast_session());
+    const Signature a = sig_of(Op::broadcast, Family::sbt, 3, 0, 4, 16);
+    const Signature b = sig_of(Op::reduce, Family::sbt, 3, 0, 2, 16);
+    const ExecStats sa = session.execute(a);
+    const ExecStats sb = session.execute(b);
+    EXPECT_GT(sa.plan_resident_bytes, 0u);
+    EXPECT_GT(sb.plan_resident_bytes, 0u);
+    // Entry-count mode still tracks resident cost (one unit per entry).
+    EXPECT_EQ(session.cache_resident_bytes(), 2u);
+    // A hit reports the same entry bytes as the compile that built it.
+    const ExecStats repeat = session.execute(a);
+    EXPECT_TRUE(repeat.cache_hit);
+    EXPECT_EQ(repeat.plan_resident_bytes, sa.plan_resident_bytes);
+}
+
+TEST(SvcSession, ByteBudgetEvictsColdPlans) {
+    // Measure one entry, then budget the next session at 1.5 entries: two
+    // same-shape signatures can never be resident together.
+    const Signature a = sig_of(Op::broadcast, Family::sbt, 3, 0, 4, 16);
+    const Signature b = sig_of(Op::broadcast, Family::sbt, 3, 1, 4, 16);
+    std::uint64_t entry_bytes = 0;
+    {
+        SessionParams params = fast_session();
+        params.plan_cache_bytes = 64u << 20;
+        Session probe(3, params);
+        entry_bytes = probe.execute(a).plan_resident_bytes;
+        ASSERT_GT(entry_bytes, 0u);
+        EXPECT_EQ(probe.cache_resident_bytes(), entry_bytes);
+    }
+    SessionParams params = fast_session();
+    params.plan_cache_bytes = entry_bytes + entry_bytes / 2;
+    Session session(3, params);
+    EXPECT_FALSE(session.execute(a).cache_hit);
+    EXPECT_FALSE(session.execute(b).cache_hit); // evicts a
+    EXPECT_EQ(session.cached_plans(), 1u);
+    EXPECT_EQ(session.cache_stats().evictions, 1u);
+    EXPECT_LE(session.cache_resident_bytes(), params.plan_cache_bytes);
+    const ExecStats again = session.execute(a); // recompiled, re-verified
+    EXPECT_FALSE(again.cache_hit);
+    EXPECT_TRUE(again.oracle_checked);
+    EXPECT_TRUE(again.verified);
+}
+
+TEST(SvcSession, ByteBudgetHoldsManySmallPlans) {
+    // A generous budget keeps a whole mixed population resident: repeats
+    // are all steady-state hits and the charged bytes stay within budget.
+    SessionParams params = fast_session(4);
+    params.plan_cache_bytes = 64u << 20;
+    Session session(5, params);
+    std::vector<Signature> sigs;
+    for (dim_t n = 2; n <= 5; ++n) {
+        for (node_t root = 0; root < 4; ++root) {
+            sigs.push_back(sig_of(Op::broadcast, Family::sbt, n,
+                                  root % (node_t{1} << n), 2, 16));
+        }
+    }
+    for (const Signature& sig : sigs) {
+        EXPECT_TRUE(session.execute(sig).verified);
+    }
+    for (const Signature& sig : sigs) {
+        const ExecStats stats = session.execute(sig);
+        EXPECT_TRUE(stats.cache_hit) << sig.to_string();
+        EXPECT_TRUE(stats.verified) << sig.to_string();
+    }
+    EXPECT_EQ(session.cache_stats().evictions, 0u);
+    EXPECT_LE(session.cache_resident_bytes(), params.plan_cache_bytes);
+    EXPECT_GT(session.cache_resident_bytes(), 0u);
+}
+
+TEST(SvcSession, WideLayoutSessionStaysVerified) {
+    // The HCUBE_PLAN_COMPACT=0 equivalent, selected through params: the
+    // wide reference encoding must verify identically through the full
+    // session path (compile, cache, steady-state byte checks).
+    SessionParams params = fast_session();
+    params.plan_layout = rt::PlanLayout::wide;
+    Session session(3, params);
+    const Signature sig = sig_of(Op::reduce, Family::sbt, 3, 0, 2, 16);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_TRUE(session.execute(sig).verified);
+    }
 }
 
 // ----------------------------------------------------------------- Service
