@@ -159,6 +159,32 @@ public:
         return map_.find(key) != map_.end();
     }
 
+    /// Erases every resident entry for which `pred(key, value)` holds,
+    /// regardless of recency: each victim is unlinked from the recency
+    /// list and its cost refunded from the total. Returns the number of
+    /// entries erased (also counted as evictions). This is the surgical
+    /// invalidation path — e.g. dropping exactly the plans whose member-
+    /// set epoch went stale — where a budget eviction would only shed the
+    /// coldest entries.
+    template <class Pred>
+    std::size_t erase_if(Pred&& pred) {
+        const std::unique_lock lock(mutex_);
+        std::size_t erased = 0;
+        for (auto it = map_.begin(); it != map_.end();) {
+            Entry& entry = it->second;
+            if (pred(it->first, static_cast<const Value&>(entry.value))) {
+                total_cost_ -= entry.cost;
+                unlink(&entry);
+                it = map_.erase(it);
+                ++erased;
+            } else {
+                ++it;
+            }
+        }
+        evictions_.fetch_add(erased, std::memory_order_relaxed);
+        return erased;
+    }
+
     void clear() {
         const std::unique_lock lock(mutex_);
         map_.clear();

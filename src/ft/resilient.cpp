@@ -9,6 +9,7 @@
 #include "trees/fault.hpp"
 #include "trees/sbt.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <map>
@@ -33,7 +34,8 @@ struct Oracle {
 
 Oracle build_oracle(const Schedule& schedule,
                     std::vector<std::pair<node_t, packet_t>> contract,
-                    const ResilientParams& params, std::uint32_t threads) {
+                    const ResilientParams& params, std::uint32_t threads,
+                    std::span<const node_t> members = {}) {
     // The cycle executor proves the schedule feasible before it ever runs
     // on real threads.
     (void)sim::execute_schedule(schedule,
@@ -42,7 +44,7 @@ Oracle build_oracle(const Schedule& schedule,
     Oracle oracle;
     oracle.plan = std::make_unique<rt::Plan>(
         compile_plan(schedule, rt::DataMode::move, params.block_elems,
-                     threads));
+                     threads, 8, rt::PlanLayout::automatic, members));
     oracle.player =
         std::make_unique<rt::Player>(*oracle.plan, params.channel_capacity);
     const rt::PlayStats stats = oracle.player->play();
@@ -59,6 +61,21 @@ Oracle build_oracle(const Schedule& schedule,
     oracle.contract = std::move(contract);
     oracle.seconds = stats.seconds;
     return oracle;
+}
+
+/// Member broadcast contract: every *live* member ends up holding every
+/// packet — the contract contracts with the view.
+std::vector<std::pair<node_t, packet_t>>
+member_broadcast_contract(const mbr::View& view, packet_t packets) {
+    std::vector<std::pair<node_t, packet_t>> contract;
+    contract.reserve(static_cast<std::size_t>(view.count()) *
+                     static_cast<std::size_t>(packets));
+    for (const node_t v : view.members()) {
+        for (packet_t p = 0; p < packets; ++p) {
+            contract.emplace_back(v, p);
+        }
+    }
+    return contract;
 }
 
 /// Broadcast contract: every node ends up holding every packet.
@@ -133,7 +150,7 @@ struct ResilientComm::OracleStore {
 ResilientComm::ResilientComm(dim_t n, ResilientParams params)
     : n_(n), params_(params),
       threads_(rt::pick_worker_threads(n, params.threads)),
-      oracles_(std::make_unique<OracleStore>()) {
+      oracles_(std::make_unique<OracleStore>()), view_(n) {
     HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
     HCUBE_ENSURE(params_.block_elems >= 1);
     HCUBE_ENSURE_MSG(params_.detect.enabled(),
@@ -269,6 +286,140 @@ RecoveryResult ResilientComm::broadcast_msbt(node_t root, packet_t packets,
                              std::to_string(packets),
                          initial, broadcast_contract(n_, packets), faults,
                          replan);
+}
+
+RecoveryResult ResilientComm::run_member_resilient(
+    const std::string& op_key, node_t root, const FaultPlan& faults,
+    const MemberScheduler& make, const MemberContract& contract_of) {
+    using clock = std::chrono::steady_clock;
+    RecoveryResult out;
+    FaultInjector injector(faults);
+
+    for (std::uint32_t attempt = 0; attempt < params_.max_attempts;
+         ++attempt) {
+        const clock::time_point attempt_start = clock::now();
+        HCUBE_ENSURE_MSG(view_.contains(root),
+                         "collective root is not a live member");
+
+        // The schedule, oracle and contract are all functions of the
+        // *current* member set: a death between attempts shrinks all
+        // three. The oracle cache keys on the view fingerprint, so a
+        // sweep of fault positions over one survivor set still pays for
+        // its oracle once.
+        const Schedule schedule = make(view_);
+        const std::vector<node_t> members = view_.members();
+        const std::uint32_t workers = std::min(
+            threads_, static_cast<std::uint32_t>(members.size()));
+        const std::string key =
+            op_key + "/" + std::to_string(view_.fingerprint());
+        auto cached = oracles_->by_key.find(key);
+        if (cached == oracles_->by_key.end()) {
+            cached = oracles_->by_key
+                         .emplace(key, build_oracle(schedule,
+                                                    contract_of(schedule,
+                                                                view_),
+                                                    params_, workers,
+                                                    members))
+                         .first;
+            out.oracle_seconds += cached->second.seconds;
+        }
+        const Oracle& oracle = cached->second;
+
+        const rt::Plan plan =
+            compile_plan(schedule, rt::DataMode::move, params_.block_elems,
+                         workers, 8, rt::PlanLayout::automatic, members);
+        injector.arm(plan);
+
+        const auto execute = [&](auto& player) {
+            player.set_detection(params_.detect);
+            player.set_fault_hook(&injector);
+            if (trace_ != nullptr) {
+                player.set_trace(trace_);
+            }
+            const rt::PlayStats stats = player.play();
+            ++out.attempts;
+            if (!stats.clean() ||
+                stats.blocks_delivered != schedule.sends.size()) {
+                out.reports.push_back(player.fault_report());
+                return false;
+            }
+            out.delivered = matches_oracle(oracle, player);
+            out.stats = stats;
+            out.final_seconds = stats.seconds;
+            return true;
+        };
+
+        bool finished = false;
+        if (params_.engine == rt::Engine::barrier) {
+            rt::Player player(plan, params_.channel_capacity);
+            finished = execute(player);
+        } else {
+            rt::AsyncPlayer player(plan);
+            finished = execute(player);
+        }
+        if (finished) {
+            out.final_schedule = schedule;
+            out.view_epoch = view_.epoch();
+            return out;
+        }
+
+        // Heal: the fault is a node death, not a wire break. The non-root
+        // endpoint of the reported link leaves the view; the next attempt
+        // rebuilds tree, contract and oracle over the survivors. The
+        // root's own death is unrecoverable (no one else holds the data).
+        const FaultReport& report = out.reports.back();
+        HCUBE_ENSURE_MSG(report.faulted(),
+                         "attempt failed without a fault report");
+        const node_t victim = report.to == root ? report.from : report.to;
+        HCUBE_ENSURE_MSG(victim != root,
+                         "the collective root died — unrecoverable");
+        out.dead_links.push_back({report.from, report.to});
+        out.dead_nodes.push_back(victim);
+        view_.leave(victim);
+        out.recovered = true;
+        out.recovery_seconds +=
+            std::chrono::duration<double>(clock::now() - attempt_start)
+                .count();
+    }
+    // Attempt budget exhausted without a clean run.
+    out.final_schedule = make(view_);
+    out.view_epoch = view_.epoch();
+    return out;
+}
+
+RecoveryResult ResilientComm::broadcast_members(node_t root,
+                                                packet_t packets,
+                                                const FaultPlan& faults) {
+    return run_member_resilient(
+        "bcast_members/" + std::to_string(root) + "/" +
+            std::to_string(packets),
+        root, faults,
+        [root, packets](const mbr::View& view) {
+            return routing::make_member_broadcast(
+                view, root, routing::BroadcastDiscipline::paced, packets,
+                sim::PortModel::one_port_full_duplex);
+        },
+        [packets](const Schedule&, const mbr::View& view) {
+            return member_broadcast_contract(view, packets);
+        });
+}
+
+RecoveryResult ResilientComm::scatter_members(node_t root,
+                                              packet_t packets_per_dest,
+                                              const FaultPlan& faults) {
+    return run_member_resilient(
+        "scatter_members/" + std::to_string(root) + "/" +
+            std::to_string(packets_per_dest),
+        root, faults,
+        [root, packets_per_dest](const mbr::View& view) {
+            return routing::make_member_scatter(view, root,
+                                                packets_per_dest);
+        },
+        [](const Schedule& schedule, const mbr::View&) {
+            // The generic terminal-destination walk already speaks member
+            // scatter: packet ids are dense over live destinations.
+            return scatter_contract(schedule);
+        });
 }
 
 RecoveryResult ResilientComm::scatter_sbt(node_t root,

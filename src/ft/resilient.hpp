@@ -34,6 +34,7 @@
 #include "ft/fault_model.hpp"
 #include "ft/injector.hpp"
 #include "ft/recovery.hpp"
+#include "mbr/view.hpp"
 #include "rt/communicator.hpp" // rt::Engine
 #include "rt/player.hpp"       // rt::PlayStats
 #include "rt/tracing.hpp"
@@ -81,6 +82,11 @@ struct RecoveryResult {
     std::vector<FaultReport> reports;
     /// Links declared dead, in detection order (drives the replanning).
     std::vector<DirectedLink> dead_links;
+    /// Member ops only: nodes declared dead, in detection order (each is a
+    /// membership transition — the non-root endpoint of a failed link).
+    std::vector<node_t> dead_nodes;
+    /// Member ops only: the comm's view epoch after the final attempt.
+    std::uint64_t view_epoch = 0;
     /// MSBT only: ERSBTs the degraded schedule dropped (ascending).
     std::vector<dim_t> dropped_trees;
     /// The schedule the final attempt executed (the fault-free original if
@@ -125,6 +131,42 @@ public:
                                              packet_t packets_per_dest,
                                              const FaultPlan& faults);
 
+    // ---- membership-aware collectives ----------------------------------
+    //
+    // Where the link-healing ops above route *around* a dead wire on the
+    // same full node set, the member ops treat a fault as a node death:
+    // the non-root endpoint of the failed link leaves the view, the tree
+    // is rebuilt over the survivors, and a *fresh* oracle is built for the
+    // shrunk member set (keyed by the view fingerprint) — the contract
+    // itself contracts to the survivors. The root's death is unrecoverable
+    // and surfaces as check_error.
+
+    /// The comm's membership view (full cube until the first death or
+    /// mark_dead/readmit call).
+    [[nodiscard]] const mbr::View& view() const noexcept { return view_; }
+
+    /// Proactive membership transitions between operations: declare a node
+    /// dead (it leaves the view without an execution having failed) or
+    /// readmit a previously dead address. Strictness follows mbr::View.
+    void mark_dead(node_t v) { view_.leave(v); }
+    void readmit(node_t v) { view_.join(v); }
+
+    /// Paced broadcast of `packets` blocks from `root` over the member
+    /// tree spanning the current view, healing node deaths by view
+    /// transition + rebuild. On a full view the initial schedule is
+    /// byte-identical to broadcast_sbt's.
+    [[nodiscard]] RecoveryResult broadcast_members(node_t root,
+                                                   packet_t packets,
+                                                   const FaultPlan& faults);
+
+    /// Scatter of `packets_per_dest` blocks from `root` to every live
+    /// member (descending member order), healing node deaths by view
+    /// transition + rebuild. A dead destination's blocks leave the
+    /// contract with it.
+    [[nodiscard]] RecoveryResult scatter_members(node_t root,
+                                                 packet_t packets_per_dest,
+                                                 const FaultPlan& faults);
+
 private:
     using Replanner =
         std::function<sim::Schedule(std::span<const DirectedLink> dead,
@@ -142,11 +184,25 @@ private:
                   Contract contract, const FaultPlan& faults,
                   const Replanner& replan);
 
+    /// Builds the op's schedule over a given member set (called once per
+    /// attempt — the view shrinks between attempts).
+    using MemberScheduler = std::function<sim::Schedule(const mbr::View&)>;
+    /// Derives the op's semantic contract from the attempt's schedule and
+    /// member set.
+    using MemberContract =
+        std::function<Contract(const sim::Schedule&, const mbr::View&)>;
+
+    [[nodiscard]] RecoveryResult
+    run_member_resilient(const std::string& op_key, node_t root,
+                         const FaultPlan& faults, const MemberScheduler& make,
+                         const MemberContract& contract_of);
+
     dim_t n_;
     ResilientParams params_;
     std::uint32_t threads_;
     rt::TraceRecorder* trace_ = nullptr;
     std::unique_ptr<OracleStore> oracles_;
+    mbr::View view_;
 };
 
 } // namespace hcube::ft

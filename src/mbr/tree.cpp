@@ -1,0 +1,105 @@
+#include "mbr/tree.hpp"
+
+#include "common/check.hpp"
+#include "hc/bits.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace hcube::mbr {
+
+trees::SpanningTree build_member_tree(const View& view, node_t root,
+                                      std::span<const trees::Link> avoid) {
+    const dim_t n = view.dimension();
+    HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+    HCUBE_ENSURE_MSG(view.contains(root), "member tree root is not live");
+
+    const node_t count = node_t{1} << n;
+    const auto avoided = [&avoid](node_t a, node_t b) {
+        const trees::Link link = trees::make_link(a, b);
+        return std::ranges::find(avoid, link) != avoid.end();
+    };
+
+    // One BFS sweep computes every node's children before materialization:
+    // probing dimensions in ascending order makes the discovery wavefront
+    // deterministic, and on a full view reproduces the SBT exactly (a node's
+    // first live discoverer is the neighbor missing the highest set bit of
+    // its relative address, which is the SBT parent function).
+    std::vector<std::vector<node_t>> kids(count);
+    std::vector<char> seen(count, 0);
+    seen[root] = 1;
+    node_t reached = 1;
+    std::deque<node_t> queue{root};
+    while (!queue.empty()) {
+        const node_t i = queue.front();
+        queue.pop_front();
+        for (dim_t d = 0; d < n; ++d) {
+            const node_t c = hc::flip_bit(i, d);
+            if (seen[c] || !view.contains(c) || avoided(i, c)) {
+                continue;
+            }
+            seen[c] = 1;
+            ++reached;
+            kids[i].push_back(c);
+            queue.push_back(c);
+        }
+    }
+    HCUBE_ENSURE_MSG(reached == view.count(),
+                     avoid.empty()
+                         ? "member set is disconnected — some live member "
+                           "has no path to the root through live members"
+                         : "member set is disconnected once the avoided "
+                           "links are removed");
+
+    return trees::materialize_partial_tree(
+        n, root, view.count(),
+        [&kids](node_t i) { return kids[i]; });
+}
+
+void validate_member_tree(const View& view, const trees::SpanningTree& tree) {
+    HCUBE_ENSURE(tree.n == view.dimension());
+    const node_t count = tree.node_count();
+    HCUBE_ENSURE(tree.parent.size() == count);
+    HCUBE_ENSURE(tree.children.size() == count);
+    HCUBE_ENSURE_MSG(view.contains(tree.root), "tree root is not live");
+    HCUBE_ENSURE(tree.parent[tree.root] == trees::SpanningTree::kNoParent);
+    HCUBE_ENSURE(tree.level[tree.root] == 0);
+
+    node_t with_parent = 0;
+    for (node_t i = 0; i < count; ++i) {
+        if (!view.contains(i)) {
+            HCUBE_ENSURE_MSG(tree.parent[i] ==
+                                     trees::SpanningTree::kNoParent &&
+                                 tree.children[i].empty() &&
+                                 tree.level[i] == -1,
+                             "absent address participates in the tree");
+            continue;
+        }
+        if (i == tree.root) {
+            continue;
+        }
+        const node_t p = tree.parent[i];
+        HCUBE_ENSURE_MSG(p < count, "live member without a parent");
+        HCUBE_ENSURE_MSG(view.contains(p), "tree edge through a dead node");
+        HCUBE_ENSURE_MSG(hc::hamming(p, i) == 1, "tree edge not a cube edge");
+        HCUBE_ENSURE_MSG(std::ranges::count(tree.children[p], i) == 1,
+                         "parent does not list member exactly once as child");
+        HCUBE_ENSURE_MSG(tree.level[i] == tree.level[p] + 1,
+                         "level not parent level + 1");
+        ++with_parent;
+    }
+    HCUBE_ENSURE_MSG(with_parent == view.count() - 1,
+                     "tree does not span exactly the member set");
+
+    std::size_t total_children = 0;
+    for (node_t i = 0; i < count; ++i) {
+        for (const node_t c : tree.children[i]) {
+            HCUBE_ENSURE_MSG(tree.parent[c] == i,
+                             "child does not point back to parent");
+        }
+        total_children += tree.children[i].size();
+    }
+    HCUBE_ENSURE(total_children == view.count() - 1);
+}
+
+} // namespace hcube::mbr

@@ -1,0 +1,41 @@
+// Incomplete-cube spanning trees: the SBT/BFS builders generalized to span
+// only the live members of a View.
+//
+// The construction is breadth-first from the root over the live-member
+// induced subgraph, probing dimensions in ascending order. On a *full* view
+// this reproduces the spanning binomial tree of §3.1 exactly — children
+// order included: the first live parent a node is discovered from is the
+// one missing the highest set bit of its relative address, which is the
+// SBT's parent function, and a node attaches its children in ascending
+// dimension of the new bit, which is the SBT's send order. On a partial
+// view the same sweep routes around the holes: dead/absent addresses are
+// skipped, live members relay for each other, and the builder throws if
+// some member cannot be reached through live members at all (the member
+// graph is disconnected — no tree routes that).
+#pragma once
+
+#include "mbr/view.hpp"
+#include "trees/fault.hpp" // trees::Link
+#include "trees/spanning_tree.hpp"
+
+#include <span>
+
+namespace hcube::mbr {
+
+/// Tree spanning exactly the live members of `view`, rooted at live member
+/// `root`, never routing through an absent address or across a link in
+/// `avoid`. Absent addresses stay isolated in the returned structure
+/// (parent kNoParent, level -1, no children). Throws check_error when root
+/// is not live or some member is unreachable over live members minus the
+/// avoided links.
+[[nodiscard]] trees::SpanningTree
+build_member_tree(const View& view, node_t root,
+                  std::span<const trees::Link> avoid = {});
+
+/// Structural soundness of a member tree against its view: the tree spans
+/// exactly the live members, every edge is a cube edge between two live
+/// members, absent addresses are isolated, and levels are consistent.
+/// Throws check_error on the first violation.
+void validate_member_tree(const View& view, const trees::SpanningTree& tree);
+
+} // namespace hcube::mbr

@@ -1,0 +1,272 @@
+#include "mbr/view.hpp"
+
+#include "common/check.hpp"
+#include "hc/bits.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace hcube::mbr {
+
+namespace {
+
+constexpr std::size_t word_of(node_t v) noexcept { return v >> 6; }
+constexpr std::uint64_t bit_of(node_t v) noexcept {
+    return std::uint64_t{1} << (v & 63u);
+}
+
+/// Number of 64-bit words backing a 2^n-bit member set.
+constexpr std::size_t word_count(dim_t n) noexcept {
+    return (std::size_t{1} << n) < 64 ? 1 : (std::size_t{1} << n) / 64;
+}
+
+} // namespace
+
+View::View(dim_t n) : n_(n) {
+    HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+    const node_t count = node_t{1} << n;
+    words_.assign(word_count(n), ~std::uint64_t{0});
+    if (count < 64) {
+        words_[0] = (std::uint64_t{1} << count) - 1;
+    }
+    count_ = count;
+    subcube_epoch_.assign(static_cast<std::size_t>(n) + 1, 0);
+}
+
+View View::of(dim_t n, std::span<const node_t> members) {
+    HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
+    View view;
+    view.n_ = n;
+    view.words_.assign(word_count(n), 0);
+    view.subcube_epoch_.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (const node_t v : members) {
+        HCUBE_ENSURE_MSG(v < (node_t{1} << n),
+                         "member address outside the cube");
+        HCUBE_ENSURE_MSG((view.words_[word_of(v)] & bit_of(v)) == 0,
+                         "duplicate member address");
+        view.words_[word_of(v)] |= bit_of(v);
+        ++view.count_;
+    }
+    return view;
+}
+
+std::uint64_t View::epoch_of_subcube(dim_t m) const {
+    HCUBE_ENSURE(m >= 0 && m <= n_);
+    return subcube_epoch_[static_cast<std::size_t>(m)];
+}
+
+bool View::contains(node_t v) const noexcept {
+    if (n_ == 0 || v >= (node_t{1} << n_)) {
+        return false;
+    }
+    return (words_[word_of(v)] & bit_of(v)) != 0;
+}
+
+node_t View::subcube_count(dim_t m) const {
+    HCUBE_ENSURE(m >= 0 && m <= n_);
+    const node_t limit = node_t{1} << m;
+    if (limit >= 64) {
+        node_t total = 0;
+        for (std::size_t w = 0; w < word_of(limit); ++w) {
+            total += static_cast<node_t>(std::popcount(words_[w]));
+        }
+        return total;
+    }
+    return static_cast<node_t>(
+        std::popcount(words_[0] & ((std::uint64_t{1} << limit) - 1)));
+}
+
+std::vector<node_t> View::members() const {
+    std::vector<node_t> out;
+    out.reserve(count_);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+        std::uint64_t bits = words_[w];
+        while (bits != 0) {
+            const auto b = static_cast<std::size_t>(std::countr_zero(bits));
+            out.push_back(static_cast<node_t>(w * 64 + b));
+            bits &= bits - 1;
+        }
+    }
+    return out;
+}
+
+node_t View::member_rank(node_t v) const {
+    HCUBE_ENSURE_MSG(contains(v), "rank of a non-member");
+    node_t rank = 0;
+    for (std::size_t w = 0; w < word_of(v); ++w) {
+        rank += static_cast<node_t>(std::popcount(words_[w]));
+    }
+    rank += static_cast<node_t>(
+        std::popcount(words_[word_of(v)] & (bit_of(v) - 1)));
+    return rank;
+}
+
+void View::bump(node_t touched) {
+    ++epoch_;
+    // Sub-cube [0, 2^m) saw this transition iff it contains the address:
+    // every m with 2^m > touched.
+    for (dim_t m = 0; m <= n_; ++m) {
+        if ((node_t{1} << m) > touched) {
+            subcube_epoch_[static_cast<std::size_t>(m)] = epoch_;
+        }
+    }
+}
+
+void View::join(node_t v) {
+    HCUBE_ENSURE(n_ >= 1);
+    HCUBE_ENSURE_MSG(v < (node_t{1} << n_), "join outside the cube");
+    HCUBE_ENSURE_MSG(!contains(v), "join of an already-live member");
+    words_[word_of(v)] |= bit_of(v);
+    ++count_;
+    bump(v);
+}
+
+void View::leave(node_t v) {
+    HCUBE_ENSURE(n_ >= 1);
+    HCUBE_ENSURE_MSG(contains(v), "leave of a non-member");
+    HCUBE_ENSURE_MSG(count_ > 1, "leave would empty the view");
+    words_[word_of(v)] &= ~bit_of(v);
+    --count_;
+    bump(v);
+}
+
+void View::apply(const Delta& delta) {
+    HCUBE_ENSURE(n_ >= 1);
+    // Validate the whole batch against the pre-transition set before
+    // touching anything, so a rejected delta leaves the view unchanged.
+    for (const node_t v : delta.joins) {
+        HCUBE_ENSURE_MSG(v < (node_t{1} << n_), "join outside the cube");
+        HCUBE_ENSURE_MSG(!contains(v), "join of an already-live member");
+        HCUBE_ENSURE_MSG(std::ranges::count(delta.joins, v) == 1,
+                         "duplicate join in delta");
+    }
+    for (const node_t v : delta.leaves) {
+        HCUBE_ENSURE_MSG(contains(v), "leave of a non-member");
+        HCUBE_ENSURE_MSG(std::ranges::count(delta.leaves, v) == 1,
+                         "duplicate leave in delta");
+    }
+    HCUBE_ENSURE_MSG(count_ + delta.joins.size() > delta.leaves.size(),
+                     "delta would empty the view");
+    if (delta.joins.empty() && delta.leaves.empty()) {
+        return; // an empty delta is not a transition
+    }
+    node_t lowest = ~node_t{0};
+    for (const node_t v : delta.joins) {
+        words_[word_of(v)] |= bit_of(v);
+        ++count_;
+        lowest = std::min(lowest, v);
+    }
+    for (const node_t v : delta.leaves) {
+        words_[word_of(v)] &= ~bit_of(v);
+        --count_;
+        lowest = std::min(lowest, v);
+    }
+    bump(lowest);
+}
+
+View View::restricted(dim_t m) const {
+    HCUBE_ENSURE(m >= 1 && m <= n_);
+    View out;
+    out.n_ = m;
+    out.words_.assign(word_count(m), 0);
+    const node_t limit = node_t{1} << m;
+    if (limit < 64) {
+        out.words_[0] = words_[0] & ((std::uint64_t{1} << limit) - 1);
+    } else {
+        std::copy(words_.begin(),
+                  words_.begin() + static_cast<std::ptrdiff_t>(word_of(limit)),
+                  out.words_.begin());
+    }
+    out.count_ = subcube_count(m);
+    out.subcube_epoch_.assign(subcube_epoch_.begin(),
+                              subcube_epoch_.begin() + m + 1);
+    out.epoch_ = out.subcube_epoch_.back();
+    return out;
+}
+
+std::uint64_t View::fingerprint() const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto mix = [&h](std::uint64_t x) {
+        h ^= x;
+        h *= 0x100000001b3ull;
+    };
+    mix(static_cast<std::uint64_t>(n_));
+    for (const std::uint64_t w : words_) {
+        mix(w);
+    }
+    return h;
+}
+
+NeighborTable NeighborTable::build(const View& view, node_t home,
+                                   std::size_t k) {
+    HCUBE_ENSURE(home < (node_t{1} << view.dimension()));
+    NeighborTable table;
+    table.home = home;
+    table.buckets.assign(static_cast<std::size_t>(view.dimension()), {});
+    for (const node_t v : view.members()) {
+        if (v == home) {
+            continue;
+        }
+        const dim_t j = hc::highest_one_bit(v ^ home);
+        table.buckets[static_cast<std::size_t>(j)].push_back(v);
+    }
+    for (auto& bucket : table.buckets) {
+        std::ranges::sort(bucket, [home](node_t a, node_t b) {
+            return (a ^ home) < (b ^ home);
+        });
+        if (k != 0 && bucket.size() > k) {
+            bucket.resize(k);
+        }
+    }
+    return table;
+}
+
+std::optional<node_t> NeighborTable::contact(dim_t j) const {
+    HCUBE_ENSURE(j >= 0 &&
+                 static_cast<std::size_t>(j) < buckets.size());
+    const auto& bucket = buckets[static_cast<std::size_t>(j)];
+    if (bucket.empty()) {
+        return std::nullopt;
+    }
+    return bucket.front();
+}
+
+std::vector<node_t> NeighborTable::closest(std::size_t k) const {
+    // Buckets are internally XOR-sorted, and every member of bucket i is
+    // closer than every member of bucket j > i (the XOR metric's top bit
+    // dominates) — concatenation in bucket order is globally sorted.
+    std::vector<node_t> out;
+    for (const auto& bucket : buckets) {
+        for (const node_t v : bucket) {
+            if (out.size() == k) {
+                return out;
+            }
+            out.push_back(v);
+        }
+    }
+    return out;
+}
+
+std::vector<node_t> closest_members(const View& view, node_t target,
+                                    std::size_t k) {
+    std::vector<node_t> out;
+    if (k == 0) {
+        return out;
+    }
+    if (view.contains(target)) {
+        out.push_back(target);
+        --k;
+    }
+    const std::vector<node_t> rest =
+        NeighborTable::build(view, target).closest(k);
+    out.insert(out.end(), rest.begin(), rest.end());
+    return out;
+}
+
+node_t nearest_member(const View& view, node_t target) {
+    HCUBE_ENSURE_MSG(view.count() >= 1, "nearest member of an empty view");
+    const std::vector<node_t> found = closest_members(view, target, 1);
+    return found.front();
+}
+
+} // namespace hcube::mbr

@@ -1,0 +1,153 @@
+// mbr::View — versioned membership of an n-cube: which of the 2^n node
+// addresses currently host a live rank.
+//
+// Every tree family in the repo was built for a full, static cube. The view
+// opens the elasticity half of the story: any member count N <= 2^n, and
+// join/leave at runtime as *deterministic epoch-stamped transitions*. The
+// member set is one bitset (a word per 64 addresses); each transition bumps
+// a monotone epoch so downstream consumers (the svc plan cache, the ft
+// replanner) can name "the member set as of this operation" with a single
+// integer instead of hashing the set.
+//
+// Epochs are tracked *per sub-cube prefix*: epoch_of_subcube(m) is the
+// epoch of the last transition that touched an address below 2^m. A service
+// session serves mixed-dimension signatures out of one cache; keying each
+// signature on its own sub-cube's epoch means a join at address 9 leaves
+// every n=3 plan resident (addresses 0..7 unchanged) while invalidating
+// exactly the n>=4 ones — the eviction surgical, not a cache flush.
+//
+// The per-dimension neighbor structure (NeighborTable) is the k-bucket
+// routing-table idiom from DHT practice: bucket j of a home node holds the
+// live members whose relative address first differs at bit j — precisely
+// the membership of the SBT subtree through port j, which is what the
+// incomplete-cube tree builders consume.
+#pragma once
+
+#include "hc/types.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace hcube::mbr {
+
+using hc::dim_t;
+using hc::node_t;
+
+/// A batch membership transition, applied atomically under one epoch bump.
+struct Delta {
+    std::vector<node_t> joins;  ///< addresses that come alive
+    std::vector<node_t> leaves; ///< addresses that go away
+};
+
+class View {
+public:
+    /// An empty (member-less) view — useful only as a target for apply().
+    View() = default;
+
+    /// The full n-cube: every address live, epoch 0 (the static world every
+    /// pre-membership consumer assumes).
+    explicit View(dim_t n);
+
+    /// A view with exactly `members` live (each address < 2^n, duplicates
+    /// rejected), epoch 0.
+    [[nodiscard]] static View of(dim_t n, std::span<const node_t> members);
+
+    [[nodiscard]] dim_t dimension() const noexcept { return n_; }
+
+    /// Epoch of the last transition (0 = never transitioned).
+    [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+    /// Epoch of the last transition that touched an address below 2^m
+    /// (0 <= m <= n). The cache key for an m-dimensional signature.
+    [[nodiscard]] std::uint64_t epoch_of_subcube(dim_t m) const;
+
+    [[nodiscard]] bool contains(node_t v) const noexcept;
+    [[nodiscard]] node_t count() const noexcept { return count_; }
+    [[nodiscard]] node_t subcube_count(dim_t m) const;
+    [[nodiscard]] bool full() const noexcept {
+        return count_ == (node_t{1} << n_);
+    }
+    [[nodiscard]] bool subcube_full(dim_t m) const {
+        return subcube_count(m) == (node_t{1} << m);
+    }
+
+    /// Live addresses, ascending.
+    [[nodiscard]] std::vector<node_t> members() const;
+
+    /// Rank of live address `v` among the live set in ascending address
+    /// order (0-based). Precondition: contains(v). This is the dense index
+    /// the incomplete-cube scatter numbers its packets by.
+    [[nodiscard]] node_t member_rank(node_t v) const;
+
+    /// Join / leave one address. Transitions are strict: joining a live
+    /// address or leaving a dead one throws check_error (a membership
+    /// protocol that silently no-ops cannot be replayed deterministically).
+    /// Each successful transition bumps the epoch by one.
+    void join(node_t v);
+    void leave(node_t v);
+
+    /// Applies `delta` atomically: validates every join and leave first
+    /// (throwing without any mutation on violation), then applies all of
+    /// them under a single epoch bump.
+    void apply(const Delta& delta);
+
+    /// The view of the sub-cube [0, 2^m): members below 2^m, with the
+    /// sub-cube epoch prefix preserved — restricted(m).epoch() equals
+    /// epoch_of_subcube(m), so restriction commutes with epoch keying.
+    [[nodiscard]] View restricted(dim_t m) const;
+
+    /// FNV-1a over the dimension and the member words — a set identity
+    /// independent of the transition history that produced it.
+    [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
+    friend bool operator==(const View&, const View&) = default;
+
+private:
+    void bump(node_t touched);
+
+    dim_t n_ = 0;
+    node_t count_ = 0;
+    std::uint64_t epoch_ = 0;
+    std::vector<std::uint64_t> words_; ///< member bitset, bit v of word v/64
+    /// subcube_epoch_[m] = epoch of the last transition below 2^m.
+    std::vector<std::uint64_t> subcube_epoch_;
+};
+
+/// Per-dimension live-contact buckets from the vantage of `home` — the
+/// k-bucket routing table of DHT practice projected onto the cube: bucket j
+/// holds the live members whose relative address to home has its highest
+/// set bit at j (the far half of the cube across dimension j, halved again
+/// per lower bucket). Bucket j is exactly the member population of the SBT
+/// subtree through port j when home is the root.
+struct NeighborTable {
+    node_t home = 0;
+    /// buckets[j], ascending XOR distance from home within each bucket.
+    /// Bucket sizes are capped at `k` when built with k != 0.
+    std::vector<std::vector<node_t>> buckets;
+
+    /// Builds the table from `view` (home need not be live). k == 0 keeps
+    /// every live contact; k > 0 keeps the k XOR-closest per bucket.
+    [[nodiscard]] static NeighborTable build(const View& view, node_t home,
+                                             std::size_t k = 0);
+
+    /// The XOR-closest live contact across dimension j (the first entry of
+    /// bucket j), if the bucket is non-empty.
+    [[nodiscard]] std::optional<node_t> contact(dim_t j) const;
+
+    /// Live contacts in ascending XOR distance from home, nearest first.
+    [[nodiscard]] std::vector<node_t> closest(std::size_t k) const;
+};
+
+/// The `k` live members XOR-closest to `target`, nearest first (fewer if
+/// the view holds fewer members). The DHT find-node primitive over the
+/// member set.
+[[nodiscard]] std::vector<node_t>
+closest_members(const View& view, node_t target, std::size_t k);
+
+/// The live member XOR-closest to `target` (`target` itself when live).
+/// Throws check_error on an empty view.
+[[nodiscard]] node_t nearest_member(const View& view, node_t target);
+
+} // namespace hcube::mbr

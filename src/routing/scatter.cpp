@@ -80,14 +80,25 @@ per_subtree_dest_orders(const trees::SpanningTree& tree, SubtreeOrder order) {
 Schedule scatter_one_port(const trees::SpanningTree& tree,
                           const std::vector<node_t>& dest_sequence,
                           packet_t packets_per_dest) {
-    HCUBE_ENSURE(packets_per_dest >= 1);
     HCUBE_ENSURE_MSG(dest_sequence.size() == tree.node_count() - 1,
                      "destination sequence must cover every non-root node");
+    return scatter_one_port_partial(
+        tree, dest_sequence, packets_per_dest,
+        [&tree, packets_per_dest](node_t dest, packet_t k) {
+            return scatter_packet_id(dest, tree.root, packets_per_dest, k);
+        });
+}
+
+Schedule scatter_one_port_partial(const trees::SpanningTree& tree,
+                                  const std::vector<node_t>& dest_sequence,
+                                  packet_t packets_per_dest,
+                                  const ScatterIdFn& packet_id) {
+    HCUBE_ENSURE(packets_per_dest >= 1);
 
     Schedule schedule;
     schedule.n = tree.n;
     schedule.packet_count =
-        static_cast<packet_t>(tree.node_count() - 1) * packets_per_dest;
+        static_cast<packet_t>(dest_sequence.size()) * packets_per_dest;
     schedule.initial_holder.assign(schedule.packet_count, tree.root);
 
     // last_send[u]: last cycle in which u transmitted (-1 = never). One send
@@ -99,8 +110,9 @@ Schedule scatter_one_port(const trees::SpanningTree& tree,
     for (const node_t dest : dest_sequence) {
         const std::vector<node_t> path = root_path(tree, dest);
         for (packet_t k = 0; k < packets_per_dest; ++k) {
-            const packet_t packet =
-                scatter_packet_id(dest, tree.root, packets_per_dest, k);
+            const packet_t packet = packet_id(dest, k);
+            HCUBE_ENSURE_MSG(packet < schedule.packet_count,
+                             "scatter packet id out of range");
             std::int64_t cycle = emission++;
             last_send[tree.root] = cycle;
             schedule.sends.push_back({static_cast<std::uint32_t>(cycle),

@@ -25,6 +25,7 @@
 #include "sim/cycle.hpp"
 #include "trees/spanning_tree.hpp"
 
+#include <functional>
 #include <vector>
 
 namespace hcube::routing {
@@ -65,6 +66,22 @@ per_subtree_dest_orders(const trees::SpanningTree& tree, SubtreeOrder order);
 scatter_one_port(const trees::SpanningTree& tree,
                  const std::vector<node_t>& dest_sequence,
                  packet_t packets_per_dest);
+
+/// Maps a destination and per-destination index to a packet id. The full
+/// cube numbers by relative address (scatter_packet_id); incomplete-cube
+/// scatters number by dense member rank so ids stay contiguous.
+using ScatterIdFn = std::function<packet_t(node_t dest, packet_t k)>;
+
+/// The scatter_one_port emission loop over an arbitrary destination set: a
+/// tree that spans any subset, `dest_sequence` covering each destination
+/// exactly once, and `packet_id` assigning the (dest, k) packet numbers
+/// (which must be a bijection onto [0, dests * packets_per_dest)).
+/// scatter_one_port delegates here, so full-cube schedules are unchanged.
+[[nodiscard]] Schedule
+scatter_one_port_partial(const trees::SpanningTree& tree,
+                         const std::vector<node_t>& dest_sequence,
+                         packet_t packets_per_dest,
+                         const ScatterIdFn& packet_id);
 
 /// All-port scatter: every root port streams its own subtree's packets, one
 /// per cycle; other nodes forward FIFO per port.

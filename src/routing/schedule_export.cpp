@@ -1,6 +1,7 @@
 #include "routing/schedule_export.hpp"
 
 #include "common/check.hpp"
+#include "mbr/tree.hpp"
 #include "routing/alltoall.hpp"
 #include "routing/broadcast.hpp"
 
@@ -63,6 +64,74 @@ Schedule make_tree_gather(const trees::SpanningTree& tree,
                           PortModel model) {
     return reverse_schedule(
         make_tree_scatter(tree, policy, packets_per_dest, model));
+}
+
+Schedule make_member_broadcast(const mbr::View& view, hc::node_t root,
+                               BroadcastDiscipline discipline,
+                               packet_t packets, PortModel model) {
+    HCUBE_ENSURE_MSG(packets >= 1, "broadcast needs at least one packet");
+    const trees::SpanningTree tree = mbr::build_member_tree(view, root);
+    if (discipline == BroadcastDiscipline::port_oriented) {
+        return port_oriented_broadcast(tree, packets);
+    }
+    return paced_broadcast(tree, packets, model);
+}
+
+Schedule make_member_scatter(const mbr::View& view, hc::node_t root,
+                             packet_t packets_per_dest) {
+    HCUBE_ENSURE_MSG(packets_per_dest >= 1,
+                     "scatter needs at least one packet per destination");
+    const trees::SpanningTree tree = mbr::build_member_tree(view, root);
+    std::vector<hc::node_t> dests;
+    dests.reserve(view.count() - 1);
+    for (const hc::node_t v : view.members()) {
+        if (v != root) {
+            dests.push_back(v);
+        }
+    }
+    std::ranges::sort(dests, [root](hc::node_t a, hc::node_t b) {
+        return (a ^ root) > (b ^ root);
+    });
+    // dests is descending by relative address, so dest i (0-based) has
+    // member-rank dests.size() - 1 - i among the non-root members — the
+    // base packet id of member_scatter_packet_id without the per-packet
+    // rank scan.
+    std::vector<packet_t> base(node_t{1} << view.dimension(), 0);
+    for (std::size_t i = 0; i < dests.size(); ++i) {
+        base[dests[i]] =
+            static_cast<packet_t>(dests.size() - 1 - i) * packets_per_dest;
+    }
+    return scatter_one_port_partial(
+        tree, dests, packets_per_dest,
+        [&base](hc::node_t dest, packet_t k) { return base[dest] + k; });
+}
+
+Schedule make_member_gather(const mbr::View& view, hc::node_t root,
+                            packet_t packets_per_dest) {
+    return reverse_schedule(
+        make_member_scatter(view, root, packets_per_dest));
+}
+
+packet_t member_scatter_packet_id(const mbr::View& view, hc::node_t dest,
+                                  hc::node_t root, packet_t packets_per_dest,
+                                  packet_t k) {
+    HCUBE_ENSURE(k < packets_per_dest);
+    HCUBE_ENSURE_MSG(view.contains(dest) && view.contains(root),
+                     "scatter endpoints must be live members");
+    HCUBE_ENSURE_MSG(dest != root, "the root keeps its own block");
+    // Rank of dest's relative address among all live relative addresses;
+    // the root (relative address 0) always ranks first, so non-root ranks
+    // start at 1 and ids stay dense from 0. On a full view the rank of a
+    // relative address is the address itself, recovering the (rel - 1)
+    // numbering of scatter_packet_id.
+    const hc::node_t rel = dest ^ root;
+    packet_t rank = 0;
+    for (const hc::node_t v : view.members()) {
+        if ((v ^ root) < rel) {
+            ++rank;
+        }
+    }
+    return (rank - 1) * packets_per_dest + k;
 }
 
 Schedule make_allgather_schedule(hc::dim_t n) {

@@ -5,6 +5,7 @@
 // policy, port model) so every consumer builds byte-identical schedules.
 #pragma once
 
+#include "mbr/view.hpp"
 #include "routing/scatter.hpp"
 #include "sim/cycle.hpp"
 #include "trees/spanning_tree.hpp"
@@ -66,6 +67,48 @@ to_string(BroadcastDiscipline d) noexcept {
                                         ScatterPolicy policy,
                                         packet_t packets_per_dest,
                                         PortModel model);
+
+// ---- incomplete-cube (membership) hooks --------------------------------
+//
+// The member hooks run the same generators over the tree that spans only
+// the live members of an mbr::View (mbr::build_member_tree). On a full
+// view that tree IS the SBT — structure and children order — so every
+// member schedule below is byte-identical to its full-cube counterpart
+// there; on a partial view live members relay around the holes. Packet
+// numbering switches from relative address to dense member rank so ids
+// stay contiguous in [0, packet_count) at any member count.
+
+/// Broadcast of `packets` packets from live member `root` to every live
+/// member of `view`. Full view + any discipline: byte-identical to
+/// make_tree_broadcast(build_sbt(n, root), ...).
+[[nodiscard]] Schedule make_member_broadcast(const mbr::View& view,
+                                             hc::node_t root,
+                                             BroadcastDiscipline discipline,
+                                             packet_t packets,
+                                             PortModel model);
+
+/// One-port scatter of `packets_per_dest` packets to every live non-root
+/// member, destinations in descending relative address (the SBT §5.2
+/// policy restricted to the member set). Full view: byte-identical to
+/// make_tree_scatter(build_sbt(n, root), descending, ...).
+[[nodiscard]] Schedule make_member_scatter(const mbr::View& view,
+                                           hc::node_t root,
+                                           packet_t packets_per_dest);
+
+/// Gather: the time-reversed member scatter.
+[[nodiscard]] Schedule make_member_gather(const mbr::View& view,
+                                          hc::node_t root,
+                                          packet_t packets_per_dest);
+
+/// The packet id of the k-th packet destined to live member `dest` in a
+/// member scatter from `root`: dest's rank among the live relative
+/// addresses (excluding the root's own 0), scaled by packets_per_dest. On
+/// a full view this is exactly scatter_packet_id.
+[[nodiscard]] packet_t member_scatter_packet_id(const mbr::View& view,
+                                                hc::node_t dest,
+                                                hc::node_t root,
+                                                packet_t packets_per_dest,
+                                                packet_t k);
 
 /// All-to-all broadcast (allgather) by recursive doubling; packet j is node
 /// j's contribution. One-port full duplex, N - 1 cycles.

@@ -69,14 +69,15 @@ PlanFootprint Plan::footprint() const noexcept {
               vec_bytes(seeded_slots) + vec_bytes(slot_keys) +
               vec_bytes(slot_vals);
     f.channels = vec_bytes(channel_ep) + vec_bytes(node_out_ports) +
-                 vec_bytes(node_in_ports);
+                 vec_bytes(node_in_ports) + vec_bytes(node_owner);
     f.arena = vec_bytes(arena);
     return f;
 }
 
 Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
                   std::size_t block_elems, std::uint32_t workers,
-                  std::uint32_t async_depth, PlanLayout layout) {
+                  std::uint32_t async_depth, PlanLayout layout,
+                  std::span<const node_t> members) {
     HCUBE_ENSURE(schedule.n >= 1 && schedule.n <= hc::kMaxDimension);
     HCUBE_ENSURE(block_elems >= 1);
     HCUBE_ENSURE(async_depth >= 1);
@@ -94,6 +95,41 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
     plan.workers = workers;
     plan.async_depth = std::bit_ceil(async_depth);
     const bool wide = !plan.compact();
+
+    // ---- member partition (incomplete cubes) --------------------------
+    // A full member span compiles exactly like no span at all: node_owner
+    // stays empty and owner_of keeps its arithmetic split, so full-view
+    // member plans are bit-for-bit the plans of the static world.
+    std::vector<char> live;
+    if (!members.empty() && members.size() < count) {
+        HCUBE_ENSURE_MSG(workers <= members.size(),
+                         "more workers than live members");
+        live.assign(count, 0);
+        plan.node_owner.assign(count, 0);
+        std::uint32_t owner = 0;
+        for (std::size_t r = 0; r < members.size(); ++r) {
+            const node_t v = members[r];
+            HCUBE_ENSURE_MSG(v < count, "member address outside the cube");
+            HCUBE_ENSURE_MSG(r == 0 || members[r - 1] < v,
+                             "member span must be ascending and unique");
+            live[v] = 1;
+            // Live rank r belongs to worker (r * workers) / N_live —
+            // contiguous balanced ranges over the members; the absent
+            // addresses in between inherit the current worker so the
+            // table is total (they own no actions either way).
+            owner = static_cast<std::uint32_t>(
+                r * std::uint64_t{workers} / members.size());
+            plan.node_owner[v] = owner;
+        }
+        owner = 0;
+        for (node_t v = 0; v < count; ++v) {
+            if (live[v] != 0) {
+                owner = plan.node_owner[v];
+            } else {
+                plan.node_owner[v] = owner;
+            }
+        }
+    }
 
     std::vector<sim::ScheduledSend> sends = schedule.sends;
     std::ranges::stable_sort(sends, {}, &sim::ScheduledSend::cycle);
@@ -145,6 +181,8 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
         for (packet_t p = 0; p < schedule.packet_count; ++p) {
             const node_t holder = schedule.initial_holder[p];
             HCUBE_ENSURE(holder < count);
+            HCUBE_ENSURE_MSG(live.empty() || live[holder] != 0,
+                             "initial holder is not a live member");
             plan.seeded_slots.push_back(
                 static_cast<std::uint32_t>(create_slot(holder, p, 0)));
         }
@@ -198,6 +236,10 @@ Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
         }
         if (!std::has_single_bit(send.from ^ send.to)) [[unlikely]] {
             fail_send("send between non-neighbors", send);
+        }
+        if (!live.empty() &&
+            (live[send.from] == 0 || live[send.to] == 0)) [[unlikely]] {
+            fail_send("send endpoint is not a live member", send);
         }
         if (send.packet >= schedule.packet_count) [[unlikely]] {
             fail_send("unknown packet", send);

@@ -141,10 +141,19 @@ struct Plan {
         return layout == PlanLayout::compact;
     }
 
-    /// Worker that owns `node` (contiguous balanced ranges).
+    /// Per-node owning worker for plans compiled over a member subset
+    /// (contiguous balanced ranges over the *live* nodes, so no worker is
+    /// left idle by the holes). Empty for full-cube plans, where the
+    /// arithmetic split below is exact.
+    std::vector<std::uint32_t> node_owner;
+
+    /// Worker that owns `node` (contiguous balanced ranges; member plans
+    /// read the lookup table, full-cube plans stay arithmetic).
     [[nodiscard]] std::uint32_t owner_of(node_t node) const noexcept {
-        return static_cast<std::uint32_t>(
-            (std::uint64_t{node} * workers) >> n);
+        return node_owner.empty()
+                   ? static_cast<std::uint32_t>(
+                         (std::uint64_t{node} * workers) >> n)
+                   : node_owner[node];
     }
 
     // ---- node-local memory layout -------------------------------------
@@ -372,13 +381,18 @@ struct Plan {
 /// `async_depth` is the ring depth the dependency graph's capacity edges
 /// assume (rounded up to a power of two). `layout` selects the encoding;
 /// automatic resolves to compact inside the validated envelope (n <=
-/// kCompactMaxDimension) unless HCUBE_PLAN_COMPACT=0 forces wide. Throws
-/// check_error on violation.
+/// kCompactMaxDimension) unless HCUBE_PLAN_COMPACT=0 forces wide.
+/// `members` (ascending live addresses) compiles the plan for an
+/// incomplete cube: every schedule endpoint must be a member, and workers
+/// are balanced over the live nodes via the node_owner table instead of
+/// the arithmetic address split (empty or full member span = full-cube
+/// behavior, bit-for-bit). Throws check_error on violation.
 [[nodiscard]] Plan compile_plan(const sim::Schedule& schedule, DataMode mode,
                                 std::size_t block_elems,
                                 std::uint32_t workers,
                                 std::uint32_t async_depth = 8,
-                                PlanLayout layout = PlanLayout::automatic);
+                                PlanLayout layout = PlanLayout::automatic,
+                                std::span<const node_t> members = {});
 
 /// Seeds `memory` (total_slots x block_elems doubles) with the plan's
 /// initial holdings: canonical packet blocks in move mode, every node's own

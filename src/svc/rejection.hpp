@@ -1,0 +1,65 @@
+// Structured admission verdicts for the service layer's signature
+// preflight: why a request cannot be served against the session's current
+// membership view, carried as data a client can act on (retarget the root,
+// pick another family) instead of a bare assertion string.
+#pragma once
+
+#include "common/check.hpp"
+#include "hc/types.hpp"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hcube::svc {
+
+/// Why a signature was refused before any plan work happened.
+enum class RejectReason : std::uint8_t {
+    dimension_out_of_range, ///< sig.n outside [1, session dimension]
+    root_out_of_range,      ///< sig.root >= 2^sig.n
+    root_not_live,          ///< root address holds no live member
+    family_unsupported,     ///< family has no incomplete-cube construction
+    op_unsupported,         ///< op has no incomplete-cube construction
+};
+
+[[nodiscard]] constexpr std::string_view
+to_string(RejectReason r) noexcept {
+    switch (r) {
+    case RejectReason::dimension_out_of_range: return "dimension-range";
+    case RejectReason::root_out_of_range: return "root-range";
+    case RejectReason::root_not_live: return "root-not-live";
+    case RejectReason::family_unsupported: return "family-unsupported";
+    case RejectReason::op_unsupported: return "op-unsupported";
+    }
+    return "?";
+}
+
+struct Rejection {
+    RejectReason reason = RejectReason::dimension_out_of_range;
+    std::string detail; ///< human-readable explanation
+    /// For root_not_live: the live member XOR-closest to the requested
+    /// root — the retarget a client would most likely want.
+    std::optional<hc::node_t> suggested_root;
+};
+
+/// The exception Session::execute raises for a preflight refusal. Derives
+/// from check_error so existing catch sites keep mapping it to a failed
+/// response; the structured Rejection rides along for callers that want
+/// the verdict as data.
+class rejected_error : public check_error {
+public:
+    explicit rejected_error(Rejection r)
+        : check_error("request rejected [" +
+                      std::string(to_string(r.reason)) + "]: " + r.detail),
+          rejection_(std::move(r)) {}
+
+    [[nodiscard]] const Rejection& rejection() const noexcept {
+        return rejection_;
+    }
+
+private:
+    Rejection rejection_;
+};
+
+} // namespace hcube::svc

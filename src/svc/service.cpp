@@ -115,6 +115,10 @@ void Service::dispatch_loop() {
         try {
             response.stats = session_.execute(head.sig);
             response.status = Status::ok;
+        } catch (const rejected_error& ex) {
+            response.status = Status::failed;
+            response.error = ex.what();
+            response.rejection = ex.rejection();
         } catch (const std::exception& ex) {
             response.status = Status::failed;
             response.error = ex.what();

@@ -62,6 +62,12 @@ struct Response {
     bool batched = false;
     /// check_error text when status == failed.
     std::string error;
+    /// Structured preflight verdict when the session refused the
+    /// signature (status == failed with a Rejection cause): the reason
+    /// as data plus, for a dead root, the nearest live member to
+    /// retarget to. Status::rejected stays reserved for admission-queue
+    /// bounces, which never reach the session.
+    std::optional<Rejection> rejection;
 };
 
 struct ServiceParams {

@@ -140,10 +140,12 @@ bool holdings_match(const P& player, const sim::Schedule& schedule,
 }
 
 /// The root's block for every packet must equal the exact elementwise
-/// integer sum of all N contributions (combine mode).
+/// integer sum of every contributing node (combine mode). A full-cube
+/// reduction sums all 2^n contributions; a member reduction sums exactly
+/// the live members' (`members` empty = full cube).
 template <class P>
 bool sums_match(const P& player, node_t root, packet_t packets, dim_t n,
-                std::size_t block_elems) {
+                std::size_t block_elems, std::span<const node_t> members) {
     const node_t count = node_t{1} << n;
     for (packet_t p = 0; p < packets; ++p) {
         const std::span<const double> block = player.block(root, p);
@@ -152,8 +154,14 @@ bool sums_match(const P& player, node_t root, packet_t packets, dim_t n,
         }
         for (std::size_t e = 0; e < block_elems; ++e) {
             double expected = 0.0;
-            for (node_t i = 0; i < count; ++i) {
-                expected += rt::contribution_element(i, p, e);
+            if (members.empty()) {
+                for (node_t i = 0; i < count; ++i) {
+                    expected += rt::contribution_element(i, p, e);
+                }
+            } else {
+                for (const node_t i : members) {
+                    expected += rt::contribution_element(i, p, e);
+                }
             }
             if (block[e] != expected) {
                 return false;
@@ -161,6 +169,59 @@ bool sums_match(const P& player, node_t root, packet_t packets, dim_t n,
         }
     }
     return true;
+}
+
+/// Preflight of `sig` against the session cube `n` and membership `view`
+/// (nullopt = admissible). Pure — callers hold whatever lock keeps the
+/// view stable.
+std::optional<Rejection> preflight_against(const Signature& sig, dim_t n,
+                                           const mbr::View& view) {
+    if (sig.n < 1 || sig.n > n) {
+        return Rejection{RejectReason::dimension_out_of_range,
+                         "signature dimension " + std::to_string(sig.n) +
+                             " outside the session's [1, " +
+                             std::to_string(n) + "]",
+                         std::nullopt};
+    }
+    if (sig.root >= (node_t{1} << sig.n)) {
+        return Rejection{RejectReason::root_out_of_range,
+                         "root " + std::to_string(sig.root) +
+                             " outside the " + std::to_string(sig.n) +
+                             "-cube",
+                         std::nullopt};
+    }
+    const mbr::View sub = view.restricted(sig.n);
+    if (!sub.contains(sig.root)) {
+        Rejection r{RejectReason::root_not_live,
+                    "root " + std::to_string(sig.root) +
+                        " is not a live member",
+                    std::nullopt};
+        if (sub.count() > 0) {
+            r.suggested_root = mbr::nearest_member(sub, sig.root);
+            r.detail += " (nearest live member: " +
+                        std::to_string(*r.suggested_root) + ")";
+        }
+        return r;
+    }
+    if (!sub.full()) {
+        if (sig.family != Family::sbt) {
+            return Rejection{
+                RejectReason::family_unsupported,
+                std::string(to_string(sig.family)) +
+                    " assumes the full address space; incomplete cubes "
+                    "route over the member tree (sbt)",
+                std::nullopt};
+        }
+        if (sig.op == Op::allgather || sig.op == Op::alltoall) {
+            return Rejection{
+                RejectReason::op_unsupported,
+                std::string(to_string(sig.op)) +
+                    " pairs every cube address and has no "
+                    "incomplete-cube construction",
+                std::nullopt};
+        }
+    }
+    return std::nullopt;
 }
 
 } // namespace
@@ -171,6 +232,11 @@ bool sums_match(const P& player, node_t root, packet_t packets, dim_t n,
 /// while another thread executes the entry only drops a reference.
 struct Session::PlanEntry {
     GeneratedSchedule gen;
+    /// Live members the schedule spans, ascending — populated only when
+    /// the signature's sub-cube view was incomplete (empty = full cube,
+    /// costing nothing against the byte budget), consumed by the
+    /// member-aware combine verification and the plan's worker partition.
+    std::vector<node_t> members;
     sim::CycleStats sim_stats; ///< of gen.feasibility (makespan + holdings)
     std::unique_ptr<rt::Plan> plan;
     /// Barrier engine: the executor under Engine::barrier; under
@@ -201,6 +267,7 @@ struct Session::PlanEntry {
             bytes += barrier->resident_bytes();
         }
         bytes += std::uint64_t{oracle_image.capacity()} * sizeof(double);
+        bytes += std::uint64_t{members.capacity()} * sizeof(node_t);
         return bytes;
     }
 };
@@ -213,7 +280,8 @@ Session::Session(dim_t n, SessionParams params)
                          : nullptr),
       selector_(params_.comm ? *params_.comm : calibrate()),
       cache_(byte_budget_ ? params_.plan_cache_bytes
-                          : params_.plan_cache_capacity) {
+                          : params_.plan_cache_capacity),
+      view_(n) {
     HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
 }
 
@@ -265,23 +333,29 @@ Signature Session::plan_signature(Op op, node_t root,
 }
 
 std::shared_ptr<Session::PlanEntry>
-Session::entry_for(const Signature& sig, bool& cache_hit) {
+Session::entry_for(const Signature& sig, const mbr::View& sub,
+                   bool& cache_hit) {
     bool built = false;
     const auto factory = [&] {
         built = true;
         auto e = std::make_shared<PlanEntry>();
-        e->gen = make_schedule(sig);
+        if (sub.full()) {
+            e->gen = make_schedule(sig);
+        } else {
+            e->gen = make_schedule(sig, sub);
+            e->members = sub.members();
+        }
         // The cycle executor proves the schedule feasible under the port
         // model and pins the makespan + delivery matrix (for reduce:
         // of the forward broadcast, which time-reversal preserves).
         e->sim_stats = sim::execute_schedule(e->gen.feasibility, sig.model);
-        // A sub-cube signature never spreads over more workers than it has
-        // nodes (the plan compiler's partition requires workers <= 2^n).
-        const std::uint32_t workers =
-            std::min(threads_, node_t{1} << sig.n);
+        // A signature never spreads over more workers than it has live
+        // nodes (the plan compiler's partition balances workers over the
+        // member set).
+        const std::uint32_t workers = std::min(threads_, sub.count());
         e->plan = std::make_unique<rt::Plan>(
             rt::compile_plan(e->gen.exec, e->gen.mode, sig.block_elems,
-                             workers, 8, params_.plan_layout));
+                             workers, 8, params_.plan_layout, e->members));
         if (params_.engine == rt::Engine::async) {
             e->async = std::make_unique<rt::AsyncPlayer>(*e->plan);
         }
@@ -306,10 +380,26 @@ Session::entry_for(const Signature& sig, bool& cache_hit) {
 }
 
 ExecStats Session::execute(const Signature& sig) {
-    HCUBE_ENSURE_MSG(sig.n >= 1 && sig.n <= n_,
-                     "signature dimension exceeds the session's cube");
+    // The view stays stable for the whole execution: transitions take the
+    // exclusive side, so a membership change can never invalidate a plan
+    // mid-flight.
+    const std::shared_lock<std::shared_mutex> view_lock(view_mutex_);
+    if (std::optional<Rejection> rejection =
+            preflight_against(sig, n_, view_)) {
+        throw rejected_error(std::move(*rejection));
+    }
+    // Stamp the signature with its sub-cube's member-set epoch: the cache
+    // key now names "this collective over this member set", so a
+    // transition re-keys exactly the signatures whose sub-cube changed.
+    Signature keyed = sig;
+    keyed.view_epoch = view_.epoch_of_subcube(sig.n);
+    const mbr::View sub = view_.restricted(sig.n);
+
     ExecStats out;
-    const std::shared_ptr<PlanEntry> entry = entry_for(sig, out.cache_hit);
+    out.view_epoch = keyed.view_epoch;
+    out.member_count = sub.count();
+    const std::shared_ptr<PlanEntry> entry =
+        entry_for(keyed, sub, out.cache_hit);
     const std::lock_guard<std::mutex> lock(entry->exec_mutex);
 
     const rt::Plan& plan = *entry->plan;
@@ -350,7 +440,7 @@ ExecStats Session::execute(const Signature& sig) {
         if (combining) {
             ok = ok && sums_match(player, exec.initial_holder[0],
                                   exec.packet_count, exec.n,
-                                  plan.block_elems);
+                                  plan.block_elems, entry->members);
         } else {
             ok = ok && holdings_match(player, exec, entry->sim_stats,
                                       exec.n, plan.block_elems);
@@ -419,9 +509,59 @@ ExecStats Session::execute(const Signature& sig) {
     // oracle player is dropped, the combine image materializes); re-price
     // it so the byte budget stays exact.
     if (byte_budget_ && full_check) {
-        cache_.update_cost(sig, out.plan_resident_bytes);
+        cache_.update_cost(keyed, out.plan_resident_bytes);
     }
     return out;
+}
+
+std::optional<Rejection> Session::preflight(const Signature& sig) const {
+    const std::shared_lock<std::shared_mutex> view_lock(view_mutex_);
+    return preflight_against(sig, n_, view_);
+}
+
+mbr::View Session::view() const {
+    const std::shared_lock<std::shared_mutex> view_lock(view_mutex_);
+    return view_;
+}
+
+std::uint64_t Session::view_epoch() const {
+    const std::shared_lock<std::shared_mutex> view_lock(view_mutex_);
+    return view_.epoch();
+}
+
+std::size_t Session::evict_stale_epochs() {
+    // Every resident key was stamped with its sub-cube's epoch at insert;
+    // keys whose sub-cube saw this transition no longer match and are
+    // dropped — keys below the touched address keep matching and stay.
+    const std::size_t evicted = cache_.erase_if(
+        [this](const Signature& key,
+               const std::shared_ptr<PlanEntry>&) {
+            return key.view_epoch != view_.epoch_of_subcube(key.n);
+        });
+    epoch_evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    return evicted;
+}
+
+std::size_t Session::join(node_t v) {
+    const std::unique_lock<std::shared_mutex> view_lock(view_mutex_);
+    view_.join(v);
+    return evict_stale_epochs();
+}
+
+std::size_t Session::leave(node_t v) {
+    const std::unique_lock<std::shared_mutex> view_lock(view_mutex_);
+    view_.leave(v);
+    return evict_stale_epochs();
+}
+
+std::size_t Session::apply(const mbr::Delta& delta) {
+    const std::unique_lock<std::shared_mutex> view_lock(view_mutex_);
+    view_.apply(delta);
+    return evict_stale_epochs();
+}
+
+std::uint64_t Session::epoch_evictions() const noexcept {
+    return epoch_evictions_.load(std::memory_order_relaxed);
 }
 
 hcube::CacheStats Session::cache_stats() const noexcept {

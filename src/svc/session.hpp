@@ -18,16 +18,20 @@
 #pragma once
 
 #include "common/lru_cache.hpp"
+#include "mbr/view.hpp"
 #include "model/broadcast_model.hpp"
 #include "rt/communicator.hpp" // Engine, Verify
 #include "rt/plan.hpp"         // PlanLayout
+#include "svc/rejection.hpp"
 #include "svc/selector.hpp"
 #include "svc/signature.hpp"
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 
 namespace hcube::rt {
 class WorkerPool;
@@ -93,6 +97,11 @@ struct ExecStats {
     /// byte-budgeted cache charges it.
     std::uint64_t plan_resident_bytes = 0;
     double seconds = 0; ///< wall clock of the reported engine's play()
+    /// Member-set epoch the plan was keyed on (the signature sub-cube's
+    /// epoch at execution time).
+    std::uint64_t view_epoch = 0;
+    /// Live members the collective spanned (2^sig.n on a full sub-cube).
+    node_t member_count = 0;
 };
 
 class Session {
@@ -105,14 +114,49 @@ class Session {
     [[nodiscard]] dim_t dimension() const noexcept { return n_; }
     [[nodiscard]] std::uint32_t threads() const noexcept { return threads_; }
 
-    /// Validates `sig`, fetches or compiles its plan entry, executes it on
-    /// the resident pool, and verifies per the session's Verify policy.
+    /// Validates `sig` against the current membership view (see
+    /// preflight), fetches or compiles its plan entry, executes it on the
+    /// resident pool, and verifies per the session's Verify policy.
     /// Accepts any sub-cube dimension 1 <= sig.n <= n (plans for smaller
-    /// cubes clamp their worker count to 2^sig.n), so one session can
-    /// serve a mixed-dimension signature population. Thread-safe;
-    /// concurrent executions of the same signature serialize on the entry,
-    /// distinct signatures only contend on the pool.
+    /// cubes clamp their worker count to the sub-cube's live member
+    /// count), so one session can serve a mixed-dimension signature
+    /// population; on an incomplete sub-cube the schedule spans exactly
+    /// the live members. Throws rejected_error (with the structured
+    /// Rejection) when preflight refuses the signature. Thread-safe;
+    /// concurrent executions of the same signature serialize on the
+    /// entry, distinct signatures only contend on the pool; membership
+    /// transitions wait for in-flight executions to drain.
     [[nodiscard]] ExecStats execute(const Signature& sig);
+
+    /// Why `sig` would be refused against the current view, or nullopt if
+    /// it is admissible: dimension and root in range, root a live member
+    /// of the signature's sub-cube (with the XOR-nearest live member
+    /// suggested otherwise), and — on an incomplete sub-cube — a family
+    /// and op the member tree can route.
+    [[nodiscard]] std::optional<Rejection>
+    preflight(const Signature& sig) const;
+
+    // ---- membership ---------------------------------------------------
+
+    /// Snapshot of the session's membership view (full cube at epoch 0
+    /// until the first transition).
+    [[nodiscard]] mbr::View view() const;
+    [[nodiscard]] std::uint64_t view_epoch() const;
+
+    /// Membership transitions. Each applies to the view atomically, then
+    /// evicts exactly the cached plans whose sub-cube epoch went stale —
+    /// a join at address 9 leaves every n <= 3 plan resident. Returns the
+    /// number of entries evicted. Transitions wait for in-flight
+    /// executions to drain; strictness (joining a live address, leaving a
+    /// dead or last one) follows mbr::View and throws check_error with
+    /// the view and cache unchanged.
+    std::size_t join(node_t v);
+    std::size_t leave(node_t v);
+    std::size_t apply(const mbr::Delta& delta);
+
+    /// Total cache entries evicted by membership transitions (subset of
+    /// cache_stats().evictions).
+    [[nodiscard]] std::uint64_t epoch_evictions() const noexcept;
 
     /// Cost-model selection with the session's calibrated constants.
     [[nodiscard]] const AlgorithmSelector& selector() const noexcept {
@@ -136,9 +180,14 @@ class Session {
   private:
     struct PlanEntry;
 
+    /// `sub` is the signature's sub-cube view (held stable by the shared
+    /// view lock the caller holds across the lookup).
     [[nodiscard]] std::shared_ptr<PlanEntry>
-    entry_for(const Signature& sig, bool& cache_hit);
+    entry_for(const Signature& sig, const mbr::View& sub, bool& cache_hit);
     [[nodiscard]] model::CommParams calibrate() const;
+    /// Evicts every cached plan whose sub-cube epoch no longer matches
+    /// the view. Caller holds the exclusive view lock.
+    std::size_t evict_stale_epochs();
 
     dim_t n_;
     SessionParams params_;
@@ -147,6 +196,13 @@ class Session {
     std::unique_ptr<rt::WorkerPool> pool_;
     AlgorithmSelector selector_;
     LruCache<Signature, std::shared_ptr<PlanEntry>> cache_;
+    /// Guards view_: shared across an execution (plans compile against a
+    /// stable member set), exclusive for transitions — so a transition
+    /// can never invalidate a plan mid-flight. Lock order: view_mutex_
+    /// before any cache_ internal lock.
+    mutable std::shared_mutex view_mutex_;
+    mbr::View view_;
+    std::atomic<std::uint64_t> epoch_evictions_{0};
 };
 
 } // namespace hcube::svc

@@ -15,6 +15,9 @@ std::string Signature::to_string() const {
     out += " root=" + std::to_string(root);
     out += " packets=" + std::to_string(packets);
     out += " B=" + std::to_string(block_elems);
+    if (view_epoch != 0) {
+        out += " epoch=" + std::to_string(view_epoch);
+    }
     return out;
 }
 
@@ -83,6 +86,60 @@ GeneratedSchedule make_schedule(const Signature& sig) {
                          "alltoall is generated one-port full-duplex");
         out.exec = routing::make_alltoall_schedule(sig.n, sig.packets);
         break;
+    }
+    out.feasibility = out.exec;
+    return out;
+}
+
+GeneratedSchedule make_schedule(const Signature& sig,
+                                const mbr::View& view) {
+    HCUBE_ENSURE(sig.n >= 1 && sig.n <= hc::kMaxDimension);
+    HCUBE_ENSURE_MSG(view.dimension() == sig.n,
+                     "view dimension does not match the signature");
+    if (view.full()) {
+        // The static world: every family, byte-identical schedules.
+        return make_schedule(sig);
+    }
+    HCUBE_ENSURE(sig.root < (node_t{1} << sig.n));
+    HCUBE_ENSURE_MSG(view.contains(sig.root),
+                     "collective root is not a live member");
+    HCUBE_ENSURE(sig.packets >= 1);
+    HCUBE_ENSURE(sig.block_elems >= 1);
+    HCUBE_ENSURE_MSG(sig.family == Family::sbt,
+                     "incomplete cubes route over the member tree "
+                     "(Family::sbt) only");
+
+    GeneratedSchedule out;
+    switch (sig.op) {
+    case Op::broadcast:
+        out.exec = routing::make_member_broadcast(
+            view, sig.root, routing::BroadcastDiscipline::port_oriented,
+            sig.packets, sig.model);
+        break;
+    case Op::scatter:
+    case Op::gather:
+        HCUBE_ENSURE_MSG(sig.model != sim::PortModel::one_port_half_duplex,
+                         "half-duplex personalized communication is "
+                         "modelled in the event engine, not as a cycle "
+                         "schedule");
+        out.exec = sig.op == Op::scatter
+                       ? routing::make_member_scatter(view, sig.root,
+                                                      sig.packets)
+                       : routing::make_member_gather(view, sig.root,
+                                                     sig.packets);
+        break;
+    case Op::reduce:
+        out.feasibility = routing::make_member_broadcast(
+            view, sig.root, routing::BroadcastDiscipline::port_oriented,
+            sig.packets, sig.model);
+        out.exec = routing::reverse_broadcast_for_reduce(out.feasibility,
+                                                         sig.root);
+        out.mode = rt::DataMode::combine;
+        return out;
+    case Op::allgather:
+    case Op::alltoall:
+        throw check_error("allgather/alltoall pair every cube address and "
+                          "have no incomplete-cube construction");
     }
     out.feasibility = out.exec;
     return out;

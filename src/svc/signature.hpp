@@ -10,6 +10,7 @@
 // what makes plan reuse and request coalescing sound.
 #pragma once
 
+#include "mbr/view.hpp"
 #include "rt/plan.hpp"
 #include "sim/cycle.hpp"
 #include "sim/port_model.hpp"
@@ -75,6 +76,13 @@ struct Signature {
     /// Elements (doubles) per packet — the internal packet size B_int.
     std::uint32_t block_elems = 256;
     sim::PortModel model = sim::PortModel::one_port_full_duplex;
+    /// Epoch of the signature's sub-cube member set (mbr::View::
+    /// epoch_of_subcube(n)). 0 — the default, and the epoch of a view
+    /// that never transitioned — reproduces the pre-membership identity
+    /// bit-for-bit. Session::execute stamps the current epoch before the
+    /// cache lookup, so a membership transition re-keys exactly the
+    /// signatures whose sub-cube changed; clients leave it 0.
+    std::uint64_t view_epoch = 0;
 
     friend bool operator==(const Signature&, const Signature&) = default;
     friend auto operator<=>(const Signature&, const Signature&) = default;
@@ -99,5 +107,16 @@ struct GeneratedSchedule {
 /// MSBT needs packets divisible by n, the BST only routes scatter/gather);
 /// throws check_error on violation.
 [[nodiscard]] GeneratedSchedule make_schedule(const Signature& sig);
+
+/// As above over the live members of `view` (whose dimension must equal
+/// sig.n). A full view takes the exact full-cube path — byte-identical
+/// schedules for every family. An incomplete view routes broadcast /
+/// scatter / gather / reduce over the member tree (Family::sbt only —
+/// the MSBT's edge-disjoint rotations and the BST's balanced relabelling
+/// assume the full address space, and allgather/alltoall's recursive
+/// exchanges pair every address); unsupported combinations throw
+/// check_error.
+[[nodiscard]] GeneratedSchedule make_schedule(const Signature& sig,
+                                              const mbr::View& view);
 
 } // namespace hcube::svc

@@ -66,9 +66,16 @@ std::vector<node_t> SpanningTree::subtree_preorder(dim_t j) const {
 
 SpanningTree materialize_tree(dim_t n, node_t root,
                               const ChildrenFn& children_of) {
+    return materialize_partial_tree(n, root, node_t{1} << n, children_of);
+}
+
+SpanningTree materialize_partial_tree(dim_t n, node_t root,
+                                      node_t expected_nodes,
+                                      const ChildrenFn& children_of) {
     HCUBE_ENSURE(n >= 1 && n <= hc::kMaxDimension);
     const node_t count = node_t{1} << n;
     HCUBE_ENSURE(root < count);
+    HCUBE_ENSURE(expected_nodes >= 1 && expected_nodes <= count);
 
     SpanningTree tree;
     tree.n = n;
@@ -103,8 +110,10 @@ SpanningTree materialize_tree(dim_t n, node_t root,
         }
         tree.children[i] = std::move(kids);
     }
-    HCUBE_ENSURE_MSG(visited == count,
-                     "children function does not span the cube");
+    HCUBE_ENSURE_MSG(visited == expected_nodes,
+                     expected_nodes == count
+                         ? "children function does not span the cube"
+                         : "children function does not span the member set");
     return tree;
 }
 

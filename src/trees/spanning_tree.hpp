@@ -68,6 +68,18 @@ using ChildrenFn = std::function<std::vector<node_t>(node_t i)>;
 [[nodiscard]] SpanningTree materialize_tree(dim_t n, node_t root,
                                             const ChildrenFn& children_of);
 
+/// Materializes a tree spanning a *subset* of the cube: exactly
+/// `expected_nodes` nodes (including the root) must be generated; every
+/// address the children function never reaches stays isolated (parent
+/// kNoParent, no children, level -1). The structural checks of
+/// materialize_tree (cube edges, no duplicates) still apply. This is the
+/// builder the membership layer (hcube::mbr) grows incomplete-cube trees
+/// through; note that subtree_sizes() and subtree_preorder() assume a full
+/// spanning tree and must not be called on a partial one.
+[[nodiscard]] SpanningTree
+materialize_partial_tree(dim_t n, node_t root, node_t expected_nodes,
+                         const ChildrenFn& children_of);
+
 /// Structural soundness: parent/children mutually consistent, every edge a
 /// cube edge, exactly one root, all N nodes reachable, levels correct.
 /// Throws check_error with a description on the first violation.

@@ -1,0 +1,196 @@
+// Member collectives (routing::make_member_*) — differential against the
+// full-cube generators and semantic on incomplete views:
+//
+//   * Full view: broadcast/scatter/gather are BYTE-identical to the
+//     make_tree_* schedules over build_sbt — same sends, same order, same
+//     packet ids — so pre-membership consumers replay unchanged.
+//   * Partial view: every schedule touches only live members, the cycle
+//     executor proves feasibility, and delivery is exactly the member
+//     contract (broadcast: every live member holds every packet; scatter:
+//     dense member-rank packet ids land on their destinations).
+#include "routing/schedule_export.hpp"
+
+#include "common/check.hpp"
+#include "mbr/view.hpp"
+#include "sim/cycle.hpp"
+#include "trees/sbt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hcube::routing {
+namespace {
+
+using hc::dim_t;
+using hc::node_t;
+using mbr::View;
+using sim::packet_t;
+using sim::PortModel;
+using sim::Schedule;
+
+void expect_same_schedule(const Schedule& a, const Schedule& b) {
+    EXPECT_EQ(a.n, b.n);
+    EXPECT_EQ(a.packet_count, b.packet_count);
+    EXPECT_EQ(a.initial_holder, b.initial_holder);
+    EXPECT_EQ(a.sends, b.sends); // element-wise, order included
+}
+
+/// Final holder of each packet (the scatter delivery walk).
+std::vector<node_t> terminal_dest(const Schedule& schedule) {
+    std::vector<std::uint32_t> last(schedule.packet_count, 0);
+    std::vector<node_t> dest(schedule.initial_holder);
+    for (const sim::ScheduledSend& send : schedule.sends) {
+        if (send.cycle >= last[send.packet]) {
+            last[send.packet] = send.cycle + 1;
+            dest[send.packet] = send.to;
+        }
+    }
+    return dest;
+}
+
+TEST(MbrSchedule, FullViewBroadcastIsByteIdentical) {
+    for (dim_t n = 1; n <= 5; ++n) {
+        const View view(n);
+        const node_t root = node_t{3} & ((node_t{1} << n) - 1);
+        for (const BroadcastDiscipline discipline :
+             {BroadcastDiscipline::port_oriented,
+              BroadcastDiscipline::paced}) {
+            expect_same_schedule(
+                make_member_broadcast(view, root, discipline, 4,
+                                      PortModel::one_port_full_duplex),
+                make_tree_broadcast(trees::build_sbt(n, root), discipline, 4,
+                                    PortModel::one_port_full_duplex));
+        }
+    }
+}
+
+TEST(MbrSchedule, FullViewScatterAndGatherAreByteIdentical) {
+    for (dim_t n = 1; n <= 5; ++n) {
+        const View view(n);
+        for (const node_t root : {node_t{0}, (node_t{1} << n) - 1}) {
+            const trees::SpanningTree sbt = trees::build_sbt(n, root);
+            expect_same_schedule(
+                make_member_scatter(view, root, 2),
+                make_tree_scatter(sbt, ScatterPolicy::descending, 2,
+                                  PortModel::one_port_full_duplex));
+            expect_same_schedule(
+                make_member_gather(view, root, 2),
+                make_tree_gather(sbt, ScatterPolicy::descending, 2,
+                                 PortModel::one_port_full_duplex));
+        }
+    }
+}
+
+TEST(MbrSchedule, MemberBroadcastDeliversEveryLiveMember) {
+    View view(4);
+    view.leave(3);
+    view.leave(8);
+    view.leave(13); // N = 13, not a power of two
+    const packet_t packets = 3;
+    const Schedule schedule = make_member_broadcast(
+        view, 5, BroadcastDiscipline::port_oriented, packets,
+        PortModel::one_port_full_duplex);
+    for (const sim::ScheduledSend& send : schedule.sends) {
+        EXPECT_TRUE(view.contains(send.from));
+        EXPECT_TRUE(view.contains(send.to));
+    }
+    const sim::CycleStats stats =
+        sim::execute_schedule(schedule, PortModel::one_port_full_duplex);
+    for (const node_t v : view.members()) {
+        for (packet_t p = 0; p < packets; ++p) {
+            EXPECT_TRUE(stats.holds(v, p)) << "node " << v;
+        }
+    }
+    EXPECT_EQ(stats.total_sends,
+              static_cast<std::uint64_t>(view.count() - 1) * packets);
+}
+
+TEST(MbrSchedule, MemberScatterIdsAreDenseMemberRanks) {
+    View view(4);
+    view.leave(1);
+    view.leave(6);
+    view.leave(11);
+    const node_t root = 2;
+    const packet_t ppd = 2;
+    const Schedule schedule = make_member_scatter(view, root, ppd);
+    EXPECT_EQ(schedule.packet_count,
+              static_cast<packet_t>(view.count() - 1) * ppd);
+
+    // Feasible one-port, and every packet's terminal destination is the
+    // member its reference packet id names — the O(N)-scan spec and the
+    // precomputed table in make_member_scatter must agree.
+    (void)sim::execute_schedule(schedule, PortModel::one_port_full_duplex);
+    const std::vector<node_t> dest = terminal_dest(schedule);
+    std::vector<bool> seen(static_cast<std::size_t>(schedule.packet_count),
+                           false);
+    for (const node_t v : view.members()) {
+        if (v == root) {
+            continue;
+        }
+        for (packet_t k = 0; k < ppd; ++k) {
+            const packet_t id =
+                member_scatter_packet_id(view, v, root, ppd, k);
+            ASSERT_LT(id, schedule.packet_count);
+            EXPECT_FALSE(seen[id]) << "packet id collision at " << id;
+            seen[id] = true;
+            EXPECT_EQ(dest[id], v) << "packet " << id;
+        }
+    }
+}
+
+TEST(MbrSchedule, MemberGatherCollectsEverythingAtTheRoot) {
+    View view(3);
+    view.leave(4);
+    const node_t root = 1;
+    const Schedule schedule = make_member_gather(view, root, 2);
+    const sim::CycleStats stats =
+        sim::execute_schedule(schedule, PortModel::one_port_full_duplex);
+    for (packet_t p = 0; p < schedule.packet_count; ++p) {
+        EXPECT_TRUE(stats.holds(root, p));
+    }
+}
+
+TEST(MbrSchedule, MemberOpsRequireALiveRoot) {
+    View view(3);
+    view.leave(2);
+    EXPECT_THROW((void)make_member_broadcast(
+                     view, 2, BroadcastDiscipline::paced, 1,
+                     PortModel::one_port_full_duplex),
+                 check_error);
+    EXPECT_THROW((void)make_member_scatter(view, 2, 1), check_error);
+}
+
+TEST(MbrSchedule, NonPowerOfTwoSweepAcrossDimensions) {
+    // n = 3..8 with a deterministic hole pattern (root 0 always live):
+    // broadcast and scatter stay feasible and deliver their contracts at
+    // every non-power-of-two member count.
+    for (dim_t n = 3; n <= 8; ++n) {
+        View view(n);
+        for (node_t v = 3; v < (node_t{1} << n); v += 7) {
+            view.leave(v);
+        }
+        ASSERT_FALSE(view.full());
+
+        const Schedule bcast = make_member_broadcast(
+            view, 0, BroadcastDiscipline::paced, 2,
+            PortModel::one_port_full_duplex);
+        const sim::CycleStats bstats =
+            sim::execute_schedule(bcast, PortModel::one_port_full_duplex);
+        EXPECT_EQ(bstats.total_sends,
+                  static_cast<std::uint64_t>(view.count() - 1) * 2);
+
+        const Schedule scat = make_member_scatter(view, 0, 1);
+        const std::vector<node_t> dest = terminal_dest(scat);
+        (void)sim::execute_schedule(scat, PortModel::one_port_full_duplex);
+        std::vector<bool> hit(static_cast<std::size_t>(1) << n, false);
+        for (const node_t d : dest) {
+            EXPECT_TRUE(view.contains(d));
+            EXPECT_FALSE(hit[d]);
+            hit[d] = true;
+        }
+    }
+}
+
+} // namespace
+} // namespace hcube::routing

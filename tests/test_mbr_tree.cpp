@@ -1,0 +1,108 @@
+// mbr::build_member_tree — the incomplete-cube spanning tree. The
+// cornerstone claim: on a full view the member tree IS the SBT, structure
+// and children order, for every root — which is what makes every member
+// schedule byte-identical to its full-cube counterpart there. On partial
+// views the tree spans exactly the live members, routing around holes.
+#include "mbr/tree.hpp"
+
+#include "common/check.hpp"
+#include "mbr/view.hpp"
+#include "trees/sbt.hpp"
+#include "trees/spanning_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hcube::mbr {
+namespace {
+
+using trees::SpanningTree;
+
+void expect_same_tree(const SpanningTree& a, const SpanningTree& b) {
+    EXPECT_EQ(a.n, b.n);
+    EXPECT_EQ(a.root, b.root);
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.children, b.children); // including per-node send order
+    EXPECT_EQ(a.level, b.level);
+    EXPECT_EQ(a.subtree, b.subtree);
+    EXPECT_EQ(a.height, b.height);
+}
+
+TEST(MbrTree, FullViewReproducesTheSbtAtEveryRoot) {
+    for (dim_t n = 1; n <= 5; ++n) {
+        const View view(n);
+        for (node_t root = 0; root < (node_t{1} << n); ++root) {
+            const SpanningTree member = build_member_tree(view, root);
+            expect_same_tree(member, trees::build_sbt(n, root));
+            validate_member_tree(view, member);
+        }
+    }
+}
+
+TEST(MbrTree, PartialViewSpansExactlyTheLiveMembers) {
+    View view(4);
+    view.leave(3);
+    view.leave(10);
+    view.leave(12);
+    const SpanningTree tree = build_member_tree(view, 5);
+    validate_member_tree(view, tree);
+
+    // Dead addresses are fully isolated.
+    for (const node_t dead : {3u, 10u, 12u}) {
+        EXPECT_EQ(tree.parent[dead], SpanningTree::kNoParent);
+        EXPECT_TRUE(tree.children[dead].empty());
+    }
+    // Live members all reach the root.
+    std::size_t edges = 0;
+    for (const node_t v : view.members()) {
+        if (v == tree.root) {
+            EXPECT_EQ(tree.parent[v], SpanningTree::kNoParent);
+            continue;
+        }
+        ++edges;
+        EXPECT_TRUE(view.contains(tree.parent[v]));
+    }
+    EXPECT_EQ(edges, static_cast<std::size_t>(view.count()) - 1);
+}
+
+TEST(MbrTree, RelaysRouteAroundAHole) {
+    // n=3, root 0, node 1 dead: 3, 5 (whose SBT parents were 1) must be
+    // re-parented through live relays, and the tree still spans.
+    View view(3);
+    view.leave(1);
+    const SpanningTree tree = build_member_tree(view, 0);
+    validate_member_tree(view, tree);
+    EXPECT_NE(tree.parent[3], 1u);
+    EXPECT_NE(tree.parent[5], 1u);
+    EXPECT_TRUE(view.contains(tree.parent[3]));
+    EXPECT_TRUE(view.contains(tree.parent[5]));
+}
+
+TEST(MbrTree, RootMustBeLive) {
+    View view(3);
+    view.leave(2);
+    EXPECT_THROW((void)build_member_tree(view, 2), check_error);
+}
+
+TEST(MbrTree, DisconnectedMemberSetThrows) {
+    // {0, 3} in a 2-cube differ in both bits and have no live relay.
+    const View view = View::of(2, std::vector<node_t>{0, 3});
+    EXPECT_THROW((void)build_member_tree(view, 0), check_error);
+}
+
+TEST(MbrTree, AvoidedLinksAreRespected) {
+    const View view(3);
+    const std::vector<trees::Link> avoid{trees::make_link(0, 1)};
+    const SpanningTree tree = build_member_tree(view, 0, avoid);
+    validate_member_tree(view, tree);
+    EXPECT_NE(tree.parent[1], 0u); // 1 must arrive through a relay
+    // Avoiding every link of a node disconnects it.
+    const std::vector<trees::Link> seal{trees::make_link(0, 1),
+                                        trees::make_link(1, 3),
+                                        trees::make_link(1, 5)};
+    EXPECT_THROW((void)build_member_tree(view, 0, seal), check_error);
+}
+
+} // namespace
+} // namespace hcube::mbr

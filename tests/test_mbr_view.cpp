@@ -1,0 +1,172 @@
+// mbr::View — versioned membership: epoch-stamped transitions, per-subcube
+// epoch tracking (the surgical-invalidation contract the svc plan cache
+// keys on), restriction, fingerprints, and the k-bucket NeighborTable.
+#include "mbr/view.hpp"
+
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace hcube::mbr {
+namespace {
+
+TEST(MbrView, FullViewStartsAtEpochZero) {
+    const View view(4);
+    EXPECT_EQ(view.dimension(), 4);
+    EXPECT_EQ(view.epoch(), 0u);
+    EXPECT_EQ(view.count(), 16u);
+    EXPECT_TRUE(view.full());
+    for (node_t v = 0; v < 16; ++v) {
+        EXPECT_TRUE(view.contains(v));
+        EXPECT_EQ(view.member_rank(v), v);
+    }
+    for (dim_t m = 0; m <= 4; ++m) {
+        EXPECT_EQ(view.epoch_of_subcube(m), 0u);
+        EXPECT_TRUE(view.subcube_full(m));
+    }
+}
+
+TEST(MbrView, OfBuildsExactMemberSet) {
+    const std::vector<node_t> members{0, 3, 5, 6};
+    const View view = View::of(3, members);
+    EXPECT_EQ(view.count(), 4u);
+    EXPECT_FALSE(view.full());
+    EXPECT_EQ(view.members(), members);
+    EXPECT_EQ(view.member_rank(0), 0u);
+    EXPECT_EQ(view.member_rank(3), 1u);
+    EXPECT_EQ(view.member_rank(6), 3u);
+    EXPECT_FALSE(view.contains(1));
+    EXPECT_THROW((void)View::of(3, std::vector<node_t>{0, 0}), check_error);
+    EXPECT_THROW((void)View::of(3, std::vector<node_t>{8}), check_error);
+}
+
+TEST(MbrView, TransitionsAreStrictAndBumpTheEpoch) {
+    View view(3);
+    EXPECT_THROW(view.join(0), check_error);  // already live
+    EXPECT_THROW(view.leave(8), check_error); // out of range
+    view.leave(5);
+    EXPECT_EQ(view.epoch(), 1u);
+    EXPECT_FALSE(view.contains(5));
+    EXPECT_THROW(view.leave(5), check_error); // already dead
+    view.join(5);
+    EXPECT_EQ(view.epoch(), 2u);
+    EXPECT_TRUE(view.full());
+
+    View lone = View::of(3, std::vector<node_t>{2});
+    EXPECT_THROW(lone.leave(2), check_error); // a view cannot empty
+}
+
+TEST(MbrView, SubcubeEpochsTrackOnlyTouchedPrefixes) {
+    View view(4);
+    view.leave(9); // touches only sub-cubes with 2^m > 9, i.e. m == 4
+    EXPECT_EQ(view.epoch(), 1u);
+    EXPECT_EQ(view.epoch_of_subcube(4), 1u);
+    EXPECT_EQ(view.epoch_of_subcube(3), 0u); // addresses 0..7 untouched
+    EXPECT_EQ(view.epoch_of_subcube(0), 0u);
+
+    view.leave(2); // touches every m >= 2
+    EXPECT_EQ(view.epoch_of_subcube(4), 2u);
+    EXPECT_EQ(view.epoch_of_subcube(3), 2u);
+    EXPECT_EQ(view.epoch_of_subcube(2), 2u);
+    EXPECT_EQ(view.epoch_of_subcube(1), 0u);
+}
+
+TEST(MbrView, RestrictionCommutesWithEpochKeying) {
+    View view(4);
+    view.leave(9);
+    const View sub = view.restricted(3);
+    EXPECT_EQ(sub.dimension(), 3);
+    EXPECT_TRUE(sub.full()); // the hole is above 2^3
+    EXPECT_EQ(sub.epoch(), view.epoch_of_subcube(3));
+
+    view.leave(2);
+    const View sub2 = view.restricted(3);
+    EXPECT_EQ(sub2.count(), 7u);
+    EXPECT_FALSE(sub2.contains(2));
+    EXPECT_EQ(sub2.epoch(), view.epoch_of_subcube(3));
+}
+
+TEST(MbrView, ApplyValidatesAllBeforeMutating) {
+    View view(3);
+    Delta bad;
+    bad.leaves = {1, 1}; // duplicate leave of the same address
+    EXPECT_THROW(view.apply(bad), check_error);
+    EXPECT_EQ(view.epoch(), 0u); // untouched
+    EXPECT_TRUE(view.full());
+
+    Delta good;
+    good.leaves = {1, 6};
+    view.apply(good);
+    EXPECT_EQ(view.epoch(), 1u); // one bump for the whole batch
+    EXPECT_EQ(view.count(), 6u);
+
+    Delta swap;
+    swap.joins = {1};
+    swap.leaves = {0};
+    view.apply(swap);
+    EXPECT_EQ(view.epoch(), 2u);
+    EXPECT_TRUE(view.contains(1));
+    EXPECT_FALSE(view.contains(0));
+
+    view.apply(Delta{}); // empty delta is a no-op, not a bump
+    EXPECT_EQ(view.epoch(), 2u);
+}
+
+TEST(MbrView, FingerprintNamesTheSetNotTheHistory) {
+    View a(3);
+    a.leave(5);
+    View b(3);
+    b.leave(2);
+    b.leave(5);
+    b.join(2);
+    EXPECT_NE(a.epoch(), b.epoch());
+    EXPECT_EQ(a.fingerprint(), b.fingerprint()); // same member set
+    EXPECT_NE(a.fingerprint(), View(3).fingerprint());
+}
+
+TEST(MbrNeighbor, BucketsMirrorSbtSubtreesOnTheFullView) {
+    const View view(3);
+    const NeighborTable table = NeighborTable::build(view, 0);
+    ASSERT_EQ(table.buckets.size(), 3u);
+    // Bucket j = members whose relative address has highest bit j — the
+    // population of the SBT subtree through port j at root 0.
+    EXPECT_EQ(table.buckets[0], (std::vector<node_t>{1}));
+    EXPECT_EQ(table.buckets[1], (std::vector<node_t>{2, 3}));
+    EXPECT_EQ(table.buckets[2], (std::vector<node_t>{4, 5, 6, 7}));
+    EXPECT_EQ(table.contact(2), std::optional<node_t>{4});
+}
+
+TEST(MbrNeighbor, CapsBucketsAtKClosest) {
+    const View view(4);
+    const NeighborTable table = NeighborTable::build(view, 0, 2);
+    for (const auto& bucket : table.buckets) {
+        EXPECT_LE(bucket.size(), 2u);
+    }
+    EXPECT_EQ(table.buckets[3], (std::vector<node_t>{8, 9}));
+    const std::vector<node_t> near = table.closest(3);
+    EXPECT_EQ(near.size(), 3u);
+}
+
+TEST(MbrNeighbor, DeadContactsNeverAppear) {
+    View view(3);
+    view.leave(4);
+    const NeighborTable table = NeighborTable::build(view, 0);
+    EXPECT_EQ(table.buckets[2], (std::vector<node_t>{5, 6, 7}));
+    EXPECT_EQ(table.contact(2), std::optional<node_t>{5});
+}
+
+TEST(MbrNeighbor, NearestMemberIsXorClosest) {
+    View view(3);
+    EXPECT_EQ(nearest_member(view, 6), 6u); // live target is its own nearest
+    view.leave(6);
+    EXPECT_EQ(nearest_member(view, 6), 7u); // 6^7 == 1, the closest flip
+    const std::vector<node_t> close = closest_members(view, 6, 3);
+    EXPECT_EQ(close, (std::vector<node_t>{7, 4, 5})); // XOR distances 1,2,3
+}
+
+} // namespace
+} // namespace hcube::mbr

@@ -171,6 +171,65 @@ TEST(SvcLruCache, ClearResetsResidencyAndCost) {
     EXPECT_EQ(cache.size(), 8u);
 }
 
+TEST(SvcLruCache, EraseIfRemovesMatchesAndRefundsTheirCost) {
+    LruCache<int, int> cache(100);
+    const auto cost = [](const int& v) {
+        return static_cast<std::uint64_t>(v);
+    };
+    for (int k = 1; k <= 4; ++k) {
+        (void)cache.get_or_create(k, [k] { return 10 * k; }, cost);
+    }
+    EXPECT_EQ(cache.total_cost(), 100u);
+    const std::size_t erased = cache.erase_if(
+        [](const int& key, const int&) { return key % 2 == 0; });
+    EXPECT_EQ(erased, 2u);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.total_cost(), 40u); // 10 + 30 refunded exactly
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_FALSE(cache.contains(2));
+    EXPECT_TRUE(cache.contains(3));
+    EXPECT_FALSE(cache.contains(4));
+    EXPECT_EQ(cache.stats().evictions, 2u);
+    // The predicate sees the value too.
+    EXPECT_EQ(cache.erase_if(
+                  [](const int&, const int& value) { return value >= 30; }),
+              1u);
+    EXPECT_EQ(cache.total_cost(), 10u);
+}
+
+TEST(SvcLruCache, EraseIfKeepsTheRecencyListCoherent) {
+    // Mass-erase the interior of the recency list, then drive the cache to
+    // capacity: survivors must still evict in strict LRU order — a broken
+    // unlink would corrupt the list and evict the wrong entries (or crash).
+    LruCache<int, int> cache(4);
+    for (int k = 0; k < 4; ++k) {
+        (void)cache.get_or_create(k, [k] { return k; });
+    }
+    (void)cache.get(0); // recency (cold to hot): 1, 2, 3, 0
+    EXPECT_EQ(cache.erase_if(
+                  [](const int& key, const int&) { return key == 2; }),
+              1u);
+    EXPECT_EQ(cache.size(), 3u);
+    // Fill back up and overflow by one: the coldest survivor (1) goes.
+    (void)cache.get_or_create(5, [] { return 5; });
+    (void)cache.get_or_create(6, [] { return 6; });
+    EXPECT_FALSE(cache.contains(1));
+    EXPECT_TRUE(cache.contains(3));
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_TRUE(cache.contains(5));
+    EXPECT_TRUE(cache.contains(6));
+
+    // Erasing everything leaves a healthy empty list.
+    EXPECT_EQ(cache.erase_if([](const int&, const int&) { return true; }),
+              4u);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.total_cost(), 0u);
+    for (int k = 10; k < 16; ++k) {
+        (void)cache.get_or_create(k, [k] { return k; });
+    }
+    EXPECT_EQ(cache.size(), 4u);
+}
+
 TEST(SvcLruCache, ConcurrentGetOrCreateConverges) {
     LruCache<int, int> cache(8);
     std::atomic<int> builds{0};
