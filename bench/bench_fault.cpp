@@ -205,6 +205,10 @@ int main(int argc, char** argv) {
                      ++faults) {
                     if (recorder != nullptr) {
                         recorder->reset();
+                        // A run the arbiter aborts flushes its partial
+                        // timeline here even if recovery then throws.
+                        recorder->set_abort_path(trace_path +
+                                                 ".abort.json");
                         comm.set_trace(recorder.get());
                     }
                     const ft::RecoveryResult r =

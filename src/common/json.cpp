@@ -106,6 +106,15 @@ void JsonArrayWriter::field(const std::string& key, bool value) {
     failed_ |= std::fprintf(out_, "%s", value ? "true" : "false") < 0;
 }
 
+void JsonArrayWriter::raw_field(const std::string& key,
+                                const std::string& raw) {
+    if (out_ == nullptr) {
+        return;
+    }
+    key_prefix(key);
+    failed_ |= std::fprintf(out_, "%s", raw.c_str()) < 0;
+}
+
 void JsonArrayWriter::end_row() {
     if (out_ == nullptr) {
         return;

@@ -35,6 +35,11 @@ public:
     void field(const std::string& key, double value);
     void field(const std::string& key, bool value);
 
+    /// Adds `raw` verbatim as the value of `key` — the escape hatch for
+    /// nested structures (e.g. a chrome-trace counter event's "args"
+    /// object). The caller is responsible for `raw` being valid JSON.
+    void raw_field(const std::string& key, const std::string& raw);
+
     void end_row();
 
     /// Closes the array and the file; true if everything was written.

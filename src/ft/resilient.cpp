@@ -1,6 +1,7 @@
 #include "ft/resilient.hpp"
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 #include "routing/schedule_export.hpp"
 #include "rt/async_player.hpp"
 #include "rt/checksum.hpp"
@@ -203,6 +204,14 @@ RecoveryResult ResilientComm::run_resilient(const std::string& oracle_key,
             if (!stats.clean() ||
                 stats.blocks_delivered != schedule.sends.size()) {
                 out.reports.push_back(player.fault_report());
+                // Detection latency: attempt start to the failed run's
+                // join — how long the fault took to surface and drain.
+                static obs::Histogram& m_detect =
+                    obs::registry().histogram("ft.detect_ns");
+                m_detect.record(static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        clock::now() - attempt_start)
+                        .count()));
                 return false;
             }
             out.delivered = matches_oracle(oracle, player);
@@ -341,6 +350,14 @@ RecoveryResult ResilientComm::run_member_resilient(
             if (!stats.clean() ||
                 stats.blocks_delivered != schedule.sends.size()) {
                 out.reports.push_back(player.fault_report());
+                // Detection latency: attempt start to the failed run's
+                // join — how long the fault took to surface and drain.
+                static obs::Histogram& m_detect =
+                    obs::registry().histogram("ft.detect_ns");
+                m_detect.record(static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        clock::now() - attempt_start)
+                        .count()));
                 return false;
             }
             out.delivered = matches_oracle(oracle, player);

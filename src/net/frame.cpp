@@ -1,6 +1,7 @@
 #include "net/frame.hpp"
 
 #include "common/endian.hpp"
+#include "obs/metrics.hpp"
 
 #include <cerrno>
 #include <cstring>
@@ -71,7 +72,13 @@ IoStatus write_frame(int fd, std::span<const std::uint8_t> payload) {
         std::memcpy(buf.data() + sizeof(std::uint32_t), payload.data(),
                     payload.size());
     }
-    return io_write_all(fd, buf.data(), buf.size());
+    static obs::Counter& m_out =
+        obs::registry().counter("net.frame_bytes_out");
+    const IoStatus status = io_write_all(fd, buf.data(), buf.size());
+    if (status == IoStatus::ok) {
+        m_out.inc(buf.size());
+    }
+    return status;
 }
 
 IoStatus read_frame(int fd, std::vector<std::uint8_t>& out,
@@ -85,11 +92,17 @@ IoStatus read_frame(int fd, std::vector<std::uint8_t>& out,
     if (len > max_payload) {
         return IoStatus::failed;
     }
+    static obs::Counter& m_in =
+        obs::registry().counter("net.frame_bytes_in");
     out.resize(len);
     if (len == 0) {
+        m_in.inc(sizeof(prefix));
         return IoStatus::ok;
     }
     const IoStatus body = io_read_exact(fd, out.data(), len);
+    if (body == IoStatus::ok) {
+        m_in.inc(sizeof(prefix) + len);
+    }
     // EOF between prefix and body is always a torn frame.
     return body == IoStatus::ok ? IoStatus::ok : IoStatus::failed;
 }

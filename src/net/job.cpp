@@ -65,6 +65,10 @@ int child_main(const JobSpec& spec, std::uint32_t rank,
                const CompiledJob& job, int listen_fd,
                const std::vector<Endpoint>& endpoints) noexcept {
     try {
+        // Fork-mode children inherit whatever the parent recorded before
+        // launch; baseline it away so the METRICS frame carries only this
+        // rank's own activity.
+        const obs::RegistrySnapshot obs_base = obs::registry().snapshot();
         const ft::DetectConfig detect = effective_detect(spec);
         PeerBus::Params bus_params;
         bus_params.reliable = spec.reliable;
@@ -125,6 +129,12 @@ int child_main(const JobSpec& spec, std::uint32_t rank,
                 continue;
             }
             encode_dump(frame, s, block);
+            ctl_ok = write_frame(ctl, frame) == IoStatus::ok;
+        }
+        if (ctl_ok) {
+            obs::RegistrySnapshot delta = obs::registry().snapshot();
+            delta.subtract(obs_base);
+            encode_metrics(frame, delta);
             ctl_ok = write_frame(ctl, frame) == IoStatus::ok;
         }
         encode_bare(frame, MsgType::fin);
@@ -349,6 +359,11 @@ JobResult run_job(const JobSpec& spec_in) {
                         res.ranks[r].fault = msg.fault;
                         res.ranks[r].reported = true;
                     }
+                } else if (type == MsgType::metrics) {
+                    obs::RegistrySnapshot snap;
+                    if (decode_metrics(frame, snap)) {
+                        res.ranks[r].metrics = std::move(snap);
+                    }
                 } else if (type == MsgType::dump) {
                     DumpView dump;
                     if (decode_dump(frame, dump) &&
@@ -436,6 +451,7 @@ JobResult run_job(const JobSpec& spec_in) {
         }
         max_seconds = std::max(max_seconds, rr.play.seconds);
         res.wire += rr.wire;
+        res.metrics.merge(rr.metrics);
     }
     res.seconds = max_seconds;
     for (std::uint64_t s = 0; s < res.total_slots; ++s) {

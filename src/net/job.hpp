@@ -25,6 +25,7 @@
 #include "ft/fault_model.hpp"
 #include "net/net_player.hpp"
 #include "net/peer.hpp"
+#include "obs/metrics.hpp"
 #include "svc/signature.hpp"
 
 #include <cstdint>
@@ -70,6 +71,10 @@ struct RankReport {
     rt::PlayStats play;
     WireCounters wire;
     ft::FaultReport fault;
+    /// The rank's obs registry delta (everything it recorded between
+    /// child entry and FIN — fork-inherited pre-launch counts are
+    /// subtracted out on the child side).
+    obs::RegistrySnapshot metrics;
     bool reported = false; ///< REPORT frame arrived before FIN
     int exit_code = -1;
 };
@@ -86,6 +91,10 @@ struct JobResult {
     std::vector<std::uint8_t> have; ///< per slot: dump arrived
     std::vector<RankReport> ranks;
     WireCounters wire; ///< aggregate over ranks
+    /// Job-level metrics report: every rank's registry delta merged
+    /// (counters sum, histograms bucket-merge), so per-tenant latency and
+    /// wire counters aggregate across the whole process fleet.
+    obs::RegistrySnapshot metrics;
 
     /// The collected block of (node, packet) under `plan` (the caller's
     /// identically compiled plan); empty span if absent.

@@ -69,6 +69,18 @@ void Netd::serve(int fd) {
         if (read_frame(fd, frame) != IoStatus::ok) {
             return; // client hung up (or teardown shut the socket)
         }
+        if (frame_type(frame) == MsgType::metrics && frame.size() == 1) {
+            // A bare METRICS frame is a scrape: answer with the process
+            // registry (counters the in-process side and every serve
+            // thread share), not with an OP_RESPONSE. A metrics frame
+            // *with* a body is not a request at all — it falls through
+            // to the garbage path below like any other malformed frame.
+            encode_metrics(reply, obs::registry().snapshot());
+            if (write_frame(fd, reply) != IoStatus::ok) {
+                return;
+            }
+            continue;
+        }
         OpResponseMsg resp;
         resp.transport = static_cast<std::uint8_t>(transport_);
         OpRequestMsg req;
@@ -107,6 +119,18 @@ NetClient::~NetClient() {
     if (fd_ >= 0) {
         ::close(fd_);
     }
+}
+
+obs::RegistrySnapshot NetClient::scrape() {
+    std::vector<std::uint8_t> frame;
+    encode_bare(frame, MsgType::metrics);
+    HCUBE_ENSURE_MSG(write_frame(fd_, frame) == IoStatus::ok,
+                     "netd connection lost on scrape request");
+    obs::RegistrySnapshot snap;
+    HCUBE_ENSURE_MSG(read_frame(fd_, frame) == IoStatus::ok &&
+                         decode_metrics(frame, snap),
+                     "netd connection lost on scrape response");
+    return snap;
 }
 
 OpResponseMsg NetClient::run(const svc::Signature& sig) {

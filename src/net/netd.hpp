@@ -88,6 +88,10 @@ public:
     /// check_error when the connection breaks mid-exchange.
     [[nodiscard]] OpResponseMsg run(const svc::Signature& sig);
 
+    /// Scrapes the daemon's live metrics registry: bare METRICS out,
+    /// snapshot back. Throws check_error when the connection breaks.
+    [[nodiscard]] obs::RegistrySnapshot scrape();
+
 private:
     int fd_ = -1;
     std::uint32_t next_req_ = 1;

@@ -1,5 +1,7 @@
 #include "net/protocol.hpp"
 
+#include <algorithm>
+
 namespace hcube::net {
 
 namespace {
@@ -19,7 +21,7 @@ frame_type(std::span<const std::uint8_t> payload) noexcept {
     }
     const std::uint8_t b = payload[0];
     if (b < static_cast<std::uint8_t>(MsgType::hello) ||
-        b > static_cast<std::uint8_t>(MsgType::op_response)) {
+        b > static_cast<std::uint8_t>(MsgType::metrics)) {
         return std::nullopt;
     }
     return static_cast<MsgType>(b);
@@ -324,6 +326,115 @@ bool decode_op_response(std::span<const std::uint8_t> frame,
     msg.transport = r.u8();
     msg.error = r.str();
     return r.done();
+}
+
+// ---- telemetry plane --------------------------------------------------
+
+namespace {
+
+/// Sanity bounds a decoder enforces on a peer's snapshot: far above any
+/// real registry, far below anything that could balloon memory.
+constexpr std::uint32_t kMaxWireMetrics = 65536;
+constexpr std::uint32_t kMaxWireBuckets = 4096;
+
+} // namespace
+
+void encode_metrics(std::vector<std::uint8_t>& out,
+                    const obs::RegistrySnapshot& snap) {
+    out.clear();
+    ByteWriter w(out);
+    w.u8(static_cast<std::uint8_t>(MsgType::metrics));
+    w.u32(static_cast<std::uint32_t>(snap.metrics.size()));
+    for (const obs::MetricSnapshot& m : snap.metrics) {
+        w.str(m.name);
+        w.u8(static_cast<std::uint8_t>(m.kind));
+        switch (m.kind) {
+        case obs::Kind::counter: w.u64(m.counter_value); break;
+        case obs::Kind::gauge:
+            w.u64(static_cast<std::uint64_t>(m.gauge_value));
+            break;
+        case obs::Kind::histogram: {
+            w.u64(m.hist.count);
+            w.u64(m.hist.sum);
+            w.u64(m.hist.max);
+            std::uint32_t nonzero = 0;
+            for (const std::uint64_t c : m.hist.counts) {
+                if (c != 0) {
+                    ++nonzero;
+                }
+            }
+            w.u32(nonzero);
+            for (std::uint32_t b = 0; b < m.hist.counts.size(); ++b) {
+                if (m.hist.counts[b] != 0) {
+                    w.u32(b);
+                    w.u64(m.hist.counts[b]);
+                }
+            }
+            break;
+        }
+        }
+    }
+}
+
+bool decode_metrics(std::span<const std::uint8_t> frame,
+                    obs::RegistrySnapshot& snap) {
+    ByteReader r(frame);
+    if (!expect_type(r, MsgType::metrics)) {
+        return false;
+    }
+    const std::uint32_t count = r.u32();
+    if (!r.ok() || count > kMaxWireMetrics) {
+        return false;
+    }
+    snap.metrics.clear();
+    snap.metrics.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        obs::MetricSnapshot m;
+        m.name = r.str();
+        const std::uint8_t kind = r.u8();
+        if (!r.ok() ||
+            kind > static_cast<std::uint8_t>(obs::Kind::histogram)) {
+            return false;
+        }
+        m.kind = static_cast<obs::Kind>(kind);
+        switch (m.kind) {
+        case obs::Kind::counter: m.counter_value = r.u64(); break;
+        case obs::Kind::gauge:
+            m.gauge_value = static_cast<std::int64_t>(r.u64());
+            break;
+        case obs::Kind::histogram: {
+            m.hist.count = r.u64();
+            m.hist.sum = r.u64();
+            m.hist.max = r.u64();
+            const std::uint32_t pairs = r.u32();
+            if (!r.ok() || pairs > kMaxWireBuckets) {
+                return false;
+            }
+            for (std::uint32_t p = 0; p < pairs; ++p) {
+                const std::uint32_t bucket = r.u32();
+                const std::uint64_t c = r.u64();
+                if (!r.ok() || bucket >= obs::Histogram::kBuckets) {
+                    return false;
+                }
+                if (m.hist.counts.size() <= bucket) {
+                    m.hist.counts.resize(bucket + 1, 0);
+                }
+                m.hist.counts[bucket] = c;
+            }
+            break;
+        }
+        }
+        snap.metrics.push_back(std::move(m));
+    }
+    if (!r.done()) {
+        return false;
+    }
+    // merge()/find() assume name order; don't trust the peer to have
+    // sorted.
+    std::sort(snap.metrics.begin(), snap.metrics.end(),
+              [](const obs::MetricSnapshot& a,
+                 const obs::MetricSnapshot& b) { return a.name < b.name; });
+    return true;
 }
 
 } // namespace hcube::net

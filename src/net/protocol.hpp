@@ -25,7 +25,8 @@
 
 #include "common/endian.hpp"
 #include "ft/fault_model.hpp"
-#include "rt/player.hpp" // PlayStats
+#include "obs/metrics.hpp" // RegistrySnapshot
+#include "rt/player.hpp"   // PlayStats
 #include "svc/signature.hpp"
 
 #include <cstdint>
@@ -47,6 +48,7 @@ enum class MsgType : std::uint8_t {
     bye = 8,
     op_request = 9,
     op_response = 10,
+    metrics = 11,
 };
 
 /// Protocol magic ("HCN1") carried in HELLO — a wrong-port connect fails
@@ -181,5 +183,18 @@ void encode_op_response(std::vector<std::uint8_t>& out,
                         const OpResponseMsg& msg);
 [[nodiscard]] bool decode_op_response(std::span<const std::uint8_t> frame,
                                       OpResponseMsg& msg) noexcept;
+
+// ---- telemetry plane --------------------------------------------------
+
+/// METRICS is dual-use by direction: a *bare* METRICS frame (the type byte
+/// alone, encode_bare) is a scrape request — netd answers with a framed
+/// registry snapshot; a rank in net::run_job pushes its snapshot to the
+/// launcher unprompted before FIN. Histograms travel sparsely: count / sum
+/// / max plus only the non-zero (bucket, count) pairs, so an idle registry
+/// costs bytes proportional to what it measured, not to kBuckets.
+void encode_metrics(std::vector<std::uint8_t>& out,
+                    const obs::RegistrySnapshot& snap);
+[[nodiscard]] bool decode_metrics(std::span<const std::uint8_t> frame,
+                                  obs::RegistrySnapshot& snap);
 
 } // namespace hcube::net

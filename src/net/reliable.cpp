@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "net/frame.hpp"
+#include "obs/metrics.hpp"
 
 #include <algorithm>
 
@@ -213,8 +214,18 @@ void ReliableLink::tick(clock::time_point now) {
             return;
         }
         ++p.attempts;
-        p.deadline = now + backoff(p.attempts);
+        const std::chrono::microseconds wait = backoff(p.attempts);
+        p.deadline = now + wait;
         ++counters_.retransmits;
+        static obs::Counter& m_retx =
+            obs::registry().counter("net.retransmits");
+        static obs::Counter& m_waits =
+            obs::registry().counter("net.backoff_waits");
+        static obs::Histogram& m_backoff =
+            obs::registry().histogram("net.backoff_ns");
+        m_retx.inc();
+        m_waits.inc();
+        m_backoff.record(static_cast<std::uint64_t>(wait.count()) * 1000);
         if (!p.blackholed) {
             out_.push_data(p.frame); // always the clean encoding
         }
@@ -263,6 +274,11 @@ void ReliableLink::count_received(std::uint64_t data, std::uint64_t dup,
     counters_.dup_suppressed += dup;
     counters_.corrupt_dropped += corrupt;
     counters_.stashed += stashed;
+    if (dup > 0) {
+        static obs::Counter& m_dup =
+            obs::registry().counter("net.dup_suppressed");
+        m_dup.inc(dup);
+    }
 }
 
 void ReliableLink::count_flush_timeout() {

@@ -1,0 +1,68 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace hcube::obs {
+
+namespace {
+
+double ms(std::uint64_t ns) { return static_cast<double>(ns) * 1e-6; }
+
+} // namespace
+
+void append_snapshot_json(JsonArrayWriter& json,
+                          const RegistrySnapshot& snap) {
+    for (const MetricSnapshot& m : snap.metrics) {
+        json.begin_row();
+        json.field("metric", m.name);
+        json.field("kind", to_string(m.kind));
+        switch (m.kind) {
+        case Kind::counter: json.field("value", m.counter_value); break;
+        case Kind::gauge:
+            json.field("value", std::int64_t{m.gauge_value});
+            break;
+        case Kind::histogram:
+            json.field("count", m.hist.count);
+            json.field("mean_ms", m.hist.mean() * 1e-6);
+            json.field("p50_ms", ms(m.hist.percentile(0.50)));
+            json.field("p95_ms", ms(m.hist.percentile(0.95)));
+            json.field("p99_ms", ms(m.hist.percentile(0.99)));
+            json.field("max_ms", ms(m.hist.max));
+            break;
+        }
+        json.end_row();
+    }
+}
+
+void append_chrome_counter_events(JsonArrayWriter& json,
+                                  const RegistrySnapshot& snap,
+                                  std::uint32_t pid, double ts_us) {
+    char args[64];
+    for (const MetricSnapshot& m : snap.metrics) {
+        switch (m.kind) {
+        case Kind::counter:
+            std::snprintf(args, sizeof args, "{\"value\": %llu}",
+                          static_cast<unsigned long long>(
+                              m.counter_value));
+            break;
+        case Kind::gauge:
+            std::snprintf(args, sizeof args, "{\"value\": %lld}",
+                          static_cast<long long>(m.gauge_value));
+            break;
+        case Kind::histogram:
+            std::snprintf(args, sizeof args, "{\"count\": %llu}",
+                          static_cast<unsigned long long>(m.hist.count));
+            break;
+        }
+        json.begin_row();
+        json.field("name", m.name);
+        json.field("ph", "C");
+        json.field("ts", ts_us);
+        json.field("pid", pid);
+        json.raw_field("args", args);
+        json.end_row();
+    }
+}
+
+} // namespace hcube::obs

@@ -1,0 +1,30 @@
+// Snapshot serialization of the metrics plane (docs/OBSERVABILITY.md
+// § Export): flat JSON rows through the shared common/json.hpp writer,
+// and chrome-trace counter events ("ph":"C") that drop a registry
+// snapshot into the same timeline the rt::TraceRecorder emits — one file
+// shows per-worker execution spans with the live counters above them.
+#pragma once
+
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+
+#include <cstdint>
+
+namespace hcube::obs {
+
+/// Appends one flat row per metric: counters/gauges as
+/// {metric, kind, value}, histograms as {metric, kind, count, mean_ms,
+/// p50_ms, p95_ms, p99_ms, max_ms} (latency histograms record ns; the
+/// row reports milliseconds). The caller owns the surrounding array.
+void append_snapshot_json(JsonArrayWriter& json,
+                          const RegistrySnapshot& snap);
+
+/// Appends every counter/gauge (and each histogram's count) as a
+/// chrome-trace counter event at timestamp `ts_us`, pid `pid` — the
+/// Trace Event Format's "ph":"C" rows, rendered by chrome://tracing and
+/// Perfetto as stacked counter tracks.
+void append_chrome_counter_events(JsonArrayWriter& json,
+                                  const RegistrySnapshot& snap,
+                                  std::uint32_t pid, double ts_us);
+
+} // namespace hcube::obs

@@ -1,0 +1,310 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+namespace hcube::obs {
+
+namespace {
+
+/// Process-wide thread slot: each recording thread gets a stable small
+/// index on first use, so every histogram stripes the same thread onto
+/// the same shard without per-histogram bookkeeping.
+std::size_t thread_slot() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return slot;
+}
+
+void atomic_max(std::atomic<std::uint64_t>& m, std::uint64_t v) noexcept {
+    std::uint64_t cur = m.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !m.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+// ---- Histogram --------------------------------------------------------
+
+void Histogram::record(std::uint64_t v) noexcept {
+    Shard& s = shards_[thread_slot() & (kShards - 1)];
+    s.counts[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+    atomic_max(s.max, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+    HistogramSnapshot out;
+    out.counts.assign(kBuckets, 0);
+    for (std::size_t sh = 0; sh < kShards; ++sh) {
+        const Shard& s = shards_[sh];
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            const std::uint64_t c =
+                s.counts[b].load(std::memory_order_relaxed);
+            out.counts[b] += c;
+            out.count += c;
+        }
+        out.sum += s.sum.load(std::memory_order_relaxed);
+        out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+    }
+    if (out.count == 0) {
+        out.counts.clear();
+    }
+    return out;
+}
+
+void Histogram::reset() noexcept {
+    for (std::size_t sh = 0; sh < kShards; ++sh) {
+        Shard& s = shards_[sh];
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            s.counts[b].store(0, std::memory_order_relaxed);
+        }
+        s.sum.store(0, std::memory_order_relaxed);
+        s.max.store(0, std::memory_order_relaxed);
+    }
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& o) {
+    if (o.counts.size() > counts.size()) {
+        counts.resize(o.counts.size(), 0);
+    }
+    for (std::size_t b = 0; b < o.counts.size(); ++b) {
+        counts[b] += o.counts[b];
+    }
+    count += o.count;
+    sum += o.sum;
+    max = std::max(max, o.max);
+}
+
+void HistogramSnapshot::subtract(const HistogramSnapshot& base) {
+    for (std::size_t b = 0;
+         b < counts.size() && b < base.counts.size(); ++b) {
+        counts[b] -= std::min(counts[b], base.counts[b]);
+    }
+    count -= std::min(count, base.count);
+    sum -= std::min(sum, base.sum);
+    if (count == 0) {
+        counts.clear();
+        max = 0;
+    }
+}
+
+std::uint64_t HistogramSnapshot::percentile(double p) const noexcept {
+    if (count == 0 || counts.empty()) {
+        return 0;
+    }
+    p = std::clamp(p, 0.0, 1.0);
+    // Nearest-rank: the smallest value with at least ceil(p * count)
+    // records at or below it.
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(p * static_cast<double>(count))));
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        cum += counts[b];
+        if (cum >= rank) {
+            return std::min(Histogram::bucket_upper(b), max);
+        }
+    }
+    return max;
+}
+
+// ---- RegistrySnapshot -------------------------------------------------
+
+namespace {
+
+void merge_into(MetricSnapshot& dst, const MetricSnapshot& src) {
+    switch (dst.kind) {
+    case Kind::counter: dst.counter_value += src.counter_value; break;
+    case Kind::gauge: dst.gauge_value += src.gauge_value; break;
+    case Kind::histogram: dst.hist.merge(src.hist); break;
+    }
+}
+
+} // namespace
+
+void RegistrySnapshot::merge(const RegistrySnapshot& o) {
+    // Sorted two-pointer union; same name + kind merges in place.
+    std::vector<MetricSnapshot> out;
+    out.reserve(metrics.size() + o.metrics.size());
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < metrics.size() || j < o.metrics.size()) {
+        if (j >= o.metrics.size() ||
+            (i < metrics.size() &&
+             metrics[i].name < o.metrics[j].name)) {
+            out.push_back(std::move(metrics[i++]));
+        } else if (i >= metrics.size() ||
+                   o.metrics[j].name < metrics[i].name) {
+            out.push_back(o.metrics[j++]);
+        } else {
+            MetricSnapshot m = std::move(metrics[i++]);
+            if (m.kind == o.metrics[j].kind) {
+                merge_into(m, o.metrics[j]);
+            }
+            ++j;
+            out.push_back(std::move(m));
+        }
+    }
+    metrics = std::move(out);
+}
+
+void RegistrySnapshot::subtract(const RegistrySnapshot& base) {
+    for (MetricSnapshot& m : metrics) {
+        const MetricSnapshot* b = base.find(m.name);
+        if (b == nullptr || b->kind != m.kind) {
+            continue;
+        }
+        switch (m.kind) {
+        case Kind::counter:
+            m.counter_value -=
+                std::min(m.counter_value, b->counter_value);
+            break;
+        case Kind::gauge: m.gauge_value -= b->gauge_value; break;
+        case Kind::histogram: m.hist.subtract(b->hist); break;
+        }
+    }
+}
+
+const MetricSnapshot*
+RegistrySnapshot::find(std::string_view name) const {
+    const auto it = std::lower_bound(
+        metrics.begin(), metrics.end(), name,
+        [](const MetricSnapshot& m, std::string_view n) {
+            return m.name < n;
+        });
+    return it != metrics.end() && it->name == name ? &*it : nullptr;
+}
+
+std::uint64_t RegistrySnapshot::counter(std::string_view name) const {
+    const MetricSnapshot* m = find(name);
+    return m != nullptr && m->kind == Kind::counter ? m->counter_value
+                                                    : 0;
+}
+
+std::int64_t RegistrySnapshot::gauge(std::string_view name) const {
+    const MetricSnapshot* m = find(name);
+    return m != nullptr && m->kind == Kind::gauge ? m->gauge_value : 0;
+}
+
+// ---- Registry ---------------------------------------------------------
+
+Counter& Registry::counter(std::string_view name) {
+    {
+        const std::shared_lock<std::shared_mutex> lock(m_);
+        const auto it = counters_.find(name);
+        if (it != counters_.end()) {
+            return *it->second;
+        }
+    }
+    const std::unique_lock<std::shared_mutex> lock(m_);
+    auto& slot = counters_[std::string(name)];
+    if (slot == nullptr) {
+        slot = std::make_unique<Counter>();
+    }
+    return *slot;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+    {
+        const std::shared_lock<std::shared_mutex> lock(m_);
+        const auto it = gauges_.find(name);
+        if (it != gauges_.end()) {
+            return *it->second;
+        }
+    }
+    const std::unique_lock<std::shared_mutex> lock(m_);
+    auto& slot = gauges_[std::string(name)];
+    if (slot == nullptr) {
+        slot = std::make_unique<Gauge>();
+    }
+    return *slot;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+    {
+        const std::shared_lock<std::shared_mutex> lock(m_);
+        const auto it = histograms_.find(name);
+        if (it != histograms_.end()) {
+            return *it->second;
+        }
+    }
+    const std::unique_lock<std::shared_mutex> lock(m_);
+    auto& slot = histograms_[std::string(name)];
+    if (slot == nullptr) {
+        slot = std::make_unique<Histogram>();
+    }
+    return *slot;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+    const std::shared_lock<std::shared_mutex> lock(m_);
+    RegistrySnapshot out;
+    out.metrics.reserve(counters_.size() + gauges_.size() +
+                        histograms_.size());
+    // The three maps are each name-sorted; a three-way sorted append
+    // keeps the snapshot globally name-sorted for find()/merge().
+    auto ci = counters_.begin();
+    auto gi = gauges_.begin();
+    auto hi = histograms_.begin();
+    const auto next_name = [&]() -> const std::string* {
+        const std::string* best = nullptr;
+        if (ci != counters_.end()) {
+            best = &ci->first;
+        }
+        if (gi != gauges_.end() &&
+            (best == nullptr || gi->first < *best)) {
+            best = &gi->first;
+        }
+        if (hi != histograms_.end() &&
+            (best == nullptr || hi->first < *best)) {
+            best = &hi->first;
+        }
+        return best;
+    };
+    for (const std::string* name = next_name(); name != nullptr;
+         name = next_name()) {
+        MetricSnapshot m;
+        m.name = *name;
+        if (ci != counters_.end() && ci->first == *name) {
+            m.kind = Kind::counter;
+            m.counter_value = ci->second->value();
+            ++ci;
+        } else if (gi != gauges_.end() && gi->first == *name) {
+            m.kind = Kind::gauge;
+            m.gauge_value = gi->second->value();
+            ++gi;
+        } else {
+            m.kind = Kind::histogram;
+            m.hist = hi->second->snapshot();
+            ++hi;
+        }
+        out.metrics.push_back(std::move(m));
+    }
+    return out;
+}
+
+void Registry::reset() {
+    const std::unique_lock<std::shared_mutex> lock(m_);
+    for (auto& [name, c] : counters_) {
+        c->reset();
+    }
+    for (auto& [name, g] : gauges_) {
+        g->reset();
+    }
+    for (auto& [name, h] : histograms_) {
+        h->reset();
+    }
+}
+
+Registry& registry() {
+    // Leaked on purpose: instrumented worker threads and engine teardown
+    // paths may record after static destruction begins.
+    static Registry* r = new Registry();
+    return *r;
+}
+
+} // namespace hcube::obs

@@ -1,0 +1,277 @@
+// hcube::obs — the live metrics plane of the runtime: lock-free Counter /
+// Gauge cells and log-bucketed latency Histograms behind one process-wide
+// Registry (docs/OBSERVABILITY.md).
+//
+// Design constraints, in priority order:
+//   * Recording must be cheap enough for the service hot path: a Counter
+//     inc is one relaxed fetch_add on a cache-line-padded cell, a
+//     Histogram record is two relaxed fetch_adds plus a relaxed max loop
+//     on a per-thread shard — no locks, no allocation, ever.
+//   * Reads never perturb writers: snapshot() merges the shards with
+//     relaxed loads; a concurrent recorder at worst lands in the next
+//     snapshot. Counts are monotonic, so merged totals are exact once the
+//     writers quiesce (the only state a metrics plane promises).
+//   * Snapshots must be mergeable — across shards, across Sessions, and
+//     across rank processes (net::run_job sums per-rank snapshots into one
+//     job-level report), which is why the histogram is a plain bucket
+//     vector and not a sketch.
+//
+// Bucket scheme (HDR-histogram style): values below kSubBuckets (32) get
+// exact unit buckets; above that, each power-of-two octave is split into
+// 32 linear sub-buckets, so every bucket's width is at most 1/32 of its
+// lower bound. percentile() returns the upper bound of the bucket holding
+// the requested rank (clamped to the exactly-tracked max), which bounds
+// the relative recovery error at 1/32 (~3.2%) — tight enough to gate a
+// p99 regression on. Values are dimensionless uint64s; every latency
+// metric in the repo records nanoseconds.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hcube::obs {
+
+/// Monotonic event count. Padded to a cache line so unrelated counters
+/// never false-share.
+class Counter {
+  public:
+    void inc(std::uint64_t delta = 1) noexcept {
+        v_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        return v_.load(std::memory_order_relaxed);
+    }
+    /// Only valid while no recorder is active (tests).
+    void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    alignas(64) std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-writer-wins level (queue depth, resident bytes). add() makes it a
+/// bidirectional counter for enter/leave pairs.
+class Gauge {
+  public:
+    void set(std::int64_t v) noexcept {
+        v_.store(v, std::memory_order_relaxed);
+    }
+    void add(std::int64_t delta) noexcept {
+        v_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::int64_t value() const noexcept {
+        return v_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    alignas(64) std::atomic<std::int64_t> v_{0};
+};
+
+/// Mergeable point-in-time view of one histogram: the bucket counts plus
+/// the exactly-tracked count / sum / max. Percentiles are recovered from
+/// the bucket bounds (see Histogram), so a snapshot merged across shards
+/// or ranks answers p50/p95/p99 exactly as a single recorder would.
+struct HistogramSnapshot {
+    std::vector<std::uint64_t> counts; ///< empty == all zero
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+
+    /// Element-wise sum; max of maxes. Associative and commutative.
+    void merge(const HistogramSnapshot& o);
+    /// Subtracts a monotonic baseline (counts, count, sum; max is a
+    /// lifetime max and stays). The per-rank delta net::run_job ships.
+    void subtract(const HistogramSnapshot& base);
+
+    /// Value at quantile p in (0, 1]: the upper bound of the bucket that
+    /// holds the ceil(p * count)-th smallest recorded value, clamped to
+    /// the exact max. 0 when empty. Relative error <= 1/32 above the
+    /// recovered value's bucket floor.
+    [[nodiscard]] std::uint64_t percentile(double p) const noexcept;
+    [[nodiscard]] double mean() const noexcept {
+        return count > 0
+                   ? static_cast<double>(sum) / static_cast<double>(count)
+                   : 0.0;
+    }
+};
+
+/// Log-bucketed latency histogram, striped over per-thread shards.
+/// record() is wait-free; snapshot() merges the shards on read.
+class Histogram {
+  public:
+    /// 32 linear sub-buckets per power-of-two octave.
+    static constexpr unsigned kSubBits = 5;
+    static constexpr std::uint64_t kSubBuckets = 1ull << kSubBits;
+    /// Largest distinguishable value (~73 min in ns); larger records
+    /// clamp into the top bucket (max still tracks them exactly).
+    static constexpr unsigned kMaxOctave = 42;
+    static constexpr std::uint64_t kMaxValue = (1ull << kMaxOctave) - 1;
+    static constexpr std::size_t kBuckets =
+        kSubBuckets + (kMaxOctave - kSubBits) * kSubBuckets;
+    /// Recording threads stripe over this many shards (power of two).
+    static constexpr std::size_t kShards = 8;
+
+    /// Bucket index of `v`: identity below kSubBuckets, then
+    /// (octave, top-5-bits) above — each bucket spans at most 1/32 of its
+    /// lower bound.
+    [[nodiscard]] static std::size_t bucket_of(std::uint64_t v) noexcept {
+        if (v > kMaxValue) {
+            v = kMaxValue;
+        }
+        if (v < kSubBuckets) {
+            return static_cast<std::size_t>(v);
+        }
+        const unsigned msb =
+            63u - static_cast<unsigned>(std::countl_zero(v));
+        const unsigned shift = msb - kSubBits;
+        const std::uint64_t sub = (v >> shift) & (kSubBuckets - 1);
+        return static_cast<std::size_t>(
+            ((msb - kSubBits) << kSubBits) + kSubBuckets + sub);
+    }
+
+    /// Largest value that lands in bucket `i` (inclusive).
+    [[nodiscard]] static std::uint64_t
+    bucket_upper(std::size_t i) noexcept {
+        if (i < kSubBuckets) {
+            return i;
+        }
+        const std::size_t rel = i - kSubBuckets;
+        const unsigned shift = static_cast<unsigned>(rel >> kSubBits);
+        const std::uint64_t sub = rel & (kSubBuckets - 1);
+        return ((kSubBuckets + sub) << shift) + ((1ull << shift) - 1);
+    }
+
+    /// Wait-free: stripes onto the calling thread's shard.
+    void record(std::uint64_t v) noexcept;
+    void record_seconds(double seconds) noexcept {
+        record(seconds > 0 ? static_cast<std::uint64_t>(seconds * 1e9)
+                           : 0);
+    }
+
+    /// Merged view of every shard (relaxed reads; exact once writers
+    /// quiesce).
+    [[nodiscard]] HistogramSnapshot snapshot() const;
+
+    /// Only valid while no recorder is active (tests).
+    void reset() noexcept;
+
+  private:
+    struct alignas(64) Shard {
+        std::atomic<std::uint64_t> counts[kBuckets];
+        std::atomic<std::uint64_t> sum{0};
+        std::atomic<std::uint64_t> max{0};
+    };
+    /// Shards are heap-held so an unused histogram costs one allocation,
+    /// and the array never moves (record() keeps raw references).
+    std::unique_ptr<Shard[]> shards_ =
+        std::make_unique<Shard[]>(kShards);
+};
+
+/// RAII latency probe: records the enclosed scope's wall time (ns) into
+/// `h` on destruction. A null histogram makes it a no-op, so call sites
+/// can keep one unconditional ScopedTimer and pay a pointer test when
+/// metrics are detached.
+class ScopedTimer {
+  public:
+    using clock = std::chrono::steady_clock;
+
+    explicit ScopedTimer(Histogram* h) noexcept
+        : h_(h), t0_(h != nullptr ? clock::now() : clock::time_point{}) {}
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+    ~ScopedTimer() {
+        if (h_ != nullptr) {
+            h_->record(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    clock::now() - t0_)
+                    .count()));
+        }
+    }
+
+  private:
+    Histogram* h_;
+    clock::time_point t0_;
+};
+
+enum class Kind : std::uint8_t {
+    counter = 0,
+    gauge = 1,
+    histogram = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(Kind k) noexcept {
+    switch (k) {
+    case Kind::counter: return "counter";
+    case Kind::gauge: return "gauge";
+    case Kind::histogram: return "histogram";
+    }
+    return "?";
+}
+
+/// One metric's point-in-time value (the wire / JSON unit).
+struct MetricSnapshot {
+    std::string name;
+    Kind kind = Kind::counter;
+    std::uint64_t counter_value = 0;
+    std::int64_t gauge_value = 0;
+    HistogramSnapshot hist; ///< kind == histogram only
+};
+
+/// Name-sorted snapshot of a Registry. merge() sums same-named metrics
+/// (counters and gauges add, histograms bucket-merge) — the job-level
+/// report net::run_job assembles from its ranks.
+struct RegistrySnapshot {
+    std::vector<MetricSnapshot> metrics; ///< sorted by name
+
+    void merge(const RegistrySnapshot& o);
+    /// Per-metric monotonic delta against `base` (a snapshot taken
+    /// earlier in the same process). Metrics absent from base pass
+    /// through whole.
+    void subtract(const RegistrySnapshot& base);
+
+    [[nodiscard]] const MetricSnapshot* find(std::string_view name) const;
+    /// Counter total by name; 0 when absent.
+    [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+    [[nodiscard]] std::int64_t gauge(std::string_view name) const;
+};
+
+/// Named metric registry. counter()/gauge()/histogram() return stable
+/// references (node-based storage; the registry only ever grows), so call
+/// sites resolve once at setup and record lock-free afterwards. Lookup
+/// itself takes a shared lock — fine at per-request granularity, not for
+/// per-block hot paths.
+class Registry {
+  public:
+    [[nodiscard]] Counter& counter(std::string_view name);
+    [[nodiscard]] Gauge& gauge(std::string_view name);
+    [[nodiscard]] Histogram& histogram(std::string_view name);
+
+    [[nodiscard]] RegistrySnapshot snapshot() const;
+
+    /// Zeroes every registered cell (names stay registered). Test-only:
+    /// callers must ensure no recorder is active.
+    void reset();
+
+  private:
+    mutable std::shared_mutex m_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>>
+        counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+        histograms_;
+};
+
+/// The process-wide registry every layer's instrumentation lands in.
+/// Intentionally leaked so worker threads and static destructors can
+/// record during teardown without lifetime ordering hazards.
+[[nodiscard]] Registry& registry();
+
+} // namespace hcube::obs

@@ -1,6 +1,7 @@
 #include "rt/async_player.hpp"
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 #include "rt/checksum.hpp"
 #include "rt/delivery.hpp"
 #include "rt/pool.hpp"
@@ -346,6 +347,32 @@ PlayStats AsyncPlayer::play(WorkerPool* pool) {
     stats.payload_bytes =
         stats.blocks_delivered * plan_.block_elems * sizeof(double);
 
+    // Abort salvage: land the partial timeline before the caller unwinds.
+    if (trace_ != nullptr && arbiter_.aborted()) {
+        trace_->flush_abort();
+    }
+
+    static obs::Counter& m_plays_serial =
+        obs::registry().counter("rt.plays_serial");
+    static obs::Counter& m_plays_stealing =
+        obs::registry().counter("rt.plays_stealing");
+    static obs::Counter& m_cycles = obs::registry().counter("rt.cycles");
+    static obs::Counter& m_steals = obs::registry().counter("rt.steals");
+    static obs::Counter& m_copied =
+        obs::registry().counter("rt.bytes_copied");
+    static obs::Counter& m_checksum =
+        obs::registry().counter("rt.checksum_bytes");
+    static obs::Counter& m_fallbacks =
+        obs::registry().counter("rt.exec_fallbacks");
+    static obs::Histogram& m_play_ns =
+        obs::registry().histogram("rt.play_ns");
+    (serial ? m_plays_serial : m_plays_stealing).inc();
+    m_cycles.inc(stats.cycles);
+    m_steals.inc(stats.steals);
+    m_copied.inc(stats.bytes_copied);
+    m_checksum.inc(stats.payload_bytes);
+    m_play_ns.record_seconds(stats.seconds);
+
     // Advance the tuner on clean, tuner-driven runs only (forced-serial
     // runs and faulted runs say nothing about the stealing/serial choice).
     if (!forced_serial && stats.clean() && !arbiter_.aborted()) {
@@ -360,6 +387,11 @@ PlayStats AsyncPlayer::play(WorkerPool* pool) {
             tune_ = stats.seconds <= probe_parallel_seconds_
                         ? Tune::locked_serial
                         : Tune::locked_parallel;
+        }
+        if (tune_ == Tune::locked_serial) {
+            // The stealing probe lost: the engine just fell back to serial
+            // execution for this plan shape.
+            m_fallbacks.inc();
         }
     }
     return stats;

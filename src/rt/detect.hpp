@@ -18,12 +18,14 @@
 #pragma once
 
 #include "ft/fault_model.hpp"
+#include "obs/metrics.hpp"
 #include "rt/channel.hpp"
 #include "rt/plan.hpp"
 
 #include <atomic>
 #include <chrono>
 #include <span>
+#include <string>
 #include <thread>
 
 namespace hcube::rt {
@@ -69,6 +71,11 @@ public:
             return;
         }
         report_ = report;
+        // Winning claim only — one registry lookup per detected fault, off
+        // the clean-run path entirely.
+        obs::registry()
+            .counter(std::string("ft.report.") + ft::to_string(report.cls))
+            .inc();
         if (abort) {
             abort_.store(true, std::memory_order_release);
         }

@@ -1,6 +1,7 @@
 #include "rt/player.hpp"
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 #include "rt/barrier.hpp"
 #include "rt/checksum.hpp"
 #include "rt/delivery.hpp"
@@ -183,6 +184,28 @@ PlayStats Player::play(WorkerPool* pool) {
     }
     total.payload_bytes =
         total.blocks_delivered * plan_.block_elems * sizeof(double);
+
+    // Abort salvage: if a detector tripped mid-run and the recorder is
+    // armed, land the partial timeline before the caller unwinds.
+    if (trace_ != nullptr && arbiter_.aborted()) {
+        trace_->flush_abort();
+    }
+
+    // One-time aggregate adds after the run — the per-block hot path stays
+    // untouched (docs/OBSERVABILITY.md § Overhead).
+    static obs::Counter& m_plays = obs::registry().counter("rt.plays_barrier");
+    static obs::Counter& m_cycles = obs::registry().counter("rt.cycles");
+    static obs::Counter& m_copied =
+        obs::registry().counter("rt.bytes_copied");
+    static obs::Counter& m_checksum =
+        obs::registry().counter("rt.checksum_bytes");
+    static obs::Histogram& m_play_ns =
+        obs::registry().histogram("rt.play_ns");
+    m_plays.inc();
+    m_cycles.inc(total.cycles);
+    m_copied.inc(total.bytes_copied);
+    m_checksum.inc(total.payload_bytes);
+    m_play_ns.record_seconds(total.seconds);
     return total;
 }
 

@@ -44,4 +44,19 @@ void TraceRecorder::append_chrome_events(JsonArrayWriter& json,
     }
 }
 
+bool TraceRecorder::write_chrome_trace(const std::string& path,
+                                       std::uint32_t pid,
+                                       const std::string& category) const {
+    JsonArrayWriter json(path);
+    append_chrome_events(json, pid, category);
+    return json.close();
+}
+
+bool TraceRecorder::flush_abort() const {
+    if (abort_path_.empty()) {
+        return false;
+    }
+    return write_chrome_trace(abort_path_, /*pid=*/0, "aborted");
+}
+
 } // namespace hcube::rt

@@ -77,6 +77,26 @@ public:
     void append_chrome_events(JsonArrayWriter& json, std::uint32_t pid,
                               const std::string& category) const;
 
+    /// Writes a complete standalone chrome trace (own array, own file) of
+    /// everything recorded so far. Returns false if the file could not be
+    /// written. Safe to call after workers have joined, even mid-run when
+    /// an abort left the schedule unfinished.
+    bool write_chrome_trace(const std::string& path, std::uint32_t pid,
+                            const std::string& category) const;
+
+    /// Arms abort salvage: when an engine's run ends with the arbiter in
+    /// the aborted state, it calls flush_abort() and whatever was recorded
+    /// up to the fault lands at `path` as a valid chrome trace instead of
+    /// dying with the run. Empty path disarms.
+    void set_abort_path(std::string path) { abort_path_ = std::move(path); }
+    [[nodiscard]] const std::string& abort_path() const noexcept {
+        return abort_path_;
+    }
+
+    /// Engine hook: no-op unless an abort path is armed. Returns true if a
+    /// partial trace was written.
+    bool flush_abort() const;
+
 private:
     [[nodiscard]] std::uint64_t to_ns(clock::time_point t) const {
         return static_cast<std::uint64_t>(
@@ -92,6 +112,7 @@ private:
 
     clock::time_point epoch_;
     std::vector<Lane> lanes_;
+    std::string abort_path_;
 };
 
 } // namespace hcube::rt

@@ -19,8 +19,10 @@
 // cache already guarantees (docs/SERVICE.md § Batching).
 #pragma once
 
+#include "obs/metrics.hpp"
 #include "svc/session.hpp"
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -70,6 +72,17 @@ struct Response {
     std::optional<Rejection> rejection;
 };
 
+/// A submitted operation: the collective signature plus the tenant it is
+/// billed to. client_id deliberately lives *outside* the Signature — it
+/// must not fragment the plan cache or defeat batching (two tenants
+/// submitting the same collective coalesce into one execution) — so it
+/// rides next to the signature and only the metrics plane keys on it
+/// (svc.tenant.<id>.op_ns).
+struct Request {
+    Signature sig;
+    std::uint32_t client_id = 0;
+};
+
 struct ServiceParams {
     SessionParams session;
     /// Pending requests admitted before backpressure engages.
@@ -90,9 +103,15 @@ class Service {
 
     /// Thread-safe. Enqueues the request (applying the admission policy)
     /// and returns the future its Response will arrive on.
-    [[nodiscard]] std::future<Response> submit(const Signature& sig);
+    [[nodiscard]] std::future<Response> submit(const Request& req);
+    [[nodiscard]] std::future<Response> submit(const Signature& sig) {
+        return submit(Request{sig, 0});
+    }
 
     /// submit() + wait: the synchronous convenience wrapper.
+    [[nodiscard]] Response run(const Request& req) {
+        return submit(req).get();
+    }
     [[nodiscard]] Response run(const Signature& sig) {
         return submit(sig).get();
     }
@@ -113,7 +132,10 @@ class Service {
         std::uint64_t rejected = 0;  ///< bounced by admission control
         std::uint64_t failed = 0;    ///< completed with Status::failed
     };
-    [[nodiscard]] Counters counters() const;
+    /// Wait-free: reads five relaxed atomics (obs::Counter cells), never
+    /// touching the admission mutex — a monitoring thread can poll it
+    /// while the dispatcher is mid-batch.
+    [[nodiscard]] Counters counters() const noexcept;
 
     /// The persistent execution context (selector, plan cache, pool).
     [[nodiscard]] Session& session() noexcept { return session_; }
@@ -124,10 +146,15 @@ class Service {
   private:
     struct Pending {
         Signature sig;
+        std::uint32_t client_id = 0;
+        std::chrono::steady_clock::time_point enqueued;
         std::promise<Response> promise;
     };
 
     void dispatch_loop();
+    /// Completes `p` with `response`, stamping the tenant's end-to-end op
+    /// latency (enqueue → promise fulfilled) into svc.tenant.<id>.op_ns.
+    void fulfill(Pending& p, Response response);
 
     Session session_;
     ServiceParams params_;
@@ -140,7 +167,14 @@ class Service {
     bool paused_ = false;
     bool stopping_ = false;
     bool busy_ = false; ///< dispatcher is executing a batch
-    Counters counters_;
+
+    /// Per-instance counter cells behind counters(). Mirrored into the
+    /// process-wide registry (svc.*) for the telemetry plane.
+    obs::Counter c_submitted_;
+    obs::Counter c_executed_;
+    obs::Counter c_batched_;
+    obs::Counter c_rejected_;
+    obs::Counter c_failed_;
 
     std::thread dispatcher_; ///< last member: starts after state is ready
 };

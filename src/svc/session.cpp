@@ -1,6 +1,7 @@
 #include "svc/session.hpp"
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 #include "rt/async_player.hpp"
 #include "rt/checksum.hpp"
 #include "rt/plan.hpp"
@@ -224,6 +225,26 @@ std::optional<Rejection> preflight_against(const Signature& sig, dim_t n,
     return std::nullopt;
 }
 
+/// Publishes the delta between `current` (a monotonic source total, e.g.
+/// LruCache::stats().evictions) and the high-water mark already forwarded
+/// to `c`. Concurrent callers race on the mark, so the counter receives
+/// each unit of the source total exactly once.
+void sync_monotonic(obs::Counter& c,
+                    std::atomic<std::uint64_t>& published,
+                    std::uint64_t current) noexcept {
+    std::uint64_t prev = published.load(std::memory_order_relaxed);
+    for (;;) {
+        if (prev >= current) {
+            return;
+        }
+        if (published.compare_exchange_weak(prev, current,
+                                            std::memory_order_relaxed)) {
+            c.inc(current - prev);
+            return;
+        }
+    }
+}
+
 } // namespace
 
 /// One cached signature: the generated schedules, the compiled plan, the
@@ -400,6 +421,11 @@ ExecStats Session::execute(const Signature& sig) {
     out.member_count = sub.count();
     const std::shared_ptr<PlanEntry> entry =
         entry_for(keyed, sub, out.cache_hit);
+    static obs::Counter& m_hits =
+        obs::registry().counter("svc.plan_cache.hits");
+    static obs::Counter& m_misses =
+        obs::registry().counter("svc.plan_cache.misses");
+    (out.cache_hit ? m_hits : m_misses).inc();
     const std::lock_guard<std::mutex> lock(entry->exec_mutex);
 
     const rt::Plan& plan = *entry->plan;
@@ -511,6 +537,12 @@ ExecStats Session::execute(const Signature& sig) {
     if (byte_budget_ && full_check) {
         cache_.update_cost(keyed, out.plan_resident_bytes);
     }
+    static obs::Gauge& m_resident =
+        obs::registry().gauge("svc.plan_cache.resident_bytes");
+    static obs::Counter& m_evict =
+        obs::registry().counter("svc.plan_cache.evictions");
+    m_resident.set(static_cast<std::int64_t>(cache_.total_cost()));
+    sync_monotonic(m_evict, evictions_published_, cache_.stats().evictions);
     return out;
 }
 
@@ -539,6 +571,15 @@ std::size_t Session::evict_stale_epochs() {
             return key.view_epoch != view_.epoch_of_subcube(key.n);
         });
     epoch_evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    static obs::Counter& m_epoch =
+        obs::registry().counter("svc.plan_cache.epoch_evictions");
+    static obs::Counter& m_evict =
+        obs::registry().counter("svc.plan_cache.evictions");
+    m_epoch.inc(evicted);
+    sync_monotonic(m_evict, evictions_published_, cache_.stats().evictions);
+    obs::registry()
+        .gauge("svc.plan_cache.resident_bytes")
+        .set(static_cast<std::int64_t>(cache_.total_cost()));
     return evicted;
 }
 

@@ -203,6 +203,10 @@ class Session {
     mutable std::shared_mutex view_mutex_;
     mbr::View view_;
     std::atomic<std::uint64_t> epoch_evictions_{0};
+    /// High-water mark of cache evictions already published to the obs
+    /// registry — each Session forwards exactly its own eviction total once
+    /// even when concurrent executions race the sync.
+    std::atomic<std::uint64_t> evictions_published_{0};
 };
 
 } // namespace hcube::svc

@@ -1,0 +1,277 @@
+// hcube::obs core invariants: bucket geometry, percentile recovery against
+// an exact sorted-vector reference on heavy-tailed samples, shard-merge
+// associativity, snapshot subtraction, and a multi-threaded recording
+// hammer (the TSan leg runs every Obs* suite).
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace hcube::obs {
+namespace {
+
+TEST(ObsCounter, IncrementsAndResets) {
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsCounter, GaugeSetAddAndNegative) {
+    Gauge g;
+    g.set(7);
+    EXPECT_EQ(g.value(), 7);
+    g.add(-10);
+    EXPECT_EQ(g.value(), -3);
+    g.reset();
+    EXPECT_EQ(g.value(), 0);
+}
+
+TEST(ObsHistogram, BucketGeometryInvariants) {
+    // Identity below the sub-bucket count.
+    for (std::uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+        EXPECT_EQ(Histogram::bucket_of(v), v);
+        EXPECT_EQ(Histogram::bucket_upper(v), v);
+    }
+    // Every bucket index maps back to itself through its upper bound, and
+    // the upper bounds strictly increase — the two facts percentile
+    // recovery rests on.
+    for (std::size_t b = 0; b + 1 < Histogram::kBuckets; ++b) {
+        EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_upper(b)), b)
+            << "bucket " << b;
+        EXPECT_LT(Histogram::bucket_upper(b), Histogram::bucket_upper(b + 1));
+    }
+    // Bucket width is bounded by 1/32 of the lower bound: the upper bound
+    // of v's bucket is at most v * 33/32 + 1.
+    std::mt19937_64 rng(7);
+    for (int i = 0; i < 100'000; ++i) {
+        const std::uint64_t v = rng() % Histogram::kMaxValue;
+        const std::uint64_t up =
+            Histogram::bucket_upper(Histogram::bucket_of(v));
+        EXPECT_GE(up, v);
+        EXPECT_LE(up, v + v / Histogram::kSubBuckets + 1);
+    }
+    // Values beyond the tracked range clamp into the top bucket.
+    EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}),
+              Histogram::bucket_of(Histogram::kMaxValue));
+}
+
+/// Reference percentile: nearest-rank on the exact sorted sample.
+std::uint64_t ref_percentile(std::vector<std::uint64_t> sorted, double p) {
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t rank = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(p * static_cast<double>(sorted.size()))));
+    return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+TEST(ObsHistogram, PercentileRecoveryHeavyTailed) {
+    // Log-normal-ish heavy tail: most samples near 1µs, tail into seconds
+    // — the tenant latency shape bench_obs replays.
+    std::mt19937_64 rng(42);
+    std::lognormal_distribution<double> dist(std::log(1000.0), 2.0);
+    Histogram h;
+    std::vector<std::uint64_t> samples;
+    samples.reserve(50'000);
+    for (int i = 0; i < 50'000; ++i) {
+        const auto v = static_cast<std::uint64_t>(dist(rng));
+        samples.push_back(v);
+        h.record(v);
+    }
+    const HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, samples.size());
+    EXPECT_EQ(snap.max, *std::max_element(samples.begin(), samples.end()));
+
+    for (const double p : {0.50, 0.90, 0.95, 0.99, 0.999, 1.0}) {
+        const std::uint64_t ref = ref_percentile(samples, p);
+        const std::uint64_t got = snap.percentile(p);
+        // Recovered value sits in the reference's bucket: never below the
+        // exact answer, above it by at most the bucket width (1/32).
+        EXPECT_GE(got, ref) << "p=" << p;
+        EXPECT_LE(got, ref + ref / Histogram::kSubBuckets + 1) << "p=" << p;
+    }
+    EXPECT_EQ(snap.percentile(1.0), snap.max);
+    EXPECT_EQ(HistogramSnapshot{}.percentile(0.5), 0u);
+}
+
+TEST(ObsHistogram, MergeIsAssociativeAndExact) {
+    std::mt19937_64 rng(3);
+    Histogram a, b, c;
+    std::vector<std::uint64_t> all;
+    for (int i = 0; i < 3'000; ++i) {
+        const std::uint64_t v = rng() % 1'000'000;
+        all.push_back(v);
+        (i % 3 == 0 ? a : i % 3 == 1 ? b : c).record(v);
+    }
+    // (a + b) + c == a + (b + c), field by field.
+    HistogramSnapshot left = a.snapshot();
+    left.merge(b.snapshot());
+    left.merge(c.snapshot());
+    HistogramSnapshot bc = b.snapshot();
+    bc.merge(c.snapshot());
+    HistogramSnapshot right = a.snapshot();
+    right.merge(bc);
+    EXPECT_EQ(left.count, right.count);
+    EXPECT_EQ(left.sum, right.sum);
+    EXPECT_EQ(left.max, right.max);
+    EXPECT_EQ(left.counts, right.counts);
+
+    // And the merged view answers exactly like one recorder seeing all.
+    Histogram whole;
+    for (const std::uint64_t v : all) {
+        whole.record(v);
+    }
+    const HistogramSnapshot ref = whole.snapshot();
+    EXPECT_EQ(left.count, ref.count);
+    EXPECT_EQ(left.sum, ref.sum);
+    for (const double p : {0.5, 0.95, 0.99}) {
+        EXPECT_EQ(left.percentile(p), ref.percentile(p));
+    }
+}
+
+TEST(ObsHistogram, SubtractRecoversDelta) {
+    Histogram h;
+    for (int i = 0; i < 100; ++i) {
+        h.record(10);
+    }
+    const HistogramSnapshot base = h.snapshot();
+    for (int i = 0; i < 50; ++i) {
+        h.record(1'000);
+    }
+    HistogramSnapshot delta = h.snapshot();
+    delta.subtract(base);
+    EXPECT_EQ(delta.count, 50u);
+    EXPECT_EQ(delta.sum, 50u * 1'000u);
+    EXPECT_EQ(delta.percentile(0.5), 1'000u);
+}
+
+TEST(ObsHistogram, ConcurrentHammerExactTotals) {
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 20'000;
+    Histogram h;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&h, t] {
+            std::mt19937_64 rng(static_cast<std::uint64_t>(t) + 1);
+            for (int i = 0; i < kPerThread; ++i) {
+                h.record(rng() % 1'000'000);
+            }
+        });
+    }
+    for (std::thread& w : workers) {
+        w.join();
+    }
+    const HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, std::uint64_t{kThreads} * kPerThread);
+    std::uint64_t bucket_total = 0;
+    for (const std::uint64_t c : snap.counts) {
+        bucket_total += c;
+    }
+    EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST(ObsRegistry, StableReferencesAndSnapshot) {
+    Registry reg;
+    Counter& c = reg.counter("a.count");
+    Gauge& g = reg.gauge("b.level");
+    Histogram& h = reg.histogram("c.lat_ns");
+    EXPECT_EQ(&c, &reg.counter("a.count"));
+    EXPECT_EQ(&g, &reg.gauge("b.level"));
+    EXPECT_EQ(&h, &reg.histogram("c.lat_ns"));
+
+    c.inc(5);
+    g.set(-2);
+    h.record(100);
+    const RegistrySnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.metrics.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(
+        snap.metrics.begin(), snap.metrics.end(),
+        [](const MetricSnapshot& x, const MetricSnapshot& y) {
+            return x.name < y.name;
+        }));
+    EXPECT_EQ(snap.counter("a.count"), 5u);
+    EXPECT_EQ(snap.gauge("b.level"), -2);
+    const MetricSnapshot* m = snap.find("c.lat_ns");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->hist.count, 1u);
+    EXPECT_EQ(snap.counter("nope"), 0u);
+    EXPECT_EQ(snap.find("nope"), nullptr);
+}
+
+TEST(ObsRegistry, ConcurrentLookupAndRecord) {
+    Registry reg;
+    constexpr int kThreads = 8;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&reg] {
+            for (int i = 0; i < 2'000; ++i) {
+                reg.counter("shared").inc();
+                reg.histogram("lat").record(
+                    static_cast<std::uint64_t>(i));
+                reg.gauge("depth").set(i);
+            }
+        });
+    }
+    for (std::thread& w : workers) {
+        w.join();
+    }
+    const RegistrySnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("shared"), std::uint64_t{kThreads} * 2'000);
+    EXPECT_EQ(snap.find("lat")->hist.count, std::uint64_t{kThreads} * 2'000);
+}
+
+TEST(ObsRegistry, SnapshotMergeAndSubtract) {
+    Registry a, b;
+    a.counter("x").inc(10);
+    a.histogram("h").record(5);
+    b.counter("x").inc(32);
+    b.counter("y").inc(1);
+    b.histogram("h").record(500);
+
+    RegistrySnapshot merged = a.snapshot();
+    merged.merge(b.snapshot());
+    EXPECT_EQ(merged.counter("x"), 42u);
+    EXPECT_EQ(merged.counter("y"), 1u);
+    EXPECT_EQ(merged.find("h")->hist.count, 2u);
+
+    // Delta against an earlier baseline of the same registry.
+    const RegistrySnapshot base = a.snapshot();
+    a.counter("x").inc(8);
+    a.histogram("h").record(7);
+    RegistrySnapshot delta = a.snapshot();
+    delta.subtract(base);
+    EXPECT_EQ(delta.counter("x"), 8u);
+    EXPECT_EQ(delta.find("h")->hist.count, 1u);
+}
+
+TEST(ObsTimer, RecordsScopeAndNullIsNoop) {
+    Histogram h;
+    {
+        const ScopedTimer t(&h);
+    }
+    EXPECT_EQ(h.snapshot().count, 1u);
+    {
+        const ScopedTimer t(nullptr); // must not crash
+    }
+    EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+TEST(ObsTimer, GlobalRegistryIsProcessWide) {
+    Counter& c = registry().counter("obs.test.global");
+    const std::uint64_t before = c.value();
+    c.inc();
+    EXPECT_EQ(registry().counter("obs.test.global").value(), before + 1);
+}
+
+} // namespace
+} // namespace hcube::obs

@@ -4,6 +4,8 @@
 // both engines, and export as well-formed chrome://tracing "X" events.
 #include "rt/tracing.hpp"
 
+#include "ft/fault_model.hpp"
+#include "ft/injector.hpp"
 #include "routing/schedule_export.hpp"
 #include "rt/async_player.hpp"
 #include "rt/plan.hpp"
@@ -150,6 +152,76 @@ TEST(RtTrace, ChromeExportEmitsWellFormedCompleteEvents) {
     EXPECT_GT(count_of("\"dur\":"), 0u);
     EXPECT_EQ(count_of("\"name\": \"send c"),
               static_cast<std::size_t>(schedule.sends.size()));
+}
+
+TEST(RtTrace, WriteChromeTraceIsAStandaloneValidFile) {
+    const Schedule schedule = small_schedule();
+    const Plan plan = compile_plan(schedule, DataMode::move, 16, 2);
+    TraceRecorder recorder(plan.workers);
+
+    Player player(plan);
+    player.set_trace(&recorder);
+    ASSERT_TRUE(player.play().clean());
+
+    const std::string path =
+        testing::TempDir() + "hcube_trace_oneshot.json";
+    ASSERT_TRUE(recorder.write_chrome_trace(path, 3, "oneshot"));
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    std::remove(path.c_str());
+    EXPECT_EQ(text.front(), '[');
+    EXPECT_EQ(text.substr(text.size() - 2), "]\n");
+    EXPECT_NE(text.find("\"cat\": \"oneshot\""), std::string::npos);
+}
+
+TEST(RtTrace, AbortedRunFlushesPartialTraceToAbortPath) {
+    // A killed link with abort_on_fault: play() comes back dirty without
+    // ever returning control between the fault and the teardown, so the
+    // recorder itself must flush the partial timeline to its abort path —
+    // the post-mortem a crashed run leaves behind.
+    const Schedule schedule = routing::make_tree_broadcast(
+        trees::build_sbt(4, 0), BroadcastDiscipline::paced, 6,
+        PortModel::one_port_full_duplex);
+    const Plan plan = compile_plan(schedule, DataMode::move, 16, 2);
+
+    ft::FaultPlan faults;
+    faults.kill_link(0, 1, 0);
+    ft::FaultInjector injector(faults);
+    injector.arm(plan);
+
+    TraceRecorder recorder(plan.workers);
+    EXPECT_FALSE(recorder.flush_abort()); // unarmed: nothing to write
+    const std::string path =
+        testing::TempDir() + "hcube_trace_abort.json";
+    recorder.set_abort_path(path);
+    EXPECT_EQ(recorder.abort_path(), path);
+
+    Player player(plan);
+    player.set_trace(&recorder);
+    player.set_detection(
+        {.arrival_timeout_us = 1000, .abort_on_fault = true});
+    player.set_fault_hook(&injector);
+    const PlayStats stats = player.play();
+    ASSERT_FALSE(stats.clean());
+
+    // The partial trace landed at the abort path as a well-formed chrome
+    // trace: fewer events than a clean run, but every one parseable.
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "no abort trace at " << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    std::remove(path.c_str());
+    ASSERT_GE(text.size(), 3u);
+    EXPECT_EQ(text.front(), '[');
+    EXPECT_EQ(text.substr(text.size() - 2), "]\n");
+    EXPECT_NE(text.find("\"cat\": \"aborted\""), std::string::npos);
+    EXPECT_GT(recorder.event_count(), 0u);
+    EXPECT_LT(recorder.event_count(), 2 * schedule.sends.size());
 }
 
 } // namespace
